@@ -1,0 +1,74 @@
+//! Quality-control micro-benchmarks: EM truth inference, Bayesian voting
+//! and entropy-based task assignment at realistic batch sizes.
+
+use cdb_crowd::{TaskId, WorkerId};
+use cdb_quality::{
+    bayesian_posterior, em_truth_inference, expected_quality_improvement, select_top_k_tasks,
+    EmConfig, TaskAnswers,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A synthetic answer matrix: `n_tasks` binary tasks, 5 answers each from
+/// a pool of 50 workers of mixed quality.
+fn synthetic(n_tasks: usize) -> Vec<TaskAnswers> {
+    let mut rng = StdRng::seed_from_u64(3);
+    (0..n_tasks)
+        .map(|t| {
+            let truth = t % 2;
+            let answers = (0..5)
+                .map(|_| {
+                    let w = rng.gen_range(0..50u32);
+                    let acc = if w < 10 { 0.95 } else { 0.7 };
+                    let a = if rng.gen::<f64>() < acc { truth } else { 1 - truth };
+                    (WorkerId(w), a)
+                })
+                .collect();
+            TaskAnswers::flat(TaskId(t as u64), 2, answers)
+        })
+        .collect()
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("truth_inference");
+    for n in [50usize, 200, 800] {
+        let tasks = synthetic(n);
+        group.bench_with_input(BenchmarkId::new("em", n), &tasks, |b, tasks| {
+            b.iter(|| em_truth_inference(tasks, EmConfig::default()))
+        });
+    }
+    let qualities: HashMap<WorkerId, f64> =
+        (0..50).map(|w| (WorkerId(w), 0.8)).collect();
+    let answers: Vec<(WorkerId, usize)> =
+        (0..5).map(|w| (WorkerId(w), w as usize % 2)).collect();
+    group.bench_function("bayesian_posterior", |b| {
+        b.iter(|| bayesian_posterior(&answers, &qualities, 2))
+    });
+    group.finish();
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("task_assignment");
+    let posteriors: Vec<Vec<f64>> = (0..500)
+        .map(|i| {
+            let p = 0.5 + 0.49 * ((i % 100) as f64 / 100.0);
+            vec![p, 1.0 - p]
+        })
+        .collect();
+    group.bench_function("expected_improvement", |b| {
+        b.iter(|| expected_quality_improvement(&[0.6, 0.4], 0.8))
+    });
+    group.bench_function("select_top_10_of_500", |b| {
+        b.iter(|| select_top_k_tasks(&posteriors, 0.8, 10))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_inference, bench_assignment
+}
+criterion_main!(benches);

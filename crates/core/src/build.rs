@@ -1,0 +1,308 @@
+//! Build the graph query model from an analyzed CQL query and a database.
+
+use cdb_cql::{AnalyzedPredicate, AnalyzedSelect, Literal};
+use cdb_similarity::{similarity_join, SimilarityFn};
+use cdb_storage::{Database, TupleId, Value};
+
+use crate::model::{NodeId, PartId, PartKind, QueryGraph};
+use crate::prune::prune_invalid_edges;
+
+/// Graph construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphBuildConfig {
+    /// Similarity function used as the matching-probability estimator
+    /// (paper default: 2-gram Jaccard).
+    pub similarity: SimilarityFn,
+    /// Edge threshold ε: pairs below it are not materialized (paper: 0.3).
+    pub epsilon: f64,
+}
+
+impl Default for GraphBuildConfig {
+    fn default() -> Self {
+        GraphBuildConfig { similarity: SimilarityFn::default(), epsilon: 0.3 }
+    }
+}
+
+/// Build the query graph (Definition 1):
+///
+/// * one part per `FROM` table, one vertex per tuple;
+/// * one part + constant vertex per selection predicate (§4.2);
+/// * crowd predicates contribute edges with weight = similarity ≥ ε,
+///   found via the prefix-filter similarity join;
+/// * traditional predicates contribute weight-1 edges (immediately Blue)
+///   where the predicate holds.
+///
+/// Invalid edges (in no candidate) are pruned before returning.
+pub fn build_query_graph(
+    query: &AnalyzedSelect,
+    db: &Database,
+    cfg: &GraphBuildConfig,
+) -> QueryGraph {
+    let mut g = QueryGraph::new();
+
+    // Parts and vertices for tables. The vertex label is the value of the
+    // column the tuple is joined/selected on; since a tuple can join on
+    // several columns, labels here are per-(part, column) caches and edge
+    // construction reads cell values directly.
+    let mut part_of_table: std::collections::HashMap<String, PartId> =
+        std::collections::HashMap::new();
+    let mut nodes_of_table: std::collections::HashMap<String, Vec<NodeId>> =
+        std::collections::HashMap::new();
+    for t in &query.tables {
+        let part = g.add_part(PartKind::Table { name: t.clone() });
+        let table = db.table(t).expect("analyzer resolved the table");
+        let mut nodes = Vec::with_capacity(table.row_count());
+        for row in 0..table.row_count() {
+            // Label: a compact rendering of the row for task UIs.
+            let label = format!("{t}#{row}");
+            nodes.push(g.add_node(part, Some(TupleId::new(t.clone(), row)), label));
+        }
+        part_of_table.insert(t.clone(), part);
+        nodes_of_table.insert(t.clone(), nodes);
+    }
+
+    for pred in &query.predicates {
+        match pred {
+            AnalyzedPredicate::CrowdJoin { left, right } => {
+                let pa = part_of_table[&left.table];
+                let pb = part_of_table[&right.table];
+                let pid = g.add_predicate(
+                    pa,
+                    pb,
+                    true,
+                    format!("{left} CROWDJOIN {right}"),
+                );
+                let lvals = db
+                    .table(&left.table)
+                    .expect("resolved")
+                    .column_strings(&left.column)
+                    .expect("resolved");
+                let rvals = db
+                    .table(&right.table)
+                    .expect("resolved")
+                    .column_strings(&right.column)
+                    .expect("resolved");
+                let lrefs: Vec<&str> = lvals.iter().map(String::as_str).collect();
+                let rrefs: Vec<&str> = rvals.iter().map(String::as_str).collect();
+                for pair in similarity_join(&lrefs, &rrefs, cfg.similarity, cfg.epsilon) {
+                    let u = nodes_of_table[&left.table][pair.left];
+                    let v = nodes_of_table[&right.table][pair.right];
+                    // Cap below 1.0: identical strings still need crowd
+                    // confirmation under a crowd predicate (only
+                    // traditional predicates are auto-Blue).
+                    let w = pair.sim.min(0.999_999);
+                    g.add_edge(u, v, pid, w);
+                }
+            }
+            AnalyzedPredicate::EquiJoin { left, right } => {
+                let pa = part_of_table[&left.table];
+                let pb = part_of_table[&right.table];
+                let pid = g.add_predicate(pa, pb, false, format!("{left} = {right}"));
+                let ltab = db.table(&left.table).expect("resolved");
+                let rtab = db.table(&right.table).expect("resolved");
+                for (i, &u) in nodes_of_table[&left.table].iter().enumerate() {
+                    let lv = ltab.cell(i, &left.column).expect("resolved");
+                    for (j, &v) in nodes_of_table[&right.table].iter().enumerate() {
+                        let rv = rtab.cell(j, &right.column).expect("resolved");
+                        if lv.sql_eq(rv) {
+                            g.add_edge(u, v, pid, 1.0);
+                        }
+                    }
+                }
+            }
+            AnalyzedPredicate::CrowdEqual { column, value } => {
+                let pa = part_of_table[&column.table];
+                let lit = literal_string(value);
+                let cpart = g.add_part(PartKind::Constant { value: lit.clone() });
+                let cnode = g.add_node(cpart, None, lit.clone());
+                let pid = g.add_predicate(
+                    pa,
+                    cpart,
+                    true,
+                    format!("{column} CROWDEQUAL \"{lit}\""),
+                );
+                let vals = db
+                    .table(&column.table)
+                    .expect("resolved")
+                    .column_strings(&column.column)
+                    .expect("resolved");
+                for (i, val) in vals.iter().enumerate() {
+                    let sim = cdb_similarity::SimilarityMeasure::similarity(
+                        &cfg.similarity,
+                        val,
+                        &lit,
+                    );
+                    if sim >= cfg.epsilon {
+                        let u = nodes_of_table[&column.table][i];
+                        g.add_edge(u, cnode, pid, sim.min(0.999_999));
+                    }
+                }
+            }
+            AnalyzedPredicate::Equal { column, value } => {
+                let pa = part_of_table[&column.table];
+                let lit = literal_string(value);
+                let cpart = g.add_part(PartKind::Constant { value: lit.clone() });
+                let cnode = g.add_node(cpart, None, lit.clone());
+                let pid = g.add_predicate(pa, cpart, false, format!("{column} = \"{lit}\""));
+                let table = db.table(&column.table).expect("resolved");
+                let lit_value = literal_value(value);
+                for (i, &u) in nodes_of_table[&column.table].iter().enumerate() {
+                    let cell = table.cell(i, &column.column).expect("resolved");
+                    if cell.sql_eq(&lit_value) {
+                        g.add_edge(u, cnode, pid, 1.0);
+                    }
+                }
+            }
+        }
+    }
+
+    prune_invalid_edges(&mut g);
+    g
+}
+
+fn literal_string(lit: &Literal) -> String {
+    match lit {
+        Literal::Str(s) => s.clone(),
+        Literal::Int(i) => i.to_string(),
+        Literal::Float(x) => x.to_string(),
+    }
+}
+
+fn literal_value(lit: &Literal) -> Value {
+    match lit {
+        Literal::Str(s) => Value::Text(s.clone()),
+        Literal::Int(i) => Value::Int(*i),
+        Literal::Float(x) => Value::Float(*x),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::{enumerate_candidates, CandidateFilter};
+    use crate::model::Color;
+    use cdb_cql::{analyze_select, parse, Statement};
+    use cdb_storage::{ColumnDef, ColumnType, Schema, Table};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut paper = Table::new(
+            "Paper",
+            Schema::new(vec![
+                ColumnDef::new("title", ColumnType::Text),
+                ColumnDef::new("conference", ColumnType::Text),
+            ]),
+        );
+        paper
+            .push(vec![Value::from("Crowdsourced Data Cleaning"), Value::from("sigmod16")])
+            .unwrap();
+        paper.push(vec![Value::from("Query Processing on SSDs"), Value::from("sigmod13")]).unwrap();
+        paper.push(vec![Value::from("Neural Topic Models"), Value::from("icml")]).unwrap();
+        let mut citation = Table::new(
+            "Citation",
+            Schema::new(vec![
+                ColumnDef::new("title", ColumnType::Text),
+                ColumnDef::new("number", ColumnType::Int),
+            ]),
+        );
+        citation
+            .push(vec![Value::from("Crowdsourced Data Cleaning."), Value::Int(10)])
+            .unwrap();
+        citation
+            .push(vec![Value::from("Query Processing on smart SSDs"), Value::Int(5)])
+            .unwrap();
+        citation.push(vec![Value::from("Unrelated Biology Paper"), Value::Int(7)]).unwrap();
+        db.add_table(paper).unwrap();
+        db.add_table(citation).unwrap();
+        db
+    }
+
+    fn graph_for(sql: &str) -> QueryGraph {
+        let database = db();
+        let Statement::Select(q) = parse(sql).unwrap() else { panic!() };
+        let analyzed = analyze_select(&q, &database).unwrap();
+        build_query_graph(&analyzed, &database, &GraphBuildConfig::default())
+    }
+
+    #[test]
+    fn crowdjoin_edges_follow_similarity_threshold() {
+        let g = graph_for(
+            "SELECT * FROM Paper, Citation WHERE Paper.title CROWDJOIN Citation.title",
+        );
+        // Similar titles produce edges; the biology citation matches none.
+        assert!(g.edge_count() >= 2);
+        for i in 0..g.edge_count() {
+            let e = crate::model::EdgeId(i);
+            assert!(g.edge_weight(e) >= 0.3);
+            assert!(g.edge_weight(e) < 1.0);
+            assert_eq!(g.edge_color(e), Color::Unknown);
+        }
+    }
+
+    #[test]
+    fn crowdequal_adds_constant_part() {
+        let g = graph_for(
+            "SELECT * FROM Paper, Citation \
+             WHERE Paper.title CROWDJOIN Citation.title AND \
+             Paper.conference CROWDEQUAL \"sigmod\"",
+        );
+        assert_eq!(g.part_count(), 3);
+        let const_part = PartId(2);
+        assert!(matches!(g.part_kind(const_part), PartKind::Constant { value } if value == "sigmod"));
+        assert_eq!(g.part_nodes(const_part).len(), 1);
+    }
+
+    #[test]
+    fn candidates_exist_after_build() {
+        let g = graph_for(
+            "SELECT * FROM Paper, Citation WHERE Paper.title CROWDJOIN Citation.title",
+        );
+        assert!(!enumerate_candidates(&g, CandidateFilter::Live).is_empty());
+    }
+
+    #[test]
+    fn invalid_edges_are_pruned_at_build_time() {
+        // With the selection predicate, papers whose conference is far from
+        // "sigmod" (the icml paper) lose their selection edge; their join
+        // edges must be pruned as invalid.
+        let g = graph_for(
+            "SELECT * FROM Paper, Citation \
+             WHERE Paper.title CROWDJOIN Citation.title AND \
+             Paper.conference CROWDEQUAL \"sigmod\"",
+        );
+        for e in g.open_edges() {
+            assert!(crate::candidate::edge_in_some_candidate(&g, e, CandidateFilter::Live));
+        }
+    }
+
+    #[test]
+    fn traditional_equal_is_blue_weight_one() {
+        let g = graph_for(
+            "SELECT * FROM Paper, Citation \
+             WHERE Paper.title CROWDJOIN Citation.title AND \
+             Paper.conference = \"sigmod16\"",
+        );
+        // The selection edge for the sigmod16 paper is Blue already.
+        let blue: Vec<_> = (0..g.edge_count())
+            .map(crate::model::EdgeId)
+            .filter(|&e| g.edge_color(e) == Color::Blue)
+            .collect();
+        assert_eq!(blue.len(), 1);
+        assert_eq!(g.edge_weight(blue[0]), 1.0);
+    }
+
+    #[test]
+    fn nosim_build_keeps_all_pairs() {
+        let database = db();
+        let Statement::Select(q) =
+            parse("SELECT * FROM Paper, Citation WHERE Paper.title CROWDJOIN Citation.title")
+                .unwrap()
+        else {
+            panic!()
+        };
+        let analyzed = analyze_select(&q, &database).unwrap();
+        let cfg = GraphBuildConfig { similarity: SimilarityFn::NoSim, epsilon: 0.3 };
+        let g = build_query_graph(&analyzed, &database, &cfg);
+        assert_eq!(g.edge_count(), 9); // 3x3 all pairs at weight 0.5
+    }
+}

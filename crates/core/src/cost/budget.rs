@@ -1,0 +1,117 @@
+//! Budget-aware task selection (§5.1.3).
+//!
+//! Given a budget of `B` tasks, maximize the number of answers found: rank
+//! candidates by their *answer expectation* `Pr(C) = ∏ ω(e)` and spend the
+//! budget on the most promising candidate's unasked edges first, updating
+//! the graph (and re-ranking) after every batch of answers.
+
+use crate::candidate::{enumerate_candidates, CandidateFilter};
+use crate::model::{Color, EdgeId, QueryGraph};
+
+/// The next batch of edges to ask under a budget: the unasked edges of the
+/// live candidate with the highest answer expectation, ordered by weight
+/// (descending, as in the paper's walkthrough: ask the most promising
+/// edges of the chosen candidate first). Returns at most `remaining`
+/// edges; empty when no candidate is left.
+pub fn next_budget_batch(g: &QueryGraph, remaining: usize) -> Vec<EdgeId> {
+    if remaining == 0 {
+        return Vec::new();
+    }
+    let cands = enumerate_candidates(g, CandidateFilter::Live);
+    let best = cands
+        .into_iter()
+        .map(|c| {
+            let p = c.probability(g);
+            (c, p)
+        })
+        .filter(|(c, _)| c.edges.iter().any(|&e| g.edge_color(e) == Color::Unknown))
+        .max_by(|a, b| a.1.total_cmp(&b.1));
+    let Some((cand, _)) = best else {
+        return Vec::new();
+    };
+    let mut edges: Vec<EdgeId> = cand
+        .edges
+        .iter()
+        .copied()
+        .filter(|&e| g.edge_color(e) == Color::Unknown)
+        .collect();
+    edges.sort_by(|&a, &b| g.edge_weight(b).total_cmp(&g.edge_weight(a)).then(a.cmp(&b)));
+    edges.truncate(remaining);
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testgraph::chain_2x3;
+    use crate::model::{PartKind, QueryGraph};
+
+    #[test]
+    fn picks_highest_probability_candidate() {
+        let mut g = QueryGraph::new();
+        let a = g.add_part(PartKind::Table { name: "A".into() });
+        let b = g.add_part(PartKind::Table { name: "B".into() });
+        let a0 = g.add_node(a, None, "a0");
+        let a1 = g.add_node(a, None, "a1");
+        let b0 = g.add_node(b, None, "b0");
+        let b1 = g.add_node(b, None, "b1");
+        let p = g.add_predicate(a, b, true, "A~B");
+        g.add_edge(a0, b0, p, 0.4);
+        let e_best = g.add_edge(a1, b1, p, 0.9);
+        let batch = next_budget_batch(&g, 10);
+        assert_eq!(batch, vec![e_best]);
+    }
+
+    #[test]
+    fn batch_respects_remaining_budget() {
+        let (g, _) = chain_2x3(0.5);
+        assert_eq!(next_budget_batch(&g, 1).len(), 1);
+        assert_eq!(next_budget_batch(&g, 2).len(), 2);
+        assert!(next_budget_batch(&g, 0).is_empty());
+    }
+
+    #[test]
+    fn colored_edges_are_not_re_asked() {
+        let (mut g, _) = chain_2x3(0.5);
+        // Color one candidate fully blue: it has no unasked edges left, the
+        // batch must come from another candidate.
+        let cands = enumerate_candidates(&g, CandidateFilter::Live);
+        for &e in &cands[0].edges {
+            g.set_color(e, Color::Blue);
+        }
+        let batch = next_budget_batch(&g, 10);
+        assert!(!batch.is_empty());
+        for e in &batch {
+            assert_eq!(g.edge_color(*e), Color::Unknown);
+        }
+    }
+
+    #[test]
+    fn partially_blue_candidate_is_preferred() {
+        // A candidate with one confirmed Blue edge has probability boosted
+        // to the weight of its remaining edge, beating fresh candidates.
+        let (mut g, nodes) = chain_2x3(0.5);
+        let e_ab = g
+            .incident_edges(nodes[0][0])
+            .iter()
+            .copied()
+            .find(|&e| g.other_endpoint(e, nodes[0][0]) == nodes[1][0])
+            .unwrap();
+        g.set_color(e_ab, Color::Blue);
+        let batch = next_budget_batch(&g, 10);
+        // The batch must be the remaining unknown edge(s) of a candidate
+        // through A0-B0.
+        let first = batch[0];
+        let (u, v) = g.edge_endpoints(first);
+        assert!(u == nodes[1][0] || v == nodes[1][0], "batch should extend the blue edge");
+    }
+
+    #[test]
+    fn exhausted_graph_yields_empty_batch() {
+        let (mut g, _) = chain_2x3(0.5);
+        for i in 0..g.edge_count() {
+            g.set_color(EdgeId(i), Color::Red);
+        }
+        assert!(next_budget_batch(&g, 10).is_empty());
+    }
+}

@@ -1,0 +1,242 @@
+//! Expectation-based task selection (§5.1.2, Eq. 1).
+//!
+//! For an edge `e = (t, t′)`, consider the *bundle* of edges from `t` to
+//! all tuples of `t′`'s part under the same predicate. Cutting the whole
+//! bundle certainly invalidates edges (everything that needed `t`); the
+//! probability of cutting it is `∏ (1 − ω)` over the bundle. The pruning
+//! expectation of `e` is that probability times the number of invalidated
+//! edges, shared equally among the bundle's `x` edges — plus the symmetric
+//! term for `t′`:
+//!
+//! ```text
+//! E(t, t′) = ∏ᵢ(1 − ω(t, tᵢ)) / x · α  +  ∏ᵢ(1 − ω(tᵢ, t′)) / y · β
+//! ```
+//!
+//! Edges are asked in descending expectation order. Computing α (the
+//! cascade size) uses the same support-propagation as invalid-edge pruning,
+//! simulated without mutating the graph.
+
+use std::collections::HashMap;
+
+use crate::model::{Color, EdgeId, NodeId, QueryGraph};
+
+/// Pruning expectation of every open edge.
+pub fn pruning_expectations(g: &QueryGraph) -> Vec<(EdgeId, f64)> {
+    // Cache bundle effects per (node, predicate).
+    let mut cache: HashMap<(NodeId, usize), (usize, f64, usize)> = HashMap::new();
+    g.open_edges()
+        .into_iter()
+        .map(|e| {
+            let (u, v) = g.edge_endpoints(e);
+            let p = g.edge_predicate(e);
+            let (x, prod_x, alpha) =
+                *cache.entry((u, p)).or_insert_with(|| bundle_effect(g, u, p));
+            let (y, prod_y, beta) =
+                *cache.entry((v, p)).or_insert_with(|| bundle_effect(g, v, p));
+            let mut ex = 0.0;
+            if x > 0 {
+                ex += prod_x / x as f64 * alpha as f64;
+            }
+            if y > 0 {
+                ex += prod_y / y as f64 * beta as f64;
+            }
+            (e, ex)
+        })
+        .collect()
+}
+
+/// Open edges in descending pruning-expectation order (ties by weight
+/// ascending — a less likely edge is the better cut — then id).
+pub fn expectation_order(g: &QueryGraph) -> Vec<EdgeId> {
+    let mut scored = pruning_expectations(g);
+    scored.sort_by(|a, b| {
+        b.1.total_cmp(&a.1)
+            .then_with(|| g.edge_weight(a.0).total_cmp(&g.edge_weight(b.0)))
+            .then(a.0.cmp(&b.0))
+    });
+    scored.into_iter().map(|(e, _)| e).collect()
+}
+
+/// Effect of cutting the whole bundle of `node`'s live edges under
+/// `predicate`: `(bundle size x, ∏(1 − ω), #edges invalidated α)`.
+///
+/// α counts the live edges that become invalid *besides* the bundle
+/// itself, via the death cascade. If the bundle contains a Blue edge it
+/// cannot be cut (`∏ = 0`).
+fn bundle_effect(g: &QueryGraph, node: NodeId, predicate: usize) -> (usize, f64, usize) {
+    let bundle = g.live_edges_for_predicate(node, predicate);
+    let x = bundle.len();
+    if x == 0 {
+        return (0, 0.0, 0);
+    }
+    let mut prod = 1.0f64;
+    for &e in &bundle {
+        prod *= match g.edge_color(e) {
+            Color::Blue => 0.0,
+            Color::Red => 1.0, // unreachable for live edges, defensive
+            Color::Unknown => 1.0 - g.edge_weight(e),
+        };
+    }
+    if prod == 0.0 {
+        return (x, 0.0, 0);
+    }
+    (x, prod, simulate_cascade(g, node, &bundle))
+}
+
+/// Count how many live edges die if `bundle` (all live edges of `start`
+/// for one predicate) is removed, excluding the bundle itself.
+fn simulate_cascade(g: &QueryGraph, start: NodeId, bundle: &[EdgeId]) -> usize {
+    let removed: std::collections::HashSet<EdgeId> = bundle.iter().copied().collect();
+    let mut dead_edges: std::collections::HashSet<EdgeId> = removed.clone();
+    let mut dead_nodes: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+    let mut queue = vec![start];
+    dead_nodes.insert(start);
+    let mut invalidated = 0usize;
+    // The far endpoints of the removed bundle may lose their only support
+    // for this predicate: seed them into the cascade.
+    for &e in bundle {
+        let w = g.other_endpoint(e, start);
+        if dead_nodes.contains(&w) {
+            continue;
+        }
+        let p = g.edge_predicate(e);
+        let has_support = g
+            .live_edges_for_predicate(w, p)
+            .into_iter()
+            .any(|e2| !dead_edges.contains(&e2));
+        if !has_support {
+            dead_nodes.insert(w);
+            queue.push(w);
+        }
+    }
+    while let Some(v) = queue.pop() {
+        for &e in g.incident_edges(v) {
+            if !g.edge_live(e) || dead_edges.contains(&e) {
+                continue;
+            }
+            dead_edges.insert(e);
+            invalidated += 1;
+            let w = g.other_endpoint(e, v);
+            if dead_nodes.contains(&w) {
+                continue;
+            }
+            // Does w still have a live edge for this predicate?
+            let p = g.edge_predicate(e);
+            let has_support = g
+                .live_edges_for_predicate(w, p)
+                .into_iter()
+                .any(|e2| !dead_edges.contains(&e2));
+            if !has_support {
+                dead_nodes.insert(w);
+                queue.push(w);
+            }
+        }
+    }
+    invalidated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{PartKind, QueryGraph};
+
+    /// Rebuild the paper's running-example neighbourhood around p1:
+    /// Citation {c1} — Paper {p1} — Researcher {r1, r2, r3} — University
+    /// {u1, u2, u3}, with the weights from Figure 4.
+    fn paper_p1_neighbourhood() -> (QueryGraph, EdgeId) {
+        let mut g = QueryGraph::new();
+        let uni = g.add_part(PartKind::Table { name: "University".into() });
+        let res = g.add_part(PartKind::Table { name: "Researcher".into() });
+        let pap = g.add_part(PartKind::Table { name: "Paper".into() });
+        let cit = g.add_part(PartKind::Table { name: "Citation".into() });
+        let u1 = g.add_node(uni, None, "u1");
+        let u2 = g.add_node(uni, None, "u2");
+        let u3 = g.add_node(uni, None, "u3");
+        let r1 = g.add_node(res, None, "r1");
+        let r2 = g.add_node(res, None, "r2");
+        let r3 = g.add_node(res, None, "r3");
+        let p1 = g.add_node(pap, None, "p1");
+        let c1 = g.add_node(cit, None, "c1");
+        let p_ur = g.add_predicate(uni, res, true, "U~R");
+        let p_rp = g.add_predicate(res, pap, true, "R~P");
+        let p_pc = g.add_predicate(pap, cit, true, "P~C");
+        // University-Researcher edges (weights arbitrary but plausible).
+        g.add_edge(u1, r1, p_ur, 0.8);
+        g.add_edge(u2, r1, p_ur, 0.7);
+        g.add_edge(u1, r2, p_ur, 0.6);
+        g.add_edge(u2, r2, p_ur, 0.9);
+        g.add_edge(u3, r3, p_ur, 0.85);
+        // Researcher-Paper edges with the paper's weights.
+        let e_p1r1 = g.add_edge(r1, p1, p_rp, 0.42);
+        g.add_edge(r2, p1, p_rp, 0.41);
+        g.add_edge(r3, p1, p_rp, 0.83);
+        // Paper-Citation.
+        g.add_edge(p1, c1, p_pc, 0.5);
+        (g, e_p1r1)
+    }
+
+    #[test]
+    fn expectation_matches_paper_example() {
+        // E(p1, r1) = (1-0.42)*2 + (1-0.42)(1-0.41)(1-0.83)*6/3 = 1.276.
+        let (g, e) = paper_p1_neighbourhood();
+        let scores: HashMap<EdgeId, f64> = pruning_expectations(&g).into_iter().collect();
+        let expected = (1.0 - 0.42) * 2.0
+            + (1.0 - 0.42) * (1.0 - 0.41) * (1.0 - 0.83) * 6.0 / 3.0;
+        assert!(
+            (scores[&e] - expected).abs() < 1e-9,
+            "E = {}, expected {expected}",
+            scores[&e]
+        );
+    }
+
+    #[test]
+    fn bundle_with_blue_edge_cannot_prune() {
+        let (mut g, e) = paper_p1_neighbourhood();
+        // Make one edge of p1's researcher bundle Blue: cutting impossible.
+        g.set_color(e, Color::Blue);
+        let scores: HashMap<EdgeId, f64> = pruning_expectations(&g).into_iter().collect();
+        // The other researcher-paper edges now get zero contribution from
+        // the p1-side bundle (prod = 0), leaving only their researcher-side
+        // term.
+        let r2p1 = EdgeId(6);
+        let r1_side_only = 1.0 - 0.41; // bundle {r2->p1}, alpha = 2 (u1,u2 edges)
+        assert!((scores[&r2p1] - r1_side_only * 2.0).abs() < 1e-9, "{}", scores[&r2p1]);
+    }
+
+    #[test]
+    fn singleton_cut_edge_ranks_first() {
+        // (p1, c1) is the only Paper-Citation edge: cutting it kills the
+        // entire left side (8 edges) — it must rank first, like the paper's
+        // example order that asks (p1, c1) first.
+        let (g, _) = paper_p1_neighbourhood();
+        let order = expectation_order(&g);
+        let (u, v) = g.edge_endpoints(order[0]);
+        let labels = [g.node_label(u), g.node_label(v)];
+        assert!(labels.contains(&"p1") && labels.contains(&"c1"), "{labels:?}");
+    }
+
+    #[test]
+    fn cascade_counts_transitive_invalidation() {
+        let (g, _) = paper_p1_neighbourhood();
+        // Cutting p1's researcher bundle: kills (p1,c1) and all 5 U~R edges.
+        let p1 = NodeId(6);
+        let bundle = g.live_edges_for_predicate(p1, 1);
+        assert_eq!(bundle.len(), 3);
+        assert_eq!(simulate_cascade(&g, p1, &bundle), 6);
+    }
+
+    #[test]
+    fn expectations_empty_when_everything_colored() {
+        let (mut g, _) = paper_p1_neighbourhood();
+        for i in 0..g.edge_count() {
+            g.set_color(EdgeId(i), Color::Blue);
+        }
+        assert!(pruning_expectations(&g).is_empty());
+    }
+
+    #[test]
+    fn order_is_deterministic() {
+        let (g, _) = paper_p1_neighbourhood();
+        assert_eq!(expectation_order(&g), expectation_order(&g));
+    }
+}

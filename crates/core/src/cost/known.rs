@@ -1,0 +1,494 @@
+//! Task selection with known edge colors (§5.1.1).
+//!
+//! When an oracle reveals every edge's true color, the minimal task set is:
+//! every edge of every BLUE candidate (they are answers and cannot be
+//! deduced), plus a minimum set of RED edges whose asking refutes every
+//! other candidate. On *chain* join structures the latter is exactly an
+//! s–s* min-cut (Lemma 1). Stars have a direct per-center-tuple rule. For
+//! general trees/graphs the paper rewrites the structure into a chain with
+//! duplicated tables, which itself over-counts ("invalid join tuples" must
+//! be removed); we instead solve the equivalent hitting-set formulation
+//! greedily, which is the same quality trade-off without the rewrite (see
+//! DESIGN.md).
+
+use std::collections::{HashMap, HashSet};
+
+use cdb_graph::{Dinic, INF_CAPACITY};
+
+use crate::candidate::{enumerate_candidates, Candidate, CandidateFilter};
+use crate::model::{EdgeId, NodeId, PartId, QueryGraph};
+
+/// An edge-color oracle: `true` = the edge is truly BLUE.
+pub type ColorOracle<'a> = dyn Fn(EdgeId) -> bool + 'a;
+
+/// Shape of the predicate structure at the part level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinStructure {
+    /// Parts form a path; the payload is the part order along it.
+    Chain(Vec<PartId>),
+    /// One center part joined to all others; payload is the center.
+    Star(PartId),
+    /// Anything else (tree with branching or cyclic).
+    General,
+}
+
+/// Classify the predicate structure. A 2-part query counts as a chain.
+pub fn join_structure(g: &QueryGraph) -> JoinStructure {
+    let n = g.part_count();
+    let preds = g.predicates();
+    if preds.is_empty() {
+        return JoinStructure::General;
+    }
+    // Degree per part (multi-edges count; a multi-edge breaks chain/star).
+    let mut deg = vec![0usize; n];
+    let mut seen_pairs = HashSet::new();
+    let mut multi = false;
+    for p in preds {
+        deg[p.a.0] += 1;
+        deg[p.b.0] += 1;
+        let key = (p.a.0.min(p.b.0), p.a.0.max(p.b.0));
+        if !seen_pairs.insert(key) {
+            multi = true;
+        }
+    }
+    // Only consider parts that participate in predicates.
+    let active: Vec<usize> = (0..n).filter(|&i| deg[i] > 0).collect();
+    if multi || preds.len() != active.len().saturating_sub(1) {
+        return JoinStructure::General; // cyclic or disconnected
+    }
+    let ends: Vec<usize> = active.iter().copied().filter(|&i| deg[i] == 1).collect();
+    let max_deg = active.iter().map(|&i| deg[i]).max().unwrap_or(0);
+    if max_deg <= 2 && ends.len() == 2 {
+        // Path: walk from one end.
+        let mut order = vec![PartId(ends[0])];
+        let mut prev: Option<PartId> = None;
+        while order.len() < active.len() {
+            let cur = *order.last().expect("non-empty");
+            let next = preds
+                .iter()
+                .filter_map(|p| {
+                    if p.a == cur {
+                        Some(p.b)
+                    } else if p.b == cur {
+                        Some(p.a)
+                    } else {
+                        None
+                    }
+                })
+                .find(|&q| Some(q) != prev)
+                .expect("path continues");
+            prev = Some(cur);
+            order.push(next);
+        }
+        return JoinStructure::Chain(order);
+    }
+    if active.len() >= 3 {
+        // Star: one center with degree = #predicates, all others degree 1.
+        if let Some(&center) = active.iter().find(|&&i| deg[i] == preds.len()) {
+            if active.iter().all(|&i| i == center || deg[i] == 1) {
+                return JoinStructure::Star(PartId(center));
+            }
+        }
+    }
+    JoinStructure::General
+}
+
+/// The full §5.1.1 selection: dispatches on structure.
+pub fn select_known_colors(g: &QueryGraph, truth: &ColorOracle) -> Vec<EdgeId> {
+    match join_structure(g) {
+        JoinStructure::Chain(order) => select_chain(g, truth, &order),
+        JoinStructure::Star(center) => select_star(g, truth, center),
+        JoinStructure::General => select_hitting_set(g, truth),
+    }
+}
+
+/// Candidates of the (color-agnostic) graph together with their truth
+/// status.
+fn split_candidates(g: &QueryGraph, truth: &ColorOracle) -> (Vec<Candidate>, Vec<Candidate>) {
+    let all = enumerate_candidates(g, CandidateFilter::Live);
+    all.into_iter().partition(|c| c.edges.iter().all(|&e| truth(e)))
+}
+
+/// Chain structure: Lemma 1 min-cut construction. Optimal.
+pub fn select_chain(g: &QueryGraph, truth: &ColorOracle, order: &[PartId]) -> Vec<EdgeId> {
+    let (blue_chains, _) = split_candidates(g, truth);
+
+    // Every edge of a blue chain must be asked.
+    let mut must: HashSet<EdgeId> = HashSet::new();
+    let mut b_edges: HashSet<EdgeId> = HashSet::new();
+    let mut chain_vertices: HashSet<NodeId> = HashSet::new();
+    for c in &blue_chains {
+        for &e in &c.edges {
+            must.insert(e);
+            b_edges.insert(e);
+        }
+        for &v in &c.binding {
+            chain_vertices.insert(v);
+        }
+    }
+
+    // Position of each part along the chain, to orient edges left/right.
+    let pos: HashMap<PartId, usize> = order.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+
+    // Flow graph: s = 0, t = 1. Each graph vertex gets a left node and a
+    // right node; unsplit vertices share one flow node for both sides.
+    let mut left_node: HashMap<NodeId, usize> = HashMap::new();
+    let mut right_node: HashMap<NodeId, usize> = HashMap::new();
+    let mut next = 2usize;
+    for i in 0..g.node_count() {
+        let v = NodeId(i);
+        if !pos.contains_key(&g.node_part(v)) {
+            continue;
+        }
+        if chain_vertices.contains(&v) {
+            left_node.insert(v, next);
+            right_node.insert(v, next + 1);
+            next += 2;
+        } else {
+            left_node.insert(v, next);
+            right_node.insert(v, next);
+            next += 1;
+        }
+    }
+    let mut flow = Dinic::new(next);
+    let (s, t) = (0usize, 1usize);
+
+    // The flow network is DIRECTED right-to-left along the chain: flow
+    // enters at the last part and exits at the first, so every s–s* path
+    // is a monotone (sub)chain — an undirected formulation would admit
+    // zigzag paths through blue edges that correspond to no candidate and
+    // make the flow unbounded.
+    //
+    // s feeds every last-part tuple and every blue-chain vertex's left
+    // copy (prefix refutation); every first-part tuple and every
+    // blue-chain vertex's right copy drains to s* (suffix refutation).
+    let first = order[0];
+    let last = *order.last().expect("chain has parts");
+    // Blue-chain vertices are wired through their split copies below; the
+    // generic endpoint wiring must skip them or a chain vertex sitting in
+    // the first/last part would connect s to s* directly with infinite
+    // capacity.
+    for &v in g.part_nodes(last) {
+        if !chain_vertices.contains(&v) {
+            flow.add_edge(s, right_node[&v], INF_CAPACITY, usize::MAX - 1);
+        }
+    }
+    for &v in g.part_nodes(first) {
+        if !chain_vertices.contains(&v) {
+            flow.add_edge(left_node[&v], t, INF_CAPACITY, usize::MAX - 1);
+        }
+    }
+    for &v in &chain_vertices {
+        flow.add_edge(s, left_node[&v], INF_CAPACITY, usize::MAX - 1);
+        flow.add_edge(right_node[&v], t, INF_CAPACITY, usize::MAX - 1);
+    }
+
+    // Graph edges (minus B-edges): each edge between parts i and i+1 runs
+    // from the (i+1)-side vertex's left role into the i-side vertex's
+    // right role — "t keeps its left edges, t* gets its right edges".
+    for i in 0..g.edge_count() {
+        let e = EdgeId(i);
+        if !g.edge_live(e) || b_edges.contains(&e) {
+            continue;
+        }
+        let (mut u, mut v) = g.edge_endpoints(e);
+        if pos[&g.node_part(u)] > pos[&g.node_part(v)] {
+            std::mem::swap(&mut u, &mut v);
+        }
+        let cap = if truth(e) { INF_CAPACITY } else { 1 };
+        flow.add_edge(left_node[&v], right_node[&u], cap, i);
+    }
+
+    flow.max_flow(s, t);
+    for label in flow.min_cut_edges(s) {
+        if label < g.edge_count() {
+            must.insert(EdgeId(label));
+        }
+    }
+    let mut out: Vec<EdgeId> = must.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Star structure rule (§5.1.1).
+pub fn select_star(g: &QueryGraph, truth: &ColorOracle, center: PartId) -> Vec<EdgeId> {
+    let mut must: HashSet<EdgeId> = HashSet::new();
+    let preds = g.part_predicates(center);
+    for &tv in g.part_nodes(center) {
+        // Live edges of the center tuple grouped by predicate.
+        let groups: Vec<Vec<EdgeId>> =
+            preds.iter().map(|&p| g.live_edges_for_predicate(tv, p)).collect();
+        if groups.iter().any(Vec::is_empty) {
+            // Some predicate has no edge at all: tuple already refuted.
+            continue;
+        }
+        let all_have_blue = groups.iter().all(|es| es.iter().any(|&e| truth(e)));
+        if all_have_blue {
+            // Every incident edge must be asked.
+            for es in &groups {
+                must.extend(es.iter().copied());
+            }
+        } else {
+            // Pick the predicate whose edges are all red with the fewest
+            // red edges; asking them refutes every candidate through tv.
+            let cheapest = groups
+                .iter()
+                .filter(|es| es.iter().all(|&e| !truth(e)))
+                .min_by_key(|es| es.len())
+                .expect("some group is all red");
+            must.extend(cheapest.iter().copied());
+        }
+    }
+    let mut out: Vec<EdgeId> = must.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// General structures: greedy hitting set over non-blue candidates.
+pub fn select_hitting_set(g: &QueryGraph, truth: &ColorOracle) -> Vec<EdgeId> {
+    let (blue, others) = split_candidates(g, truth);
+    let mut must: HashSet<EdgeId> = HashSet::new();
+    for c in &blue {
+        must.extend(c.edges.iter().copied());
+    }
+    // Each non-blue candidate needs one of its red edges asked.
+    let mut uncovered: Vec<&Candidate> = others.iter().collect();
+    // red edge -> indices of candidates it appears in.
+    while !uncovered.is_empty() {
+        let mut coverage: HashMap<EdgeId, usize> = HashMap::new();
+        for c in &uncovered {
+            for &e in &c.edges {
+                if !truth(e) {
+                    *coverage.entry(e).or_insert(0) += 1;
+                }
+            }
+        }
+        let (&best, _) = coverage
+            .iter()
+            .max_by_key(|(e, n)| (**n, std::cmp::Reverse(e.0)))
+            .expect("non-blue candidate has a red edge");
+        must.insert(best);
+        uncovered.retain(|c| !c.edges.contains(&best));
+    }
+    let mut out: Vec<EdgeId> = must.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testgraph::chain_2x3;
+    use crate::model::{PartKind, QueryGraph};
+    use std::collections::HashMap as Map;
+
+    /// Figure-1-style mini chain: the blue chain A0-B0-C0, everything else
+    /// red.
+    fn one_answer_chain() -> (QueryGraph, Map<EdgeId, bool>) {
+        let (g, nodes) = chain_2x3(0.5);
+        let mut colors = Map::new();
+        for i in 0..g.edge_count() {
+            let e = EdgeId(i);
+            let (u, v) = g.edge_endpoints(e);
+            let blue = (u == nodes[0][0] && v == nodes[1][0])
+                || (u == nodes[1][0] && v == nodes[2][0]);
+            colors.insert(e, blue);
+        }
+        (g, colors)
+    }
+
+    #[test]
+    fn structure_classification() {
+        let (g, _) = chain_2x3(0.5);
+        assert!(matches!(join_structure(&g), JoinStructure::Chain(_)));
+    }
+
+    #[test]
+    fn star_classification() {
+        let mut g = QueryGraph::new();
+        let a = g.add_part(PartKind::Table { name: "A".into() });
+        let b = g.add_part(PartKind::Table { name: "B".into() });
+        let c = g.add_part(PartKind::Table { name: "C".into() });
+        let d = g.add_part(PartKind::Table { name: "D".into() });
+        g.add_predicate(b, a, true, "1");
+        g.add_predicate(b, c, true, "2");
+        g.add_predicate(b, d, true, "3");
+        assert_eq!(join_structure(&g), JoinStructure::Star(b));
+    }
+
+    #[test]
+    fn cyclic_classified_general() {
+        let mut g = QueryGraph::new();
+        let a = g.add_part(PartKind::Table { name: "A".into() });
+        let b = g.add_part(PartKind::Table { name: "B".into() });
+        let c = g.add_part(PartKind::Table { name: "C".into() });
+        g.add_predicate(a, b, true, "1");
+        g.add_predicate(b, c, true, "2");
+        g.add_predicate(c, a, true, "3");
+        assert_eq!(join_structure(&g), JoinStructure::General);
+    }
+
+    #[test]
+    fn chain_selection_asks_blue_chain_and_min_cut() {
+        let (g, colors) = one_answer_chain();
+        let truth = |e: EdgeId| colors[&e];
+        let sel = select_known_colors(&g, &truth);
+        // Blue chain: 2 edges must be asked. Refutation: cutting the two
+        // other B-side... the optimal cut: all chains not all-blue must be
+        // hit. The answer must ask >= 2 (blue) edges and it must refute
+        // every other complete chain.
+        assert!(sel.len() < g.edge_count(), "selection must save tasks");
+        for (&e, &blue) in &colors {
+            if blue {
+                assert!(sel.contains(&e), "blue chain edge {e:?} must be asked");
+            }
+        }
+        // Verification: every complete candidate either is the answer or
+        // contains an asked red edge.
+        let cands = enumerate_candidates(&g, CandidateFilter::Live);
+        for c in cands {
+            let all_blue = c.edges.iter().all(|&e| colors[&e]);
+            if !all_blue {
+                assert!(
+                    c.edges.iter().any(|&e| !colors[&e] && sel.contains(&e)),
+                    "candidate {c:?} not refuted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chain_selection_is_minimal_vs_brute_force() {
+        let (g, colors) = one_answer_chain();
+        let truth = |e: EdgeId| colors[&e];
+        let sel = select_known_colors(&g, &truth);
+        let brute = brute_force_minimum(&g, &colors);
+        assert_eq!(sel.len(), brute, "min-cut selection must be optimal");
+    }
+
+    /// Smallest valid selection size by exhaustive search.
+    fn brute_force_minimum(g: &QueryGraph, colors: &Map<EdgeId, bool>) -> usize {
+        let cands = enumerate_candidates(g, CandidateFilter::Live);
+        let blue_edges: Vec<EdgeId> = cands
+            .iter()
+            .filter(|c| c.edges.iter().all(|&e| colors[&e]))
+            .flat_map(|c| c.edges.iter().copied())
+            .collect();
+        let red_pool: Vec<EdgeId> = (0..g.edge_count())
+            .map(EdgeId)
+            .filter(|e| !colors[e] && g.edge_live(*e))
+            .collect();
+        let non_blue: Vec<_> =
+            cands.iter().filter(|c| !c.edges.iter().all(|&e| colors[&e])).collect();
+        let mut best = usize::MAX;
+        for mask in 0u32..(1 << red_pool.len()) {
+            let chosen: Vec<EdgeId> = red_pool
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &e)| e)
+                .collect();
+            let covers = non_blue
+                .iter()
+                .all(|c| c.edges.iter().any(|e| chosen.contains(e)));
+            if covers {
+                let mut total: std::collections::HashSet<EdgeId> =
+                    chosen.into_iter().collect();
+                total.extend(blue_edges.iter().copied());
+                best = best.min(total.len());
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn no_blue_chain_needs_only_cuts() {
+        let (g, nodes) = chain_2x3(0.5);
+        // All edges red except one dangling blue A0-B0 (no blue B-C).
+        let mut colors = Map::new();
+        for i in 0..g.edge_count() {
+            let e = EdgeId(i);
+            let (u, v) = g.edge_endpoints(e);
+            colors.insert(e, u == nodes[0][0] && v == nodes[1][0]);
+        }
+        let truth = |e: EdgeId| colors[&e];
+        let sel = select_known_colors(&g, &truth);
+        // No answers: selection contains only red edges.
+        assert!(sel.iter().all(|e| !colors[e]));
+        assert!(!sel.is_empty());
+        assert_eq!(sel.len(), brute_force_minimum(&g, &colors));
+    }
+
+    #[test]
+    fn all_blue_chain_asks_everything() {
+        let (g, _) = chain_2x3(0.5);
+        let truth = |_: EdgeId| true;
+        let sel = select_known_colors(&g, &truth);
+        assert_eq!(sel.len(), g.edge_count());
+    }
+
+    #[test]
+    fn star_rule_blue_center_asks_all_incident() {
+        let mut g = QueryGraph::new();
+        let b = g.add_part(PartKind::Table { name: "B".into() });
+        let a = g.add_part(PartKind::Table { name: "A".into() });
+        let c = g.add_part(PartKind::Table { name: "C".into() });
+        let b0 = g.add_node(b, None, "b0");
+        let a0 = g.add_node(a, None, "a0");
+        let a1 = g.add_node(a, None, "a1");
+        let c0 = g.add_node(c, None, "c0");
+        let p_ba = g.add_predicate(b, a, true, "B~A");
+        let p_bc = g.add_predicate(b, c, true, "B~C");
+        let e1 = g.add_edge(b0, a0, p_ba, 0.5);
+        let e2 = g.add_edge(b0, a1, p_ba, 0.5);
+        let e3 = g.add_edge(b0, c0, p_bc, 0.5);
+        let mut colors = Map::new();
+        colors.insert(e1, true);
+        colors.insert(e2, false);
+        colors.insert(e3, true);
+        let truth = |e: EdgeId| colors[&e];
+        let sel = select_star(&g, &truth, b);
+        assert_eq!(sel, vec![e1, e2, e3]);
+    }
+
+    #[test]
+    fn star_rule_red_group_prunes_other_edges() {
+        // Like the paper's Figure 6: center tuple has only red edges to one
+        // table; asking the cheapest all-red group refutes everything.
+        let mut g = QueryGraph::new();
+        let b = g.add_part(PartKind::Table { name: "Paper".into() });
+        let a = g.add_part(PartKind::Table { name: "Citation".into() });
+        let c = g.add_part(PartKind::Table { name: "Researcher".into() });
+        let p1 = g.add_node(b, None, "p1");
+        let c1 = g.add_node(a, None, "c1");
+        let r1 = g.add_node(c, None, "r1");
+        let r2 = g.add_node(c, None, "r2");
+        let r3 = g.add_node(c, None, "r3");
+        let p_bc = g.add_predicate(b, a, true, "P~C");
+        let p_br = g.add_predicate(b, c, true, "P~R");
+        let e_c = g.add_edge(p1, c1, p_bc, 0.5);
+        g.add_edge(p1, r1, p_br, 0.5);
+        g.add_edge(p1, r2, p_br, 0.5);
+        g.add_edge(p1, r3, p_br, 0.5);
+        // (p1,c1) is red; researcher edges blue.
+        let truth = |e: EdgeId| e != e_c;
+        let sel = select_star(&g, &truth, b);
+        assert_eq!(sel, vec![e_c], "only the single red citation edge is asked");
+    }
+
+    #[test]
+    fn hitting_set_covers_all_non_blue_candidates() {
+        let (g, colors) = one_answer_chain();
+        let truth = |e: EdgeId| colors[&e];
+        let sel = select_hitting_set(&g, &truth);
+        let cands = enumerate_candidates(&g, CandidateFilter::Live);
+        for c in cands {
+            let all_blue = c.edges.iter().all(|&e| colors[&e]);
+            if all_blue {
+                assert!(c.edges.iter().all(|e| sel.contains(e)));
+            } else {
+                assert!(c.edges.iter().any(|&e| !colors[&e] && sel.contains(&e)));
+            }
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Cost control (§5.1): select the fewest tasks that determine all answers.
+//!
+//! * [`known`] — task selection when edge colors are known (§5.1.1):
+//!   optimal min-cut selection on chain structures (Lemma 1), the star
+//!   rule, and a greedy hitting set for general structures.
+//! * [`sampling`] — the `MinCut` method (§5.1.2): sample possible colorings
+//!   of the unknown edges, solve each with the known-color machinery, and
+//!   order edges by how often they are selected.
+//! * [`expectation`] — the expectation-based method (Eq. 1): order edges by
+//!   their expected pruning power.
+//! * [`budget`] — budget-aware selection (§5.1.3): maximize answers found
+//!   within `B` tasks by asking the most promising candidates first.
+
+pub mod budget;
+pub mod expectation;
+pub mod known;
+pub mod sampling;

@@ -1,0 +1,130 @@
+//! The `MinCut` sampling method (§5.1.2).
+//!
+//! With unknown colors, satisfying *every* possible coloring degenerates to
+//! asking everything, so CDB relaxes to satisfying a random coloring with
+//! high probability: sample `S` colorings (each edge BLUE with probability
+//! ω(e)), solve each sample with the known-color selection, and order the
+//! union of selected edges by how many samples selected them. Selecting
+//! the minimum edges covering all samples is NP-hard (Lemma 2, reduction
+//! from set cover); this is the paper's greedy.
+
+use rand::Rng;
+
+use crate::cost::known::select_known_colors;
+use crate::model::{Color, EdgeId, QueryGraph};
+
+/// Produce the `MinCut` ask order from `samples` sampled colorings.
+///
+/// Already-colored edges keep their color in every sample; unknown edges
+/// are BLUE with probability ω(e). Edges never selected in any sample are
+/// appended at the end in weight-descending order so the order is total
+/// over all open edges (the executor stops early once everything is
+/// colored or pruned).
+pub fn mincut_sampling_order(g: &QueryGraph, samples: usize, rng: &mut impl Rng) -> Vec<EdgeId> {
+    assert!(samples > 0, "need at least one sample");
+    let open = g.open_edges();
+    let mut occurrences: std::collections::HashMap<EdgeId, usize> = std::collections::HashMap::new();
+
+    for _ in 0..samples {
+        // Sample a coloring.
+        let sampled: std::collections::HashMap<EdgeId, bool> = (0..g.edge_count())
+            .map(EdgeId)
+            .map(|e| {
+                let blue = match g.edge_color(e) {
+                    Color::Blue => true,
+                    Color::Red => false,
+                    Color::Unknown => rng.gen::<f64>() < g.edge_weight(e),
+                };
+                (e, blue)
+            })
+            .collect();
+        let truth = |e: EdgeId| sampled[&e];
+        for e in select_known_colors(g, &truth) {
+            // Only open edges are actual tasks.
+            if g.edge_color(e) == Color::Unknown && !g.edge_invalid(e) {
+                *occurrences.entry(e).or_insert(0) += 1;
+            }
+        }
+    }
+
+    let mut selected: Vec<(EdgeId, usize)> =
+        occurrences.iter().map(|(&e, &n)| (e, n)).collect();
+    // Occurrence count descending; ties by id for determinism.
+    selected.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut order: Vec<EdgeId> = selected.into_iter().map(|(e, _)| e).collect();
+
+    // Edges never selected by any sample still may need asking later (the
+    // samples are only probable worlds); append them in expectation order
+    // so the tail behaves like the expectation-based method.
+    let rest: Vec<EdgeId> = crate::cost::expectation::expectation_order(g)
+        .into_iter()
+        .filter(|e| !occurrences.contains_key(e) && open.contains(e))
+        .collect();
+    order.extend(rest);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testgraph::chain_2x3;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn order_covers_all_open_edges() {
+        let (g, _) = chain_2x3(0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let order = mincut_sampling_order(&g, 5, &mut rng);
+        assert_eq!(order.len(), g.edge_count());
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), g.edge_count(), "order must not repeat edges");
+    }
+
+    #[test]
+    fn colored_edges_are_excluded() {
+        let (mut g, _) = chain_2x3(0.5);
+        g.set_color(EdgeId(0), Color::Blue);
+        g.set_color(EdgeId(1), Color::Red);
+        let mut rng = StdRng::seed_from_u64(2);
+        let order = mincut_sampling_order(&g, 5, &mut rng);
+        assert!(!order.contains(&EdgeId(0)));
+        assert!(!order.contains(&EdgeId(1)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (g, _) = chain_2x3(0.4);
+        let o1 = mincut_sampling_order(&g, 10, &mut StdRng::seed_from_u64(3));
+        let o2 = mincut_sampling_order(&g, 10, &mut StdRng::seed_from_u64(3));
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn low_weight_edges_are_prioritized_as_cuts() {
+        // An edge with tiny ω is almost always RED in samples and sits in
+        // min-cuts, so it should appear early.
+        let (mut g, nodes) = chain_2x3(0.5);
+        // Lower one edge's weight drastically.
+        let e_low = g
+            .incident_edges(nodes[1][0])
+            .iter()
+            .copied()
+            .find(|&e| g.other_endpoint(e, nodes[1][0]) == nodes[2][0])
+            .unwrap();
+        g.edges[e_low.0].weight = 0.05;
+        let mut rng = StdRng::seed_from_u64(4);
+        let order = mincut_sampling_order(&g, 50, &mut rng);
+        let pos = order.iter().position(|&e| e == e_low).unwrap();
+        assert!(pos < 4, "low-weight cut edge should rank early, got {pos}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        let (g, _) = chain_2x3(0.5);
+        mincut_sampling_order(&g, 0, &mut StdRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,563 @@
+//! The CDB execution loop (Algorithm 1 of the paper).
+//!
+//! Each round: select the remaining tasks by the configured cost-control
+//! strategy, take the largest non-conflicting batch (latency control),
+//! publish the batch to the crowd platform with the configured redundancy,
+//! infer the edges' colors from the workers' answers (quality control),
+//! color the graph and prune invalid edges — until every edge is colored
+//! or pruned. The answers are the all-BLUE candidates.
+
+use std::collections::{BTreeSet, HashMap};
+
+use cdb_crowd::{SimulatedPlatform, Task, TaskId, WorkerId};
+use cdb_quality::{
+    bayesian_posterior_difficulty, em_truth_inference, majority_vote, select_top_k_tasks,
+    EmConfig, TaskAnswers,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::candidate::{answers, Candidate};
+use crate::cost::budget::next_budget_batch;
+use crate::cost::expectation::expectation_order;
+use crate::cost::sampling::mincut_sampling_order;
+use crate::latency::parallel_round;
+use crate::model::{Color, EdgeId, NodeId, QueryGraph};
+use crate::prune::prune_invalid_edges;
+
+/// Ground-truth edge colors: `truth[e] == true` means the edge is truly
+/// BLUE. Every edge of the graph must be present.
+pub type EdgeTruth = HashMap<EdgeId, bool>;
+
+/// How the next tasks are chosen (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionStrategy {
+    /// Expectation-based ordering (Eq. 1) — the `CDB` method.
+    Expectation,
+    /// Sampling + min-cut greedy — the `MinCut` method.
+    MinCutSampling {
+        /// Number of sampled colorings.
+        samples: usize,
+    },
+    /// Ask edges in descending weight order (naive ablation).
+    WeightDescending,
+    /// Ask edges in id order (no optimization at all).
+    Unordered,
+}
+
+/// How edge colors are inferred from redundant answers (§5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QualityStrategy {
+    /// Plain majority voting (the strategy of CrowdDB/Qurk/Deco/CrowdOP).
+    MajorityVote,
+    /// EM worker-quality estimation + Bayesian voting (Eq. 2) — `CDB+`.
+    EmBayes,
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutorConfig {
+    /// Workers per task (paper: 5).
+    pub redundancy: usize,
+    /// Cost-control strategy.
+    pub selection: SelectionStrategy,
+    /// Quality-control strategy.
+    pub quality: QualityStrategy,
+    /// Use entropy-based online task assignment (`CDB+` on AMT).
+    pub use_task_assignment: bool,
+    /// Batch non-conflicting tasks per round (latency control); when off,
+    /// one task is asked per round (serial ablation).
+    pub parallel_rounds: bool,
+    /// Maximum number of tasks to ask (BUDGET). When set, selection
+    /// switches to budget-aware candidate-first mode (§5.1.3).
+    pub budget: Option<usize>,
+    /// Latency constraint (Figure 22): optimize for the first `r − 1`
+    /// rounds, then ask every remaining open edge in round `r`.
+    pub max_rounds: Option<usize>,
+    /// Use the paper's flat error model (every task at difficulty 1.0)
+    /// instead of the similarity-derived difficulty of DESIGN.md §1.
+    pub flat_difficulty: bool,
+    /// Seed for the sampling strategy.
+    pub seed: u64,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            redundancy: 5,
+            selection: SelectionStrategy::Expectation,
+            quality: QualityStrategy::MajorityVote,
+            use_task_assignment: false,
+            parallel_rounds: true,
+            budget: None,
+            max_rounds: None,
+            flat_difficulty: false,
+            seed: 0,
+        }
+    }
+}
+
+/// What an execution did and found.
+#[derive(Debug, Clone)]
+pub struct ExecutionStats {
+    /// Distinct tasks (edges) asked — the paper's cost metric.
+    pub tasks_asked: usize,
+    /// Rounds of crowd interaction — the paper's latency metric.
+    pub rounds: usize,
+    /// Total worker assignments collected (`tasks × redundancy`).
+    pub assignments: usize,
+    /// The answers: all-BLUE candidates at termination.
+    pub answers: Vec<Candidate>,
+    /// Final worker-quality estimates (EmBayes only; empty under majority
+    /// voting). Fold these into a [`cdb_crowd::WorkerHistory`] to warm-start
+    /// the next query's inference — the paper's worker-metadata loop.
+    pub worker_qualities: HashMap<WorkerId, f64>,
+    /// Answers contributed per worker (for history weighting).
+    pub worker_answer_counts: HashMap<WorkerId, usize>,
+}
+
+impl ExecutionStats {
+    /// Answer bindings as a comparable set (for precision/recall).
+    pub fn answer_bindings(&self) -> BTreeSet<Vec<NodeId>> {
+        self.answers.iter().map(|c| c.binding.clone()).collect()
+    }
+}
+
+/// The candidates that are answers under the ground truth — the reference
+/// set for recall/precision.
+pub fn true_answers(g: &QueryGraph, truth: &EdgeTruth) -> Vec<Candidate> {
+    crate::candidate::enumerate_candidates(g, crate::candidate::CandidateFilter::Live)
+        .into_iter()
+        .filter(|c| c.edges.iter().all(|e| truth[e]))
+        .collect()
+}
+
+/// Executes one query graph against a crowd platform.
+pub struct Executor<'a> {
+    graph: QueryGraph,
+    truth: &'a EdgeTruth,
+    platform: &'a mut SimulatedPlatform,
+    cfg: ExecutorConfig,
+    /// All single-choice answers so far: task -> (worker, 0=yes/1=no).
+    votes: HashMap<EdgeId, Vec<(WorkerId, usize)>>,
+    /// Latest worker-quality estimates (EmBayes only).
+    qualities: HashMap<WorkerId, f64>,
+    asked: BTreeSet<EdgeId>,
+    rng: StdRng,
+}
+
+impl<'a> Executor<'a> {
+    /// Create an executor over a snapshot of the graph.
+    pub fn new(
+        graph: QueryGraph,
+        truth: &'a EdgeTruth,
+        platform: &'a mut SimulatedPlatform,
+        cfg: ExecutorConfig,
+    ) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Executor { graph, truth, platform, cfg, votes: HashMap::new(), qualities: HashMap::new(), asked: BTreeSet::new(), rng }
+    }
+
+    /// Seed worker-quality priors from history (§2.1 worker metadata):
+    /// returning workers start from their historical estimate instead of
+    /// the 0.7 cold-start default. Only affects `EmBayes` inference and
+    /// task assignment.
+    pub fn with_worker_priors(mut self, priors: HashMap<WorkerId, f64>) -> Self {
+        self.qualities = priors;
+        self
+    }
+
+    /// The (mutated) graph — colored edges reflect inferred truths.
+    pub fn graph(&self) -> &QueryGraph {
+        &self.graph
+    }
+
+    /// Run to completion and return the stats.
+    pub fn run(mut self) -> ExecutionStats {
+        prune_invalid_edges(&mut self.graph);
+        let start_rounds = self.platform.rounds();
+        let mut precomputed_order: Option<Vec<EdgeId>> = None;
+
+        loop {
+            let remaining_budget =
+                self.cfg.budget.map(|b| b.saturating_sub(self.asked.len())).unwrap_or(usize::MAX);
+            if remaining_budget == 0 {
+                break;
+            }
+            let open = self.graph.open_edges();
+            if open.is_empty() {
+                break;
+            }
+
+            // Latency constraint: in the final permitted round, flush all.
+            let this_round = self.platform.rounds() - start_rounds + 1;
+            let flush = self.cfg.max_rounds.is_some_and(|r| this_round >= r);
+
+            let batch: Vec<EdgeId> = if flush {
+                open.clone()
+            } else if self.cfg.budget.is_some() {
+                // Budget mode: most-promising candidate first; its edges are
+                // asked one per round (they conflict by construction).
+                let b = next_budget_batch(&self.graph, remaining_budget);
+                b.into_iter().take(1).collect()
+            } else {
+                let order: Vec<EdgeId> = match self.cfg.selection {
+                    SelectionStrategy::Expectation => expectation_order(&self.graph),
+                    SelectionStrategy::MinCutSampling { samples } => {
+                        if precomputed_order.is_none() {
+                            precomputed_order =
+                                Some(mincut_sampling_order(&self.graph, samples, &mut self.rng));
+                        }
+                        precomputed_order
+                            .as_ref()
+                            .expect("set above")
+                            .iter()
+                            .copied()
+                            .filter(|e| open.contains(e))
+                            .collect()
+                    }
+                    SelectionStrategy::WeightDescending => {
+                        let mut o = open.clone();
+                        o.sort_by(|&a, &b| {
+                            self.graph
+                                .edge_weight(b)
+                                .total_cmp(&self.graph.edge_weight(a))
+                                .then(a.cmp(&b))
+                        });
+                        o
+                    }
+                    SelectionStrategy::Unordered => open.clone(),
+                };
+                if self.cfg.parallel_rounds {
+                    parallel_round(&self.graph, &order)
+                } else {
+                    order.into_iter().take(1).collect()
+                }
+            };
+            let batch: Vec<EdgeId> =
+                batch.into_iter().take(remaining_budget).collect();
+            if batch.is_empty() {
+                break;
+            }
+            self.ask_batch(&batch);
+            self.infer_and_color(&batch);
+            prune_invalid_edges(&mut self.graph);
+        }
+
+        // CDB+ final pass: early rounds were colored with immature worker
+        // quality estimates; once all answers are in, re-infer every asked
+        // edge with the final qualities. (Edges pruned as invalid were
+        // never asked and keep their state.)
+        if self.cfg.quality == QualityStrategy::EmBayes && !self.votes.is_empty() {
+            let asked: Vec<EdgeId> = self.asked.iter().copied().collect();
+            self.infer_and_color(&asked);
+        }
+
+        let mut worker_answer_counts: HashMap<WorkerId, usize> = HashMap::new();
+        for answers in self.votes.values() {
+            for &(w, _) in answers {
+                *worker_answer_counts.entry(w).or_insert(0) += 1;
+            }
+        }
+        ExecutionStats {
+            tasks_asked: self.asked.len(),
+            rounds: self.platform.rounds() - start_rounds,
+            assignments: self.votes.values().map(Vec::len).sum(),
+            answers: answers(&self.graph),
+            worker_qualities: self.qualities,
+            worker_answer_counts,
+        }
+    }
+
+    fn make_task(&self, e: EdgeId) -> Task {
+        let (u, v) = self.graph.edge_endpoints(e);
+        Task::join_check(
+            TaskId(e.0 as u64),
+            self.graph.node_label(u),
+            self.graph.node_label(v),
+            self.truth[&e],
+        )
+        .with_difficulty(self.edge_difficulty(e))
+    }
+
+    /// Task difficulty for an edge under the configured error model.
+    fn edge_difficulty(&self, e: EdgeId) -> f64 {
+        if self.cfg.flat_difficulty {
+            1.0
+        } else {
+            cdb_crowd::join_difficulty(self.graph.edge_weight(e))
+        }
+    }
+
+    fn ask_batch(&mut self, batch: &[EdgeId]) {
+        let tasks: Vec<Task> = batch.iter().map(|&e| self.make_task(e)).collect();
+        let assignments = if self.cfg.use_task_assignment
+            && self.platform.market().supports_online_assignment()
+        {
+            // CDB+: entropy-based top-k assignment per arriving worker.
+            let votes = &self.votes;
+            let qualities = &self.qualities;
+            self.platform.ask_round_assigned(
+                &tasks,
+                self.cfg.redundancy,
+                10,
+                &mut |worker, open_tasks, _log| {
+                    let posteriors: Vec<Vec<f64>> = open_tasks
+                        .iter()
+                        .map(|t| {
+                            let e = EdgeId(t.id.0 as usize);
+                            let answers = votes.get(&e).cloned().unwrap_or_default();
+                            bayesian_posterior_difficulty(&answers, qualities, 2, t.difficulty)
+                        })
+                        .collect();
+                    let q_w = qualities.get(&worker.id).copied().unwrap_or(0.7);
+                    select_top_k_tasks(&posteriors, q_w, 10)
+                        .into_iter()
+                        .map(|i| open_tasks[i].id)
+                        .collect()
+                },
+            )
+        } else {
+            self.platform.ask_round(&tasks, self.cfg.redundancy)
+        };
+        for a in assignments {
+            let e = EdgeId(a.task.0 as usize);
+            if let cdb_crowd::Answer::Choice(c) = a.answer {
+                self.votes.entry(e).or_default().push((a.worker, c));
+            }
+        }
+        self.asked.extend(batch.iter().copied());
+    }
+
+    fn infer_and_color(&mut self, batch: &[EdgeId]) {
+        match self.cfg.quality {
+            QualityStrategy::MajorityVote => {
+                for &e in batch {
+                    let votes: Vec<usize> =
+                        self.votes.get(&e).map(|v| v.iter().map(|&(_, c)| c).collect()).unwrap_or_default();
+                    let yes = majority_vote(&votes, 2) == 0;
+                    self.graph.set_color(e, if yes { Color::Blue } else { Color::Red });
+                }
+            }
+            QualityStrategy::EmBayes => {
+                // Re-run EM over the whole history: quality estimates sharpen
+                // as more answers accumulate.
+                let tasks: Vec<TaskAnswers> = self
+                    .votes
+                    .iter()
+                    .map(|(&e, answers)| TaskAnswers {
+                        task: TaskId(e.0 as u64),
+                        num_choices: 2,
+                        answers: answers.clone(),
+                        difficulty: if self.cfg.flat_difficulty {
+                            1.0
+                        } else {
+                            cdb_crowd::join_difficulty(self.graph.edge_weight(e))
+                        },
+                    })
+                    .collect();
+                let result = em_truth_inference(&tasks, EmConfig::default());
+                // Keep prior estimates for workers EM has no data on yet.
+                let mut merged = std::mem::take(&mut self.qualities);
+                merged.extend(result.qualities);
+                self.qualities = merged;
+                let truth_by_task: HashMap<EdgeId, usize> = tasks
+                    .iter()
+                    .zip(&result.truths)
+                    .map(|(t, &truth)| (EdgeId(t.task.0 as usize), truth))
+                    .collect();
+                for &e in batch {
+                    let yes = truth_by_task.get(&e).copied().unwrap_or(1) == 0;
+                    self.graph.set_color(e, if yes { Color::Blue } else { Color::Red });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testgraph::chain_2x3;
+    use cdb_crowd::{Market, WorkerPool};
+
+    /// Ground truth: one blue chain A0-B0-C0 in the 2x3 chain fixture.
+    fn fixture() -> (QueryGraph, EdgeTruth) {
+        let (g, nodes) = chain_2x3(0.5);
+        let mut truth = EdgeTruth::new();
+        for i in 0..g.edge_count() {
+            let e = EdgeId(i);
+            let (u, v) = g.edge_endpoints(e);
+            let blue = (u == nodes[0][0] && v == nodes[1][0])
+                || (u == nodes[1][0] && v == nodes[2][0]);
+            truth.insert(e, blue);
+        }
+        (g, truth)
+    }
+
+    fn platform(acc: f64, n: usize, seed: u64) -> SimulatedPlatform {
+        SimulatedPlatform::new(Market::Amt, WorkerPool::with_accuracies(&vec![acc; n]), seed)
+    }
+
+    #[test]
+    fn perfect_workers_find_exactly_the_true_answers() {
+        let (g, truth) = fixture();
+        let mut p = platform(1.0, 20, 1);
+        let stats =
+            Executor::new(g.clone(), &truth, &mut p, ExecutorConfig::default()).run();
+        assert_eq!(stats.answers.len(), 1);
+        let expected: BTreeSet<Vec<NodeId>> =
+            true_answers(&g, &truth).into_iter().map(|c| c.binding).collect();
+        assert_eq!(stats.answer_bindings(), expected);
+    }
+
+    #[test]
+    fn executor_saves_tasks_vs_asking_everything() {
+        let (g, truth) = fixture();
+        let total = g.edge_count();
+        let mut p = platform(1.0, 20, 1);
+        let stats = Executor::new(g, &truth, &mut p, ExecutorConfig::default()).run();
+        assert!(stats.tasks_asked < total, "{} !< {total}", stats.tasks_asked);
+    }
+
+    #[test]
+    fn serial_mode_has_more_rounds_than_parallel() {
+        let (g, truth) = fixture();
+        let mut p1 = platform(1.0, 20, 1);
+        let par = Executor::new(g.clone(), &truth, &mut p1, ExecutorConfig::default()).run();
+        let mut p2 = platform(1.0, 20, 1);
+        let ser = Executor::new(
+            g,
+            &truth,
+            &mut p2,
+            ExecutorConfig { parallel_rounds: false, ..ExecutorConfig::default() },
+        )
+        .run();
+        assert!(ser.rounds >= par.rounds);
+        assert!(ser.rounds >= ser.tasks_asked); // one task per round
+    }
+
+    #[test]
+    fn budget_limits_tasks() {
+        let (g, truth) = fixture();
+        let mut p = platform(1.0, 20, 1);
+        let stats = Executor::new(
+            g,
+            &truth,
+            &mut p,
+            ExecutorConfig { budget: Some(3), ..ExecutorConfig::default() },
+        )
+        .run();
+        assert!(stats.tasks_asked <= 3);
+    }
+
+    #[test]
+    fn max_rounds_constraint_flushes() {
+        let (g, truth) = fixture();
+        let mut p = platform(1.0, 20, 1);
+        let stats = Executor::new(
+            g,
+            &truth,
+            &mut p,
+            ExecutorConfig { max_rounds: Some(1), ..ExecutorConfig::default() },
+        )
+        .run();
+        assert_eq!(stats.rounds, 1);
+        // Flushing round 1 asks everything open at once.
+        assert_eq!(stats.answers.len(), 1);
+    }
+
+    #[test]
+    fn mincut_sampling_strategy_completes() {
+        let (g, truth) = fixture();
+        let mut p = platform(1.0, 20, 1);
+        let stats = Executor::new(
+            g,
+            &truth,
+            &mut p,
+            ExecutorConfig {
+                selection: SelectionStrategy::MinCutSampling { samples: 10 },
+                ..ExecutorConfig::default()
+            },
+        )
+        .run();
+        assert_eq!(stats.answers.len(), 1);
+    }
+
+    #[test]
+    fn em_quality_beats_majority_with_noisy_workers() {
+        // A pool with a few excellent workers and several near-coin-flip
+        // workers. On a single-join graph every worker answers many tasks,
+        // so EM can identify the experts — Bayesian voting then recovers
+        // truths that plain majority voting gets wrong.
+        use crate::model::{PartKind, QueryGraph};
+        let mut g = QueryGraph::new();
+        let a = g.add_part(PartKind::Table { name: "A".into() });
+        let b = g.add_part(PartKind::Table { name: "B".into() });
+        let an: Vec<NodeId> = (0..6).map(|i| g.add_node(a, None, format!("a{i}"))).collect();
+        let bn: Vec<NodeId> = (0..4).map(|i| g.add_node(b, None, format!("b{i}"))).collect();
+        let p_ab = g.add_predicate(a, b, true, "A~B");
+        let mut truth = EdgeTruth::new();
+        for (i, &x) in an.iter().enumerate() {
+            for (j, &y) in bn.iter().enumerate() {
+                let e = g.add_edge(x, y, p_ab, 0.5);
+                truth.insert(e, i % 4 == j);
+            }
+        }
+        let mut accs = vec![0.95, 0.95, 0.95];
+        accs.extend(vec![0.52; 5]);
+        let reference: BTreeSet<Vec<NodeId>> =
+            true_answers(&g, &truth).into_iter().map(|c| c.binding).collect();
+        let mut mv_f = 0.0;
+        let mut em_f = 0.0;
+        for seed in 0..20 {
+            let pool = WorkerPool::with_accuracies(&accs);
+            let mut p = SimulatedPlatform::new(Market::Amt, pool.clone(), seed);
+            let mv = Executor::new(
+                g.clone(),
+                &truth,
+                &mut p,
+                ExecutorConfig { quality: QualityStrategy::MajorityVote, ..Default::default() },
+            )
+            .run();
+            mv_f += crate::metrics::precision_recall(&mv.answer_bindings(), &reference).f_measure;
+            let mut p = SimulatedPlatform::new(Market::Amt, pool, seed);
+            let em = Executor::new(
+                g.clone(),
+                &truth,
+                &mut p,
+                ExecutorConfig { quality: QualityStrategy::EmBayes, ..Default::default() },
+            )
+            .run();
+            em_f += crate::metrics::precision_recall(&em.answer_bindings(), &reference).f_measure;
+        }
+        assert!(em_f > mv_f, "EM {em_f} should beat MV {mv_f}");
+    }
+
+    #[test]
+    fn task_assignment_mode_runs() {
+        let (g, truth) = fixture();
+        let mut p = platform(0.9, 20, 1);
+        let stats = Executor::new(
+            g,
+            &truth,
+            &mut p,
+            ExecutorConfig {
+                quality: QualityStrategy::EmBayes,
+                use_task_assignment: true,
+                ..ExecutorConfig::default()
+            },
+        )
+        .run();
+        assert_eq!(stats.answers.len(), 1);
+        assert!(stats.assignments >= stats.tasks_asked * 5);
+    }
+
+    #[test]
+    fn stats_assignments_match_redundancy() {
+        let (g, truth) = fixture();
+        let mut p = platform(1.0, 20, 1);
+        let stats = Executor::new(g, &truth, &mut p, ExecutorConfig::default()).run();
+        assert_eq!(stats.assignments, stats.tasks_asked * 5);
+    }
+}

@@ -1,0 +1,211 @@
+//! Latency control (§5.2): batch non-conflicting tasks into rounds.
+//!
+//! Two edges *conflict* when they appear in a common candidate — asking
+//! one may prune the other, so asking both in the same round can waste
+//! money. CDB's rules: edges in different connected components never
+//! conflict; edges containing two different tuples of the same table never
+//! conflict; otherwise run the exact shared-candidate check. Per
+//! component, the round greedily collects a maximal set of pairwise
+//! non-conflicting edges in expectation order (the paper's literal
+//! longest-prefix rule is kept as an ablation); the union over components
+//! is asked in parallel.
+
+use cdb_graph::connected_components;
+
+use crate::candidate::{edges_in_same_candidate, CandidateFilter};
+use crate::model::{EdgeId, QueryGraph};
+
+/// Conservative conflict test between two edges.
+pub fn edges_conflict(g: &QueryGraph, e1: EdgeId, e2: EdgeId) -> bool {
+    if e1 == e2 {
+        return false;
+    }
+    // Rule: two different tuples from the same part cannot co-occur in a
+    // candidate, so such edges never conflict.
+    let (u1, v1) = g.edge_endpoints(e1);
+    let (u2, v2) = g.edge_endpoints(e2);
+    for a in [u1, v1] {
+        for b in [u2, v2] {
+            if a != b && g.node_part(a) == g.node_part(b) {
+                return false;
+            }
+        }
+    }
+    edges_in_same_candidate(g, e1, e2, CandidateFilter::Live)
+}
+
+/// Component id per node over the *live* edges.
+fn live_components(g: &QueryGraph) -> Vec<usize> {
+    let edges: Vec<(usize, usize)> = (0..g.edge_count())
+        .map(EdgeId)
+        .filter(|&e| g.edge_live(e))
+        .map(|e| {
+            let (u, v) = g.edge_endpoints(e);
+            (u.0, v.0)
+        })
+        .collect();
+    connected_components(g.node_count(), &edges)
+}
+
+/// Given the expectation-ordered open edges, select the subset to ask in
+/// the next round: per live component, a maximal set of pairwise
+/// non-conflicting edges collected greedily in order (the §5.2 goal of
+/// "simultaneously ask the tasks that cannot be inferred by others in the
+/// same round"). See [`parallel_round_prefix`] for the paper's literal
+/// longest-prefix variant, kept as an ablation.
+pub fn parallel_round(g: &QueryGraph, ordered: &[EdgeId]) -> Vec<EdgeId> {
+    round_impl(g, ordered, false)
+}
+
+/// The literal longest-prefix rule of §5.2: per component, scanning stops
+/// at the first conflicting edge. Since no task of a round can prune
+/// another task of the same round anyway, the greedy variant is equally
+/// safe; the prefix rule just produces smaller rounds (and thus more of
+/// them) on dense components. Kept as the latency-policy ablation.
+pub fn parallel_round_prefix(g: &QueryGraph, ordered: &[EdgeId]) -> Vec<EdgeId> {
+    round_impl(g, ordered, true)
+}
+
+fn round_impl(g: &QueryGraph, ordered: &[EdgeId], stop_at_first_conflict: bool) -> Vec<EdgeId> {
+    let comp = live_components(g);
+    // Split the ordered list per component (an edge's component is its
+    // endpoints' — both endpoints share one by construction).
+    let mut per_comp: std::collections::BTreeMap<usize, Vec<EdgeId>> =
+        std::collections::BTreeMap::new();
+    for &e in ordered {
+        let (u, _) = g.edge_endpoints(e);
+        per_comp.entry(comp[u.0]).or_default().push(e);
+    }
+    let mut round = Vec::new();
+    for (_, edges) in per_comp {
+        let mut chosen: Vec<EdgeId> = Vec::new();
+        'outer: for &e in &edges {
+            for &e2 in &chosen {
+                if edges_conflict(g, e, e2) {
+                    if stop_at_first_conflict {
+                        break 'outer;
+                    }
+                    continue 'outer;
+                }
+            }
+            chosen.push(e);
+        }
+        round.extend(chosen);
+    }
+    round
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::expectation::expectation_order;
+    use crate::model::testgraph::chain_2x3;
+    use crate::model::{Color, PartKind, QueryGraph};
+
+    #[test]
+    fn same_table_rule_makes_edges_non_conflicting() {
+        let (g, nodes) = chain_2x3(0.5);
+        // (A0,B0) and (A0,B1): contain B0 and B1, different tuples of B.
+        let e1 = g
+            .incident_edges(nodes[0][0])
+            .iter()
+            .copied()
+            .find(|&e| g.other_endpoint(e, nodes[0][0]) == nodes[1][0])
+            .unwrap();
+        let e2 = g
+            .incident_edges(nodes[0][0])
+            .iter()
+            .copied()
+            .find(|&e| g.other_endpoint(e, nodes[0][0]) == nodes[1][1])
+            .unwrap();
+        assert!(!edges_conflict(&g, e1, e2));
+    }
+
+    #[test]
+    fn chained_edges_conflict() {
+        let (g, nodes) = chain_2x3(0.5);
+        let e_ab = g
+            .incident_edges(nodes[0][0])
+            .iter()
+            .copied()
+            .find(|&e| g.other_endpoint(e, nodes[0][0]) == nodes[1][0])
+            .unwrap();
+        let e_bc = g
+            .incident_edges(nodes[2][0])
+            .iter()
+            .copied()
+            .find(|&e| g.other_endpoint(e, nodes[2][0]) == nodes[1][0])
+            .unwrap();
+        assert!(edges_conflict(&g, e_ab, e_bc));
+    }
+
+    #[test]
+    fn different_components_never_conflict() {
+        // Two disjoint 2-part graphs.
+        let mut g = QueryGraph::new();
+        let a = g.add_part(PartKind::Table { name: "A".into() });
+        let b = g.add_part(PartKind::Table { name: "B".into() });
+        let a0 = g.add_node(a, None, "a0");
+        let a1 = g.add_node(a, None, "a1");
+        let b0 = g.add_node(b, None, "b0");
+        let b1 = g.add_node(b, None, "b1");
+        let p = g.add_predicate(a, b, true, "A~B");
+        let e1 = g.add_edge(a0, b0, p, 0.5);
+        let e2 = g.add_edge(a1, b1, p, 0.5);
+        assert!(!edges_conflict(&g, e1, e2));
+        let round = parallel_round(&g, &[e1, e2]);
+        assert_eq!(round.len(), 2);
+    }
+
+    #[test]
+    fn round_takes_longest_non_conflicting_prefix() {
+        let (g, _) = chain_2x3(0.5);
+        let order = expectation_order(&g);
+        let round = parallel_round(&g, &order);
+        assert!(!round.is_empty());
+        // Round edges are pairwise non-conflicting.
+        for (i, &e1) in round.iter().enumerate() {
+            for &e2 in &round[i + 1..] {
+                assert!(!edges_conflict(&g, e1, e2), "{e1:?} conflicts {e2:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_cover_everything_eventually() {
+        // Simulate the executor loop: ask a round, color the edges, repeat;
+        // every open edge must be asked within a bounded number of rounds.
+        let (mut g, _) = chain_2x3(0.5);
+        let mut rounds = 0;
+        while !g.open_edges().is_empty() {
+            let order = expectation_order(&g);
+            let round = parallel_round(&g, &order);
+            assert!(!round.is_empty(), "progress must be made");
+            for e in round {
+                g.set_color(e, Color::Blue);
+            }
+            rounds += 1;
+            assert!(rounds <= 16, "too many rounds");
+        }
+        assert!(rounds >= 2, "a chain cannot finish in one conflict-free round");
+    }
+
+    #[test]
+    fn prefix_policy_is_a_prefix_of_greedy() {
+        let (g, _) = chain_2x3(0.5);
+        let order = expectation_order(&g);
+        let prefix = parallel_round_prefix(&g, &order);
+        let greedy = parallel_round(&g, &order);
+        assert!(prefix.len() <= greedy.len());
+        // Every prefix edge also appears in the greedy round.
+        for e in &prefix {
+            assert!(greedy.contains(e));
+        }
+    }
+
+    #[test]
+    fn empty_order_gives_empty_round() {
+        let (g, _) = chain_2x3(0.5);
+        assert!(parallel_round(&g, &[]).is_empty());
+    }
+}

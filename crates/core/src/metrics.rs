@@ -1,0 +1,89 @@
+//! Evaluation metrics: precision, recall, F-measure (§6.1).
+
+use std::collections::BTreeSet;
+
+/// Precision / recall / F-measure triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrMetrics {
+    /// Fraction of returned results that are correct.
+    pub precision: f64,
+    /// Fraction of correct results that were returned.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f_measure: f64,
+}
+
+/// Compute precision and recall of `returned` against `truth` over any
+/// ordered item type. Empty-set conventions: if both are empty, all
+/// metrics are 1; if only `returned` is empty, recall and F are 0 and
+/// precision is 1 (nothing wrong was returned); if only `truth` is empty,
+/// precision and F are 0.
+pub fn precision_recall<T: Ord>(returned: &BTreeSet<T>, truth: &BTreeSet<T>) -> PrMetrics {
+    if returned.is_empty() && truth.is_empty() {
+        return PrMetrics { precision: 1.0, recall: 1.0, f_measure: 1.0 };
+    }
+    let correct = returned.intersection(truth).count() as f64;
+    let precision = if returned.is_empty() { 1.0 } else { correct / returned.len() as f64 };
+    let recall = if truth.is_empty() { 0.0 } else { correct / truth.len() as f64 };
+    PrMetrics { precision, recall, f_measure: f_measure(precision, recall) }
+}
+
+/// Harmonic mean of precision and recall; 0 when both are 0.
+pub fn f_measure(precision: f64, recall: f64) -> f64 {
+    if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[u32]) -> BTreeSet<u32> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_result() {
+        let m = precision_recall(&set(&[1, 2, 3]), &set(&[1, 2, 3]));
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f_measure, 1.0);
+    }
+
+    #[test]
+    fn half_right() {
+        let m = precision_recall(&set(&[1, 2]), &set(&[1, 3]));
+        assert_eq!(m.precision, 0.5);
+        assert_eq!(m.recall, 0.5);
+        assert_eq!(m.f_measure, 0.5);
+    }
+
+    #[test]
+    fn asymmetric_precision_recall() {
+        let m = precision_recall(&set(&[1]), &set(&[1, 2, 3, 4]));
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 0.25);
+        assert!((m.f_measure - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let empty = set(&[]);
+        let m = precision_recall(&empty, &empty);
+        assert_eq!(m.f_measure, 1.0);
+        let m = precision_recall(&empty, &set(&[1]));
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f_measure, 0.0);
+        let m = precision_recall(&set(&[1]), &empty);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.f_measure, 0.0);
+    }
+
+    #[test]
+    fn f_measure_zero_when_both_zero() {
+        assert_eq!(f_measure(0.0, 0.0), 0.0);
+    }
+}

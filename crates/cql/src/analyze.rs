@@ -1,0 +1,334 @@
+//! Semantic analysis: bind a parsed `SELECT` to a catalog.
+
+use cdb_storage::Database;
+
+use crate::ast::{ColumnRef, Literal, Predicate, Projection, SelectQuery};
+use crate::CqlError;
+
+/// A column reference resolved against the catalog.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BoundColumn {
+    /// Resolved table name (as registered in the catalog).
+    pub table: String,
+    /// Resolved column name.
+    pub column: String,
+}
+
+impl std::fmt::Display for BoundColumn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+/// A predicate with both sides resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalyzedPredicate {
+    /// Crowd-powered join.
+    CrowdJoin {
+        /// Left side.
+        left: BoundColumn,
+        /// Right side.
+        right: BoundColumn,
+    },
+    /// Traditional equi-join.
+    EquiJoin {
+        /// Left side.
+        left: BoundColumn,
+        /// Right side.
+        right: BoundColumn,
+    },
+    /// Crowd-powered selection.
+    CrowdEqual {
+        /// Selected column.
+        column: BoundColumn,
+        /// Comparison value.
+        value: Literal,
+    },
+    /// Traditional selection.
+    Equal {
+        /// Selected column.
+        column: BoundColumn,
+        /// Comparison value.
+        value: Literal,
+    },
+}
+
+impl AnalyzedPredicate {
+    /// True for crowd-powered predicates.
+    pub fn is_crowd(&self) -> bool {
+        matches!(self, AnalyzedPredicate::CrowdJoin { .. } | AnalyzedPredicate::CrowdEqual { .. })
+    }
+}
+
+/// A resolved crowd post-op (`GROUP BY CROWD` / `ORDER BY CROWD`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzedPostOp {
+    /// The resolved key column.
+    pub column: BoundColumn,
+    /// Descending order (ORDER BY only).
+    pub descending: bool,
+}
+
+/// A fully analyzed `SELECT`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzedSelect {
+    /// Tables in `FROM` order, resolved to catalog names.
+    pub tables: Vec<String>,
+    /// Projected columns (star projections expanded).
+    pub projection: Vec<BoundColumn>,
+    /// Resolved predicates.
+    pub predicates: Vec<AnalyzedPredicate>,
+    /// `GROUP BY CROWD`, resolved.
+    pub group_by: Option<AnalyzedPostOp>,
+    /// `ORDER BY CROWD`, resolved.
+    pub order_by: Option<AnalyzedPostOp>,
+    /// Task budget, if declared.
+    pub budget: Option<usize>,
+}
+
+/// Resolve tables, expand projections and bind every predicate of a parsed
+/// `SELECT` against the catalog.
+pub fn analyze_select(query: &SelectQuery, db: &Database) -> crate::Result<AnalyzedSelect> {
+    // Resolve tables.
+    let mut tables = Vec::with_capacity(query.tables.len());
+    for t in &query.tables {
+        let table = db
+            .table(t)
+            .map_err(|_| CqlError::Semantic(format!("unknown table `{t}`")))?;
+        if tables.contains(&table.name().to_string()) {
+            return Err(CqlError::Semantic(format!("table `{t}` listed twice in FROM")));
+        }
+        tables.push(table.name().to_string());
+    }
+
+    let resolve = |cref: &ColumnRef| -> crate::Result<BoundColumn> {
+        match &cref.table {
+            Some(t) => {
+                let table = tables
+                    .iter()
+                    .find(|name| name.eq_ignore_ascii_case(t))
+                    .ok_or_else(|| {
+                        CqlError::Semantic(format!("table `{t}` not in FROM clause"))
+                    })?;
+                let schema = db.table(table).expect("resolved above").schema();
+                let col = schema.column(&cref.column).ok_or_else(|| {
+                    CqlError::Semantic(format!("unknown column `{}` in `{t}`", cref.column))
+                })?;
+                Ok(BoundColumn { table: table.clone(), column: col.name.clone() })
+            }
+            None => {
+                // Unqualified: must be unique across FROM tables.
+                let mut hits = Vec::new();
+                for table in &tables {
+                    let schema = db.table(table).expect("resolved above").schema();
+                    if let Some(col) = schema.column(&cref.column) {
+                        hits.push(BoundColumn { table: table.clone(), column: col.name.clone() });
+                    }
+                }
+                match hits.len() {
+                    0 => Err(CqlError::Semantic(format!("unknown column `{}`", cref.column))),
+                    1 => Ok(hits.pop().expect("len checked")),
+                    _ => Err(CqlError::Semantic(format!(
+                        "ambiguous column `{}` (in {})",
+                        cref.column,
+                        hits.iter().map(|h| h.table.as_str()).collect::<Vec<_>>().join(", ")
+                    ))),
+                }
+            }
+        }
+    };
+
+    // Expand projection.
+    let mut projection = Vec::new();
+    match &query.projection {
+        Projection::Star => {
+            for t in &tables {
+                for col in db.table(t).expect("resolved above").schema().columns() {
+                    projection.push(BoundColumn { table: t.clone(), column: col.name.clone() });
+                }
+            }
+        }
+        Projection::Columns(cols) => {
+            for cref in cols {
+                if cref.column == "*" {
+                    let t = cref.table.as_deref().expect("parser only makes Table.*");
+                    let table = tables
+                        .iter()
+                        .find(|name| name.eq_ignore_ascii_case(t))
+                        .ok_or_else(|| {
+                            CqlError::Semantic(format!("table `{t}` not in FROM clause"))
+                        })?;
+                    for col in db.table(table).expect("resolved above").schema().columns() {
+                        projection
+                            .push(BoundColumn { table: table.clone(), column: col.name.clone() });
+                    }
+                } else {
+                    projection.push(resolve(cref)?);
+                }
+            }
+        }
+    }
+
+    // Bind predicates.
+    let mut predicates = Vec::with_capacity(query.predicates.len());
+    for p in &query.predicates {
+        let bound = match p {
+            Predicate::CrowdJoin { left, right } => {
+                let (l, r) = (resolve(left)?, resolve(right)?);
+                if l.table == r.table {
+                    return Err(CqlError::Semantic(format!(
+                        "CROWDJOIN requires two different tables, got `{l}` and `{r}`"
+                    )));
+                }
+                AnalyzedPredicate::CrowdJoin { left: l, right: r }
+            }
+            Predicate::EquiJoin { left, right } => {
+                let (l, r) = (resolve(left)?, resolve(right)?);
+                if l.table == r.table {
+                    return Err(CqlError::Semantic(format!(
+                        "join requires two different tables, got `{l}` and `{r}`"
+                    )));
+                }
+                AnalyzedPredicate::EquiJoin { left: l, right: r }
+            }
+            Predicate::CrowdEqual { column, value } => {
+                AnalyzedPredicate::CrowdEqual { column: resolve(column)?, value: value.clone() }
+            }
+            Predicate::Equal { column, value } => {
+                AnalyzedPredicate::Equal { column: resolve(column)?, value: value.clone() }
+            }
+        };
+        predicates.push(bound);
+    }
+
+    let group_by = query
+        .group_by
+        .as_ref()
+        .map(|op| {
+            Ok::<_, CqlError>(AnalyzedPostOp {
+                column: resolve(&op.column)?,
+                descending: op.descending,
+            })
+        })
+        .transpose()?;
+    let order_by = query
+        .order_by
+        .as_ref()
+        .map(|op| {
+            Ok::<_, CqlError>(AnalyzedPostOp {
+                column: resolve(&op.column)?,
+                descending: op.descending,
+            })
+        })
+        .transpose()?;
+
+    Ok(AnalyzedSelect { tables, projection, predicates, group_by, order_by, budget: query.budget })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use crate::Statement;
+    use cdb_storage::{ColumnDef, ColumnType, Schema, Table};
+
+    fn catalog() -> Database {
+        let mut db = Database::new();
+        let paper = Table::new(
+            "Paper",
+            Schema::new(vec![
+                ColumnDef::new("author", ColumnType::Text),
+                ColumnDef::new("title", ColumnType::Text),
+                ColumnDef::new("conference", ColumnType::Text),
+            ]),
+        );
+        let citation = Table::new(
+            "Citation",
+            Schema::new(vec![
+                ColumnDef::new("title", ColumnType::Text),
+                ColumnDef::new("number", ColumnType::Int),
+            ]),
+        );
+        db.add_table(paper).unwrap();
+        db.add_table(citation).unwrap();
+        db
+    }
+
+    fn analyze(sql: &str) -> crate::Result<AnalyzedSelect> {
+        let Statement::Select(q) = parse(sql).unwrap() else { panic!("not a select") };
+        analyze_select(&q, &catalog())
+    }
+
+    #[test]
+    fn star_projection_expands_all_tables() {
+        let a = analyze("SELECT * FROM Paper, Citation").unwrap();
+        assert_eq!(a.projection.len(), 5);
+        assert_eq!(a.projection[0].to_string(), "Paper.author");
+        assert_eq!(a.projection[4].to_string(), "Citation.number");
+    }
+
+    #[test]
+    fn qualified_columns_resolve() {
+        let a = analyze(
+            "SELECT Paper.title FROM Paper, Citation WHERE Paper.title CROWDJOIN Citation.title",
+        )
+        .unwrap();
+        assert_eq!(a.projection.len(), 1);
+        assert!(matches!(&a.predicates[0], AnalyzedPredicate::CrowdJoin { .. }));
+    }
+
+    #[test]
+    fn unqualified_unique_column_resolves() {
+        let a = analyze("SELECT number FROM Paper, Citation").unwrap();
+        assert_eq!(a.projection[0].to_string(), "Citation.number");
+    }
+
+    #[test]
+    fn ambiguous_column_rejected() {
+        let err = analyze("SELECT title FROM Paper, Citation").unwrap_err();
+        assert!(err.to_string().contains("ambiguous"), "{err}");
+    }
+
+    #[test]
+    fn unknown_table_rejected() {
+        let err = analyze("SELECT * FROM Nope").unwrap_err();
+        assert!(err.to_string().contains("unknown table"), "{err}");
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let err = analyze("SELECT Paper.nope FROM Paper").unwrap_err();
+        assert!(err.to_string().contains("unknown column"), "{err}");
+    }
+
+    #[test]
+    fn table_not_in_from_rejected() {
+        let err = analyze("SELECT Citation.title FROM Paper").unwrap_err();
+        assert!(err.to_string().contains("not in FROM"), "{err}");
+    }
+
+    #[test]
+    fn self_join_rejected() {
+        let err =
+            analyze("SELECT * FROM Paper WHERE Paper.title CROWDJOIN Paper.author").unwrap_err();
+        assert!(err.to_string().contains("two different tables"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_from_table_rejected() {
+        let err = analyze("SELECT * FROM Paper, Paper").unwrap_err();
+        assert!(err.to_string().contains("listed twice"), "{err}");
+    }
+
+    #[test]
+    fn table_star_expansion() {
+        let a = analyze("SELECT Citation.* FROM Paper, Citation").unwrap();
+        assert_eq!(a.projection.len(), 2);
+    }
+
+    #[test]
+    fn budget_is_carried_through() {
+        let a = analyze("SELECT * FROM Paper BUDGET 42").unwrap();
+        assert_eq!(a.budget, Some(42));
+    }
+}

@@ -1,0 +1,46 @@
+//! CQL error type.
+
+use std::fmt;
+
+/// Errors produced while lexing, parsing or analyzing CQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CqlError {
+    /// Unexpected character during lexing.
+    Lex {
+        /// Byte offset of the offending character.
+        pos: usize,
+        /// The character.
+        ch: char,
+    },
+    /// Unterminated string literal.
+    UnterminatedString {
+        /// Byte offset where the literal started.
+        pos: usize,
+    },
+    /// Parser expected something else.
+    Parse {
+        /// What was expected.
+        expected: String,
+        /// What was found.
+        found: String,
+    },
+    /// Semantic error (unknown table/column, ambiguous reference, …).
+    Semantic(String),
+}
+
+impl fmt::Display for CqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CqlError::Lex { pos, ch } => write!(f, "unexpected character `{ch}` at byte {pos}"),
+            CqlError::UnterminatedString { pos } => {
+                write!(f, "unterminated string literal starting at byte {pos}")
+            }
+            CqlError::Parse { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            CqlError::Semantic(msg) => write!(f, "semantic error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CqlError {}

@@ -1,0 +1,258 @@
+//! CQL lexer.
+
+use crate::CqlError;
+
+/// CQL keywords (matched case-insensitively).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    And,
+    CrowdJoin,
+    CrowdEqual,
+    Create,
+    Table,
+    Crowd,
+    Fill,
+    Collect,
+    Budget,
+    Varchar,
+    Int,
+    Float,
+    CNull,
+    Group,
+    Order,
+    By,
+    Desc,
+    Asc,
+}
+
+impl Keyword {
+    fn from_ident(s: &str) -> Option<Keyword> {
+        Some(match s.to_ascii_uppercase().as_str() {
+            "SELECT" => Keyword::Select,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "AND" => Keyword::And,
+            "CROWDJOIN" => Keyword::CrowdJoin,
+            "CROWDEQUAL" => Keyword::CrowdEqual,
+            "CREATE" => Keyword::Create,
+            "TABLE" => Keyword::Table,
+            "CROWD" => Keyword::Crowd,
+            "FILL" => Keyword::Fill,
+            "COLLECT" => Keyword::Collect,
+            "BUDGET" => Keyword::Budget,
+            "VARCHAR" => Keyword::Varchar,
+            "INT" | "INTEGER" => Keyword::Int,
+            "FLOAT" | "DOUBLE" => Keyword::Float,
+            "CNULL" => Keyword::CNull,
+            "GROUP" => Keyword::Group,
+            "ORDER" => Keyword::Order,
+            "BY" => Keyword::By,
+            "DESC" => Keyword::Desc,
+            "ASC" => Keyword::Asc,
+            _ => return None,
+        })
+    }
+}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword.
+    Kw(Keyword),
+    /// Identifier (table or column name).
+    Ident(String),
+    /// Quoted string literal (quotes stripped).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `=`
+    Eq,
+    /// `;`
+    Semi,
+}
+
+/// Tokenize a CQL string.
+pub fn tokenize(input: &str) -> crate::Result<Vec<Token>> {
+    let bytes: Vec<char> = input.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(CqlError::UnterminatedString { pos: start }),
+                        Some(&ch) if ch == quote => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() || (c == '-' && matches!(bytes.get(i + 1), Some(d) if d.is_ascii_digit())) => {
+                let start = i;
+                i += 1;
+                while matches!(bytes.get(i), Some(d) if d.is_ascii_digit()) {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if matches!(bytes.get(i), Some('.')) && matches!(bytes.get(i + 1), Some(d) if d.is_ascii_digit()) {
+                    is_float = true;
+                    i += 1;
+                    while matches!(bytes.get(i), Some(d) if d.is_ascii_digit()) {
+                        i += 1;
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if is_float {
+                    out.push(Token::Float(text.parse().expect("lexer produced valid float")));
+                } else {
+                    out.push(Token::Int(text.parse().expect("lexer produced valid int")));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while matches!(bytes.get(i), Some(&ch) if ch.is_alphanumeric() || ch == '_') {
+                    i += 1;
+                }
+                let word: String = bytes[start..i].iter().collect();
+                match Keyword::from_ident(&word) {
+                    Some(kw) => out.push(Token::Kw(kw)),
+                    None => out.push(Token::Ident(word)),
+                }
+            }
+            other => return Err(CqlError::Lex { pos: i, ch: other }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let t = tokenize("select FROM CrowdJoin crowdequal").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Kw(Keyword::Select),
+                Token::Kw(Keyword::From),
+                Token::Kw(Keyword::CrowdJoin),
+                Token::Kw(Keyword::CrowdEqual),
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_and_dots() {
+        let t = tokenize("Paper.title").unwrap();
+        assert_eq!(
+            t,
+            vec![Token::Ident("Paper".into()), Token::Dot, Token::Ident("title".into())]
+        );
+    }
+
+    #[test]
+    fn string_literals_both_quote_styles() {
+        assert_eq!(tokenize("\"USA\"").unwrap(), vec![Token::Str("USA".into())]);
+        assert_eq!(tokenize("'USA'").unwrap(), vec![Token::Str("USA".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(matches!(tokenize("\"USA"), Err(CqlError::UnterminatedString { .. })));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(tokenize("42").unwrap(), vec![Token::Int(42)]);
+        assert_eq!(tokenize("-7").unwrap(), vec![Token::Int(-7)]);
+        assert_eq!(tokenize("3.5").unwrap(), vec![Token::Float(3.5)]);
+    }
+
+    #[test]
+    fn punctuation() {
+        let t = tokenize("(*, = ;)").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::LParen,
+                Token::Star,
+                Token::Comma,
+                Token::Eq,
+                Token::Semi,
+                Token::RParen
+            ]
+        );
+    }
+
+    #[test]
+    fn unexpected_character() {
+        assert!(matches!(tokenize("a @ b"), Err(CqlError::Lex { ch: '@', .. })));
+    }
+
+    #[test]
+    fn varchar_size_tokens() {
+        let t = tokenize("varchar(64)").unwrap();
+        assert_eq!(
+            t,
+            vec![Token::Kw(Keyword::Varchar), Token::LParen, Token::Int(64), Token::RParen]
+        );
+    }
+}

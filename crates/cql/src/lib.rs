@@ -1,0 +1,49 @@
+//! CQL — the crowd SQL dialect of CDB.
+//!
+//! CQL extends SQL with crowd-powered operators (Section 3 and Appendix A
+//! of the paper):
+//!
+//! * **DDL**: `CREATE TABLE` may mark columns `CROWD` (fillable by the
+//!   crowd) and `CREATE CROWD TABLE` marks a whole table crowd-collected.
+//! * **DML query semantics**: `CROWDJOIN` (crowd-powered join) and
+//!   `CROWDEQUAL` (crowd-powered selection) appear in `WHERE` clauses next
+//!   to ordinary equality predicates.
+//! * **DML collection semantics**: `FILL table.column [WHERE …]` and
+//!   `COLLECT columns [WHERE …]`.
+//! * **BUDGET n** bounds the number of crowdsourcing tasks.
+//!
+//! # Example
+//!
+//! ```
+//! use cdb_cql::{parse, Statement};
+//!
+//! let stmt = parse(
+//!     "SELECT * FROM Paper, Citation \
+//!      WHERE Paper.title CROWDJOIN Citation.title BUDGET 500",
+//! ).unwrap();
+//! match stmt {
+//!     Statement::Select(q) => {
+//!         assert_eq!(q.tables, vec!["Paper", "Citation"]);
+//!         assert_eq!(q.budget, Some(500));
+//!     }
+//!     _ => unreachable!(),
+//! }
+//! ```
+
+mod analyze;
+mod ast;
+mod error;
+mod lexer;
+mod parser;
+
+pub use analyze::{analyze_select, AnalyzedPostOp, AnalyzedPredicate, AnalyzedSelect, BoundColumn};
+pub use ast::{
+    CollectStmt, ColumnRef, ColumnSpec, CreateTable, CrowdPostOp, FillStmt, Literal, Predicate,
+    Projection, SelectQuery, Statement, TypeName,
+};
+pub use error::CqlError;
+pub use lexer::{tokenize, Keyword, Token};
+pub use parser::parse;
+
+/// Result alias for CQL operations.
+pub type Result<T> = std::result::Result<T, CqlError>;

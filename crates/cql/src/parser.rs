@@ -1,0 +1,449 @@
+//! Recursive-descent parser for CQL.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Keyword, Token};
+use crate::CqlError;
+
+/// Parse one CQL statement (a trailing `;` is allowed).
+pub fn parse(input: &str) -> crate::Result<Statement> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_if(&Token::Semi);
+    p.expect_end()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn found(&self) -> String {
+        match self.peek() {
+            Some(t) => format!("{t:?}"),
+            None => "end of input".to_string(),
+        }
+    }
+
+    fn err<T>(&self, expected: &str) -> crate::Result<T> {
+        Err(CqlError::Parse { expected: expected.to_string(), found: self.found() })
+    }
+
+    fn eat_if(&mut self, tok: &Token) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        self.eat_if(&Token::Kw(kw))
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> crate::Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(&format!("keyword {kw:?}"))
+        }
+    }
+
+    fn expect_tok(&mut self, tok: Token) -> crate::Result<()> {
+        if self.eat_if(&tok) {
+            Ok(())
+        } else {
+            self.err(&format!("{tok:?}"))
+        }
+    }
+
+    fn expect_end(&self) -> crate::Result<()> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(CqlError::Parse { expected: "end of statement".into(), found: self.found() })
+        }
+    }
+
+    fn ident(&mut self) -> crate::Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            // Keywords like `name`/`number` never collide here, but CROWD
+            // columns named after keywords are not supported by design.
+            other => {
+                self.pos = self.pos.saturating_sub(usize::from(other.is_some()));
+                self.err("identifier")
+            }
+        }
+    }
+
+    fn statement(&mut self) -> crate::Result<Statement> {
+        match self.peek() {
+            Some(Token::Kw(Keyword::Select)) => self.select().map(Statement::Select),
+            Some(Token::Kw(Keyword::Create)) => self.create_table().map(Statement::CreateTable),
+            Some(Token::Kw(Keyword::Fill)) => self.fill().map(Statement::Fill),
+            Some(Token::Kw(Keyword::Collect)) => self.collect().map(Statement::Collect),
+            _ => self.err("SELECT, CREATE, FILL or COLLECT"),
+        }
+    }
+
+    // CREATE [CROWD] TABLE name ( col [CROWD] type, ... )
+    fn create_table(&mut self) -> crate::Result<CreateTable> {
+        self.expect_kw(Keyword::Create)?;
+        let crowd = self.eat_kw(Keyword::Crowd);
+        self.expect_kw(Keyword::Table)?;
+        let name = self.ident()?;
+        self.expect_tok(Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col_name = self.ident()?;
+            let col_crowd = self.eat_kw(Keyword::Crowd);
+            let ty = self.type_name()?;
+            columns.push(ColumnSpec { name: col_name, ty, crowd: col_crowd });
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect_tok(Token::RParen)?;
+        Ok(CreateTable { name, crowd, columns })
+    }
+
+    fn type_name(&mut self) -> crate::Result<TypeName> {
+        match self.next() {
+            Some(Token::Kw(Keyword::Varchar)) => {
+                self.expect_tok(Token::LParen)?;
+                let n = match self.next() {
+                    Some(Token::Int(n)) if n > 0 => n as u32,
+                    _ => return self.err("varchar length"),
+                };
+                self.expect_tok(Token::RParen)?;
+                Ok(TypeName::Varchar(n))
+            }
+            Some(Token::Kw(Keyword::Int)) => Ok(TypeName::Int),
+            Some(Token::Kw(Keyword::Float)) => Ok(TypeName::Float),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err("type name (varchar/int/float)")
+            }
+        }
+    }
+
+    // SELECT proj FROM tables [WHERE preds] [BUDGET n]
+    fn select(&mut self) -> crate::Result<SelectQuery> {
+        self.expect_kw(Keyword::Select)?;
+        let projection = self.projection()?;
+        self.expect_kw(Keyword::From)?;
+        let mut tables = vec![self.ident()?];
+        while self.eat_if(&Token::Comma) {
+            tables.push(self.ident()?);
+        }
+        let mut predicates = Vec::new();
+        if self.eat_kw(Keyword::Where) {
+            predicates.push(self.predicate()?);
+            while self.eat_kw(Keyword::And) {
+                predicates.push(self.predicate()?);
+            }
+        }
+        let group_by = self.crowd_post_op(Keyword::Group)?;
+        let order_by = self.crowd_post_op(Keyword::Order)?;
+        let budget = self.budget()?;
+        Ok(SelectQuery { projection, tables, predicates, group_by, order_by, budget })
+    }
+
+    fn projection(&mut self) -> crate::Result<Projection> {
+        if self.eat_if(&Token::Star) {
+            return Ok(Projection::Star);
+        }
+        let mut cols = vec![self.projection_item()?];
+        while self.eat_if(&Token::Comma) {
+            cols.push(self.projection_item()?);
+        }
+        Ok(Projection::Columns(cols))
+    }
+
+    // `Table.col`, `Table.*` (represented with column "*"), or `col`.
+    fn projection_item(&mut self) -> crate::Result<ColumnRef> {
+        let first = self.ident()?;
+        if self.eat_if(&Token::Dot) {
+            if self.eat_if(&Token::Star) {
+                return Ok(ColumnRef::qualified(first, "*"));
+            }
+            let col = self.ident()?;
+            Ok(ColumnRef::qualified(first, col))
+        } else {
+            Ok(ColumnRef::bare(first))
+        }
+    }
+
+    fn column_ref(&mut self) -> crate::Result<ColumnRef> {
+        let first = self.ident()?;
+        if self.eat_if(&Token::Dot) {
+            let col = self.ident()?;
+            Ok(ColumnRef::qualified(first, col))
+        } else {
+            Ok(ColumnRef::bare(first))
+        }
+    }
+
+    fn literal(&mut self) -> crate::Result<Literal> {
+        match self.next() {
+            Some(Token::Str(s)) => Ok(Literal::Str(s)),
+            Some(Token::Int(i)) => Ok(Literal::Int(i)),
+            Some(Token::Float(x)) => Ok(Literal::Float(x)),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err("literal")
+            }
+        }
+    }
+
+    fn predicate(&mut self) -> crate::Result<Predicate> {
+        let left = self.column_ref()?;
+        match self.next() {
+            Some(Token::Kw(Keyword::CrowdJoin)) => {
+                let right = self.column_ref()?;
+                Ok(Predicate::CrowdJoin { left, right })
+            }
+            Some(Token::Kw(Keyword::CrowdEqual)) => {
+                let value = self.literal()?;
+                Ok(Predicate::CrowdEqual { column: left, value })
+            }
+            Some(Token::Eq) => {
+                // `a = b` (join) vs `a = literal` (selection).
+                match self.peek() {
+                    Some(Token::Ident(_)) => {
+                        let right = self.column_ref()?;
+                        Ok(Predicate::EquiJoin { left, right })
+                    }
+                    _ => {
+                        let value = self.literal()?;
+                        Ok(Predicate::Equal { column: left, value })
+                    }
+                }
+            }
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err("CROWDJOIN, CROWDEQUAL or =")
+            }
+        }
+    }
+
+    // `GROUP BY CROWD col` / `ORDER BY CROWD col [DESC|ASC]`.
+    fn crowd_post_op(&mut self, head: Keyword) -> crate::Result<Option<CrowdPostOp>> {
+        if !self.eat_kw(head) {
+            return Ok(None);
+        }
+        self.expect_kw(Keyword::By)?;
+        self.expect_kw(Keyword::Crowd)?;
+        let column = self.column_ref()?;
+        let descending = if self.eat_kw(Keyword::Desc) {
+            true
+        } else {
+            !self.eat_kw(Keyword::Asc)
+        };
+        Ok(Some(CrowdPostOp { column, descending }))
+    }
+
+    fn budget(&mut self) -> crate::Result<Option<usize>> {
+        if !self.eat_kw(Keyword::Budget) {
+            return Ok(None);
+        }
+        match self.next() {
+            Some(Token::Int(n)) if n >= 0 => Ok(Some(n as usize)),
+            _ => self.err("non-negative budget"),
+        }
+    }
+
+    // FILL table.column [WHERE col = lit] [BUDGET n]
+    fn fill(&mut self) -> crate::Result<FillStmt> {
+        self.expect_kw(Keyword::Fill)?;
+        let table = self.ident()?;
+        self.expect_tok(Token::Dot)?;
+        let column = self.ident()?;
+        let filter = self.opt_filter()?;
+        let budget = self.budget()?;
+        Ok(FillStmt { table, column, filter, budget })
+    }
+
+    // COLLECT cols [WHERE col = lit] [BUDGET n]
+    fn collect(&mut self) -> crate::Result<CollectStmt> {
+        self.expect_kw(Keyword::Collect)?;
+        let mut columns = vec![self.projection_item()?];
+        while self.eat_if(&Token::Comma) {
+            columns.push(self.projection_item()?);
+        }
+        let filter = self.opt_filter()?;
+        let budget = self.budget()?;
+        Ok(CollectStmt { columns, filter, budget })
+    }
+
+    fn opt_filter(&mut self) -> crate::Result<Option<(ColumnRef, Literal)>> {
+        if !self.eat_kw(Keyword::Where) {
+            return Ok(None);
+        }
+        let col = self.column_ref()?;
+        self.expect_tok(Token::Eq)?;
+        let lit = self.literal()?;
+        Ok(Some((col, lit)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_query_3j() {
+        let stmt = parse(
+            "SELECT * FROM Paper, Researcher, Citation, University \
+             WHERE Paper.Author CROWDJOIN Researcher.Name AND \
+             Paper.Title CROWDJOIN Citation.Title AND \
+             Researcher.Affiliation CROWDJOIN University.Name",
+        )
+        .unwrap();
+        let Statement::Select(q) = stmt else { panic!("expected select") };
+        assert_eq!(q.tables, vec!["Paper", "Researcher", "Citation", "University"]);
+        assert_eq!(q.predicates.len(), 3);
+        assert!(q.predicates.iter().all(Predicate::is_crowd));
+        assert_eq!(q.budget, None);
+    }
+
+    #[test]
+    fn parse_select_with_crowdequal_and_budget() {
+        let stmt = parse(
+            "SELECT Paper.title, Citation.number FROM Paper, Citation \
+             WHERE Paper.title CROWDJOIN Citation.title AND \
+             Paper.conference CROWDEQUAL \"sigmod\" BUDGET 600;",
+        )
+        .unwrap();
+        let Statement::Select(q) = stmt else { panic!() };
+        assert_eq!(q.budget, Some(600));
+        assert!(matches!(
+            &q.predicates[1],
+            Predicate::CrowdEqual { value: Literal::Str(s), .. } if s == "sigmod"
+        ));
+        let Projection::Columns(cols) = &q.projection else { panic!() };
+        assert_eq!(cols.len(), 2);
+    }
+
+    #[test]
+    fn parse_traditional_predicates() {
+        let stmt = parse(
+            "SELECT * FROM A, B WHERE A.x = B.y AND A.z = \"v\" AND A.n = 5",
+        )
+        .unwrap();
+        let Statement::Select(q) = stmt else { panic!() };
+        assert!(matches!(q.predicates[0], Predicate::EquiJoin { .. }));
+        assert!(matches!(q.predicates[1], Predicate::Equal { value: Literal::Str(_), .. }));
+        assert!(matches!(q.predicates[2], Predicate::Equal { value: Literal::Int(5), .. }));
+    }
+
+    #[test]
+    fn parse_create_table_with_crowd_columns() {
+        let stmt = parse(
+            "CREATE TABLE Researcher (name varchar(64), \
+             gender CROWD varchar(16), affiliation CROWD varchar(64))",
+        )
+        .unwrap();
+        let Statement::CreateTable(ct) = stmt else { panic!() };
+        assert_eq!(ct.name, "Researcher");
+        assert!(!ct.crowd);
+        assert_eq!(ct.columns.len(), 3);
+        assert!(!ct.columns[0].crowd);
+        assert!(ct.columns[1].crowd);
+        assert_eq!(ct.columns[0].ty, TypeName::Varchar(64));
+    }
+
+    #[test]
+    fn parse_create_crowd_table() {
+        let stmt = parse(
+            "CREATE CROWD TABLE University (name varchar(64), city varchar(64), country varchar(64));",
+        )
+        .unwrap();
+        let Statement::CreateTable(ct) = stmt else { panic!() };
+        assert!(ct.crowd);
+        assert_eq!(ct.columns.len(), 3);
+    }
+
+    #[test]
+    fn parse_fill_with_filter() {
+        let stmt =
+            parse("FILL Researcher.affiliation WHERE Researcher.gender = 'female'").unwrap();
+        let Statement::Fill(f) = stmt else { panic!() };
+        assert_eq!(f.table, "Researcher");
+        assert_eq!(f.column, "affiliation");
+        assert!(f.filter.is_some());
+    }
+
+    #[test]
+    fn parse_fill_bare() {
+        let stmt = parse("FILL Researcher.gender BUDGET 100").unwrap();
+        let Statement::Fill(f) = stmt else { panic!() };
+        assert_eq!(f.budget, Some(100));
+        assert!(f.filter.is_none());
+    }
+
+    #[test]
+    fn parse_collect() {
+        let stmt = parse(
+            "COLLECT University.name, University.city WHERE University.country = \"US\" BUDGET 100",
+        )
+        .unwrap();
+        let Statement::Collect(c) = stmt else { panic!() };
+        assert_eq!(c.columns.len(), 2);
+        assert_eq!(c.budget, Some(100));
+        let (col, lit) = c.filter.unwrap();
+        assert_eq!(col.to_string(), "University.country");
+        assert_eq!(lit, Literal::Str("US".into()));
+    }
+
+    #[test]
+    fn parse_table_star_projection() {
+        let stmt = parse("SELECT University.* FROM University").unwrap();
+        let Statement::Select(q) = stmt else { panic!() };
+        let Projection::Columns(cols) = &q.projection else { panic!() };
+        assert_eq!(cols[0], ColumnRef::qualified("University", "*"));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("SELECT * FROM A x y z ,").is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(parse("").is_err());
+        assert!(parse("   ").is_err());
+    }
+
+    #[test]
+    fn negative_budget_rejected() {
+        assert!(parse("SELECT * FROM A BUDGET -5").is_err());
+    }
+
+    #[test]
+    fn missing_from_rejected() {
+        assert!(parse("SELECT *").is_err());
+    }
+
+    #[test]
+    fn error_messages_name_expectation() {
+        let err = parse("SELECT * FROM").unwrap_err();
+        assert!(err.to_string().contains("identifier"), "{err}");
+    }
+}

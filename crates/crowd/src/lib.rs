@@ -1,0 +1,35 @@
+//! Simulated crowdsourcing platform substrate for CDB.
+//!
+//! The paper deploys CDB on AMT, CrowdFlower and ChinaCrowd; this crate is
+//! the faithful simulation substitute (see DESIGN.md). It models:
+//!
+//! * the four task UIs of CDB's *Crowd UI Designer* — single-choice,
+//!   multiple-choice, fill-in-the-blank and collection tasks;
+//! * workers with latent accuracies drawn from a Gaussian `N(q, 0.01)`
+//!   (exactly the worker model of the paper's simulated experiments, §6.2);
+//! * HIT packing (the real experiments pack 10 tasks per \$0.1 HIT, §6.3);
+//! * cross-market deployment (AMT's developer model supports server-side
+//!   online task assignment; CrowdFlower does not — §2.1);
+//! * the metadata kept by CDB: tasks, workers, and per-assignment answers;
+//! * the autocompletion store used by COLLECT to control duplicates.
+//!
+//! Determinism: every stochastic component takes a seeded RNG, so
+//! experiments are reproducible.
+
+mod autocomplete;
+mod history;
+mod hit;
+mod log;
+mod market_deploy;
+mod platform;
+mod task;
+mod worker;
+
+pub use autocomplete::AutocompleteStore;
+pub use history::{WorkerHistory, WorkerRecord};
+pub use hit::{pack_hits, Hit, HitConfig};
+pub use log::{Assignment, AssignmentLog};
+pub use market_deploy::{CrossMarketDeployer, MarketSlot};
+pub use platform::{Market, SimulatedPlatform};
+pub use task::{join_difficulty, Answer, Task, TaskId, TaskKind};
+pub use worker::{Worker, WorkerId, WorkerPool};

@@ -1,0 +1,410 @@
+//! The simulated crowdsourcing market.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Answer, Assignment, AssignmentLog, Task, TaskId, TaskKind, Worker, WorkerId, WorkerPool};
+
+/// The crowdsourcing markets CDB deploys on (§2.1). The distinction that
+/// matters for optimization: AMT's developer model lets the requester's
+/// server control *online task assignment*; CrowdFlower and ChinaCrowd do
+/// not, so tasks there are assigned to random workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Market {
+    /// Amazon Mechanical Turk (supports online assignment).
+    Amt,
+    /// CrowdFlower (no requester-side assignment control).
+    CrowdFlower,
+    /// ChinaCrowd (no requester-side assignment control).
+    ChinaCrowd,
+}
+
+impl Market {
+    /// True when the requester can choose which tasks each arriving worker
+    /// receives — the prerequisite for CDB+'s task-assignment strategy.
+    pub fn supports_online_assignment(self) -> bool {
+        matches!(self, Market::Amt)
+    }
+}
+
+/// A deterministic, seeded simulation of a crowdsourcing platform.
+///
+/// Workers answer according to their latent accuracy: a single-choice task
+/// is answered correctly with probability `accuracy`, otherwise one of the
+/// wrong choices is picked uniformly — the standard worker model the paper
+/// adopts for its simulated study (§6.2).
+#[derive(Debug)]
+pub struct SimulatedPlatform {
+    market: Market,
+    pool: WorkerPool,
+    rng: StdRng,
+    log: AssignmentLog,
+    round: usize,
+}
+
+impl SimulatedPlatform {
+    /// Create a platform over a worker pool with a deterministic seed.
+    pub fn new(market: Market, pool: WorkerPool, seed: u64) -> Self {
+        SimulatedPlatform { market, pool, rng: StdRng::seed_from_u64(seed), log: AssignmentLog::new(), round: 0 }
+    }
+
+    /// Which market this simulates.
+    pub fn market(&self) -> Market {
+        self.market
+    }
+
+    /// The worker pool.
+    pub fn pool(&self) -> &WorkerPool {
+        self.pool_ref()
+    }
+
+    fn pool_ref(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Number of completed rounds.
+    pub fn rounds(&self) -> usize {
+        self.round
+    }
+
+    /// The assignment log (all answers collected so far).
+    pub fn log(&self) -> &AssignmentLog {
+        &self.log
+    }
+
+    /// Publish a batch of tasks as one *round*: each task is answered by
+    /// `redundancy` distinct randomly-drawn workers (the no-control market
+    /// model). Returns the new assignments, which are also recorded in the
+    /// log. A non-empty batch advances the round counter by one — the
+    /// paper's latency metric is exactly this number of rounds.
+    pub fn ask_round(&mut self, tasks: &[Task], redundancy: usize) -> Vec<Assignment> {
+        if tasks.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(tasks.len() * redundancy);
+        for task in tasks {
+            let workers = self.pool.sample_distinct(redundancy.min(self.pool.len()), &mut self.rng);
+            for w in workers {
+                let answer = self.simulate_answer(w, task);
+                let a = Assignment { task: task.id, worker: w.id, answer, round: self.round };
+                self.log.record(a.clone());
+                out.push(a);
+            }
+        }
+        self.round += 1;
+        out
+    }
+
+    /// Publish a batch of tasks as one round under AMT's developer model:
+    /// workers arrive one at a time and the requester-supplied `assigner`
+    /// decides which (up to `batch_size`) of the still-open tasks each
+    /// arriving worker receives. The round ends when every task has
+    /// `redundancy` answers.
+    ///
+    /// # Panics
+    /// Panics when the market does not support online assignment.
+    pub fn ask_round_assigned(
+        &mut self,
+        tasks: &[Task],
+        redundancy: usize,
+        batch_size: usize,
+        assigner: &mut dyn FnMut(&Worker, &[&Task], &AssignmentLog) -> Vec<TaskId>,
+    ) -> Vec<Assignment> {
+        assert!(
+            self.market.supports_online_assignment(),
+            "{:?} does not support requester-side task assignment",
+            self.market
+        );
+        if tasks.is_empty() {
+            return Vec::new();
+        }
+        let mut need: std::collections::BTreeMap<TaskId, usize> =
+            tasks.iter().map(|t| (t.id, redundancy)).collect();
+        let by_id: std::collections::BTreeMap<TaskId, &Task> =
+            tasks.iter().map(|t| (t.id, t)).collect();
+        // Track which workers already answered which tasks in this round so
+        // no worker answers the same task twice.
+        let mut answered: std::collections::HashSet<(WorkerId, TaskId)> =
+            std::collections::HashSet::new();
+        let mut out = Vec::new();
+        // Workers arrive in an endless random stream; bail out if the pool
+        // cannot provide the required redundancy.
+        let mut idle_arrivals = 0usize;
+        while need.values().any(|&n| n > 0) {
+            let w = self.pool.workers()[self.rng.gen_range(0..self.pool.len())];
+            let open: Vec<&Task> = need
+                .iter()
+                .filter(|(id, &n)| n > 0 && !answered.contains(&(w.id, **id)))
+                .map(|(id, _)| by_id[id])
+                .collect();
+            if open.is_empty() {
+                idle_arrivals += 1;
+                assert!(
+                    idle_arrivals < 100 * self.pool.len().max(1),
+                    "worker pool too small for redundancy {redundancy}"
+                );
+                continue;
+            }
+            idle_arrivals = 0;
+            let chosen = assigner(&w, &open, &self.log);
+            for tid in chosen.into_iter().take(batch_size) {
+                let Some(task) = by_id.get(&tid) else { continue };
+                if need[&tid] == 0 || answered.contains(&(w.id, tid)) {
+                    continue;
+                }
+                let answer = self.simulate_answer(w, task);
+                let a = Assignment { task: tid, worker: w.id, answer, round: self.round };
+                self.log.record(a.clone());
+                out.push(a);
+                answered.insert((w.id, tid));
+                *need.get_mut(&tid).expect("task known") -= 1;
+            }
+        }
+        self.round += 1;
+        out
+    }
+
+    /// Generate one worker's answer to one task according to the latent
+    /// accuracy model.
+    pub fn simulate_answer(&mut self, worker: Worker, task: &Task) -> Answer {
+        // Difficulty-aware accuracy: easy tasks (difficulty -> 0) are
+        // answered correctly almost always, hard tasks at the worker's
+        // latent accuracy (the flat model of the paper's simulation).
+        let eff = worker.accuracy + (1.0 - worker.accuracy) * (1.0 - task.difficulty) * 0.9;
+        match (&task.kind, &task.truth) {
+            (TaskKind::SingleChoice { choices, .. }, Some(Answer::Choice(truth))) => {
+                if self.rng.gen::<f64>() < eff || choices.len() <= 1 {
+                    Answer::Choice(*truth)
+                } else {
+                    // Uniform over the wrong choices.
+                    let mut c = self.rng.gen_range(0..choices.len() - 1);
+                    if c >= *truth {
+                        c += 1;
+                    }
+                    Answer::Choice(c)
+                }
+            }
+            (TaskKind::MultiChoice { choices, .. }, Some(Answer::Choices(truth))) => {
+                // Membership of each choice is reported correctly with
+                // probability `accuracy`, independently (the paper
+                // decomposes a multi-choice task into ℓ single-choice
+                // membership tasks).
+                let mut picked = Vec::new();
+                for i in 0..choices.len() {
+                    let in_truth = truth.binary_search(&i).is_ok();
+                    let correct = self.rng.gen::<f64>() < eff;
+                    if in_truth == correct {
+                        picked.push(i);
+                    }
+                }
+                Answer::Choices(picked)
+            }
+            (TaskKind::FillInBlank { .. }, Some(Answer::Text(truth)))
+            | (TaskKind::Collection { .. }, Some(Answer::Text(truth))) => {
+                if self.rng.gen::<f64>() < eff {
+                    Answer::Text(truth.clone())
+                } else {
+                    Answer::Text(corrupt(truth, &mut self.rng))
+                }
+            }
+            // No ground truth: return an arbitrary deterministic answer —
+            // the caller is exercising plumbing, not quality.
+            (TaskKind::SingleChoice { .. }, _) => Answer::Choice(0),
+            (TaskKind::MultiChoice { .. }, _) => Answer::Choices(vec![]),
+            (TaskKind::FillInBlank { .. } | TaskKind::Collection { .. }, _) => {
+                Answer::Text(String::new())
+            }
+        }
+    }
+}
+
+/// Corrupt a string the way failing workers do: half the time a
+/// character-level slip (drop, duplicate or swap — the answer stays
+/// recognizable), half the time a completely different answer (the worker
+/// did not know and guessed). Guaranteed to differ from the input for
+/// inputs of length ≥ 2.
+pub(crate) fn corrupt(s: &str, rng: &mut impl Rng) -> String {
+    if rng.gen::<f64>() < 0.5 {
+        // A wrong guess unrelated to the truth.
+        return format!("unknown answer {}", rng.gen_range(0..1000u32));
+    }
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < 2 {
+        return format!("{s}?");
+    }
+    let mut out = chars.clone();
+    match rng.gen_range(0..3u8) {
+        0 => {
+            let i = rng.gen_range(0..out.len());
+            out.remove(i);
+        }
+        1 => {
+            let i = rng.gen_range(0..out.len());
+            let c = out[i];
+            out.insert(i, c);
+        }
+        _ => {
+            let i = rng.gen_range(0..out.len() - 1);
+            out.swap(i, i + 1);
+            if out == chars {
+                // Swapped identical characters; force a difference.
+                out.remove(i);
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform(accs: &[f64], seed: u64) -> SimulatedPlatform {
+        SimulatedPlatform::new(Market::Amt, WorkerPool::with_accuracies(accs), seed)
+    }
+
+    fn yes_task(id: u64) -> Task {
+        Task::join_check(TaskId(id), "MIT", "M.I.T.", true)
+    }
+
+    #[test]
+    fn market_assignment_capability() {
+        assert!(Market::Amt.supports_online_assignment());
+        assert!(!Market::CrowdFlower.supports_online_assignment());
+        assert!(!Market::ChinaCrowd.supports_online_assignment());
+    }
+
+    #[test]
+    fn perfect_workers_always_answer_truth() {
+        let mut p = platform(&[1.0; 5], 1);
+        let asg = p.ask_round(&[yes_task(1)], 5);
+        assert_eq!(asg.len(), 5);
+        assert!(asg.iter().all(|a| a.answer == Answer::Choice(0)));
+    }
+
+    #[test]
+    fn zero_accuracy_workers_always_wrong() {
+        let mut p = platform(&[0.0; 5], 1);
+        let asg = p.ask_round(&[yes_task(1)], 5);
+        assert!(asg.iter().all(|a| a.answer == Answer::Choice(1)));
+    }
+
+    #[test]
+    fn accuracy_is_respected_statistically() {
+        let mut p = platform(&[0.8; 50], 42);
+        let tasks: Vec<Task> = (0..200).map(yes_task).collect();
+        let asg = p.ask_round(&tasks, 5);
+        let correct = asg.iter().filter(|a| a.answer == Answer::Choice(0)).count();
+        let rate = correct as f64 / asg.len() as f64;
+        assert!((rate - 0.8).abs() < 0.05, "rate = {rate}");
+    }
+
+    #[test]
+    fn rounds_count_batches() {
+        let mut p = platform(&[1.0; 5], 1);
+        assert_eq!(p.rounds(), 0);
+        p.ask_round(&[yes_task(1)], 3);
+        p.ask_round(&[yes_task(2)], 3);
+        p.ask_round(&[], 3); // empty batch is not a round
+        assert_eq!(p.rounds(), 2);
+    }
+
+    #[test]
+    fn log_accumulates_assignments() {
+        let mut p = platform(&[1.0; 5], 1);
+        p.ask_round(&[yes_task(1), yes_task(2)], 4);
+        assert_eq!(p.log().assignment_count(), 8);
+        assert_eq!(p.log().answers(TaskId(1)).len(), 4);
+    }
+
+    #[test]
+    fn redundancy_uses_distinct_workers() {
+        let mut p = platform(&[0.9; 8], 9);
+        let asg = p.ask_round(&[yes_task(1)], 5);
+        let mut ids: Vec<u32> = asg.iter().map(|a| a.worker.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 5);
+    }
+
+    #[test]
+    fn assigned_round_respects_assigner_choice() {
+        let mut p = platform(&[1.0; 10], 3);
+        let tasks = vec![yes_task(1), yes_task(2)];
+        // Assigner always gives the lowest-id open task.
+        let asg = p.ask_round_assigned(&tasks, 3, 1, &mut |_, open, _| {
+            let mut ids: Vec<TaskId> = open.iter().map(|t| t.id).collect();
+            ids.sort();
+            ids.truncate(1);
+            ids
+        });
+        assert_eq!(asg.len(), 6);
+        assert_eq!(p.log().answers(TaskId(1)).len(), 3);
+        assert_eq!(p.log().answers(TaskId(2)).len(), 3);
+        assert_eq!(p.rounds(), 1);
+    }
+
+    #[test]
+    fn assigned_round_never_gives_same_task_twice_to_one_worker() {
+        let mut p = platform(&[1.0; 4], 3);
+        let tasks = vec![yes_task(1)];
+        let asg = p.ask_round_assigned(&tasks, 4, 5, &mut |_, open, _| {
+            open.iter().map(|t| t.id).collect()
+        });
+        let mut workers: Vec<u32> = asg.iter().map(|a| a.worker.0).collect();
+        workers.sort_unstable();
+        workers.dedup();
+        assert_eq!(workers.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support")]
+    fn crowdflower_rejects_online_assignment() {
+        let mut p = SimulatedPlatform::new(
+            Market::CrowdFlower,
+            WorkerPool::with_accuracies(&[1.0]),
+            0,
+        );
+        p.ask_round_assigned(&[yes_task(1)], 1, 1, &mut |_, open, _| {
+            open.iter().map(|t| t.id).collect()
+        });
+    }
+
+    #[test]
+    fn corrupt_changes_string() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for s in ["University of California", "ab", "x", ""] {
+            let c = corrupt(s, &mut rng);
+            assert_ne!(c, s, "corrupt({s:?}) did not change it");
+        }
+    }
+
+    #[test]
+    fn fill_task_answers_match_accuracy_model() {
+        let mut p = platform(&[1.0], 1);
+        let t = Task {
+            id: TaskId(9),
+            kind: TaskKind::FillInBlank { question: "affiliation?".into() },
+            truth: Some(Answer::Text("MIT".into())),
+            difficulty: 1.0,
+        };
+        let w = Worker { id: WorkerId(0), accuracy: 1.0 };
+        assert_eq!(p.simulate_answer(w, &t), Answer::Text("MIT".into()));
+    }
+
+    #[test]
+    fn multi_choice_perfect_worker_reproduces_truth() {
+        let mut p = platform(&[1.0], 1);
+        let t = Task {
+            id: TaskId(9),
+            kind: TaskKind::MultiChoice {
+                question: "topics?".into(),
+                choices: vec!["db".into(), "ml".into(), "hci".into()],
+            },
+            truth: Some(Answer::choices(vec![0, 2])),
+            difficulty: 1.0,
+        };
+        let w = Worker { id: WorkerId(0), accuracy: 1.0 };
+        assert_eq!(p.simulate_answer(w, &t), Answer::Choices(vec![0, 2]));
+    }
+}

@@ -1,0 +1,194 @@
+//! The running example of Table 1: four tiny tables whose join graph is
+//! Figure 4 of the paper. Used by the quickstart example and by tests
+//! that follow the paper's walkthrough.
+
+use cdb_core::QueryTruth;
+use cdb_storage::{ColumnDef, ColumnType, Database, Schema, Table, TupleId, Value};
+
+/// Build the Table 1 dataset and its ground truth.
+///
+/// The three true answers of the paper are
+/// `(u12, r12, p8, c12)`, `(u8, r8, p4, c6)` and `(u9, r9, p5, c7)`
+/// (1-based ids as printed in the paper; rows here are 0-based).
+pub fn paper_example_dataset() -> (Database, QueryTruth) {
+    let mut db = Database::new();
+
+    let mut paper = Table::new(
+        "Paper",
+        Schema::new(vec![
+            ColumnDef::new("author", ColumnType::Text),
+            ColumnDef::new("title", ColumnType::Text),
+            ColumnDef::new("conference", ColumnType::Text),
+        ]),
+    );
+    let papers = [
+        ("Michael J. Franklin", "APrivateClean: Data Cleaning and Differential Privacy.", "sigmod16"),
+        ("Samuel Madden", "Querying continuous functions in a database system.", "sigmod08"),
+        ("David J. DeWitt", "Query processing on smart SSDs: opportunities and challenges.", "acm sigmod"),
+        ("W. Bruce Croft", "Optimization strategies for complex queries", "sigir"),
+        ("H. V. Jagadish", "CrowdMatcher: crowd-assisted schema matching", "sigmod14"),
+        ("Hector Garcia-Molina", "Exploiting Correlations for Expensive Predicate Evaluation.", "sigmod15"),
+        ("Aditya G. Parameswaran", "DataSift: a crowd-powered search toolkit", "sigmod14"),
+        ("Surajit Chaudhuri", "Dynamically generating portals for entity-oriented web queries.", "sigmod10"),
+    ];
+    for (a, t, c) in papers {
+        paper.push(vec![Value::from(a), Value::from(t), Value::from(c)]).expect("schema");
+    }
+
+    let mut researcher = Table::new(
+        "Researcher",
+        Schema::new(vec![
+            ColumnDef::new("affiliation", ColumnType::Text),
+            ColumnDef::new("name", ColumnType::Text),
+        ]),
+    );
+    let researchers = [
+        ("University of California", "Michael I. Jordan"),
+        ("University of California Berkery", "Michael Dahlin"),
+        ("University of Chicago", "Michael Franklin"),
+        ("Duke Uni.", "David J. Madden"),
+        ("University of Minnesota", "David D. Thomas"),
+        ("University of Wisconsin", "David DeWitt"),
+        ("Department of Nutrition", "David J. Hunter"),
+        ("University of Massachusetts", "Bruce W Croft"),
+        ("University of Michigan", "H. Jagadish"),
+        ("University of Stanford", "Molina Hector"),
+        ("University of Cambridge", "Nandan Parameswaran"),
+        ("Microsoft Cambridge", "S. Chaudhuri"),
+    ];
+    for (a, n) in researchers {
+        researcher.push(vec![Value::from(a), Value::from(n)]).expect("schema");
+    }
+
+    let mut citation = Table::new(
+        "Citation",
+        Schema::new(vec![
+            ColumnDef::new("title", ColumnType::Text),
+            ColumnDef::new("number", ColumnType::Int),
+        ]),
+    );
+    let citations = [
+        ("Towards a Unified Framework for Data Cleaning and Data Privacy.", 0),
+        ("Query continuous functions in database system", 56),
+        ("ConQuer: A System for Efficient Querying Over Inconsistent Database.", 13),
+        ("Webfind: An Architecture and System for Querying Web Database.", 17),
+        ("Adaptive Query Processing and the Grid: Opportunities and Challenges.", 27),
+        ("Optimal strategy for complex queries", 94),
+        ("CrowdMatcher: crowd-assisted schema match", 9),
+        ("Exploit Correlations for Expensive Predicate Evaluation", 0),
+        ("DataSift: An Expressive and Accurate Crowd-Powered Search Toolkit.", 16),
+        ("A crowd powered search toolkit", 4),
+        ("A Crowd Powered System for Similarity Search", 0),
+        ("Query portals: dynamically generating portals for entity-oriented web queries.", 1),
+    ];
+    for (t, n) in citations {
+        citation.push(vec![Value::from(t), Value::Int(n)]).expect("schema");
+    }
+
+    let mut university = Table::new(
+        "University",
+        Schema::new(vec![
+            ColumnDef::new("name", ColumnType::Text),
+            ColumnDef::new("country", ColumnType::Text),
+        ]),
+    );
+    let universities = [
+        ("Univ. of California", "USA"),
+        ("Univ. of California Berkery", "USA"),
+        ("Univ. of Chicago", "USA"),
+        ("Duke Univ.", "USA"),
+        ("Univ. of Minnesota", "US"),
+        ("Univ. of Wisconsin", "US"),
+        ("Depart of Nutrition", "US"),
+        ("Univ. of Massachusetts", "US"),
+        ("Univ. of Michigan", "US"),
+        ("Univ. of Stanford", "USA"),
+        ("Univ. of Cambridge", "UK"),
+        ("Microsoft", "US"),
+    ];
+    for (n, c) in universities {
+        university.push(vec![Value::from(n), Value::from(c)]).expect("schema");
+    }
+
+    db.add_table(paper).expect("fresh catalog");
+    db.add_table(researcher).expect("fresh catalog");
+    db.add_table(citation).expect("fresh catalog");
+    db.add_table(university).expect("fresh catalog");
+
+    // Ground truth per the paper's three answers (0-based rows):
+    //   (u12, r12, p8, c12) -> University 11, Researcher 11, Paper 7, Citation 11
+    //   (u8,  r8,  p4, c6)  -> University 7,  Researcher 7,  Paper 3, Citation 5
+    //   (u9,  r9,  p5, c7)  -> University 8,  Researcher 8,  Paper 4, Citation 6
+    let mut truth = QueryTruth::default();
+    let answers = [(11usize, 11usize, 7usize, 11usize), (7, 7, 3, 5), (8, 8, 4, 6)];
+    for (u, r, p, c) in answers {
+        truth.add_join(TupleId::new("Researcher", r), TupleId::new("University", u));
+        truth.add_join(TupleId::new("Paper", p), TupleId::new("Researcher", r));
+        truth.add_join(TupleId::new("Paper", p), TupleId::new("Citation", c));
+    }
+    // Additional true pairs visible in Figure 4 that do not complete a
+    // chain: (u7, r7) — Department of Nutrition, and (r6 ~ p3 is false;
+    // the figure's BLUE partial edges): (u7,r7) blue, (p2,c2) blue.
+    truth.add_join(TupleId::new("Researcher", 6), TupleId::new("University", 6));
+    truth.add_join(TupleId::new("Paper", 1), TupleId::new("Citation", 1));
+    // Selections: papers published at SIGMOD and USA universities.
+    for (i, (_, _, conf)) in papers.iter().enumerate() {
+        if conf.contains("sigmod") {
+            truth.add_selection(TupleId::new("Paper", i), "SIGMOD");
+            truth.add_selection(TupleId::new("Paper", i), "sigmod");
+        }
+    }
+    for (i, (_, c)) in universities.iter().enumerate() {
+        if *c == "USA" || *c == "US" {
+            truth.add_selection(TupleId::new("University", i), "USA");
+        }
+    }
+    (db, truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_sizes_match_table1() {
+        let (db, _) = paper_example_dataset();
+        assert_eq!(db.table("Paper").unwrap().row_count(), 8);
+        assert_eq!(db.table("Researcher").unwrap().row_count(), 12);
+        assert_eq!(db.table("Citation").unwrap().row_count(), 12);
+        assert_eq!(db.table("University").unwrap().row_count(), 12);
+    }
+
+    #[test]
+    fn truth_contains_three_answer_chains() {
+        let (_, truth) = paper_example_dataset();
+        assert!(truth.joins_match(
+            &TupleId::new("Paper", 7),
+            &TupleId::new("Citation", 11)
+        ));
+        assert!(truth.joins_match(
+            &TupleId::new("Researcher", 7),
+            &TupleId::new("University", 7)
+        ));
+        assert!(!truth.joins_match(
+            &TupleId::new("Paper", 0),
+            &TupleId::new("Citation", 0)
+        ));
+    }
+
+    #[test]
+    fn example_graph_yields_three_true_answers() {
+        use cdb_core::{build_query_graph, executor::true_answers, GraphBuildConfig};
+        let (db, truth) = paper_example_dataset();
+        let sql = "SELECT * FROM Paper, Researcher, Citation, University \
+                   WHERE Paper.author CROWDJOIN Researcher.name AND \
+                   Paper.title CROWDJOIN Citation.title AND \
+                   Researcher.affiliation CROWDJOIN University.name";
+        let cdb_cql::Statement::Select(q) = cdb_cql::parse(sql).unwrap() else { panic!() };
+        let analyzed = cdb_cql::analyze_select(&q, &db).unwrap();
+        let g = build_query_graph(&analyzed, &db, &GraphBuildConfig::default());
+        let et = truth.edge_truth(&g);
+        let ans = true_answers(&g, &et);
+        assert_eq!(ans.len(), 3, "the paper's three answers must be reachable");
+    }
+}

@@ -1,0 +1,27 @@
+//! Synthetic dataset generators for the CDB experiments.
+//!
+//! The paper evaluates on two crawled datasets — `paper` (ACM/DBLP; Tables
+//! Paper 676, Citation 1239, Researcher 911, University 830) and `award`
+//! (DBpedia/Yago; Celebrity 1498, City 3220, Winner 2669, Award 1192).
+//! Those crawls are not redistributable, so this crate generates synthetic
+//! datasets with the same schemas, the same cardinalities and — the part
+//! the experiments actually depend on — the same *matching structure*:
+//! a controlled fraction of tuples in each joined column pair are dirty
+//! variants of one another (abbreviations, typos, dropped tokens), and the
+//! generator records the exact ground truth of which pairs match, so
+//! F-measure is computable. See DESIGN.md for the substitution argument.
+//!
+//! The crate also provides the five representative queries of Table 4 per
+//! dataset, the tiny running example of Table 1, and the paper-scale
+//! defaults behind Tables 2 and 3.
+
+mod dirty;
+mod example;
+mod names;
+mod queries;
+mod scenario;
+
+pub use dirty::{abbreviate, drop_token, typo, variant, DirtConfig};
+pub use example::paper_example_dataset;
+pub use queries::{queries_for, QuerySpec};
+pub use scenario::{award_dataset, paper_dataset, Dataset, DatasetScale};

@@ -1,0 +1,135 @@
+//! Deterministic name pools: the raw material the generators compose into
+//! universities, researchers, paper titles, celebrities, cities and awards.
+
+use rand::Rng;
+
+pub(crate) const FIRST_NAMES: &[&str] = &[
+    "Michael", "David", "Samuel", "Hector", "Aditya", "Surajit", "Bruce", "Jennifer", "Laura",
+    "Daniel", "Rachel", "Peter", "Susan", "Thomas", "Anna", "Joseph", "Maria", "James", "Elena",
+    "Robert", "Alice", "Victor", "Nina", "George", "Clara", "Henry", "Diana", "Oscar", "Julia",
+    "Frank", "Irene", "Walter", "Grace", "Arthur", "Helen", "Louis", "Martha", "Felix", "Nora",
+    "Hugo",
+];
+
+pub(crate) const LAST_NAMES: &[&str] = &[
+    "Franklin", "DeWitt", "Madden", "Garcia", "Parameswaran", "Chaudhuri", "Croft", "Jagadish",
+    "Jordan", "Dahlin", "Hunter", "Thomas", "Stone", "Rivera", "Klein", "Meyer", "Wagner",
+    "Fischer", "Weber", "Schmidt", "Keller", "Vogel", "Braun", "Krause", "Lang", "Winter",
+    "Sommer", "Brandt", "Lorenz", "Hartmann", "Schulz", "Berger", "Frank", "Kaiser", "Fuchs",
+    "Graf", "Roth", "Baumann", "Seidel", "Ernst",
+];
+
+pub(crate) const PLACE_STEMS: &[&str] = &[
+    "California", "Wisconsin", "Chicago", "Minnesota", "Massachusetts", "Michigan", "Stanford",
+    "Cambridge", "Oxford", "Toronto", "Melbourne", "Auckland", "Singapore", "Edinburgh",
+    "Heidelberg", "Uppsala", "Bologna", "Coimbra", "Salamanca", "Leiden", "Geneva", "Vienna",
+    "Prague", "Warsaw", "Helsinki", "Copenhagen", "Dublin", "Lisbon", "Athens", "Zurich",
+    "Princeton", "Columbia", "Cornell", "Berkeley", "Austin", "Seattle", "Denver", "Atlanta",
+    "Boston", "Portland",
+];
+
+pub(crate) const COUNTRIES: &[&str] = &[
+    "USA", "UK", "Canada", "Australia", "Germany", "France", "Italy", "Spain", "Netherlands",
+    "Switzerland", "Austria", "Sweden", "Finland", "Denmark", "Ireland", "Portugal", "Greece",
+    "Poland", "Czechia", "New Zealand",
+];
+
+pub(crate) const TITLE_SUBJECTS: &[&str] = &[
+    "Query Processing", "Data Cleaning", "Entity Resolution", "Crowdsourced Joins",
+    "Similarity Search", "Schema Matching", "Truth Inference", "Task Assignment",
+    "Stream Processing", "Approximate Counting", "Index Structures", "Transaction Management",
+    "Graph Analytics", "Knowledge Bases", "Data Integration", "Privacy Preservation",
+    "Adaptive Sampling", "Workload Forecasting", "Cost Estimation", "Cardinality Estimation",
+];
+
+pub(crate) const TITLE_MODIFIERS: &[&str] = &[
+    "Scalable", "Adaptive", "Crowd-Powered", "Distributed", "Incremental", "Robust",
+    "Cost-Effective", "Declarative", "Optimal", "Practical", "Interactive", "Hybrid",
+    "Progressive", "Unified", "Fine-Grained", "Holistic", "Efficient", "Principled",
+    "Learned", "Probabilistic",
+];
+
+pub(crate) const TITLE_SUFFIXES: &[&str] = &[
+    "in Crowdsourcing Markets",
+    "over Relational Data",
+    "for Heterogeneous Sources",
+    "with Human Intelligence",
+    "at Web Scale",
+    "under Budget Constraints",
+    "via Graph Models",
+    "with Quality Guarantees",
+    "in Modern Databases",
+    "for Open-World Queries",
+];
+
+pub(crate) const CONFERENCES: &[&str] =
+    &["sigmod16", "sigmod15", "sigmod14", "vldb16", "vldb15", "icde16", "icde15", "kdd16", "sigir15", "www16"];
+
+pub(crate) const AWARD_STEMS: &[&str] = &[
+    "Turing Award", "Best Paper Award", "Test of Time Award", "Innovation Award",
+    "Dissertation Award", "Early Career Award", "Fellowship", "Medal of Science",
+    "Achievement Award", "Research Excellence Prize", "Distinguished Service Award",
+    "Grand Challenge Prize", "Young Investigator Award", "Lifetime Achievement Award",
+    "Outstanding Contribution Award", "Pioneer Award", "Impact Award", "Rising Star Award",
+    "Community Award", "Visionary Prize",
+];
+
+/// Deterministically pick one element.
+pub(crate) fn pick<'a>(pool: &'a [&'a str], rng: &mut impl Rng) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// Compose a synthetic full name.
+pub(crate) fn person_name(rng: &mut impl Rng) -> String {
+    format!("{} {}", pick(FIRST_NAMES, rng), pick(LAST_NAMES, rng))
+}
+
+/// Compose a synthetic university name.
+pub(crate) fn university_name(i: usize, _rng: &mut impl Rng) -> String {
+    let stem = PLACE_STEMS[i % PLACE_STEMS.len()];
+    // Disambiguate repeats of the same stem.
+    let round = i / PLACE_STEMS.len();
+    if round == 0 {
+        format!("University of {stem}")
+    } else if round == 1 {
+        format!("{stem} Institute of Technology")
+    } else if round == 2 {
+        format!("{stem} State University")
+    } else {
+        format!("University of {stem} Campus {}", round, )
+    }
+}
+
+/// Compose a synthetic paper title.
+pub(crate) fn paper_title(rng: &mut impl Rng) -> String {
+    format!(
+        "{} {} {}",
+        pick(TITLE_MODIFIERS, rng),
+        pick(TITLE_SUBJECTS, rng),
+        pick(TITLE_SUFFIXES, rng)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn university_names_unique_for_paper_scale() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let names: std::collections::HashSet<String> =
+            (0..830).map(|i| university_name(i, &mut rng)).collect();
+        assert_eq!(names.len(), 830);
+    }
+
+    #[test]
+    fn person_and_title_composition() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = person_name(&mut rng);
+        assert!(n.contains(' '));
+        let t = paper_title(&mut rng);
+        assert!(t.split_whitespace().count() >= 4);
+    }
+}

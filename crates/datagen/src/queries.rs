@@ -1,0 +1,170 @@
+//! The five representative queries of Table 4, per dataset.
+
+/// One benchmark query: the label used in the figures and its CQL text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// Figure label: `2J`, `2J1S`, `3J`, `3J1S`, `3J2S`.
+    pub label: &'static str,
+    /// The CQL text.
+    pub cql: String,
+}
+
+/// The Table 4 queries for a dataset (`"paper"` or `"award"`).
+///
+/// The `paper` queries are verbatim from the table; the `award` queries
+/// follow the same structure (the table's right column is partially
+/// truncated in the published PDF — see EXPERIMENTS.md).
+pub fn queries_for(dataset: &str) -> Vec<QuerySpec> {
+    match dataset {
+        "paper" => vec![
+            QuerySpec {
+                label: "2J",
+                cql: "SELECT Paper.title, Researcher.affiliation, Citation.number \
+                      FROM Paper, Citation, Researcher \
+                      WHERE Paper.title CROWDJOIN Citation.title AND \
+                      Paper.author CROWDJOIN Researcher.name"
+                    .into(),
+            },
+            QuerySpec {
+                label: "2J1S",
+                cql: "SELECT Paper.title, Researcher.affiliation, Citation.number \
+                      FROM Paper, Citation, Researcher \
+                      WHERE Paper.title CROWDJOIN Citation.title AND \
+                      Paper.author CROWDJOIN Researcher.name AND \
+                      Paper.conference CROWDEQUAL \"sigmod\""
+                    .into(),
+            },
+            QuerySpec {
+                label: "3J",
+                cql: "SELECT Paper.title, Citation.number, University.country \
+                      FROM Paper, Citation, Researcher, University \
+                      WHERE Paper.title CROWDJOIN Citation.title AND \
+                      Paper.author CROWDJOIN Researcher.name AND \
+                      University.name CROWDJOIN Researcher.affiliation"
+                    .into(),
+            },
+            QuerySpec {
+                label: "3J1S",
+                cql: "SELECT Paper.title, Citation.number \
+                      FROM Paper, Citation, Researcher, University \
+                      WHERE Paper.title CROWDJOIN Citation.title AND \
+                      Paper.author CROWDJOIN Researcher.name AND \
+                      University.name CROWDJOIN Researcher.affiliation AND \
+                      University.country CROWDEQUAL \"USA\""
+                    .into(),
+            },
+            QuerySpec {
+                label: "3J2S",
+                cql: "SELECT Paper.title, Citation.number \
+                      FROM Paper, Citation, Researcher, University \
+                      WHERE Paper.title CROWDJOIN Citation.title AND \
+                      Paper.author CROWDJOIN Researcher.name AND \
+                      University.name CROWDJOIN Researcher.affiliation AND \
+                      Paper.conference CROWDEQUAL \"sigmod\" AND \
+                      University.country CROWDEQUAL \"USA\""
+                    .into(),
+            },
+        ],
+        "award" => vec![
+            QuerySpec {
+                label: "2J",
+                cql: "SELECT Winner.award, City.country \
+                      FROM Winner, City, Celebrity \
+                      WHERE Celebrity.name CROWDJOIN Winner.name AND \
+                      Celebrity.birthplace CROWDJOIN City.birthplace"
+                    .into(),
+            },
+            QuerySpec {
+                label: "2J1S",
+                cql: "SELECT Winner.award, City.country \
+                      FROM Winner, City, Celebrity \
+                      WHERE Celebrity.name CROWDJOIN Winner.name AND \
+                      Celebrity.birthplace CROWDJOIN City.birthplace AND \
+                      City.country CROWDEQUAL \"USA\""
+                    .into(),
+            },
+            QuerySpec {
+                label: "3J",
+                cql: "SELECT Winner.name, Award.place \
+                      FROM Winner, City, Celebrity, Award \
+                      WHERE Celebrity.name CROWDJOIN Winner.name AND \
+                      Celebrity.birthplace CROWDJOIN City.birthplace AND \
+                      Winner.award CROWDJOIN Award.name"
+                    .into(),
+            },
+            QuerySpec {
+                label: "3J1S",
+                cql: "SELECT Winner.name, City.country \
+                      FROM Winner, City, Celebrity, Award \
+                      WHERE Celebrity.name CROWDJOIN Winner.name AND \
+                      Celebrity.birthplace CROWDJOIN City.birthplace AND \
+                      Winner.award CROWDJOIN Award.name AND \
+                      City.country CROWDEQUAL \"USA\""
+                    .into(),
+            },
+            QuerySpec {
+                label: "3J2S",
+                cql: "SELECT Winner.name, City.country \
+                      FROM Winner, City, Celebrity, Award \
+                      WHERE Celebrity.name CROWDJOIN Winner.name AND \
+                      Celebrity.birthplace CROWDJOIN City.birthplace AND \
+                      Winner.award CROWDJOIN Award.name AND \
+                      City.country CROWDEQUAL \"USA\" AND \
+                      Award.place CROWDEQUAL \"Boston\""
+                    .into(),
+            },
+        ],
+        other => panic!("unknown dataset `{other}` (expected \"paper\" or \"award\")"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_cql::{parse, Statement};
+
+    #[test]
+    fn five_queries_per_dataset() {
+        for ds in ["paper", "award"] {
+            let qs = queries_for(ds);
+            assert_eq!(qs.len(), 5, "{ds}");
+            assert_eq!(
+                qs.iter().map(|q| q.label).collect::<Vec<_>>(),
+                vec!["2J", "2J1S", "3J", "3J1S", "3J2S"]
+            );
+        }
+    }
+
+    #[test]
+    fn all_queries_parse() {
+        for ds in ["paper", "award"] {
+            for q in queries_for(ds) {
+                let stmt = parse(&q.cql).unwrap_or_else(|e| panic!("{ds}/{}: {e}", q.label));
+                assert!(matches!(stmt, Statement::Select(_)));
+            }
+        }
+    }
+
+    #[test]
+    fn labels_match_join_and_selection_counts() {
+        for ds in ["paper", "award"] {
+            for q in queries_for(ds) {
+                let Statement::Select(sel) = parse(&q.cql).unwrap() else { panic!() };
+                let joins =
+                    sel.predicates.iter().filter(|p| p.is_join()).count();
+                let sels = sel.predicates.len() - joins;
+                let expect_j = q.label.as_bytes()[0] - b'0';
+                let expect_s =
+                    if q.label.len() > 2 { q.label.as_bytes()[2] - b'0' } else { 0 };
+                assert_eq!(joins, expect_j as usize, "{ds}/{}", q.label);
+                assert_eq!(sels, expect_s as usize, "{ds}/{}", q.label);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn unknown_dataset_panics() {
+        queries_for("nope");
+    }
+}

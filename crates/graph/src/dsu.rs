@@ -1,0 +1,132 @@
+//! Union-find (disjoint set union) with path halving and union by size.
+
+/// Disjoint-set forest over elements `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// A forest of `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect(), size: vec![1; n], components: n }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the forest has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Representative of the set containing `x` (path halving).
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merge the sets containing `a` and `b`; returns true if they were
+    /// previously disjoint.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        self.components -= 1;
+        true
+    }
+
+    /// True when `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn singletons_are_disconnected() {
+        let mut d = UnionFind::new(3);
+        assert!(!d.connected(0, 1));
+        assert_eq!(d.component_count(), 3);
+        assert_eq!(d.set_size(0), 1);
+    }
+
+    #[test]
+    fn union_connects_and_counts() {
+        let mut d = UnionFind::new(4);
+        assert!(d.union(0, 1));
+        assert!(d.union(2, 3));
+        assert!(!d.union(1, 0)); // already merged
+        assert!(d.connected(0, 1));
+        assert!(!d.connected(0, 2));
+        assert_eq!(d.component_count(), 2);
+        assert!(d.union(1, 2));
+        assert_eq!(d.component_count(), 1);
+        assert_eq!(d.set_size(3), 4);
+    }
+
+    #[test]
+    fn empty_forest() {
+        let d = UnionFind::new(0);
+        assert!(d.is_empty());
+        assert_eq!(d.component_count(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn transitivity(ops in prop::collection::vec((0usize..20, 0usize..20), 0..60)) {
+            let mut d = UnionFind::new(20);
+            for (a, b) in ops {
+                d.union(a, b);
+            }
+            // connected is an equivalence relation: transitive via representatives
+            for a in 0..20 {
+                for b in 0..20 {
+                    for c in 0..20 {
+                        if d.connected(a, b) && d.connected(b, c) {
+                            prop_assert!(d.connected(a, c));
+                        }
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn component_count_matches_distinct_roots(ops in prop::collection::vec((0usize..15, 0usize..15), 0..40)) {
+            let mut d = UnionFind::new(15);
+            for (a, b) in ops {
+                d.union(a, b);
+            }
+            let roots: std::collections::BTreeSet<usize> = (0..15).map(|v| d.find(v)).collect();
+            prop_assert_eq!(roots.len(), d.component_count());
+        }
+    }
+}

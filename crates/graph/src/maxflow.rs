@@ -1,0 +1,275 @@
+//! Dinic's max-flow algorithm with min-cut extraction.
+//!
+//! Capacities are `u64`; [`INF_CAPACITY`] marks edges that must never be
+//! cut (the BLUE edges of Lemma 1). After running [`Dinic::max_flow`], the
+//! source side of the residual graph identifies the minimum cut; the
+//! saturated edges crossing it are returned by [`Dinic::min_cut_edges`].
+
+use std::collections::VecDeque;
+
+/// Effectively-infinite capacity for edges that must not appear in a min
+/// cut. Large enough that no sum of realistic unit capacities reaches it,
+/// small enough that additions cannot overflow `u64`.
+pub const INF_CAPACITY: u64 = u64::MAX / 4;
+
+#[derive(Debug, Clone)]
+struct FlowEdge {
+    to: usize,
+    cap: u64,
+    /// Index of the reverse edge in `edges`.
+    rev: usize,
+    /// Caller-supplied label; `usize::MAX` for reverse edges.
+    label: usize,
+}
+
+/// Max-flow solver over a directed graph built incrementally.
+#[derive(Debug, Clone)]
+pub struct Dinic {
+    adj: Vec<Vec<usize>>,
+    edges: Vec<FlowEdge>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl Dinic {
+    /// A flow network with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        Dinic { adj: vec![Vec::new(); n], edges: Vec::new(), level: Vec::new(), iter: Vec::new() }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Add a directed edge `from -> to` with the given capacity and a
+    /// caller-visible label (used to map cut edges back to tasks).
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: u64, label: usize) {
+        let fwd = self.edges.len();
+        self.edges.push(FlowEdge { to, cap, rev: fwd + 1, label });
+        self.adj[from].push(fwd);
+        self.edges.push(FlowEdge { to: from, cap: 0, rev: fwd, label: usize::MAX });
+        self.adj[to].push(fwd + 1);
+    }
+
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level = vec![-1; self.adj.len()];
+        let mut q = VecDeque::new();
+        self.level[s] = 0;
+        q.push_back(s);
+        while let Some(v) = q.pop_front() {
+            for &ei in &self.adj[v] {
+                let e = &self.edges[ei];
+                if e.cap > 0 && self.level[e.to] < 0 {
+                    self.level[e.to] = self.level[v] + 1;
+                    q.push_back(e.to);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, v: usize, t: usize, f: u64) -> u64 {
+        if v == t {
+            return f;
+        }
+        while self.iter[v] < self.adj[v].len() {
+            let ei = self.adj[v][self.iter[v]];
+            let (to, cap) = (self.edges[ei].to, self.edges[ei].cap);
+            if cap > 0 && self.level[v] < self.level[to] {
+                let d = self.dfs(to, t, f.min(cap));
+                if d > 0 {
+                    self.edges[ei].cap -= d;
+                    let rev = self.edges[ei].rev;
+                    self.edges[rev].cap += d;
+                    return d;
+                }
+            }
+            self.iter[v] += 1;
+        }
+        0
+    }
+
+    /// Maximum `s -> t` flow. May be called once per instance (residual
+    /// capacities persist, which `min_cut_edges` relies on).
+    pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
+        assert_ne!(s, t, "source and sink must differ");
+        let mut flow = 0u64;
+        while self.bfs(s, t) {
+            self.iter = vec![0; self.adj.len()];
+            loop {
+                let f = self.dfs(s, t, u64::MAX);
+                if f == 0 {
+                    break;
+                }
+                flow = flow.saturating_add(f);
+            }
+        }
+        flow
+    }
+
+    /// Labels of the saturated forward edges crossing the minimum cut, after
+    /// `max_flow` has run. Edges with label `usize::MAX` (reverse edges) are
+    /// never reported.
+    pub fn min_cut_edges(&self, s: usize) -> Vec<usize> {
+        // Vertices reachable from s in the residual graph.
+        let mut vis = vec![false; self.adj.len()];
+        let mut q = VecDeque::new();
+        vis[s] = true;
+        q.push_back(s);
+        while let Some(v) = q.pop_front() {
+            for &ei in &self.adj[v] {
+                let e = &self.edges[ei];
+                if e.cap > 0 && !vis[e.to] {
+                    vis[e.to] = true;
+                    q.push_back(e.to);
+                }
+            }
+        }
+        let mut cut = Vec::new();
+        for (v, adj) in self.adj.iter().enumerate() {
+            if !vis[v] {
+                continue;
+            }
+            for &ei in adj {
+                let e = &self.edges[ei];
+                if e.label != usize::MAX && !vis[e.to] {
+                    cut.push(e.label);
+                }
+            }
+        }
+        cut.sort_unstable();
+        cut.dedup();
+        cut
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_edge_flow() {
+        let mut d = Dinic::new(2);
+        d.add_edge(0, 1, 5, 0);
+        assert_eq!(d.max_flow(0, 1), 5);
+        assert_eq!(d.min_cut_edges(0), vec![0]);
+    }
+
+    #[test]
+    fn no_path_means_zero_flow() {
+        let mut d = Dinic::new(3);
+        d.add_edge(0, 1, 5, 0);
+        assert_eq!(d.max_flow(0, 2), 0);
+        assert!(d.min_cut_edges(0).is_empty());
+    }
+
+    #[test]
+    fn classic_diamond() {
+        // s=0, t=3; two disjoint paths of capacity 3 and 2.
+        let mut d = Dinic::new(4);
+        d.add_edge(0, 1, 3, 0);
+        d.add_edge(1, 3, 3, 1);
+        d.add_edge(0, 2, 2, 2);
+        d.add_edge(2, 3, 2, 3);
+        assert_eq!(d.max_flow(0, 3), 5);
+    }
+
+    #[test]
+    fn bottleneck_in_middle() {
+        // s -> a (10), a -> b (1), b -> t (10): min cut is the middle edge.
+        let mut d = Dinic::new(4);
+        d.add_edge(0, 1, 10, 0);
+        d.add_edge(1, 2, 1, 1);
+        d.add_edge(2, 3, 10, 2);
+        assert_eq!(d.max_flow(0, 3), 1);
+        assert_eq!(d.min_cut_edges(0), vec![1]);
+    }
+
+    #[test]
+    fn infinite_edges_are_never_cut() {
+        // Two parallel chains: INF-1-INF and INF-1-INF; cut must be the two
+        // unit edges.
+        let mut d = Dinic::new(6);
+        d.add_edge(0, 1, INF_CAPACITY, 0);
+        d.add_edge(1, 2, 1, 1);
+        d.add_edge(2, 5, INF_CAPACITY, 2);
+        d.add_edge(0, 3, INF_CAPACITY, 3);
+        d.add_edge(3, 4, 1, 4);
+        d.add_edge(4, 5, INF_CAPACITY, 5);
+        assert_eq!(d.max_flow(0, 5), 2);
+        assert_eq!(d.min_cut_edges(0), vec![1, 4]);
+    }
+
+    #[test]
+    fn wikipedia_flow_network() {
+        // Known max-flow example with cross edges.
+        let mut d = Dinic::new(6);
+        d.add_edge(0, 1, 16, 0);
+        d.add_edge(0, 2, 13, 1);
+        d.add_edge(1, 2, 10, 2);
+        d.add_edge(2, 1, 4, 3);
+        d.add_edge(1, 3, 12, 4);
+        d.add_edge(3, 2, 9, 5);
+        d.add_edge(2, 4, 14, 6);
+        d.add_edge(4, 3, 7, 7);
+        d.add_edge(3, 5, 20, 8);
+        d.add_edge(4, 5, 4, 9);
+        assert_eq!(d.max_flow(0, 5), 23);
+    }
+
+    /// Brute-force min cut by enumerating all subsets containing s but not t.
+    fn brute_min_cut(n: usize, edges: &[(usize, usize, u64)], s: usize, t: usize) -> u64 {
+        let mut best = u64::MAX;
+        for mask in 0u32..(1 << n) {
+            if mask & (1 << s) == 0 || mask & (1 << t) != 0 {
+                continue;
+            }
+            let mut cut = 0u64;
+            for &(u, v, c) in edges {
+                if mask & (1 << u) != 0 && mask & (1 << v) == 0 {
+                    cut = cut.saturating_add(c);
+                }
+            }
+            best = best.min(cut);
+        }
+        best
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn max_flow_equals_brute_force_min_cut(
+            edges in prop::collection::vec((0usize..6, 0usize..6, 1u64..8), 1..14),
+        ) {
+            let edges: Vec<(usize, usize, u64)> =
+                edges.into_iter().filter(|&(u, v, _)| u != v).collect();
+            prop_assume!(!edges.is_empty());
+            let mut d = Dinic::new(6);
+            for (i, &(u, v, c)) in edges.iter().enumerate() {
+                d.add_edge(u, v, c, i);
+            }
+            let flow = d.max_flow(0, 5);
+            prop_assert_eq!(flow, brute_min_cut(6, &edges, 0, 5));
+        }
+
+        #[test]
+        fn cut_edges_capacity_sums_to_flow(
+            edges in prop::collection::vec((0usize..6, 0usize..6, 1u64..8), 1..14),
+        ) {
+            let edges: Vec<(usize, usize, u64)> =
+                edges.into_iter().filter(|&(u, v, _)| u != v).collect();
+            prop_assume!(!edges.is_empty());
+            let mut d = Dinic::new(6);
+            for (i, &(u, v, c)) in edges.iter().enumerate() {
+                d.add_edge(u, v, c, i);
+            }
+            let flow = d.max_flow(0, 5);
+            let cut = d.min_cut_edges(0);
+            let cut_cap: u64 = cut.iter().map(|&l| edges[l].2).sum();
+            prop_assert_eq!(cut_cap, flow);
+        }
+    }
+}

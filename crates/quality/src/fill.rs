@@ -1,0 +1,84 @@
+//! Fill-in-blank truth inference: the *pivot* answer.
+//!
+//! Worker quality is hard to model on open tasks, so CDB estimates the
+//! truth of a fill-in-blank task as the answer closest to all the others —
+//! the one with the highest aggregated string similarity (§5.3.1).
+
+use cdb_similarity::{SimilarityFn, SimilarityMeasure};
+
+/// Aggregated similarity of `answer` to all the `answers`:
+/// `s_a = Σ_{a'} sim(a, a')` (self-similarity included, as a constant shift
+/// it does not change the argmax).
+pub fn aggregated_similarity(answer: &str, answers: &[String], f: SimilarityFn) -> f64 {
+    answers.iter().map(|a| f.similarity(answer, a)).sum()
+}
+
+/// The pivot answer: index of the answer with the highest aggregated
+/// similarity, ties broken toward the earliest answer. Returns `None` for
+/// an empty answer set.
+pub fn pivot_answer(answers: &[String], f: SimilarityFn) -> Option<usize> {
+    if answers.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    let mut best_score = f64::NEG_INFINITY;
+    for (i, a) in answers.iter().enumerate() {
+        let s = aggregated_similarity(a, answers, f);
+        if s > best_score {
+            best_score = s;
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn pivot_picks_the_consensus_answer() {
+        let answers = strings(&[
+            "Massachusetts Institute of Technology",
+            "Massachusetts Institute of Technology",
+            "Massachusetts Inst of Technology",
+            "Stanford",
+        ]);
+        let p = pivot_answer(&answers, SimilarityFn::default()).unwrap();
+        assert!(p <= 1, "pivot should be one of the two exact duplicates, got {p}");
+    }
+
+    #[test]
+    fn pivot_of_empty_is_none() {
+        assert_eq!(pivot_answer(&[], SimilarityFn::default()), None);
+    }
+
+    #[test]
+    fn pivot_of_single_answer_is_it() {
+        assert_eq!(pivot_answer(&strings(&["MIT"]), SimilarityFn::default()), Some(0));
+    }
+
+    #[test]
+    fn pivot_tie_breaks_to_first() {
+        let answers = strings(&["aaaa", "bbbb"]);
+        assert_eq!(pivot_answer(&answers, SimilarityFn::default()), Some(0));
+    }
+
+    #[test]
+    fn aggregated_similarity_includes_self() {
+        let answers = strings(&["abc", "xyz"]);
+        let s = aggregated_similarity("abc", &answers, SimilarityFn::QGramJaccard { q: 2 });
+        assert!(s >= 1.0, "self similarity contributes 1.0, got {s}");
+    }
+
+    #[test]
+    fn outlier_never_wins_against_cluster() {
+        let answers = strings(&["California", "Californa", "Calfornia", "zzzzzz"]);
+        let p = pivot_answer(&answers, SimilarityFn::QGramJaccard { q: 2 }).unwrap();
+        assert_ne!(p, 3);
+    }
+}

@@ -1,0 +1,110 @@
+//! Multi-choice decomposition (§5.3.1, §5.3.2).
+//!
+//! A multiple-choice task with ℓ choices decomposes into ℓ binary
+//! single-choice tasks — "is choice i part of the truth?" — so that the
+//! single-choice truth inference and assignment machinery applies
+//! unchanged. Binary task `i` receives vote 0 ("yes, included") from every
+//! worker whose answer set contains choice `i`, and vote 1 otherwise.
+
+use std::collections::HashMap;
+
+use cdb_crowd::{TaskId, WorkerId};
+
+use crate::truth::{bayesian_posterior, TaskAnswers};
+
+/// Decompose a multi-choice task into ℓ binary [`TaskAnswers`].
+///
+/// `answers` maps each worker to the set of choice indices they picked.
+/// The synthetic binary tasks reuse the original task id's value in their
+/// `TaskId` — callers that need distinct ids should remap; the inference
+/// functions only use ids for bookkeeping.
+pub fn decompose_multi_choice(
+    task: TaskId,
+    num_choices: usize,
+    answers: &[(WorkerId, Vec<usize>)],
+) -> Vec<TaskAnswers> {
+    (0..num_choices)
+        .map(|choice| {
+            TaskAnswers::flat(
+                task,
+                2,
+                answers
+                    .iter()
+                    .map(|(w, picked)| (*w, usize::from(!picked.contains(&choice))))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Infer the truth of a multi-choice task by Bayesian voting on each
+/// decomposed binary task: the result is the set of choices whose
+/// "included" posterior exceeds 0.5.
+pub fn infer_multi_choice(
+    task: TaskId,
+    num_choices: usize,
+    answers: &[(WorkerId, Vec<usize>)],
+    qualities: &HashMap<WorkerId, f64>,
+) -> Vec<usize> {
+    decompose_multi_choice(task, num_choices, answers)
+        .iter()
+        .enumerate()
+        .filter(|(_, bin)| {
+            let p = bayesian_posterior(&bin.answers, qualities, 2);
+            p[0] > 0.5
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wid(i: u32) -> WorkerId {
+        WorkerId(i)
+    }
+
+    #[test]
+    fn decomposition_shape() {
+        let answers = vec![(wid(1), vec![0, 2]), (wid(2), vec![0])];
+        let bins = decompose_multi_choice(TaskId(1), 3, &answers);
+        assert_eq!(bins.len(), 3);
+        // Choice 0: both included -> votes [0, 0].
+        assert_eq!(bins[0].answers, vec![(wid(1), 0), (wid(2), 0)]);
+        // Choice 1: neither included -> votes [1, 1].
+        assert_eq!(bins[1].answers, vec![(wid(1), 1), (wid(2), 1)]);
+        // Choice 2: only worker 1 -> votes [0, 1].
+        assert_eq!(bins[2].answers, vec![(wid(1), 0), (wid(2), 1)]);
+    }
+
+    #[test]
+    fn inference_recovers_consensus_set() {
+        let mut q = HashMap::new();
+        for i in 0..3 {
+            q.insert(wid(i), 0.9);
+        }
+        let answers = vec![
+            (wid(0), vec![0, 1]),
+            (wid(1), vec![0, 1]),
+            (wid(2), vec![0]),
+        ];
+        assert_eq!(infer_multi_choice(TaskId(1), 3, &answers, &q), vec![0, 1]);
+    }
+
+    #[test]
+    fn high_quality_minority_beats_low_quality_majority() {
+        let mut q = HashMap::new();
+        q.insert(wid(0), 0.99);
+        q.insert(wid(1), 0.51);
+        q.insert(wid(2), 0.51);
+        let answers = vec![(wid(0), vec![2]), (wid(1), vec![]), (wid(2), vec![])];
+        assert_eq!(infer_multi_choice(TaskId(1), 3, &answers, &q), vec![2]);
+    }
+
+    #[test]
+    fn empty_answers_yield_empty_truth() {
+        let q = HashMap::new();
+        assert!(infer_multi_choice(TaskId(1), 3, &[], &q).is_empty());
+    }
+}

@@ -1,0 +1,294 @@
+//! Prefix-filter similarity join.
+//!
+//! Building the CDB query graph requires all pairs `(x, y)` with
+//! `sim(x, y) >= ε`. Enumerating the cross product is quadratic; the paper
+//! instead uses prefix filtering (Bayardo et al. [10], Wang et al. [56]).
+//! For a Jaccard threshold ε, any two sets with `J(A, B) >= ε` must share a
+//! token within the first `|A| - ceil(ε * |A|) + 1` tokens of `A` under a
+//! global token order — so only pairs sharing a prefix token are verified.
+
+use std::collections::HashMap;
+
+use crate::{qgrams, tokens, SimilarityFn, SimilarityMeasure};
+
+/// One pair produced by a similarity join: indexes into the two input slices
+/// plus the verified similarity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimJoinPair {
+    /// Index into the left input.
+    pub left: usize,
+    /// Index into the right input.
+    pub right: usize,
+    /// Verified similarity in `[0, 1]`, at least the join threshold.
+    pub sim: f64,
+}
+
+/// Record signature used by the prefix filter: the sorted token ids of a
+/// string under a global frequency order (rarest first).
+struct Signature {
+    tokens: Vec<u32>,
+}
+
+fn build_signatures(values: &[&str], f: SimilarityFn) -> Vec<Signature> {
+    let tokenize = |s: &str| -> Vec<String> {
+        match f {
+            SimilarityFn::TokenJaccard | SimilarityFn::Cosine => tokens(s),
+            SimilarityFn::QGramJaccard { q } => qgrams(s, q),
+            // ED / NoSim joins don't use token signatures.
+            SimilarityFn::EditDistance | SimilarityFn::NoSim => Vec::new(),
+        }
+    };
+    let token_lists: Vec<Vec<String>> = values.iter().map(|v| tokenize(v)).collect();
+
+    // Global frequency order: rare tokens first shrinks candidate lists.
+    let mut freq: HashMap<&str, u32> = HashMap::new();
+    for list in &token_lists {
+        for t in list {
+            *freq.entry(t.as_str()).or_insert(0) += 1;
+        }
+    }
+    let mut vocab: Vec<&str> = freq.keys().copied().collect();
+    vocab.sort_by_key(|t| (freq[t], *t));
+    let ids: HashMap<&str, u32> = vocab.iter().enumerate().map(|(i, t)| (*t, i as u32)).collect();
+
+    token_lists
+        .iter()
+        .map(|list| {
+            let mut t: Vec<u32> = list.iter().map(|s| ids[s.as_str()]).collect();
+            t.sort_unstable();
+            Signature { tokens: t }
+        })
+        .collect()
+}
+
+/// Prefix length for Jaccard threshold `eps` on a set of size `len`:
+/// `len - ceil(eps * len) + 1`.
+fn jaccard_prefix_len(len: usize, eps: f64) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let min_overlap = (eps * len as f64).ceil() as usize;
+    len - min_overlap.min(len) + 1
+}
+
+/// Find all pairs `(i, j)` with `f.similarity(left[i], right[j]) >= eps`.
+///
+/// For the Jaccard family the candidate generation uses prefix filtering;
+/// for edit distance a length filter is applied
+/// (`sim >= eps` implies `max_len - min_len <= (1 - eps) * max_len`); for
+/// `NoSim` every pair is a candidate (probability 0.5 >= ε whenever ε <=
+/// 0.5), matching the paper's ablation.
+///
+/// Every returned pair is *verified* with the exact measure, so the result
+/// is exactly the set of pairs at or above the threshold.
+pub fn similarity_join(
+    left: &[&str],
+    right: &[&str],
+    f: SimilarityFn,
+    eps: f64,
+) -> Vec<SimJoinPair> {
+    assert!((0.0..=1.0).contains(&eps), "threshold must be in [0, 1]");
+    match f {
+        SimilarityFn::TokenJaccard | SimilarityFn::QGramJaccard { .. } => {
+            prefix_filter_join(left, right, f, eps)
+        }
+        SimilarityFn::Cosine | SimilarityFn::EditDistance | SimilarityFn::NoSim => {
+            verify_all_pairs(left, right, f, eps)
+        }
+    }
+}
+
+/// Self-join variant: all unordered pairs `(i, j)` with `i < j` and
+/// similarity at least `eps` within a single value list.
+pub fn similarity_join_self(values: &[&str], f: SimilarityFn, eps: f64) -> Vec<SimJoinPair> {
+    similarity_join(values, values, f, eps)
+        .into_iter()
+        .filter(|p| p.left < p.right)
+        .collect()
+}
+
+fn prefix_filter_join(
+    left: &[&str],
+    right: &[&str],
+    f: SimilarityFn,
+    eps: f64,
+) -> Vec<SimJoinPair> {
+    // Build a shared vocabulary over both sides so token ids agree.
+    let mut all: Vec<&str> = Vec::with_capacity(left.len() + right.len());
+    all.extend_from_slice(left);
+    all.extend_from_slice(right);
+    let sigs = build_signatures(&all, f);
+    let (lsigs, rsigs) = sigs.split_at(left.len());
+
+    // Index the right side by prefix token.
+    let mut index: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (j, sig) in rsigs.iter().enumerate() {
+        let plen = jaccard_prefix_len(sig.tokens.len(), eps);
+        for &t in &sig.tokens[..plen.min(sig.tokens.len())] {
+            index.entry(t).or_default().push(j);
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut seen: Vec<usize> = Vec::new(); // generation-stamped dedup
+    let mut stamp = vec![usize::MAX; right.len()];
+    for (i, sig) in lsigs.iter().enumerate() {
+        seen.clear();
+        let plen = jaccard_prefix_len(sig.tokens.len(), eps);
+        for &t in &sig.tokens[..plen.min(sig.tokens.len())] {
+            if let Some(cands) = index.get(&t) {
+                for &j in cands {
+                    if stamp[j] != i {
+                        stamp[j] = i;
+                        seen.push(j);
+                    }
+                }
+            }
+        }
+        for &j in &seen {
+            // Length filter: J(A,B) >= eps requires eps*|A| <= |B| <= |A|/eps.
+            let (la, lb) = (sig.tokens.len() as f64, rsigs[j].tokens.len() as f64);
+            if lb < eps * la || (eps > 0.0 && lb > la / eps) {
+                continue;
+            }
+            let sim = f.similarity(left[i], right[j]);
+            if sim >= eps {
+                out.push(SimJoinPair { left: i, right: j, sim });
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.left, a.right).cmp(&(b.left, b.right)));
+    out
+}
+
+fn verify_all_pairs(left: &[&str], right: &[&str], f: SimilarityFn, eps: f64) -> Vec<SimJoinPair> {
+    let mut out = Vec::new();
+    for (i, a) in left.iter().enumerate() {
+        for (j, b) in right.iter().enumerate() {
+            if f == SimilarityFn::EditDistance {
+                // Length filter for normalized ED similarity.
+                let (la, lb) = (a.chars().count(), b.chars().count());
+                let max_len = la.max(lb);
+                if max_len > 0 && (la.abs_diff(lb) as f64) > (1.0 - eps) * max_len as f64 {
+                    continue;
+                }
+            }
+            let sim = f.similarity(a, b);
+            if sim >= eps {
+                out.push(SimJoinPair { left: i, right: j, sim });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    fn brute_force(left: &[&str], right: &[&str], f: SimilarityFn, eps: f64) -> BTreeSet<(usize, usize)> {
+        let mut out = BTreeSet::new();
+        for (i, a) in left.iter().enumerate() {
+            for (j, b) in right.iter().enumerate() {
+                if f.similarity(a, b) >= eps {
+                    out.insert((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn join_matches_brute_force_on_universities() {
+        let left = ["Univ. of California", "Univ. of Chicago", "Microsoft", "Duke Univ."];
+        let right = [
+            "University of California",
+            "University of Chicago",
+            "Microsoft Cambridge",
+            "Duke Uni.",
+            "University of Cambridge",
+        ];
+        for f in [SimilarityFn::QGramJaccard { q: 2 }, SimilarityFn::TokenJaccard] {
+            let got: BTreeSet<(usize, usize)> = similarity_join(&left, &right, f, 0.3)
+                .into_iter()
+                .map(|p| (p.left, p.right))
+                .collect();
+            assert_eq!(got, brute_force(&left, &right, f, 0.3), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn join_pairs_carry_verified_similarity() {
+        let left = ["abcd"];
+        let right = ["abcd", "abce"];
+        let pairs = similarity_join(&left, &right, SimilarityFn::QGramJaccard { q: 2 }, 0.3);
+        let exact = pairs.iter().find(|p| p.right == 0).unwrap();
+        assert_eq!(exact.sim, 1.0);
+    }
+
+    #[test]
+    fn self_join_excludes_self_and_mirror_pairs() {
+        let vals = ["sigmod16", "sigmod14", "icde"];
+        let pairs = similarity_join_self(&vals, SimilarityFn::QGramJaccard { q: 2 }, 0.3);
+        for p in &pairs {
+            assert!(p.left < p.right);
+        }
+        assert!(pairs.iter().any(|p| (p.left, p.right) == (0, 1)));
+    }
+
+    #[test]
+    fn edit_distance_join_applies_length_filter_correctly() {
+        let left = ["abc"];
+        let right = ["abcdefghij", "abd"];
+        let got: Vec<usize> = similarity_join(&left, &right, SimilarityFn::EditDistance, 0.6)
+            .into_iter()
+            .map(|p| p.right)
+            .collect();
+        assert_eq!(got, vec![1]);
+    }
+
+    #[test]
+    fn nosim_join_returns_everything_at_low_threshold() {
+        let left = ["a", "b"];
+        let right = ["c", "d"];
+        let pairs = similarity_join(&left, &right, SimilarityFn::NoSim, 0.3);
+        assert_eq!(pairs.len(), 4);
+        assert!(pairs.iter().all(|p| p.sim == 0.5));
+    }
+
+    #[test]
+    fn empty_inputs_yield_no_pairs() {
+        let none: [&str; 0] = [];
+        assert!(similarity_join(&none, &["x"], SimilarityFn::default(), 0.3).is_empty());
+        assert!(similarity_join(&["x"], &none, SimilarityFn::default(), 0.3).is_empty());
+    }
+
+    #[test]
+    fn prefix_len_formula() {
+        assert_eq!(jaccard_prefix_len(10, 0.5), 6);
+        assert_eq!(jaccard_prefix_len(10, 0.9), 2);
+        assert_eq!(jaccard_prefix_len(0, 0.5), 0);
+        assert_eq!(jaccard_prefix_len(1, 1.0), 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prefix_filter_join_equals_brute_force(
+            left in prop::collection::vec("[a-d]{1,8}( [a-d]{1,8})?", 0..12),
+            right in prop::collection::vec("[a-d]{1,8}( [a-d]{1,8})?", 0..12),
+            eps in 0.1f64..0.9,
+        ) {
+            let l: Vec<&str> = left.iter().map(String::as_str).collect();
+            let r: Vec<&str> = right.iter().map(String::as_str).collect();
+            for f in [SimilarityFn::QGramJaccard { q: 2 }, SimilarityFn::TokenJaccard] {
+                let got: BTreeSet<(usize, usize)> = similarity_join(&l, &r, f, eps)
+                    .into_iter().map(|p| (p.left, p.right)).collect();
+                prop_assert_eq!(got, brute_force(&l, &r, f, eps));
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Tokenizers: whitespace/punctuation tokens and character q-grams.
+
+use std::collections::BTreeSet;
+
+/// Split a string into lowercase alphanumeric tokens.
+///
+/// Punctuation and whitespace are separators; the result is a *set* (sorted,
+/// deduplicated) because the Jaccard and cosine measures in the paper operate
+/// on token sets.
+pub fn tokens(s: &str) -> Vec<String> {
+    let set: BTreeSet<String> = s
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect();
+    set.into_iter().collect()
+}
+
+/// The set of character q-grams of a string (lowercased).
+///
+/// The paper's default probability estimator splits each value into 2-grams
+/// and computes Jaccard over the 2-gram sets. Strings shorter than `q`
+/// contribute themselves as a single gram so that short values still compare
+/// meaningfully.
+pub fn qgrams(s: &str, q: usize) -> Vec<String> {
+    assert!(q >= 1, "q-gram length must be at least 1");
+    let lower = s.to_lowercase();
+    let chars: Vec<char> = lower.chars().collect();
+    if chars.is_empty() {
+        return Vec::new();
+    }
+    if chars.len() <= q {
+        return vec![lower];
+    }
+    let set: BTreeSet<String> = chars.windows(q).map(|w| w.iter().collect()).collect();
+    set.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_splits_on_punctuation_and_lowercases() {
+        assert_eq!(tokens("Univ. of California"), vec!["california", "of", "univ"]);
+    }
+
+    #[test]
+    fn tokens_of_empty_string_is_empty() {
+        assert!(tokens("").is_empty());
+        assert!(tokens(" .,;").is_empty());
+    }
+
+    #[test]
+    fn tokens_deduplicates() {
+        assert_eq!(tokens("a b a"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn qgrams_basic() {
+        assert_eq!(qgrams("abc", 2), vec!["ab", "bc"]);
+    }
+
+    #[test]
+    fn qgrams_short_string_is_whole_string() {
+        assert_eq!(qgrams("ab", 2), vec!["ab"]);
+        assert_eq!(qgrams("a", 2), vec!["a"]);
+    }
+
+    #[test]
+    fn qgrams_empty() {
+        assert!(qgrams("", 2).is_empty());
+    }
+
+    #[test]
+    fn qgrams_are_sorted_and_unique() {
+        let g = qgrams("banana", 2);
+        assert_eq!(g, vec!["an", "ba", "na"]);
+    }
+
+    #[test]
+    fn qgrams_handles_unicode() {
+        // multi-byte chars must not panic or split mid-codepoint
+        let g = qgrams("café", 2);
+        assert!(g.contains(&"fé".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "q-gram length")]
+    fn qgrams_rejects_zero_q() {
+        qgrams("abc", 0);
+    }
+}

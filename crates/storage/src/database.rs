@@ -1,0 +1,153 @@
+//! Database catalog and statistics.
+
+use std::collections::BTreeMap;
+
+use crate::{StorageError, Table, Value};
+
+/// Per-table statistics maintained for query optimization (the paper's
+/// "MetaData & Statistics" component keeps selectivities and edge weights).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Number of rows.
+    pub rows: usize,
+    /// Per-column count of distinct non-CNULL display strings.
+    pub distinct: BTreeMap<String, usize>,
+    /// Per-column count of CNULL cells (candidates for `FILL`).
+    pub cnulls: BTreeMap<String, usize>,
+}
+
+/// A named collection of tables.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Register a table. Fails if the (case-insensitive) name is taken.
+    pub fn add_table(&mut self, table: Table) -> crate::Result<()> {
+        let key = table.name().to_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(StorageError::DuplicateTable(table.name().to_string()));
+        }
+        self.tables.insert(key, table);
+        Ok(())
+    }
+
+    /// Look up a table by case-insensitive name.
+    pub fn table(&self, name: &str) -> crate::Result<&Table> {
+        self.tables
+            .get(&name.to_lowercase())
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable table lookup.
+    pub fn table_mut(&mut self, name: &str) -> crate::Result<&mut Table> {
+        self.tables
+            .get_mut(&name.to_lowercase())
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// True when a table with this name exists.
+    pub fn contains_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_lowercase())
+    }
+
+    /// Iterate over all tables in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Number of registered tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Compute statistics for one table.
+    pub fn stats(&self, name: &str) -> crate::Result<TableStats> {
+        let t = self.table(name)?;
+        let mut distinct = BTreeMap::new();
+        let mut cnulls = BTreeMap::new();
+        for col in t.schema().columns() {
+            let mut seen = std::collections::HashSet::new();
+            let mut nulls = 0usize;
+            for row in t.rows() {
+                let v = &row[t.schema().column_index(&col.name).expect("column exists")];
+                if let Value::CNull = v {
+                    nulls += 1;
+                } else {
+                    seen.insert(v.display_string());
+                }
+            }
+            distinct.insert(col.name.clone(), seen.len());
+            cnulls.insert(col.name.clone(), nulls);
+        }
+        Ok(TableStats { rows: t.row_count(), distinct, cnulls })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColumnDef, ColumnType, Schema};
+
+    fn university() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::new("name", ColumnType::Text),
+            ColumnDef::new("country", ColumnType::Text),
+        ]);
+        let mut t = Table::new("University", schema);
+        t.push(vec![Value::from("MIT"), Value::from("USA")]).unwrap();
+        t.push(vec![Value::from("Stanford"), Value::from("USA")]).unwrap();
+        t.push(vec![Value::from("Cambridge"), Value::CNull]).unwrap();
+        t
+    }
+
+    #[test]
+    fn add_and_lookup_case_insensitive() {
+        let mut db = Database::new();
+        db.add_table(university()).unwrap();
+        assert!(db.table("university").is_ok());
+        assert!(db.table("UNIVERSITY").is_ok());
+        assert!(db.contains_table("University"));
+        assert_eq!(db.table_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = Database::new();
+        db.add_table(university()).unwrap();
+        let err = db.add_table(university()).unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateTable(_)));
+    }
+
+    #[test]
+    fn unknown_table_error() {
+        let db = Database::new();
+        assert!(matches!(db.table("nope"), Err(StorageError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn stats_count_distinct_and_cnulls() {
+        let mut db = Database::new();
+        db.add_table(university()).unwrap();
+        let s = db.stats("University").unwrap();
+        assert_eq!(s.rows, 3);
+        assert_eq!(s.distinct["name"], 3);
+        assert_eq!(s.distinct["country"], 1); // USA appears twice
+        assert_eq!(s.cnulls["country"], 1);
+        assert_eq!(s.cnulls["name"], 0);
+    }
+
+    #[test]
+    fn table_mut_allows_fill() {
+        let mut db = Database::new();
+        db.add_table(university()).unwrap();
+        db.table_mut("University").unwrap().set_cell(2, "country", Value::from("UK")).unwrap();
+        assert_eq!(db.stats("University").unwrap().cnulls["country"], 0);
+    }
+}

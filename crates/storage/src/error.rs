@@ -1,0 +1,65 @@
+//! Storage error type.
+
+use std::fmt;
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A table with this name already exists in the catalog.
+    DuplicateTable(String),
+    /// No table with this name exists.
+    UnknownTable(String),
+    /// No column with this name exists in the table.
+    UnknownColumn {
+        /// Table searched.
+        table: String,
+        /// Missing column.
+        column: String,
+    },
+    /// A row's arity does not match the schema.
+    ArityMismatch {
+        /// Columns in the schema.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// A value's type does not match the column type.
+    TypeMismatch {
+        /// Offending column.
+        column: String,
+        /// Expected column type name.
+        expected: &'static str,
+        /// Supplied value rendered for diagnostics.
+        got: String,
+    },
+    /// Row index out of bounds.
+    RowOutOfBounds {
+        /// Requested row.
+        row: usize,
+        /// Rows in the table.
+        len: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::DuplicateTable(t) => write!(f, "table `{t}` already exists"),
+            StorageError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            StorageError::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` in table `{table}`")
+            }
+            StorageError::ArityMismatch { expected, got } => {
+                write!(f, "row has {got} values but schema has {expected} columns")
+            }
+            StorageError::TypeMismatch { column, expected, got } => {
+                write!(f, "column `{column}` expects {expected}, got {got}")
+            }
+            StorageError::RowOutOfBounds { row, len } => {
+                write!(f, "row {row} out of bounds for table with {len} rows")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

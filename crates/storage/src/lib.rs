@@ -1,0 +1,40 @@
+//! In-memory relational substrate for CDB.
+//!
+//! CDB is a crowd-powered *database*: requesters define tables (possibly
+//! with `CROWD` columns whose values the crowd fills in, or entire `CROWD`
+//! tables whose rows the crowd collects) and query them with CQL. This
+//! crate provides the storage layer: typed [`Value`]s including the crowd
+//! null `CNULL`, [`Schema`]s that mark crowd columns, row-oriented
+//! [`Table`]s and a [`Database`] catalog with simple per-column statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use cdb_storage::{ColumnDef, ColumnType, Database, Schema, Table, Value};
+//!
+//! let schema = Schema::new(vec![
+//!     ColumnDef::new("name", ColumnType::Text),
+//!     ColumnDef::crowd("affiliation", ColumnType::Text),
+//! ]);
+//! let mut table = Table::new("Researcher", schema);
+//! table.push(vec![Value::from("Michael Franklin"), Value::CNull]).unwrap();
+//!
+//! let mut db = Database::new();
+//! db.add_table(table).unwrap();
+//! assert_eq!(db.table("Researcher").unwrap().row_count(), 1);
+//! ```
+
+mod database;
+mod error;
+mod schema;
+mod table;
+mod value;
+
+pub use database::{Database, TableStats};
+pub use error::StorageError;
+pub use schema::{ColumnDef, ColumnType, Schema};
+pub use table::{Table, TupleId};
+pub use value::Value;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, StorageError>;

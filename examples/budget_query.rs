@@ -1,0 +1,74 @@
+//! Budget-aware querying (§5.1.3 / Figures 18–19): give CDB a hard task
+//! budget with CQL's `BUDGET` keyword and watch recall grow with budget
+//! while the DFS baseline lags.
+//!
+//! ```sh
+//! cargo run --example budget_query
+//! ```
+
+use cdb::baselines::budget_baseline;
+use cdb::core::executor::{true_answers, Executor, ExecutorConfig};
+use cdb::core::metrics::precision_recall;
+use cdb::crowd::{Market, SimulatedPlatform, WorkerPool};
+use cdb::datagen::{paper_dataset, queries_for, DatasetScale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+fn main() {
+    // A 1/20-scale paper dataset with exact ground truth.
+    let ds = paper_dataset(DatasetScale::paper_full().scaled(20), 11);
+    let query = &queries_for("paper")[0]; // 2J
+    println!("CQL> {} BUDGET <b>\n", query.cql);
+
+    let cdb_cql::Statement::Select(q) = cdb_cql::parse(&query.cql).expect("parses") else {
+        unreachable!()
+    };
+    let analyzed = cdb_cql::analyze_select(&q, &ds.db).expect("analyzes");
+    let g = cdb::core::build_query_graph(
+        &analyzed,
+        &ds.db,
+        &cdb::core::GraphBuildConfig::default(),
+    );
+    let truth = ds.truth.edge_truth(&g);
+    let reference: BTreeSet<_> =
+        true_answers(&g, &truth).into_iter().map(|c| c.binding).collect();
+    println!(
+        "graph: {} edges; {} true answers reachable\n",
+        g.edge_count(),
+        reference.len()
+    );
+
+    println!(
+        "{:<10}{:>14}{:>14}{:>16}{:>16}",
+        "budget", "CDB recall", "base recall", "CDB precision", "base precision"
+    );
+    let total = g.open_edges().len();
+    for frac in [1usize, 2, 4, 6, 8] {
+        let budget = total * frac / 8;
+        // CDB's budget-aware selection: most promising candidates first.
+        let mut rng = StdRng::seed_from_u64(3);
+        let pool = WorkerPool::gaussian(40, 0.95, 0.05, &mut rng);
+        let mut p1 = SimulatedPlatform::new(Market::Amt, pool.clone(), 5);
+        let stats = Executor::new(
+            g.clone(),
+            &truth,
+            &mut p1,
+            ExecutorConfig { budget: Some(budget), ..ExecutorConfig::default() },
+        )
+        .run();
+        let cdb_m = precision_recall(&stats.answer_bindings(), &reference);
+
+        // Baseline: best-table-order DFS (§6.3.3).
+        let mut p2 = SimulatedPlatform::new(Market::Amt, pool, 5);
+        let base = budget_baseline(&g, &truth, &mut p2, 5, budget);
+        let base_m = precision_recall(&base.answers, &reference);
+
+        println!(
+            "{:<10}{:>14.2}{:>14.2}{:>16.2}{:>16.2}",
+            budget, cdb_m.recall, base_m.recall, cdb_m.precision, base_m.precision
+        );
+    }
+    println!("\nCDB spends the budget on high-probability candidate chains first,");
+    println!("so recall climbs steeply; the baseline wanders depth-first.");
+}

@@ -1,0 +1,77 @@
+//! # CDB — crowd-powered database with tuple-level query optimization
+//!
+//! A from-scratch Rust reproduction of *CDB: Optimizing Queries with
+//! Crowd-Based Selections and Joins* (Li, Chai, Fan et al., SIGMOD 2017).
+//!
+//! CDB answers SQL-like queries whose joins and selections require human
+//! judgment ("is `Univ. of California` the same as `University of
+//! California`?"). It builds a **graph** whose vertices are tuples and
+//! whose edges are candidate crowd tasks weighted by similarity-derived
+//! matching probabilities, then optimizes **cost** (fewest tasks),
+//! **latency** (fewest crowd rounds) and **quality** (truth inference +
+//! task assignment) over that graph — at tuple granularity, unlike the
+//! table-level tree model of CrowdDB/Qurk/Deco/CrowdOP.
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! * [`storage`] — tables, schemas with `CROWD` columns, the catalog;
+//! * [`cql`] — the CQL language (`CROWDJOIN`, `CROWDEQUAL`, `FILL`,
+//!   `COLLECT`, `BUDGET`);
+//! * [`similarity`] — matching-probability estimators + similarity join;
+//! * [`graph`] — max-flow/min-cut and other graph algorithms;
+//! * [`crowd`] — the (simulated) crowdsourcing platform;
+//! * [`quality`] — EM truth inference, Bayesian voting, task assignment;
+//! * [`core`] — the graph query model and the multi-goal optimizer;
+//! * [`baselines`] — every system the paper compares against;
+//! * [`datagen`] — paper-shaped synthetic datasets with ground truth.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cdb::core::{Cdb, CdbConfig, QueryTruth};
+//! use cdb::crowd::{Market, SimulatedPlatform, WorkerPool};
+//! use cdb::storage::{TupleId, Value};
+//!
+//! // Define tables with CQL DDL and load data.
+//! let mut cdb = Cdb::new();
+//! cdb.execute_ddl("CREATE TABLE Researcher (name varchar(64), affiliation varchar(64))")
+//!     .unwrap();
+//! cdb.execute_ddl("CREATE TABLE University (name varchar(64), country varchar(16))")
+//!     .unwrap();
+//! {
+//!     let db = cdb.database_mut();
+//!     let r = db.table_mut("Researcher").unwrap();
+//!     r.push(vec![Value::from("M. Franklin"), Value::from("Univ. of California")]).unwrap();
+//!     let u = db.table_mut("University").unwrap();
+//!     u.push(vec![Value::from("University of California"), Value::from("USA")]).unwrap();
+//! }
+//!
+//! // Ground truth drives the simulated workers (and scoring).
+//! let mut truth = QueryTruth::default();
+//! truth.add_join(TupleId::new("Researcher", 0), TupleId::new("University", 0));
+//!
+//! // A simulated crowd: 10 workers, 100% accurate.
+//! let mut platform =
+//!     SimulatedPlatform::new(Market::Amt, WorkerPool::with_accuracies(&[1.0; 10]), 7);
+//!
+//! let out = cdb
+//!     .run_select(
+//!         "SELECT * FROM Researcher, University \
+//!          WHERE Researcher.affiliation CROWDJOIN University.name",
+//!         &truth,
+//!         &mut platform,
+//!         &CdbConfig::default(),
+//!     )
+//!     .unwrap();
+//! assert_eq!(out.metrics.f_measure, 1.0);
+//! ```
+
+pub use cdb_baselines as baselines;
+pub use cdb_core as core;
+pub use cdb_cql as cql;
+pub use cdb_crowd as crowd;
+pub use cdb_datagen as datagen;
+pub use cdb_graph as graph;
+pub use cdb_quality as quality;
+pub use cdb_similarity as similarity;
+pub use cdb_storage as storage;

@@ -1,0 +1,125 @@
+//! End-to-end integration: CQL → graph model → optimizer → simulated crowd
+//! → answers, across generated datasets and all five benchmark queries.
+
+use cdb::core::{Cdb, CdbConfig, QueryTruth};
+use cdb::crowd::{Market, SimulatedPlatform, WorkerPool};
+use cdb::datagen::{award_dataset, paper_dataset, queries_for, DatasetScale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn platform(quality: f64, seed: u64) -> SimulatedPlatform {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool = WorkerPool::gaussian(50, quality, 0.05, &mut rng);
+    SimulatedPlatform::new(Market::Amt, pool, seed)
+}
+
+#[test]
+fn all_five_paper_queries_run_end_to_end() {
+    let ds = paper_dataset(DatasetScale::paper_full().scaled(30), 5);
+    let cdb = Cdb::with_database(ds.db);
+    for q in queries_for("paper") {
+        let mut p = platform(0.95, 1);
+        let out = cdb
+            .run_select(&q.cql, &ds.truth, &mut p, &CdbConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", q.label));
+        assert!(out.stats.tasks_asked > 0, "{}", q.label);
+        assert!(out.stats.rounds > 0, "{}", q.label);
+        // With near-perfect workers the result should be strong whenever
+        // answers exist at all.
+        if out.true_answer_count > 0 {
+            assert!(
+                out.metrics.f_measure > 0.6,
+                "{}: F = {:?} with {} true answers",
+                q.label,
+                out.metrics,
+                out.true_answer_count
+            );
+        }
+    }
+}
+
+#[test]
+fn all_five_award_queries_run_end_to_end() {
+    let ds = award_dataset(DatasetScale::award_full().scaled(60), 6);
+    let cdb = Cdb::with_database(ds.db);
+    for q in queries_for("award") {
+        let mut p = platform(0.95, 2);
+        let out = cdb
+            .run_select(&q.cql, &ds.truth, &mut p, &CdbConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", q.label));
+        assert!(out.stats.tasks_asked > 0, "{}", q.label);
+    }
+}
+
+#[test]
+fn perfect_workers_reach_perfect_f_measure() {
+    let ds = paper_dataset(DatasetScale::paper_full().scaled(40), 9);
+    let cdb = Cdb::with_database(ds.db);
+    let q = &queries_for("paper")[0];
+    let mut p = SimulatedPlatform::new(
+        Market::Amt,
+        WorkerPool::with_accuracies(&vec![1.0; 20]),
+        3,
+    );
+    let out = cdb.run_select(&q.cql, &ds.truth, &mut p, &CdbConfig::default()).unwrap();
+    assert_eq!(out.metrics.f_measure, 1.0, "{:?}", out.metrics);
+}
+
+#[test]
+fn budget_clause_limits_cost_and_keeps_precision() {
+    let ds = paper_dataset(DatasetScale::paper_full().scaled(30), 7);
+    let cdb = Cdb::with_database(ds.db);
+    let base = &queries_for("paper")[0].cql;
+    let sql = format!("{base} BUDGET 20");
+    let mut p = platform(0.95, 4);
+    let out = cdb.run_select(&sql, &ds.truth, &mut p, &CdbConfig::default()).unwrap();
+    assert!(out.stats.tasks_asked <= 20);
+    // Whatever the budget finds should be (almost always) correct.
+    assert!(out.metrics.precision > 0.8, "{:?}", out.metrics);
+}
+
+#[test]
+fn ddl_then_query_round_trip() {
+    let mut cdb = Cdb::new();
+    cdb.execute_ddl("CREATE TABLE A (x varchar(32))").unwrap();
+    cdb.execute_ddl("CREATE CROWD TABLE B (y varchar(32))").unwrap();
+    {
+        let db = cdb.database_mut();
+        db.table_mut("A").unwrap().push(vec!["hello world".into()]).unwrap();
+        db.table_mut("B").unwrap().push(vec!["helo world".into()]).unwrap();
+        assert!(db.table("B").unwrap().is_crowd());
+    }
+    let mut truth = QueryTruth::default();
+    truth.add_join(
+        cdb::storage::TupleId::new("A", 0),
+        cdb::storage::TupleId::new("B", 0),
+    );
+    let mut p = SimulatedPlatform::new(
+        Market::Amt,
+        WorkerPool::with_accuracies(&vec![1.0; 5]),
+        0,
+    );
+    let out = cdb
+        .run_select(
+            "SELECT * FROM A, B WHERE A.x CROWDJOIN B.y",
+            &truth,
+            &mut p,
+            &CdbConfig::default(),
+        )
+        .unwrap();
+    assert_eq!(out.stats.answers.len(), 1);
+}
+
+#[test]
+fn deterministic_given_seeds() {
+    let ds = paper_dataset(DatasetScale::paper_full().scaled(40), 13);
+    let cdb = Cdb::with_database(ds.db);
+    let q = &queries_for("paper")[1];
+    let run = |seed: u64| {
+        let mut p = platform(0.9, seed);
+        let out = cdb.run_select(&q.cql, &ds.truth, &mut p, &CdbConfig::default()).unwrap();
+        (out.stats.tasks_asked, out.stats.rounds, out.metrics.f_measure)
+    };
+    assert_eq!(run(8), run(8));
+    // Different platform seeds may differ (different worker draws).
+}

@@ -1,0 +1,176 @@
+//! Integration tests for the CQL collection semantics executed through
+//! the `Cdb` façade: `FILL` writes inferred values back into the table,
+//! `COLLECT` appends crowd-contributed rows to a CROWD table.
+
+use cdb::core::fillcollect::{CollectConfig, FillConfig};
+use cdb::core::Cdb;
+use cdb::crowd::{Market, SimulatedPlatform, WorkerPool};
+use cdb::storage::Value;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn platform(acc: f64, seed: u64) -> SimulatedPlatform {
+    SimulatedPlatform::new(Market::Amt, WorkerPool::with_accuracies(&vec![acc; 30]), seed)
+}
+
+fn setup() -> Cdb {
+    let mut cdb = Cdb::new();
+    cdb.execute_ddl(
+        "CREATE TABLE Researcher (name varchar(64), gender CROWD varchar(16), \
+         affiliation CROWD varchar(64))",
+    )
+    .unwrap();
+    cdb.execute_ddl("CREATE CROWD TABLE University (name varchar(64), city varchar(64))")
+        .unwrap();
+    {
+        let db = cdb.database_mut();
+        let r = db.table_mut("Researcher").unwrap();
+        r.push(vec![Value::from("Ada"), Value::from("female"), Value::CNull]).unwrap();
+        r.push(vec![Value::from("Bob"), Value::from("male"), Value::CNull]).unwrap();
+        r.push(vec![Value::from("Cleo"), Value::from("female"), Value::CNull]).unwrap();
+        r.push(vec![Value::from("Dan"), Value::from("male"), Value::from("Known Univ")]).unwrap();
+    }
+    cdb
+}
+
+#[test]
+fn fill_writes_values_back() {
+    let mut cdb = setup();
+    let truths = ["Alpha Institute", "Beta Institute", "Gamma Institute", "unused"];
+    let mut p = platform(1.0, 1);
+    let out = cdb
+        .run_fill(
+            "FILL Researcher.affiliation",
+            &|row| truths[row].to_string(),
+            &mut p,
+            &FillConfig::default(),
+        )
+        .unwrap();
+    // Three CNULL cells; Dan's filled cell is untouched.
+    assert_eq!(out.values.len(), 3);
+    assert_eq!(out.correct, 3);
+    let t = cdb.database().table("Researcher").unwrap();
+    assert_eq!(t.cell(0, "affiliation").unwrap().as_text(), Some("Alpha Institute"));
+    assert_eq!(t.cell(3, "affiliation").unwrap().as_text(), Some("Known Univ"));
+}
+
+#[test]
+fn fill_respects_where_filter() {
+    let mut cdb = setup();
+    let mut p = platform(1.0, 2);
+    let out = cdb
+        .run_fill(
+            "FILL Researcher.affiliation WHERE Researcher.gender = \"female\"",
+            &|row| format!("Affiliation {row}"),
+            &mut p,
+            &FillConfig::default(),
+        )
+        .unwrap();
+    assert_eq!(out.values.len(), 2); // Ada and Cleo only
+    let t = cdb.database().table("Researcher").unwrap();
+    assert!(t.cell(1, "affiliation").unwrap().is_cnull(), "Bob must stay unfilled");
+}
+
+#[test]
+fn fill_budget_caps_slots() {
+    let mut cdb = setup();
+    let mut p = platform(1.0, 3);
+    let out = cdb
+        .run_fill(
+            "FILL Researcher.affiliation BUDGET 1",
+            &|row| format!("A{row}"),
+            &mut p,
+            &FillConfig::default(),
+        )
+        .unwrap();
+    assert_eq!(out.values.len(), 1);
+}
+
+#[test]
+fn fill_rejects_unknown_column() {
+    let mut cdb = setup();
+    let mut p = platform(1.0, 4);
+    let err = cdb
+        .run_fill("FILL Researcher.nope", &|_| String::new(), &mut p, &FillConfig::default())
+        .unwrap_err();
+    assert!(err.to_string().contains("unknown column"), "{err}");
+}
+
+#[test]
+fn collect_appends_rows_to_crowd_table() {
+    let mut cdb = setup();
+    let universe: Vec<String> =
+        (0..30).map(|i| format!("Inst {} {}", ["Qu", "Ma", "Al", "De", "Ve"][i % 5], i)).collect();
+    let mut rng = StdRng::seed_from_u64(5);
+    let out = cdb
+        .run_collect(
+            "COLLECT University.name BUDGET 200",
+            &universe,
+            &mut rng,
+            &CollectConfig { target: 10, dirty_prob: 0.0, ..CollectConfig::default() },
+        )
+        .unwrap();
+    assert!(out.distinct >= 5, "{}", out.distinct);
+    let t = cdb.database().table("University").unwrap();
+    assert_eq!(t.row_count(), out.distinct);
+    // Uncollected columns are CNULL, ready for FILL.
+    assert!(t.cell(0, "city").unwrap().is_cnull());
+    assert!(!t.cell(0, "name").unwrap().is_cnull());
+}
+
+#[test]
+fn collect_rejects_non_crowd_table() {
+    let mut cdb = setup();
+    let mut rng = StdRng::seed_from_u64(6);
+    let err = cdb
+        .run_collect(
+            "COLLECT Researcher.name",
+            &["x".to_string()],
+            &mut rng,
+            &CollectConfig::default(),
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("not a CROWD table"), "{err}");
+}
+
+#[test]
+fn collect_then_fill_pipeline() {
+    // The paper's COLLECT + FILL workflow: collect university names, then
+    // fill their cities.
+    let mut cdb = setup();
+    // Pairwise-distinct names (shared tokens kept short so the dedup step
+    // does not fold different institutions together).
+    let universe: Vec<String> = (0..20)
+        .map(|i| {
+            format!(
+                "{} {} Campus",
+                ["Northfield", "Southgate", "Eastwood", "Westbrook", "Midland"][i % 5],
+                ["Physics", "Botany", "Letters", "Mining"][i / 5]
+            )
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(7);
+    let collected = cdb
+        .run_collect(
+            "COLLECT University.name",
+            &universe,
+            &mut rng,
+            &CollectConfig { target: 8, dirty_prob: 0.0, ..CollectConfig::default() },
+        )
+        .unwrap();
+    assert!(collected.distinct >= 4);
+    let mut p = platform(1.0, 8);
+    let filled = cdb
+        .run_fill(
+            "FILL University.city",
+            &|row| format!("City {row}"),
+            &mut p,
+            &FillConfig::default(),
+        )
+        .unwrap();
+    assert_eq!(filled.values.len(), collected.distinct);
+    let t = cdb.database().table("University").unwrap();
+    for r in 0..t.row_count() {
+        assert!(!t.cell(r, "city").unwrap().is_cnull(), "row {r} city unfilled");
+    }
+}

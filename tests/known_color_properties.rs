@@ -1,0 +1,123 @@
+//! Property tests for the known-color task selection (§5.1.1) on star and
+//! general structures — complementing the in-crate chain tests.
+
+use cdb::core::candidate::{enumerate_candidates, CandidateFilter};
+use cdb::core::cost::known::{join_structure, select_known_colors, JoinStructure};
+use cdb::core::executor::EdgeTruth;
+use cdb::core::model::{EdgeId, PartKind, QueryGraph};
+use proptest::prelude::*;
+
+/// Star graph: one center part with `nc` tuples joined to three leaf parts.
+fn star_graph() -> impl Strategy<Value = (QueryGraph, EdgeTruth)> {
+    (
+        1usize..=3,
+        prop::collection::vec((any::<bool>(), 0.3f64..0.99, any::<bool>()), 36),
+    )
+        .prop_map(|(nc, edges)| {
+            let mut g = QueryGraph::new();
+            let center = g.add_part(PartKind::Table { name: "C".into() });
+            let leaves: Vec<_> = ["X", "Y", "Z"]
+                .iter()
+                .map(|n| g.add_part(PartKind::Table { name: n.to_string() }))
+                .collect();
+            let cn: Vec<_> = (0..nc).map(|i| g.add_node(center, None, format!("c{i}"))).collect();
+            let mut truth = EdgeTruth::new();
+            let mut k = 0usize;
+            for &leaf in &leaves {
+                let pred = g.add_predicate(center, leaf, true, "c~leaf");
+                let ln: Vec<_> =
+                    (0..2).map(|i| g.add_node(leaf, None, format!("l{i}"))).collect();
+                for &c in &cn {
+                    for &l in &ln {
+                        let (present, w, t) = edges[k % edges.len()];
+                        k += 1;
+                        if present {
+                            let e = g.add_edge(c, l, pred, w);
+                            truth.insert(e, t);
+                        }
+                    }
+                }
+            }
+            (g, truth)
+        })
+}
+
+/// Triangle (cyclic) graph over three parts.
+fn cyclic_graph() -> impl Strategy<Value = (QueryGraph, EdgeTruth)> {
+    prop::collection::vec((any::<bool>(), 0.3f64..0.99, any::<bool>()), 27).prop_map(|edges| {
+        let mut g = QueryGraph::new();
+        let parts: Vec<_> = ["A", "B", "C"]
+            .iter()
+            .map(|n| g.add_part(PartKind::Table { name: n.to_string() }))
+            .collect();
+        let nodes: Vec<Vec<_>> = parts
+            .iter()
+            .map(|&p| (0..2).map(|i| g.add_node(p, None, format!("n{i}"))).collect())
+            .collect();
+        let mut truth = EdgeTruth::new();
+        let mut k = 0usize;
+        for i in 0..3 {
+            let j = (i + 1) % 3;
+            let pred = g.add_predicate(parts[i], parts[j], true, "ring");
+            for &u in &nodes[i] {
+                for &v in &nodes[j] {
+                    let (present, w, t) = edges[k % edges.len()];
+                    k += 1;
+                    if present {
+                        let e = g.add_edge(u, v, pred, w);
+                        truth.insert(e, t);
+                    }
+                }
+            }
+        }
+        (g, truth)
+    })
+}
+
+fn selection_is_sound(g: &QueryGraph, truth: &EdgeTruth) -> Result<(), TestCaseError> {
+    let oracle = |e: EdgeId| truth[&e];
+    let sel = select_known_colors(g, &oracle);
+    for c in enumerate_candidates(g, CandidateFilter::Live) {
+        let all_blue = c.edges.iter().all(|&e| truth[&e]);
+        if all_blue {
+            prop_assert!(
+                c.edges.iter().all(|e| sel.contains(e)),
+                "answer candidate not fully asked"
+            );
+        } else {
+            prop_assert!(
+                c.edges.iter().any(|&e| !truth[&e] && sel.contains(&e)),
+                "candidate not refuted by any asked RED edge"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn star_selection_sound((g, truth) in star_graph()) {
+        // Structure sanity: with edges on all three predicates this is a
+        // star (single-center classification needs ≥3 active parts).
+        let _ = matches!(join_structure(&g), JoinStructure::Star(_) | JoinStructure::General | JoinStructure::Chain(_));
+        selection_is_sound(&g, &truth)?;
+    }
+
+    #[test]
+    fn cyclic_selection_sound((g, truth) in cyclic_graph()) {
+        selection_is_sound(&g, &truth)?;
+    }
+
+    #[test]
+    fn selection_never_exceeds_live_edges((g, truth) in star_graph()) {
+        let oracle = |e: EdgeId| truth[&e];
+        let sel = select_known_colors(&g, &oracle);
+        let live = (0..g.edge_count()).map(EdgeId).filter(|&e| g.edge_live(e)).count();
+        prop_assert!(sel.len() <= live);
+        // No duplicates.
+        let set: std::collections::BTreeSet<_> = sel.iter().collect();
+        prop_assert_eq!(set.len(), sel.len());
+    }
+}

@@ -1,0 +1,153 @@
+//! Integration tests for the crowd-powered post-operators of the §4.2
+//! Remark: `GROUP BY CROWD` and `ORDER BY CROWD` applied to the join
+//! results through the `Cdb` façade.
+
+use cdb::core::{Cdb, CdbConfig, QueryTruth};
+use cdb::crowd::{Market, SimulatedPlatform, WorkerPool};
+use cdb::storage::{TupleId, Value};
+
+fn setup() -> (Cdb, QueryTruth) {
+    let mut cdb = Cdb::new();
+    cdb.execute_ddl("CREATE TABLE Paper (title varchar(64), venue varchar(32))").unwrap();
+    cdb.execute_ddl("CREATE TABLE Citation (title varchar(64), number int)").unwrap();
+    {
+        let db = cdb.database_mut();
+        let p = db.table_mut("Paper").unwrap();
+        p.push(vec![Value::from("Crowdsourced Joins At Scale"), Value::from("SIGMOD")]).unwrap();
+        p.push(vec![Value::from("Learned Index Structures"), Value::from("SIGMOD")]).unwrap();
+        p.push(vec![Value::from("Quantum Query Planning"), Value::from("VLDB")]).unwrap();
+        let c = db.table_mut("Citation").unwrap();
+        c.push(vec![Value::from("Crowdsourced Joins At Scale!"), Value::Int(40)]).unwrap();
+        c.push(vec![Value::from("Learned Index Structures."), Value::Int(95)]).unwrap();
+        c.push(vec![Value::from("Quantum Query Planning [ext]"), Value::Int(12)]).unwrap();
+    }
+    let mut truth = QueryTruth::default();
+    for i in 0..3 {
+        truth.add_join(TupleId::new("Paper", i), TupleId::new("Citation", i));
+    }
+    (cdb, truth)
+}
+
+fn platform(seed: u64) -> SimulatedPlatform {
+    SimulatedPlatform::new(Market::Amt, WorkerPool::with_accuracies(&[1.0; 15]), seed)
+}
+
+#[test]
+fn order_by_crowd_ranks_answers() {
+    let (cdb, truth) = setup();
+    let mut p = platform(1);
+    let out = cdb
+        .run_select(
+            "SELECT * FROM Paper, Citation \
+             WHERE Paper.title CROWDJOIN Citation.title \
+             ORDER BY CROWD Citation.number DESC",
+            &truth,
+            &mut p,
+            &CdbConfig::default(),
+        )
+        .unwrap();
+    assert_eq!(out.stats.answers.len(), 3);
+    let order = out.order.as_ref().expect("ORDER BY requested");
+    assert_eq!(order.len(), 3);
+    assert!(out.post_tasks > 0, "pairwise comparisons cost tasks");
+    // The top answer must be the 95-citation paper; read the key back.
+    let g = cdb
+        .plan_select(
+            "SELECT * FROM Paper, Citation WHERE Paper.title CROWDJOIN Citation.title",
+            &CdbConfig::default().build,
+        )
+        .unwrap();
+    let top = &out.stats.answers[order[0]];
+    let citation_row = top
+        .binding
+        .iter()
+        .filter_map(|&n| g.node_tuple(n))
+        .find(|t| t.table == "Citation")
+        .unwrap()
+        .row;
+    let num = cdb.database().table("Citation").unwrap().cell(citation_row, "number").unwrap().as_int();
+    assert_eq!(num, Some(95));
+}
+
+#[test]
+fn order_by_crowd_asc_reverses() {
+    let (cdb, truth) = setup();
+    let mut p1 = platform(2);
+    let desc = cdb
+        .run_select(
+            "SELECT * FROM Paper, Citation WHERE Paper.title CROWDJOIN Citation.title \
+             ORDER BY CROWD Citation.number DESC",
+            &truth,
+            &mut p1,
+            &CdbConfig::default(),
+        )
+        .unwrap();
+    let mut p2 = platform(2);
+    let asc = cdb
+        .run_select(
+            "SELECT * FROM Paper, Citation WHERE Paper.title CROWDJOIN Citation.title \
+             ORDER BY CROWD Citation.number ASC",
+            &truth,
+            &mut p2,
+            &CdbConfig::default(),
+        )
+        .unwrap();
+    let mut d = desc.order.unwrap();
+    d.reverse();
+    assert_eq!(d, asc.order.unwrap());
+}
+
+#[test]
+fn group_by_crowd_clusters_answers() {
+    let (cdb, truth) = setup();
+    let mut p = platform(3);
+    let out = cdb
+        .run_select(
+            "SELECT * FROM Paper, Citation \
+             WHERE Paper.title CROWDJOIN Citation.title \
+             GROUP BY CROWD Paper.venue",
+            &truth,
+            &mut p,
+            &CdbConfig::default(),
+        )
+        .unwrap();
+    let groups = out.groups.as_ref().expect("GROUP BY requested");
+    // Two SIGMOD answers in one group, the VLDB answer alone.
+    assert_eq!(groups.len(), 2);
+    let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+    assert!(sizes.contains(&2) && sizes.contains(&1), "{sizes:?}");
+}
+
+#[test]
+fn no_post_ops_means_none() {
+    let (cdb, truth) = setup();
+    let mut p = platform(4);
+    let out = cdb
+        .run_select(
+            "SELECT * FROM Paper, Citation WHERE Paper.title CROWDJOIN Citation.title",
+            &truth,
+            &mut p,
+            &CdbConfig::default(),
+        )
+        .unwrap();
+    assert!(out.groups.is_none());
+    assert!(out.order.is_none());
+    assert_eq!(out.post_tasks, 0);
+}
+
+#[test]
+fn post_op_parse_and_analyze_errors() {
+    let (cdb, truth) = setup();
+    let mut p = platform(5);
+    // Unknown column in ORDER BY.
+    let err = cdb
+        .run_select(
+            "SELECT * FROM Paper, Citation WHERE Paper.title CROWDJOIN Citation.title \
+             ORDER BY CROWD Citation.nope",
+            &truth,
+            &mut p,
+            &CdbConfig::default(),
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("unknown column"), "{err}");
+}
