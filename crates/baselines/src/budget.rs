@@ -144,12 +144,8 @@ impl State<'_> {
             .copied()
             .filter(|&e| {
                 let (u, v) = self.g.edge_endpoints(e);
-                let ok_u = binding
-                    .get(&self.g.node_part(u).0)
-                    .map_or(true, |&x| x == u);
-                let ok_v = binding
-                    .get(&self.g.node_part(v).0)
-                    .map_or(true, |&x| x == v);
+                let ok_u = binding.get(&self.g.node_part(u).0).is_none_or(|&x| x == u);
+                let ok_v = binding.get(&self.g.node_part(v).0).is_none_or(|&x| x == v);
                 ok_u && ok_v
             })
             .collect();
@@ -167,8 +163,8 @@ impl State<'_> {
             let mut inserted: Vec<usize> = Vec::with_capacity(2);
             for n in [u, v] {
                 let part = self.g.node_part(n).0;
-                if !binding.contains_key(&part) {
-                    binding.insert(part, n);
+                if let std::collections::hash_map::Entry::Vacant(slot) = binding.entry(part) {
+                    slot.insert(n);
                     inserted.push(part);
                 }
             }
@@ -213,7 +209,7 @@ mod tests {
     }
 
     fn platform(seed: u64) -> SimulatedPlatform {
-        SimulatedPlatform::new(Market::Amt, WorkerPool::with_accuracies(&vec![1.0; 10]), seed)
+        SimulatedPlatform::new(Market::Amt, WorkerPool::with_accuracies(&[1.0; 10]), seed)
     }
 
     #[test]

@@ -139,8 +139,8 @@ pub fn run_er_constrained(
                     .copied()
                     .filter(|&e| {
                         let (u, v) = g.edge_endpoints(e);
-                        present.get(&g.node_part(u)).map_or(true, |s| s.contains(&u))
-                            && present.get(&g.node_part(v)).map_or(true, |s| s.contains(&v))
+                        present.get(&g.node_part(u)).is_none_or(|s| s.contains(&u))
+                            && present.get(&g.node_part(v)).is_none_or(|s| s.contains(&v))
                     })
                     .collect()
             }
@@ -156,7 +156,14 @@ pub fn run_er_constrained(
             let rounds_left = max_rounds.map(|r| r.saturating_sub(rounds));
             let more_later = pi != *connected.last().expect("non-empty");
             let (asked, rs, blue_edges, exhausted) = resolve_predicate(
-                g, truth, platform, redundancy, &askable, method, rounds_left, more_later,
+                g,
+                truth,
+                platform,
+                redundancy,
+                &askable,
+                method,
+                rounds_left,
+                more_later,
             );
             tasks_asked += asked;
             rounds += rs;
@@ -168,9 +175,12 @@ pub fn run_er_constrained(
                 let idx = connected.iter().position(|&x| x == pi).expect("present");
                 let mut union: Vec<EdgeId> = Vec::new();
                 for &pj in &connected[idx + 1..] {
-                    union.extend(per_pred[pj].iter().copied().filter(|&e| {
-                        g.edge_color(e) == cdb_core::Color::Unknown
-                    }));
+                    union.extend(
+                        per_pred[pj]
+                            .iter()
+                            .copied()
+                            .filter(|&e| g.edge_color(e) == cdb_core::Color::Unknown),
+                    );
                 }
                 union.sort_unstable();
                 union.dedup();
@@ -199,10 +209,8 @@ pub fn run_er_constrained(
                     }
                     tasks_asked += union.len();
                     for &e in &union {
-                        let yes = majority_vote(
-                            votes.get(&e).map_or(&[][..], Vec::as_slice),
-                            2,
-                        ) == 0;
+                        let yes =
+                            majority_vote(votes.get(&e).map_or(&[][..], Vec::as_slice), 2) == 0;
                         flush_resolved.insert(e, yes);
                     }
                 }
@@ -232,8 +240,8 @@ pub fn run_er_constrained(
                 let mut new_rows = Vec::new();
                 for row in &rows {
                     for &(u, v) in &edge_pairs {
-                        let ok_a = ia.map_or(true, |i| row[i] == u);
-                        let ok_b = ib.map_or(true, |i| row[i] == v);
+                        let ok_a = ia.is_none_or(|i| row[i] == u);
+                        let ok_b = ib.is_none_or(|i| row[i] == v);
                         if ok_a && ok_b {
                             let mut nr = row.clone();
                             if ia.is_none() {
@@ -330,16 +338,10 @@ fn resolve_predicate(
     }
 
     // Order cross pairs by similarity descending (both methods).
-    let mut todo: Vec<EdgeId> = edges
-        .iter()
-        .copied()
-        .filter(|&e| g.edge_color(e) == cdb_core::Color::Unknown)
-        .collect();
-    let pre_blue: Vec<EdgeId> = edges
-        .iter()
-        .copied()
-        .filter(|&e| g.edge_color(e) == cdb_core::Color::Blue)
-        .collect();
+    let mut todo: Vec<EdgeId> =
+        edges.iter().copied().filter(|&e| g.edge_color(e) == cdb_core::Color::Unknown).collect();
+    let pre_blue: Vec<EdgeId> =
+        edges.iter().copied().filter(|&e| g.edge_color(e) == cdb_core::Color::Blue).collect();
     todo.sort_by(|&a, &b| g.edge_weight(b).total_cmp(&g.edge_weight(a)).then(a.cmp(&b)));
 
     // Clusters over all nodes touched by this predicate.
@@ -520,7 +522,7 @@ mod tests {
     }
 
     fn platform(acc: f64, seed: u64) -> SimulatedPlatform {
-        SimulatedPlatform::new(Market::Amt, WorkerPool::with_accuracies(&vec![acc; 15]), seed)
+        SimulatedPlatform::new(Market::Amt, WorkerPool::with_accuracies(&[acc; 15]), seed)
     }
 
     #[test]
@@ -565,7 +567,12 @@ mod tests {
         let trans = run_er(&g, &truth, &mut p1, 5, ErMethod::Trans);
         let mut p2 = platform(1.0, 4);
         let acd = run_er(&g, &truth, &mut p2, 5, ErMethod::Acd);
-        assert!(trans.tasks_asked <= acd.tasks_asked, "{} > {}", trans.tasks_asked, acd.tasks_asked);
+        assert!(
+            trans.tasks_asked <= acd.tasks_asked,
+            "{} > {}",
+            trans.tasks_asked,
+            acd.tasks_asked
+        );
     }
 
     #[test]
@@ -574,11 +581,7 @@ mod tests {
         for r in 1..=3usize {
             let mut p = platform(1.0, 10 + r as u64);
             let stats = run_er_constrained(&g, &truth, &mut p, 5, ErMethod::Trans, Some(r));
-            assert!(
-                stats.rounds <= r + 1,
-                "requested {r} rounds, used {}",
-                stats.rounds
-            );
+            assert!(stats.rounds <= r + 1, "requested {r} rounds, used {}", stats.rounds);
         }
     }
 
@@ -588,8 +591,7 @@ mod tests {
         let mut p1 = platform(1.0, 11);
         let free = run_er(&g, &truth, &mut p1, 5, ErMethod::Trans);
         let mut p2 = platform(1.0, 11);
-        let constrained =
-            run_er_constrained(&g, &truth, &mut p2, 5, ErMethod::Trans, Some(100));
+        let constrained = run_er_constrained(&g, &truth, &mut p2, 5, ErMethod::Trans, Some(100));
         assert_eq!(free.tasks_asked, constrained.tasks_asked);
         assert_eq!(free.answers.len(), constrained.answers.len());
     }

@@ -115,8 +115,7 @@ pub fn run_tree_constrained(
         // predicates remain after it, flush — resolve every edge of every
         // remaining predicate that is consistent with current survivors, in
         // one crowd round.
-        let flush = max_rounds
-            .is_some_and(|r| rounds + 1 >= r && step + 1 < order.len());
+        let flush = max_rounds.is_some_and(|r| rounds + 1 >= r && step + 1 < order.len());
         if flush {
             let mut union: Vec<EdgeId> = Vec::new();
             for &pj in &order[step..] {
@@ -144,14 +143,19 @@ pub fn run_tree_constrained(
         let need_crowd: Vec<EdgeId> = askable
             .iter()
             .copied()
-            .filter(|&e| {
-                g.edge_color(e) == cdb_core::Color::Unknown && !resolved.contains_key(&e)
-            })
+            .filter(|&e| g.edge_color(e) == cdb_core::Color::Unknown && !resolved.contains_key(&e))
             .collect();
         if !need_crowd.is_empty() {
             tasks_asked += need_crowd.len();
             rounds += 1;
-            resolve_edges(g, truth, platform.as_deref_mut(), redundancy, &need_crowd, &mut resolved);
+            resolve_edges(
+                g,
+                truth,
+                platform.as_deref_mut(),
+                redundancy,
+                &need_crowd,
+                &mut resolved,
+            );
         }
 
         let is_blue = |e: EdgeId| -> bool {
@@ -185,8 +189,8 @@ pub fn run_tree_constrained(
                         if g.node_part(u) != pred.a {
                             std::mem::swap(&mut u, &mut v);
                         }
-                        let ok_a = ia.map_or(true, |i| row[i] == u);
-                        let ok_b = ib.map_or(true, |i| row[i] == v);
+                        let ok_a = ia.is_none_or(|i| row[i] == u);
+                        let ok_b = ib.is_none_or(|i| row[i] == v);
                         if ok_a && ok_b {
                             let mut nr = row.clone();
                             if ia.is_none() {
@@ -256,8 +260,8 @@ fn consistent_edges(
                 .copied()
                 .filter(|&e| {
                     let (u, v) = g.edge_endpoints(e);
-                    let ok_u = present.get(&g.node_part(u)).map_or(true, |s| s.contains(&u));
-                    let ok_v = present.get(&g.node_part(v)).map_or(true, |s| s.contains(&v));
+                    let ok_u = present.get(&g.node_part(u)).is_none_or(|s| s.contains(&u));
+                    let ok_v = present.get(&g.node_part(v)).is_none_or(|s| s.contains(&v));
                     ok_u && ok_v
                 })
                 .collect()
@@ -323,9 +327,7 @@ fn bound_part_count(g: &QueryGraph) -> usize {
 /// then joins in the order they were written.
 pub fn crowddb_order(g: &QueryGraph) -> Vec<usize> {
     let preds = g.predicates();
-    let selections: Vec<usize> = (0..preds.len())
-        .filter(|&i| is_selection(g, i))
-        .collect();
+    let selections: Vec<usize> = (0..preds.len()).filter(|&i| is_selection(g, i)).collect();
     let joins: Vec<usize> = (0..preds.len()).filter(|&i| !is_selection(g, i)).collect();
     let mut order: Vec<usize> = selections.into_iter().chain(joins).collect();
     make_connected(g, &mut order);
@@ -486,11 +488,7 @@ mod tests {
     #[test]
     fn crowd_execution_with_perfect_workers_matches_oracle() {
         let (g, truth) = fixture();
-        let mut p = SimulatedPlatform::new(
-            Market::Amt,
-            WorkerPool::with_accuracies(&vec![1.0; 10]),
-            1,
-        );
+        let mut p = SimulatedPlatform::new(Market::Amt, WorkerPool::with_accuracies(&[1.0; 10]), 1);
         let stats = run_tree(&g, &truth, Some(&mut p), 5, &[0, 1]);
         assert_eq!(stats.tasks_asked, 12);
         assert_eq!(stats.answers.len(), 1);

@@ -39,10 +39,8 @@ fn bench_inference(c: &mut Criterion) {
             b.iter(|| em_truth_inference(tasks, EmConfig::default()))
         });
     }
-    let qualities: HashMap<WorkerId, f64> =
-        (0..50).map(|w| (WorkerId(w), 0.8)).collect();
-    let answers: Vec<(WorkerId, usize)> =
-        (0..5).map(|w| (WorkerId(w), w as usize % 2)).collect();
+    let qualities: HashMap<WorkerId, f64> = (0..50).map(|w| (WorkerId(w), 0.8)).collect();
+    let answers: Vec<(WorkerId, usize)> = (0..5).map(|w| (WorkerId(w), w as usize % 2)).collect();
     group.bench_function("bayesian_posterior", |b| {
         b.iter(|| bayesian_posterior(&answers, &qualities, 2))
     });

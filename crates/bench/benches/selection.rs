@@ -18,37 +18,23 @@ fn bench_selection(c: &mut Criterion) {
     let mut group = c.benchmark_group("task_selection");
     for q in queries_for("paper") {
         let (g, truth) = prepare(&ds, &q.cql, &cfg);
-        group.bench_with_input(
-            BenchmarkId::new("expectation_order", q.label),
-            &g,
-            |b, g| b.iter(|| expectation_order(g)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("parallel_round", q.label),
-            &g,
-            |b, g| {
-                let order = expectation_order(g);
-                b.iter(|| parallel_round(g, &order))
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("mincut_sampling_10", q.label),
-            &g,
-            |b, g| {
-                b.iter(|| {
-                    let mut rng = StdRng::seed_from_u64(1);
-                    mincut_sampling_order(g, 10, &mut rng)
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("known_color_selection", q.label),
-            &g,
-            |b, g| {
-                let oracle = |e: cdb_core::EdgeId| truth[&e];
-                b.iter(|| select_known_colors(g, &oracle))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("expectation_order", q.label), &g, |b, g| {
+            b.iter(|| expectation_order(g))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel_round", q.label), &g, |b, g| {
+            let order = expectation_order(g);
+            b.iter(|| parallel_round(g, &order))
+        });
+        group.bench_with_input(BenchmarkId::new("mincut_sampling_10", q.label), &g, |b, g| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                mincut_sampling_order(g, 10, &mut rng)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("known_color_selection", q.label), &g, |b, g| {
+            let oracle = |e: cdb_core::EdgeId| truth[&e];
+            b.iter(|| select_known_colors(g, &oracle))
+        });
     }
     group.finish();
 }

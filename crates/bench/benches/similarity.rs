@@ -3,9 +3,7 @@
 //! avoids, plus the individual measures.
 
 use cdb_datagen::{paper_dataset, DatasetScale};
-use cdb_similarity::{
-    edit_distance, similarity_join, SimilarityFn, SimilarityMeasure,
-};
+use cdb_similarity::{edit_distance, similarity_join, SimilarityFn, SimilarityMeasure};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_join(c: &mut Criterion) {

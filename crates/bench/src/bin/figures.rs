@@ -6,7 +6,7 @@
 //!
 //! targets: fig8 fig9 fig10 fig11 fig14 fig15 fig16 fig17 fig18 fig19
 //!          fig20 fig21 fig22 fig23 fig24 table2 table3 table4 table5
-//!          example all
+//!          example runtime all
 //! ```
 //!
 //! `--scale N` divides the paper's table cardinalities by `N` (default 10)
@@ -23,7 +23,9 @@ use cdb_core::executor::{Executor, ExecutorConfig, QualityStrategy};
 use cdb_core::fillcollect::{execute_collect, execute_fill, CollectConfig, FillConfig};
 use cdb_core::latency::parallel_round;
 use cdb_crowd::{Market, SimulatedPlatform, WorkerPool};
-use cdb_datagen::{award_dataset, paper_dataset, paper_example_dataset, queries_for, Dataset, DatasetScale};
+use cdb_datagen::{
+    award_dataset, paper_dataset, paper_example_dataset, queries_for, Dataset, DatasetScale,
+};
 use cdb_similarity::SimilarityFn;
 
 struct Args {
@@ -45,7 +47,7 @@ fn parse_args() -> Args {
         }
     }
     if args.target.is_empty() {
-        eprintln!("usage: figures [--scale N] [--reps R] [--seed S] <fig8..fig24|table2..table5|example|all>");
+        eprintln!("usage: figures [--scale N] [--reps R] [--seed S] <fig8..fig24|table2..table5|example|runtime|all>");
         std::process::exit(2);
     }
     args
@@ -246,12 +248,8 @@ fn fig21(args: &Args) {
     println!("# Figure 21: F-measure vs #questions (paper dataset, 2J1S, redundancy 5)");
     let ds = dataset("paper", args);
     let q = &queries_for("paper")[1];
-    let cfg = ExpConfig {
-        worker_quality: 0.7,
-        flat_errors: true,
-        seed: args.seed,
-        ..Default::default()
-    };
+    let cfg =
+        ExpConfig { worker_quality: 0.7, flat_errors: true, seed: args.seed, ..Default::default() };
     let (g, truth) = prepare(&ds, &q.cql, &cfg);
     let total_edges = g.open_edges().len().max(1);
     println!("{:<10}{:>10}{:>10}", "budget", "MV", "CDB+");
@@ -264,12 +262,7 @@ fn fig21(args: &Args) {
             mv += run_budget(false, false, &g, &truth, budget, &c).f_measure;
             plus += run_budget(false, true, &g, &truth, budget, &c).f_measure;
         }
-        println!(
-            "{:<10}{:>10.3}{:>10.3}",
-            budget,
-            mv / args.reps as f64,
-            plus / args.reps as f64
-        );
+        println!("{:<10}{:>10.3}{:>10.3}", budget, mv / args.reps as f64, plus / args.reps as f64);
     }
     println!();
 }
@@ -351,8 +344,7 @@ fn tables23(args: &Args) {
         println!("# {label}: {name} dataset (scale 1/{})", args.scale);
         println!("{:<14}{:>10}  attributes", "table", "#records");
         for t in ds.db.tables() {
-            let cols: Vec<&str> =
-                t.schema().columns().iter().map(|c| c.name.as_str()).collect();
+            let cols: Vec<&str> = t.schema().columns().iter().map(|c| c.name.as_str()).collect();
             println!("{:<14}{:>10}  {}", t.name(), t.row_count(), cols.join(", "));
         }
         println!("true join pairs: {}", ds.truth.joins.len());
@@ -402,9 +394,8 @@ fn example(args: &Args) {
                Paper.title CROWDJOIN Citation.title AND \
                Researcher.affiliation CROWDJOIN University.name";
     let cdb = cdb_core::Cdb::with_database(db);
-    let g = cdb
-        .plan_select(sql, &cdb_core::GraphBuildConfig::default())
-        .expect("example query plans");
+    let g =
+        cdb.plan_select(sql, &cdb_core::GraphBuildConfig::default()).expect("example query plans");
     let et = truth.edge_truth(&g);
     println!("graph: {} vertices, {} edges", g.node_count(), g.edge_count());
     let mut p = fill_platform(args.seed);
@@ -469,7 +460,11 @@ fn ablations(args: &Args) {
                 g.clone(),
                 &truth,
                 &mut p,
-                ExecutorConfig { selection: sel, seed: args.seed + rep as u64, ..Default::default() },
+                ExecutorConfig {
+                    selection: sel,
+                    seed: args.seed + rep as u64,
+                    ..Default::default()
+                },
             )
             .run();
             tasks += stats.tasks_asked;
@@ -489,6 +484,59 @@ fn ablations(args: &Args) {
         .run();
         println!("{:<10}{:>8} tasks{:>8} rounds", name, stats.tasks_asked, stats.rounds);
     }
+    println!();
+}
+
+/// Runtime: a concurrent fleet of queries through the work-stealing
+/// scheduler, sweeping thread count × fault rate, plus the full
+/// `RuntimeMetrics` telemetry of one representative faulted run as JSON.
+fn runtime(args: &Args) {
+    use cdb_bench::runtime_fleet;
+    use cdb_runtime::{FaultPlan, RetryPolicy, RuntimeConfig, RuntimeExecutor};
+
+    let n = 24u64;
+    println!("# Runtime: {n} concurrent queries (paper dataset, query 1J)");
+    let ds = dataset("paper", args);
+    let q = &queries_for("paper")[0];
+    let cfg = ExpConfig { worker_quality: 0.9, seed: args.seed, ..Default::default() };
+    let jobs = runtime_fleet(&ds, &q.cql, &cfg, n);
+
+    let run = |threads: usize, fault_rate: f64| {
+        let rcfg = RuntimeConfig {
+            threads,
+            seed: args.seed,
+            fault_plan: FaultPlan::uniform(args.seed, fault_rate),
+            retry: RetryPolicy { deadline_ms: 300_000, max_retries: 8 },
+            ..RuntimeConfig::default()
+        };
+        RuntimeExecutor::new(rcfg).run(jobs.clone())
+    };
+
+    println!(
+        "{:<9}{:<8}{:>9}{:>11}{:>13}{:>13}{:>9}{:>8}",
+        "threads", "faults", "ok", "q_per_s", "wall_ms", "virtual_s", "rounds", "steals"
+    );
+    for &threads in &[1usize, 2, 4, 8] {
+        for &fault_rate in &[0.0f64, 0.1, 0.3] {
+            let report = run(threads, fault_rate);
+            let wall = report.wall.as_secs_f64();
+            println!(
+                "{:<9}{:<8}{:>9}{:>11.1}{:>13.1}{:>13.1}{:>9}{:>8}",
+                threads,
+                fault_rate,
+                report.ok_count(),
+                n as f64 / wall.max(1e-9),
+                wall * 1e3,
+                report.virtual_ms_serial() as f64 / 1e3,
+                report.metrics.rounds,
+                report.steals,
+            );
+        }
+    }
+
+    let report = run(4, 0.2);
+    println!("\n# RuntimeMetrics (threads=4, fault rate 0.2), JSON");
+    println!("{}", report.metrics.to_json());
     println!();
 }
 
@@ -549,5 +597,8 @@ fn main() {
     }
     if all || t == "ablations" {
         ablations(&args);
+    }
+    if all || t == "runtime" {
+        runtime(&args);
     }
 }

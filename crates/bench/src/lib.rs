@@ -11,7 +11,9 @@ use cdb_baselines::{
     budget_baseline, crowddb_order, deco_order, opt_tree_order, qurk_order, run_er, run_tree,
     ErMethod,
 };
-use cdb_core::executor::{true_answers, EdgeTruth, Executor, ExecutorConfig, QualityStrategy, SelectionStrategy};
+use cdb_core::executor::{
+    true_answers, EdgeTruth, Executor, ExecutorConfig, QualityStrategy, SelectionStrategy,
+};
 use cdb_core::model::{NodeId, QueryGraph};
 use cdb_core::{
     build_query_graph, metrics::precision_recall, metrics::PrMetrics, GraphBuildConfig,
@@ -138,6 +140,20 @@ pub fn prepare(ds: &Dataset, cql: &str, cfg: &ExpConfig) -> (QueryGraph, EdgeTru
     (g, truth)
 }
 
+/// A fleet of `n` identical query jobs for the concurrent runtime: the
+/// same prepared graph replicated under distinct query ids. Each job still
+/// executes against its own stream-keyed platform, so the fleet exercises
+/// genuinely independent per-query randomness.
+pub fn runtime_fleet(
+    ds: &Dataset,
+    cql: &str,
+    cfg: &ExpConfig,
+    n: u64,
+) -> Vec<cdb_runtime::QueryJob> {
+    let (g, truth) = prepare(ds, cql, cfg);
+    (0..n).map(|id| cdb_runtime::QueryJob { id, graph: g.clone(), truth: truth.clone() }).collect()
+}
+
 fn platform(cfg: &ExpConfig) -> SimulatedPlatform {
     let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9);
     let pool = WorkerPool::gaussian(cfg.pool_size, cfg.worker_quality, 0.1, &mut rng);
@@ -145,12 +161,7 @@ fn platform(cfg: &ExpConfig) -> SimulatedPlatform {
 }
 
 /// Run one method on a prepared graph.
-pub fn run_method(
-    method: Method,
-    g: &QueryGraph,
-    truth: &EdgeTruth,
-    cfg: &ExpConfig,
-) -> RunResult {
+pub fn run_method(method: Method, g: &QueryGraph, truth: &EdgeTruth, cfg: &ExpConfig) -> RunResult {
     let reference: BTreeSet<Vec<NodeId>> =
         true_answers(g, truth).into_iter().map(|c| c.binding).collect();
     let mut p = platform(cfg);
@@ -232,8 +243,14 @@ pub fn run_method_constrained(
         let (t, rd, bindings) = match method {
             Method::Trans | Method::Acd => {
                 let m = if method == Method::Trans { ErMethod::Trans } else { ErMethod::Acd };
-                let stats =
-                    cdb_baselines::er::run_er_constrained(g, truth, &mut p, c.redundancy, m, c.max_rounds);
+                let stats = cdb_baselines::er::run_er_constrained(
+                    g,
+                    truth,
+                    &mut p,
+                    c.redundancy,
+                    m,
+                    c.max_rounds,
+                );
                 (stats.tasks_asked, stats.rounds, stats.answer_bindings())
             }
             Method::CrowdDb | Method::Qurk | Method::Deco | Method::OptTree => {
@@ -410,9 +427,6 @@ mod tests {
             cdb_rec += run_budget(false, false, &g, &truth, budget, &c).recall;
             base_rec += run_budget(true, false, &g, &truth, budget, &c).recall;
         }
-        assert!(
-            cdb_rec >= base_rec,
-            "CDB recall {cdb_rec} should be at least baseline {base_rec}"
-        );
+        assert!(cdb_rec >= base_rec, "CDB recall {cdb_rec} should be at least baseline {base_rec}");
     }
 }

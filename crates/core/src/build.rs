@@ -66,12 +66,7 @@ pub fn build_query_graph(
             AnalyzedPredicate::CrowdJoin { left, right } => {
                 let pa = part_of_table[&left.table];
                 let pb = part_of_table[&right.table];
-                let pid = g.add_predicate(
-                    pa,
-                    pb,
-                    true,
-                    format!("{left} CROWDJOIN {right}"),
-                );
+                let pid = g.add_predicate(pa, pb, true, format!("{left} CROWDJOIN {right}"));
                 let lvals = db
                     .table(&left.table)
                     .expect("resolved")
@@ -115,23 +110,16 @@ pub fn build_query_graph(
                 let lit = literal_string(value);
                 let cpart = g.add_part(PartKind::Constant { value: lit.clone() });
                 let cnode = g.add_node(cpart, None, lit.clone());
-                let pid = g.add_predicate(
-                    pa,
-                    cpart,
-                    true,
-                    format!("{column} CROWDEQUAL \"{lit}\""),
-                );
+                let pid =
+                    g.add_predicate(pa, cpart, true, format!("{column} CROWDEQUAL \"{lit}\""));
                 let vals = db
                     .table(&column.table)
                     .expect("resolved")
                     .column_strings(&column.column)
                     .expect("resolved");
                 for (i, val) in vals.iter().enumerate() {
-                    let sim = cdb_similarity::SimilarityMeasure::similarity(
-                        &cfg.similarity,
-                        val,
-                        &lit,
-                    );
+                    let sim =
+                        cdb_similarity::SimilarityMeasure::similarity(&cfg.similarity, val, &lit);
                     if sim >= cfg.epsilon {
                         let u = nodes_of_table[&column.table][i];
                         g.add_edge(u, cnode, pid, sim.min(0.999_999));
@@ -205,12 +193,8 @@ mod tests {
                 ColumnDef::new("number", ColumnType::Int),
             ]),
         );
-        citation
-            .push(vec![Value::from("Crowdsourced Data Cleaning."), Value::Int(10)])
-            .unwrap();
-        citation
-            .push(vec![Value::from("Query Processing on smart SSDs"), Value::Int(5)])
-            .unwrap();
+        citation.push(vec![Value::from("Crowdsourced Data Cleaning."), Value::Int(10)]).unwrap();
+        citation.push(vec![Value::from("Query Processing on smart SSDs"), Value::Int(5)]).unwrap();
         citation.push(vec![Value::from("Unrelated Biology Paper"), Value::Int(7)]).unwrap();
         db.add_table(paper).unwrap();
         db.add_table(citation).unwrap();
@@ -226,9 +210,8 @@ mod tests {
 
     #[test]
     fn crowdjoin_edges_follow_similarity_threshold() {
-        let g = graph_for(
-            "SELECT * FROM Paper, Citation WHERE Paper.title CROWDJOIN Citation.title",
-        );
+        let g =
+            graph_for("SELECT * FROM Paper, Citation WHERE Paper.title CROWDJOIN Citation.title");
         // Similar titles produce edges; the biology citation matches none.
         assert!(g.edge_count() >= 2);
         for i in 0..g.edge_count() {
@@ -248,15 +231,16 @@ mod tests {
         );
         assert_eq!(g.part_count(), 3);
         let const_part = PartId(2);
-        assert!(matches!(g.part_kind(const_part), PartKind::Constant { value } if value == "sigmod"));
+        assert!(
+            matches!(g.part_kind(const_part), PartKind::Constant { value } if value == "sigmod")
+        );
         assert_eq!(g.part_nodes(const_part).len(), 1);
     }
 
     #[test]
     fn candidates_exist_after_build() {
-        let g = graph_for(
-            "SELECT * FROM Paper, Citation WHERE Paper.title CROWDJOIN Citation.title",
-        );
+        let g =
+            graph_for("SELECT * FROM Paper, Citation WHERE Paper.title CROWDJOIN Citation.title");
         assert!(!enumerate_candidates(&g, CandidateFilter::Live).is_empty());
     }
 

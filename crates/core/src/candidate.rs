@@ -219,7 +219,12 @@ pub fn edge_in_some_candidate(g: &QueryGraph, e: EdgeId, filter: CandidateFilter
 /// Do two edges appear together in some candidate? (The *conflict* test of
 /// the latency controller: conflicting edges cannot be asked in the same
 /// round because one answer might prune the other task.)
-pub fn edges_in_same_candidate(g: &QueryGraph, e1: EdgeId, e2: EdgeId, filter: CandidateFilter) -> bool {
+pub fn edges_in_same_candidate(
+    g: &QueryGraph,
+    e1: EdgeId,
+    e2: EdgeId,
+    filter: CandidateFilter,
+) -> bool {
     let (p1, p2) = (g.edge_predicate(e1), g.edge_predicate(e2));
     if p1 == p2 {
         // A candidate has exactly one edge per predicate.
@@ -265,9 +270,7 @@ mod tests {
         for i in 0..g.edge_count() {
             let e = EdgeId(i);
             let (u, v) = g.edge_endpoints(e);
-            if (u == nodes[0][0] && v == nodes[1][0])
-                || (u == nodes[1][0] && v == nodes[2][0])
-            {
+            if (u == nodes[0][0] && v == nodes[1][0]) || (u == nodes[1][0] && v == nodes[2][0]) {
                 g.set_color(e, Color::Blue);
             }
         }

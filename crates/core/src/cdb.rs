@@ -152,20 +152,14 @@ impl Cdb {
                 } else {
                     Table::new(&ct.name, schema)
                 };
-                self.db
-                    .add_table(table)
-                    .map_err(|e| CqlError::Semantic(e.to_string()))
+                self.db.add_table(table).map_err(|e| CqlError::Semantic(e.to_string()))
             }
             _ => Err(CqlError::Semantic("expected a CREATE TABLE statement".into())),
         }
     }
 
     /// Build the query graph for a CQL SELECT without executing it.
-    pub fn plan_select(
-        &self,
-        sql: &str,
-        build: &GraphBuildConfig,
-    ) -> Result<QueryGraph, CqlError> {
+    pub fn plan_select(&self, sql: &str, build: &GraphBuildConfig) -> Result<QueryGraph, CqlError> {
         match parse(sql)? {
             Statement::Select(q) => {
                 let analyzed = analyze_select(&q, &self.db)?;
@@ -192,10 +186,7 @@ impl Cdb {
         let Statement::Fill(stmt) = parse(sql)? else {
             return Err(CqlError::Semantic("expected a FILL statement".into()));
         };
-        let table = self
-            .db
-            .table(&stmt.table)
-            .map_err(|e| CqlError::Semantic(e.to_string()))?;
+        let table = self.db.table(&stmt.table).map_err(|e| CqlError::Semantic(e.to_string()))?;
         if table.schema().column(&stmt.column).is_none() {
             return Err(CqlError::Semantic(format!(
                 "unknown column `{}` in `{}`",
@@ -205,14 +196,14 @@ impl Cdb {
         // Select target rows: CNULL cells passing the filter.
         let mut rows: Vec<usize> = Vec::new();
         for r in 0..table.row_count() {
-            let cell = table.cell(r, &stmt.column).map_err(|e| CqlError::Semantic(e.to_string()))?;
+            let cell =
+                table.cell(r, &stmt.column).map_err(|e| CqlError::Semantic(e.to_string()))?;
             if !cell.is_cnull() {
                 continue;
             }
             if let Some((col, lit)) = &stmt.filter {
-                let v = table
-                    .cell(r, &col.column)
-                    .map_err(|e| CqlError::Semantic(e.to_string()))?;
+                let v =
+                    table.cell(r, &col.column).map_err(|e| CqlError::Semantic(e.to_string()))?;
                 let lit_v = literal_value(lit);
                 if !v.sql_eq(&lit_v) {
                     continue;
@@ -226,10 +217,8 @@ impl Cdb {
         let truths: Vec<String> = rows.iter().map(|&r| ground_truth(r)).collect();
         let outcome = crate::fillcollect::execute_fill(&truths, platform, cfg);
         // Write the inferred values back.
-        let table = self
-            .db
-            .table_mut(&stmt.table)
-            .map_err(|e| CqlError::Semantic(e.to_string()))?;
+        let table =
+            self.db.table_mut(&stmt.table).map_err(|e| CqlError::Semantic(e.to_string()))?;
         for (&r, value) in rows.iter().zip(&outcome.values) {
             table
                 .set_cell(r, &stmt.column, cdb_storage::Value::Text(value.clone()))
@@ -260,10 +249,7 @@ impl Cdb {
             .table
             .clone()
             .ok_or_else(|| CqlError::Semantic("COLLECT columns must be table-qualified".into()))?;
-        let table = self
-            .db
-            .table(&table_name)
-            .map_err(|e| CqlError::Semantic(e.to_string()))?;
+        let table = self.db.table(&table_name).map_err(|e| CqlError::Semantic(e.to_string()))?;
         if !table.is_crowd() {
             return Err(CqlError::Semantic(format!(
                 "`{table_name}` is not a CROWD table; COLLECT needs one"
@@ -275,9 +261,7 @@ impl Cdb {
             first.column.clone()
         };
         if table.schema().column(&column).is_none() {
-            return Err(CqlError::Semantic(format!(
-                "unknown column `{column}` in `{table_name}`"
-            )));
+            return Err(CqlError::Semantic(format!("unknown column `{column}` in `{table_name}`")));
         }
         let mut cfg = *cfg;
         if let Some(b) = stmt.budget {
@@ -293,10 +277,8 @@ impl Cdb {
         // same canonical set a real run converges to.
         let mut store = cdb_crowd::AutocompleteStore::new();
         let mut appended = 0usize;
-        let table = self
-            .db
-            .table_mut(&table_name)
-            .map_err(|e| CqlError::Semantic(e.to_string()))?;
+        let table =
+            self.db.table_mut(&table_name).map_err(|e| CqlError::Semantic(e.to_string()))?;
         for v in universe {
             if appended >= outcome.distinct {
                 break;
@@ -332,10 +314,8 @@ impl Cdb {
         if analyzed.budget.is_some() {
             exec_cfg.budget = analyzed.budget;
         }
-        let reference: BTreeSet<_> = true_answers(&graph, &edge_truth)
-            .into_iter()
-            .map(|c| c.binding)
-            .collect();
+        let reference: BTreeSet<_> =
+            true_answers(&graph, &edge_truth).into_iter().map(|c| c.binding).collect();
         let stats = Executor::new(graph.clone(), &edge_truth, platform, exec_cfg).run();
         let metrics = precision_recall(&stats.answer_bindings(), &reference);
 
@@ -370,8 +350,7 @@ impl Cdb {
                 // Simulated entity ground truth for grouping: normalized
                 // key equality (QueryTruth carries join/selection truth,
                 // not per-column entity ids).
-                let norm: Vec<String> =
-                    keys.iter().map(|k| k.trim().to_lowercase()).collect();
+                let norm: Vec<String> = keys.iter().map(|k| k.trim().to_lowercase()).collect();
                 let out = crate::ops::crowd_group(
                     &keys,
                     &|i, j| norm[i] == norm[j],
@@ -398,8 +377,7 @@ impl Cdb {
                 for (r, &i) in idx.iter().enumerate() {
                     rank[i] = r;
                 }
-                let out =
-                    crate::ops::crowd_sort(&keys, &rank, platform, exec_cfg.redundancy);
+                let out = crate::ops::crowd_sort(&keys, &rank, platform, exec_cfg.redundancy);
                 post_tasks += out.tasks_asked;
                 let mut o = out.order;
                 if !op.descending {
@@ -437,9 +415,7 @@ pub fn load_table(
     columns: &[(&str, ColumnType)],
     rows: &[Vec<cdb_storage::Value>],
 ) -> Result<(), cdb_storage::StorageError> {
-    let schema = Schema::new(
-        columns.iter().map(|(n, t)| ColumnDef::new(*n, *t)).collect(),
-    );
+    let schema = Schema::new(columns.iter().map(|(n, t)| ColumnDef::new(*n, *t)).collect());
     let mut table = Table::new(name, schema);
     for row in rows {
         table.push(row.clone())?;
@@ -452,12 +428,7 @@ pub fn answer_tuples(stats: &ExecutionStats, g: &QueryGraph) -> Vec<Vec<TupleId>
     stats
         .answers
         .iter()
-        .map(|c| {
-            c.binding
-                .iter()
-                .filter_map(|&n| g.node_tuple(n).cloned())
-                .collect()
-        })
+        .map(|c| c.binding.iter().filter_map(|&n| g.node_tuple(n).cloned()).collect())
         .collect()
 }
 
@@ -477,8 +448,7 @@ mod tests {
         let mut cdb = Cdb::new();
         cdb.execute_ddl("CREATE TABLE Researcher (name varchar(64), affiliation varchar(64))")
             .unwrap();
-        cdb.execute_ddl("CREATE TABLE University (name varchar(64), country varchar(16))")
-            .unwrap();
+        cdb.execute_ddl("CREATE TABLE University (name varchar(64), country varchar(16))").unwrap();
         {
             let db = cdb.database_mut();
             let r = db.table_mut("Researcher").unwrap();
@@ -526,11 +496,8 @@ mod tests {
     #[test]
     fn run_select_finds_true_matches_with_perfect_workers() {
         let (cdb, truth) = setup();
-        let mut platform = SimulatedPlatform::new(
-            Market::Amt,
-            WorkerPool::with_accuracies(&vec![1.0; 10]),
-            7,
-        );
+        let mut platform =
+            SimulatedPlatform::new(Market::Amt, WorkerPool::with_accuracies(&[1.0; 10]), 7);
         let out = cdb
             .run_select(
                 "SELECT * FROM Researcher, University \
@@ -547,11 +514,8 @@ mod tests {
     #[test]
     fn budget_clause_overrides_config() {
         let (cdb, truth) = setup();
-        let mut platform = SimulatedPlatform::new(
-            Market::Amt,
-            WorkerPool::with_accuracies(&vec![1.0; 10]),
-            7,
-        );
+        let mut platform =
+            SimulatedPlatform::new(Market::Amt, WorkerPool::with_accuracies(&[1.0; 10]), 7);
         let out = cdb
             .run_select(
                 "SELECT * FROM Researcher, University \

@@ -29,12 +29,8 @@ pub fn next_budget_batch(g: &QueryGraph, remaining: usize) -> Vec<EdgeId> {
     let Some((cand, _)) = best else {
         return Vec::new();
     };
-    let mut edges: Vec<EdgeId> = cand
-        .edges
-        .iter()
-        .copied()
-        .filter(|&e| g.edge_color(e) == Color::Unknown)
-        .collect();
+    let mut edges: Vec<EdgeId> =
+        cand.edges.iter().copied().filter(|&e| g.edge_color(e) == Color::Unknown).collect();
     edges.sort_by(|&a, &b| g.edge_weight(b).total_cmp(&g.edge_weight(a)).then(a.cmp(&b)));
     edges.truncate(remaining);
     edges

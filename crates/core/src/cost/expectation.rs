@@ -29,10 +29,8 @@ pub fn pruning_expectations(g: &QueryGraph) -> Vec<(EdgeId, f64)> {
         .map(|e| {
             let (u, v) = g.edge_endpoints(e);
             let p = g.edge_predicate(e);
-            let (x, prod_x, alpha) =
-                *cache.entry((u, p)).or_insert_with(|| bundle_effect(g, u, p));
-            let (y, prod_y, beta) =
-                *cache.entry((v, p)).or_insert_with(|| bundle_effect(g, v, p));
+            let (x, prod_x, alpha) = *cache.entry((u, p)).or_insert_with(|| bundle_effect(g, u, p));
+            let (y, prod_y, beta) = *cache.entry((v, p)).or_insert_with(|| bundle_effect(g, v, p));
             let mut ex = 0.0;
             if x > 0 {
                 ex += prod_x / x as f64 * alpha as f64;
@@ -100,10 +98,8 @@ fn simulate_cascade(g: &QueryGraph, start: NodeId, bundle: &[EdgeId]) -> usize {
             continue;
         }
         let p = g.edge_predicate(e);
-        let has_support = g
-            .live_edges_for_predicate(w, p)
-            .into_iter()
-            .any(|e2| !dead_edges.contains(&e2));
+        let has_support =
+            g.live_edges_for_predicate(w, p).into_iter().any(|e2| !dead_edges.contains(&e2));
         if !has_support {
             dead_nodes.insert(w);
             queue.push(w);
@@ -122,10 +118,8 @@ fn simulate_cascade(g: &QueryGraph, start: NodeId, bundle: &[EdgeId]) -> usize {
             }
             // Does w still have a live edge for this predicate?
             let p = g.edge_predicate(e);
-            let has_support = g
-                .live_edges_for_predicate(w, p)
-                .into_iter()
-                .any(|e2| !dead_edges.contains(&e2));
+            let has_support =
+                g.live_edges_for_predicate(w, p).into_iter().any(|e2| !dead_edges.contains(&e2));
             if !has_support {
                 dead_nodes.insert(w);
                 queue.push(w);
@@ -180,13 +174,8 @@ mod tests {
         // E(p1, r1) = (1-0.42)*2 + (1-0.42)(1-0.41)(1-0.83)*6/3 = 1.276.
         let (g, e) = paper_p1_neighbourhood();
         let scores: HashMap<EdgeId, f64> = pruning_expectations(&g).into_iter().collect();
-        let expected = (1.0 - 0.42) * 2.0
-            + (1.0 - 0.42) * (1.0 - 0.41) * (1.0 - 0.83) * 6.0 / 3.0;
-        assert!(
-            (scores[&e] - expected).abs() < 1e-9,
-            "E = {}, expected {expected}",
-            scores[&e]
-        );
+        let expected = (1.0 - 0.42) * 2.0 + (1.0 - 0.42) * (1.0 - 0.41) * (1.0 - 0.83) * 6.0 / 3.0;
+        assert!((scores[&e] - expected).abs() < 1e-9, "E = {}, expected {expected}", scores[&e]);
     }
 
     #[test]

@@ -290,8 +290,8 @@ mod tests {
         for i in 0..g.edge_count() {
             let e = EdgeId(i);
             let (u, v) = g.edge_endpoints(e);
-            let blue = (u == nodes[0][0] && v == nodes[1][0])
-                || (u == nodes[1][0] && v == nodes[2][0]);
+            let blue =
+                (u == nodes[0][0] && v == nodes[1][0]) || (u == nodes[1][0] && v == nodes[2][0]);
             colors.insert(e, blue);
         }
         (g, colors)
@@ -374,10 +374,8 @@ mod tests {
             .filter(|c| c.edges.iter().all(|&e| colors[&e]))
             .flat_map(|c| c.edges.iter().copied())
             .collect();
-        let red_pool: Vec<EdgeId> = (0..g.edge_count())
-            .map(EdgeId)
-            .filter(|e| !colors[e] && g.edge_live(*e))
-            .collect();
+        let red_pool: Vec<EdgeId> =
+            (0..g.edge_count()).map(EdgeId).filter(|e| !colors[e] && g.edge_live(*e)).collect();
         let non_blue: Vec<_> =
             cands.iter().filter(|c| !c.edges.iter().all(|&e| colors[&e])).collect();
         let mut best = usize::MAX;
@@ -388,12 +386,9 @@ mod tests {
                 .filter(|(i, _)| mask & (1 << i) != 0)
                 .map(|(_, &e)| e)
                 .collect();
-            let covers = non_blue
-                .iter()
-                .all(|c| c.edges.iter().any(|e| chosen.contains(e)));
+            let covers = non_blue.iter().all(|c| c.edges.iter().any(|e| chosen.contains(e)));
             if covers {
-                let mut total: std::collections::HashSet<EdgeId> =
-                    chosen.into_iter().collect();
+                let mut total: std::collections::HashSet<EdgeId> = chosen.into_iter().collect();
                 total.extend(blue_edges.iter().copied());
                 best = best.min(total.len());
             }

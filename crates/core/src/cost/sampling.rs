@@ -23,7 +23,8 @@ use crate::model::{Color, EdgeId, QueryGraph};
 pub fn mincut_sampling_order(g: &QueryGraph, samples: usize, rng: &mut impl Rng) -> Vec<EdgeId> {
     assert!(samples > 0, "need at least one sample");
     let open = g.open_edges();
-    let mut occurrences: std::collections::HashMap<EdgeId, usize> = std::collections::HashMap::new();
+    let mut occurrences: std::collections::HashMap<EdgeId, usize> =
+        std::collections::HashMap::new();
 
     for _ in 0..samples {
         // Sample a coloring.
@@ -47,8 +48,7 @@ pub fn mincut_sampling_order(g: &QueryGraph, samples: usize, rng: &mut impl Rng)
         }
     }
 
-    let mut selected: Vec<(EdgeId, usize)> =
-        occurrences.iter().map(|(&e, &n)| (e, n)).collect();
+    let mut selected: Vec<(EdgeId, usize)> = occurrences.iter().map(|(&e, &n)| (e, n)).collect();
     // Occurrence count descending; ties by id for determinism.
     selected.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     let mut order: Vec<EdgeId> = selected.into_iter().map(|(e, _)| e).collect();

@@ -9,10 +9,10 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use cdb_crowd::{SimulatedPlatform, Task, TaskId, WorkerId};
+use cdb_crowd::{CrowdPlatform, SimulatedPlatform, Task, TaskId, WorkerId};
 use cdb_quality::{
-    bayesian_posterior_difficulty, em_truth_inference, majority_vote, select_top_k_tasks,
-    EmConfig, TaskAnswers,
+    bayesian_posterior_difficulty, em_truth_inference, majority_vote, select_top_k_tasks, EmConfig,
+    TaskAnswers,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -133,10 +133,14 @@ pub fn true_answers(g: &QueryGraph, truth: &EdgeTruth) -> Vec<Candidate> {
 }
 
 /// Executes one query graph against a crowd platform.
-pub struct Executor<'a> {
+///
+/// Generic over [`CrowdPlatform`] so the same round loop drives both the
+/// sequential [`SimulatedPlatform`] (the default) and `cdb-runtime`'s
+/// concurrent, fault-injecting engine.
+pub struct Executor<'a, P: CrowdPlatform = SimulatedPlatform> {
     graph: QueryGraph,
     truth: &'a EdgeTruth,
-    platform: &'a mut SimulatedPlatform,
+    platform: &'a mut P,
     cfg: ExecutorConfig,
     /// All single-choice answers so far: task -> (worker, 0=yes/1=no).
     votes: HashMap<EdgeId, Vec<(WorkerId, usize)>>,
@@ -146,16 +150,25 @@ pub struct Executor<'a> {
     rng: StdRng,
 }
 
-impl<'a> Executor<'a> {
+impl<'a, P: CrowdPlatform> Executor<'a, P> {
     /// Create an executor over a snapshot of the graph.
     pub fn new(
         graph: QueryGraph,
         truth: &'a EdgeTruth,
-        platform: &'a mut SimulatedPlatform,
+        platform: &'a mut P,
         cfg: ExecutorConfig,
     ) -> Self {
         let rng = StdRng::seed_from_u64(cfg.seed);
-        Executor { graph, truth, platform, cfg, votes: HashMap::new(), qualities: HashMap::new(), asked: BTreeSet::new(), rng }
+        Executor {
+            graph,
+            truth,
+            platform,
+            cfg,
+            votes: HashMap::new(),
+            qualities: HashMap::new(),
+            asked: BTreeSet::new(),
+            rng,
+        }
     }
 
     /// Seed worker-quality priors from history (§2.1 worker metadata):
@@ -234,8 +247,7 @@ impl<'a> Executor<'a> {
                     order.into_iter().take(1).collect()
                 }
             };
-            let batch: Vec<EdgeId> =
-                batch.into_iter().take(remaining_budget).collect();
+            let batch: Vec<EdgeId> = batch.into_iter().take(remaining_budget).collect();
             if batch.is_empty() {
                 break;
             }
@@ -333,8 +345,11 @@ impl<'a> Executor<'a> {
         match self.cfg.quality {
             QualityStrategy::MajorityVote => {
                 for &e in batch {
-                    let votes: Vec<usize> =
-                        self.votes.get(&e).map(|v| v.iter().map(|&(_, c)| c).collect()).unwrap_or_default();
+                    let votes: Vec<usize> = self
+                        .votes
+                        .get(&e)
+                        .map(|v| v.iter().map(|&(_, c)| c).collect())
+                        .unwrap_or_default();
                     let yes = majority_vote(&votes, 2) == 0;
                     self.graph.set_color(e, if yes { Color::Blue } else { Color::Red });
                 }
@@ -388,8 +403,8 @@ mod tests {
         for i in 0..g.edge_count() {
             let e = EdgeId(i);
             let (u, v) = g.edge_endpoints(e);
-            let blue = (u == nodes[0][0] && v == nodes[1][0])
-                || (u == nodes[1][0] && v == nodes[2][0]);
+            let blue =
+                (u == nodes[0][0] && v == nodes[1][0]) || (u == nodes[1][0] && v == nodes[2][0]);
             truth.insert(e, blue);
         }
         (g, truth)
@@ -403,8 +418,7 @@ mod tests {
     fn perfect_workers_find_exactly_the_true_answers() {
         let (g, truth) = fixture();
         let mut p = platform(1.0, 20, 1);
-        let stats =
-            Executor::new(g.clone(), &truth, &mut p, ExecutorConfig::default()).run();
+        let stats = Executor::new(g.clone(), &truth, &mut p, ExecutorConfig::default()).run();
         assert_eq!(stats.answers.len(), 1);
         let expected: BTreeSet<Vec<NodeId>> =
             true_answers(&g, &truth).into_iter().map(|c| c.binding).collect();

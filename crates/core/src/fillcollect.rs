@@ -11,11 +11,9 @@
 //!   Deco baseline) contributions are independent draws and duplicates
 //!   burn budget like a coupon collector.
 
-use cdb_crowd::{
-    Answer, AutocompleteStore, SimulatedPlatform, Task, TaskId, TaskKind,
-};
-use cdb_similarity::{SimilarityFn, SimilarityMeasure};
+use cdb_crowd::{Answer, AutocompleteStore, SimulatedPlatform, Task, TaskId, TaskKind};
 use cdb_quality::pivot_answer;
+use cdb_similarity::{SimilarityFn, SimilarityMeasure};
 use rand::Rng;
 
 /// FILL configuration.
@@ -77,7 +75,7 @@ pub fn execute_fill(
         };
         let first = if cfg.early_stop { cfg.first_phase } else { cfg.redundancy };
         let mut answers: Vec<String> = platform
-            .ask_round(&[task.clone()], first)
+            .ask_round(std::slice::from_ref(&task), first)
             .into_iter()
             .filter_map(|a| match a.answer {
                 Answer::Text(s) => Some(s),
@@ -94,9 +92,8 @@ pub fn execute_fill(
                 _ => None,
             }));
         }
-        let value = pivot_answer(&answers, cfg.similarity)
-            .map(|p| answers[p].clone())
-            .unwrap_or_default();
+        let value =
+            pivot_answer(&answers, cfg.similarity).map(|p| answers[p].clone()).unwrap_or_default();
         if value == *truth {
             correct += 1;
         }
@@ -260,8 +257,8 @@ mod tests {
     /// sharing only a pattern word stay below the dedup threshold).
     fn truths(n: usize) -> Vec<String> {
         const W1: [&str; 16] = [
-            "Quantum", "Marine", "Alpine", "Desert", "Velvet", "Urban", "Rustic", "Ember",
-            "Lunar", "Arctic", "Tropic", "Harbor", "Island", "Valley", "Summit", "Prairie",
+            "Quantum", "Marine", "Alpine", "Desert", "Velvet", "Urban", "Rustic", "Ember", "Lunar",
+            "Arctic", "Tropic", "Harbor", "Island", "Valley", "Summit", "Prairie",
         ];
         const W2: [&str; 16] = [
             "Physics", "Biology", "History", "Letters", "Commerce", "Medicine", "Forestry",
@@ -278,11 +275,8 @@ mod tests {
         let mut p1 = platform(0.97, 1);
         let cdb = execute_fill(&t, &mut p1, &FillConfig::default());
         let mut p2 = platform(0.97, 1);
-        let deco = execute_fill(
-            &t,
-            &mut p2,
-            &FillConfig { early_stop: false, ..FillConfig::default() },
-        );
+        let deco =
+            execute_fill(&t, &mut p2, &FillConfig { early_stop: false, ..FillConfig::default() });
         assert_eq!(deco.questions, 250);
         assert!(cdb.questions < deco.questions, "{} !< {}", cdb.questions, deco.questions);
         // Around 3 per slot with high-quality workers.

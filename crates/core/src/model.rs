@@ -105,7 +105,12 @@ pub struct QueryGraph {
 impl QueryGraph {
     /// An empty graph; parts, nodes and edges are added by the builder.
     pub fn new() -> Self {
-        QueryGraph { parts: Vec::new(), nodes: Vec::new(), edges: Vec::new(), predicates: Vec::new() }
+        QueryGraph {
+            parts: Vec::new(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            predicates: Vec::new(),
+        }
     }
 
     /// Add a part; returns its id.
@@ -116,7 +121,12 @@ impl QueryGraph {
     }
 
     /// Add a vertex to a part.
-    pub fn add_node(&mut self, part: PartId, tuple: Option<TupleId>, label: impl Into<String>) -> NodeId {
+    pub fn add_node(
+        &mut self,
+        part: PartId,
+        tuple: Option<TupleId>,
+        label: impl Into<String>,
+    ) -> NodeId {
         let id = NodeId(self.nodes.len());
         self.nodes.push(NodeInfo { part, tuple, label: label.into(), adj: Vec::new() });
         self.parts[part.0].nodes.push(id);
@@ -124,7 +134,13 @@ impl QueryGraph {
     }
 
     /// Register a predicate between two parts; returns its index.
-    pub fn add_predicate(&mut self, a: PartId, b: PartId, crowd: bool, description: impl Into<String>) -> usize {
+    pub fn add_predicate(
+        &mut self,
+        a: PartId,
+        b: PartId,
+        crowd: bool,
+        description: impl Into<String>,
+    ) -> usize {
         assert_ne!(a, b, "predicate must connect two different parts");
         self.predicates.push(PredicateInfo { a, b, crowd, description: description.into() });
         self.predicates.len() - 1
@@ -321,7 +337,11 @@ pub(crate) mod testgraph {
         for (pi, &p) in parts.iter().enumerate() {
             let mut row = Vec::new();
             for t in 0..2 {
-                row.push(g.add_node(p, Some(TupleId::new(format!("T{pi}"), t)), format!("{pi}:{t}")));
+                row.push(g.add_node(
+                    p,
+                    Some(TupleId::new(format!("T{pi}"), t)),
+                    format!("{pi}:{t}"),
+                ));
             }
             nodes.push(row);
         }

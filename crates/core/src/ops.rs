@@ -233,7 +233,7 @@ mod tests {
     use cdb_crowd::{Market, WorkerPool};
 
     fn platform(acc: f64, seed: u64) -> SimulatedPlatform {
-        SimulatedPlatform::new(Market::Amt, WorkerPool::with_accuracies(&vec![acc; 20]), seed)
+        SimulatedPlatform::new(Market::Amt, WorkerPool::with_accuracies(&[acc; 20]), seed)
     }
 
     #[test]

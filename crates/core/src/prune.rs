@@ -53,17 +53,14 @@ fn arc_consistency(g: &mut QueryGraph) -> Vec<EdgeId> {
     }
     let mut support: Vec<Vec<usize>> = (0..n)
         .map(|i| {
-            pred_slots[i]
-                .iter()
-                .map(|&p| g.live_edges_for_predicate(NodeId(i), p).len())
-                .collect()
+            pred_slots[i].iter().map(|&p| g.live_edges_for_predicate(NodeId(i), p).len()).collect()
         })
         .collect();
 
     let mut dead = vec![false; n];
     let mut queue: Vec<NodeId> = Vec::new();
     for i in 0..n {
-        if support[i].iter().any(|&s| s == 0) && !pred_slots[i].is_empty() {
+        if support[i].contains(&0) && !pred_slots[i].is_empty() {
             dead[i] = true;
             queue.push(NodeId(i));
         }

@@ -92,9 +92,7 @@ pub fn analyze_select(query: &SelectQuery, db: &Database) -> crate::Result<Analy
     // Resolve tables.
     let mut tables = Vec::with_capacity(query.tables.len());
     for t in &query.tables {
-        let table = db
-            .table(t)
-            .map_err(|_| CqlError::Semantic(format!("unknown table `{t}`")))?;
+        let table = db.table(t).map_err(|_| CqlError::Semantic(format!("unknown table `{t}`")))?;
         if tables.contains(&table.name().to_string()) {
             return Err(CqlError::Semantic(format!("table `{t}` listed twice in FROM")));
         }
@@ -107,9 +105,7 @@ pub fn analyze_select(query: &SelectQuery, db: &Database) -> crate::Result<Analy
                 let table = tables
                     .iter()
                     .find(|name| name.eq_ignore_ascii_case(t))
-                    .ok_or_else(|| {
-                        CqlError::Semantic(format!("table `{t}` not in FROM clause"))
-                    })?;
+                    .ok_or_else(|| CqlError::Semantic(format!("table `{t}` not in FROM clause")))?;
                 let schema = db.table(table).expect("resolved above").schema();
                 let col = schema.column(&cref.column).ok_or_else(|| {
                     CqlError::Semantic(format!("unknown column `{}` in `{t}`", cref.column))
@@ -152,12 +148,10 @@ pub fn analyze_select(query: &SelectQuery, db: &Database) -> crate::Result<Analy
             for cref in cols {
                 if cref.column == "*" {
                     let t = cref.table.as_deref().expect("parser only makes Table.*");
-                    let table = tables
-                        .iter()
-                        .find(|name| name.eq_ignore_ascii_case(t))
-                        .ok_or_else(|| {
-                            CqlError::Semantic(format!("table `{t}` not in FROM clause"))
-                        })?;
+                    let table =
+                        tables.iter().find(|name| name.eq_ignore_ascii_case(t)).ok_or_else(
+                            || CqlError::Semantic(format!("table `{t}` not in FROM clause")),
+                        )?;
                     for col in db.table(table).expect("resolved above").schema().columns() {
                         projection
                             .push(BoundColumn { table: table.clone(), column: col.name.clone() });

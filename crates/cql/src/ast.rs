@@ -217,22 +217,14 @@ mod tests {
 
     #[test]
     fn predicate_classification() {
-        let cj = Predicate::CrowdJoin {
-            left: ColumnRef::bare("a"),
-            right: ColumnRef::bare("b"),
-        };
+        let cj = Predicate::CrowdJoin { left: ColumnRef::bare("a"), right: ColumnRef::bare("b") };
         assert!(cj.is_crowd());
         assert!(cj.is_join());
-        let eq = Predicate::Equal {
-            column: ColumnRef::bare("a"),
-            value: Literal::Str("x".into()),
-        };
+        let eq = Predicate::Equal { column: ColumnRef::bare("a"), value: Literal::Str("x".into()) };
         assert!(!eq.is_crowd());
         assert!(!eq.is_join());
-        let ce = Predicate::CrowdEqual {
-            column: ColumnRef::bare("a"),
-            value: Literal::Str("x".into()),
-        };
+        let ce =
+            Predicate::CrowdEqual { column: ColumnRef::bare("a"), value: Literal::Str("x".into()) };
         assert!(ce.is_crowd());
         assert!(!ce.is_join());
     }

@@ -143,14 +143,18 @@ pub fn tokenize(input: &str) -> crate::Result<Vec<Token>> {
                 }
                 out.push(Token::Str(s));
             }
-            c if c.is_ascii_digit() || (c == '-' && matches!(bytes.get(i + 1), Some(d) if d.is_ascii_digit())) => {
+            c if c.is_ascii_digit()
+                || (c == '-' && matches!(bytes.get(i + 1), Some(d) if d.is_ascii_digit())) =>
+            {
                 let start = i;
                 i += 1;
                 while matches!(bytes.get(i), Some(d) if d.is_ascii_digit()) {
                     i += 1;
                 }
                 let mut is_float = false;
-                if matches!(bytes.get(i), Some('.')) && matches!(bytes.get(i + 1), Some(d) if d.is_ascii_digit()) {
+                if matches!(bytes.get(i), Some('.'))
+                    && matches!(bytes.get(i + 1), Some(d) if d.is_ascii_digit())
+                {
                     is_float = true;
                     i += 1;
                     while matches!(bytes.get(i), Some(d) if d.is_ascii_digit()) {
@@ -202,10 +206,7 @@ mod tests {
     #[test]
     fn identifiers_and_dots() {
         let t = tokenize("Paper.title").unwrap();
-        assert_eq!(
-            t,
-            vec![Token::Ident("Paper".into()), Token::Dot, Token::Ident("title".into())]
-        );
+        assert_eq!(t, vec![Token::Ident("Paper".into()), Token::Dot, Token::Ident("title".into())]);
     }
 
     #[test]
@@ -231,14 +232,7 @@ mod tests {
         let t = tokenize("(*, = ;)").unwrap();
         assert_eq!(
             t,
-            vec![
-                Token::LParen,
-                Token::Star,
-                Token::Comma,
-                Token::Eq,
-                Token::Semi,
-                Token::RParen
-            ]
+            vec![Token::LParen, Token::Star, Token::Comma, Token::Eq, Token::Semi, Token::RParen]
         );
     }
 

@@ -251,11 +251,7 @@ impl Parser {
         self.expect_kw(Keyword::By)?;
         self.expect_kw(Keyword::Crowd)?;
         let column = self.column_ref()?;
-        let descending = if self.eat_kw(Keyword::Desc) {
-            true
-        } else {
-            !self.eat_kw(Keyword::Asc)
-        };
+        let descending = if self.eat_kw(Keyword::Desc) { true } else { !self.eat_kw(Keyword::Asc) };
         Ok(Some(CrowdPostOp { column, descending }))
     }
 
@@ -343,10 +339,7 @@ mod tests {
 
     #[test]
     fn parse_traditional_predicates() {
-        let stmt = parse(
-            "SELECT * FROM A, B WHERE A.x = B.y AND A.z = \"v\" AND A.n = 5",
-        )
-        .unwrap();
+        let stmt = parse("SELECT * FROM A, B WHERE A.x = B.y AND A.z = \"v\" AND A.n = 5").unwrap();
         let Statement::Select(q) = stmt else { panic!() };
         assert!(matches!(q.predicates[0], Predicate::EquiJoin { .. }));
         assert!(matches!(q.predicates[1], Predicate::Equal { value: Literal::Str(_), .. }));
@@ -382,8 +375,7 @@ mod tests {
 
     #[test]
     fn parse_fill_with_filter() {
-        let stmt =
-            parse("FILL Researcher.affiliation WHERE Researcher.gender = 'female'").unwrap();
+        let stmt = parse("FILL Researcher.affiliation WHERE Researcher.gender = 'female'").unwrap();
         let Statement::Fill(f) = stmt else { panic!() };
         assert_eq!(f.table, "Researcher");
         assert_eq!(f.column, "affiliation");

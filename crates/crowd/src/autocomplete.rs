@@ -51,12 +51,7 @@ impl AutocompleteStore {
     /// (`sim >= dedup_threshold` under `f`), the contribution is counted
     /// against that canonical value and `false` ("not new") is returned;
     /// otherwise the value is inserted as a new canonical entry.
-    pub fn contribute(
-        &mut self,
-        value: &str,
-        f: SimilarityFn,
-        dedup_threshold: f64,
-    ) -> bool {
+    pub fn contribute(&mut self, value: &str, f: SimilarityFn, dedup_threshold: f64) -> bool {
         // Exact match fast path.
         if let Some(count) = self.values.get_mut(value) {
             *count += 1;

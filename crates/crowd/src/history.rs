@@ -65,7 +65,11 @@ impl WorkerHistory {
     /// quality is an answer-count-weighted average of the old estimate and
     /// the new one, so prolific workers' records are stable while new
     /// workers converge quickly.
-    pub fn update(&mut self, estimates: &HashMap<WorkerId, f64>, answers_per_worker: &HashMap<WorkerId, usize>) {
+    pub fn update(
+        &mut self,
+        estimates: &HashMap<WorkerId, f64>,
+        answers_per_worker: &HashMap<WorkerId, usize>,
+    ) {
         for (&w, &q) in estimates {
             let new_answers = answers_per_worker.get(&w).copied().unwrap_or(1).max(1);
             let entry = self.records.entry(w).or_insert(WorkerRecord {
@@ -89,12 +93,8 @@ impl WorkerHistory {
     /// Workers whose historical quality is below `threshold` — candidates
     /// for exclusion from future assignment.
     pub fn blocklist(&self, threshold: f64) -> Vec<WorkerId> {
-        let mut out: Vec<WorkerId> = self
-            .records
-            .iter()
-            .filter(|(_, r)| r.quality < threshold)
-            .map(|(&w, _)| w)
-            .collect();
+        let mut out: Vec<WorkerId> =
+            self.records.iter().filter(|(_, r)| r.quality < threshold).map(|(&w, _)| w).collect();
         out.sort();
         out
     }

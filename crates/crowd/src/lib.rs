@@ -19,17 +19,23 @@
 mod autocomplete;
 mod history;
 mod hit;
+mod latency;
 mod log;
 mod market_deploy;
+mod pending;
 mod platform;
+mod stream;
 mod task;
 mod worker;
 
 pub use autocomplete::AutocompleteStore;
 pub use history::{WorkerHistory, WorkerRecord};
 pub use hit::{pack_hits, Hit, HitConfig};
+pub use latency::{LatencyModel, SimTime};
 pub use log::{Assignment, AssignmentLog};
 pub use market_deploy::{CrossMarketDeployer, MarketSlot};
-pub use platform::{Market, SimulatedPlatform};
+pub use pending::{OpenRound, PendingAssignment};
+pub use platform::{simulate_answer_with, CrowdPlatform, Market, SimulatedPlatform, TaskAssigner};
+pub use stream::{stream_key, stream_rng};
 pub use task::{join_difficulty, Answer, Task, TaskId, TaskKind};
 pub use worker::{Worker, WorkerId, WorkerPool};

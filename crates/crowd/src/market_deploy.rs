@@ -101,11 +101,7 @@ mod tests {
 
     fn slot(market: Market, share: f64, acc: f64, seed: u64) -> MarketSlot {
         MarketSlot {
-            platform: SimulatedPlatform::new(
-                market,
-                WorkerPool::with_accuracies(&vec![acc; 10]),
-                seed,
-            ),
+            platform: SimulatedPlatform::new(market, WorkerPool::with_accuracies(&[acc; 10]), seed),
             share,
         }
     }
@@ -138,8 +134,7 @@ mod tests {
         // 7 tasks across 3 equal shares: 3 + 2 + 2.
         let out = d.ask_round(&tasks(7), 1);
         assert_eq!(out.len(), 7);
-        let covered: usize =
-            (0..3).map(|i| d.platform(i).log().task_count()).sum();
+        let covered: usize = (0..3).map(|i| d.platform(i).log().task_count()).sum();
         assert_eq!(covered, 7);
     }
 

@@ -1,0 +1,198 @@
+//! Non-blocking answer collection with per-assignment deadlines.
+//!
+//! [`SimulatedPlatform::publish_round`](crate::SimulatedPlatform::publish_round)
+//! returns an [`OpenRound`] instead of blocking: answers are *pending*
+//! until the virtual clock reaches their arrival instant, and each
+//! assignment carries a deadline after which the requester may reassign
+//! the task to a different worker. This is the substrate `cdb-runtime`
+//! builds its event loop on.
+
+use crate::latency::SimTime;
+use crate::{Answer, Assignment, TaskId, Worker};
+
+/// One in-flight assignment: dispatched to a worker, answer not yet in.
+#[derive(Debug, Clone)]
+pub struct PendingAssignment {
+    /// The task the worker is answering.
+    pub task: TaskId,
+    /// The worker it was assigned to.
+    pub worker: Worker,
+    /// The answer the worker will submit when they respond — pre-drawn at
+    /// dispatch so that arrival order cannot change its value.
+    pub answer: Answer,
+    /// Virtual instant the assignment was dispatched.
+    pub dispatched_at: SimTime,
+    /// Virtual instant the answer arrives; `None` when the worker dropped
+    /// out or abandoned the HIT and will never respond.
+    pub arrives_at: Option<SimTime>,
+    /// Per-assignment deadline, after which the requester reassigns.
+    pub deadline: SimTime,
+    /// 0 for the original dispatch; incremented on each reassignment.
+    pub attempt: u32,
+}
+
+impl PendingAssignment {
+    /// True once the virtual clock has reached the arrival instant.
+    pub fn arrived_by(&self, now: SimTime) -> bool {
+        matches!(self.arrives_at, Some(t) if t <= now)
+    }
+
+    /// True when the deadline has passed without the answer arriving in
+    /// time: the trigger for reassignment.
+    pub fn overdue_at(&self, now: SimTime) -> bool {
+        now >= self.deadline && !self.arrived_by(self.deadline)
+    }
+
+    /// Turn an arrived pending assignment into a log-ready [`Assignment`].
+    pub fn into_assignment(self, round: usize) -> Assignment {
+        Assignment { task: self.task, worker: self.worker.id, answer: self.answer, round }
+    }
+}
+
+/// A published batch whose answers are collected as virtual time advances —
+/// the non-blocking counterpart of a synchronous round.
+#[derive(Debug, Default)]
+pub struct OpenRound {
+    /// Round number the collected assignments will be recorded under.
+    pub round: usize,
+    /// Still-in-flight assignments.
+    pub pending: Vec<PendingAssignment>,
+}
+
+impl OpenRound {
+    /// Remove and return every assignment whose answer has arrived by
+    /// `now`, in deterministic (arrival, task, worker) order.
+    pub fn collect_arrived(&mut self, now: SimTime) -> Vec<Assignment> {
+        let mut arrived = Vec::new();
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].arrived_by(now) {
+                arrived.push(self.pending.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        arrived.sort_by_key(|p| (p.arrives_at, p.task, p.worker.id, p.attempt));
+        let round = self.round;
+        arrived.into_iter().map(|p| p.into_assignment(round)).collect()
+    }
+
+    /// Remove and return every assignment past its deadline with no answer
+    /// in time, in deterministic (deadline, task, worker) order — the
+    /// caller decides whether to reassign each one.
+    pub fn take_overdue(&mut self, now: SimTime) -> Vec<PendingAssignment> {
+        let mut overdue = Vec::new();
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].overdue_at(now) {
+                overdue.push(self.pending.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        overdue.sort_by_key(|p| (p.deadline, p.task, p.worker.id, p.attempt));
+        overdue
+    }
+
+    /// The earliest virtual instant strictly after `now` at which
+    /// [`OpenRound::collect_arrived`] or [`OpenRound::take_overdue`] could
+    /// yield more work, or `None` when nothing is pending.
+    pub fn next_event_after(&self, now: SimTime) -> Option<SimTime> {
+        self.pending
+            .iter()
+            .flat_map(|p| {
+                let arrival = p.arrives_at.filter(|&t| t <= p.deadline);
+                [arrival, Some(p.deadline)]
+            })
+            .flatten()
+            .filter(|&t| t > now)
+            .min()
+    }
+
+    /// Number of assignments still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True once every pending assignment has arrived or timed out and
+    /// been taken.
+    pub fn is_drained(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkerId;
+
+    fn pending(
+        task: u64,
+        worker: u32,
+        arrives_at: Option<SimTime>,
+        deadline: SimTime,
+    ) -> PendingAssignment {
+        PendingAssignment {
+            task: TaskId(task),
+            worker: Worker { id: WorkerId(worker), accuracy: 1.0 },
+            answer: Answer::Choice(0),
+            dispatched_at: 0,
+            arrives_at,
+            deadline,
+            attempt: 0,
+        }
+    }
+
+    #[test]
+    fn arrivals_are_collected_in_time_order() {
+        let mut open = OpenRound {
+            round: 2,
+            pending: vec![
+                pending(1, 0, Some(50), 100),
+                pending(2, 1, Some(20), 100),
+                pending(3, 2, Some(80), 100),
+            ],
+        };
+        assert_eq!(open.collect_arrived(10).len(), 0);
+        let got = open.collect_arrived(60);
+        assert_eq!(got.iter().map(|a| a.task).collect::<Vec<_>>(), vec![TaskId(2), TaskId(1)]);
+        assert!(got.iter().all(|a| a.round == 2));
+        assert_eq!(open.in_flight(), 1);
+        open.collect_arrived(100);
+        assert!(open.is_drained());
+    }
+
+    #[test]
+    fn overdue_covers_late_and_never_arriving_answers() {
+        let mut open = OpenRound {
+            round: 0,
+            pending: vec![
+                pending(1, 0, Some(150), 100), // late: arrives after deadline
+                pending(2, 1, None, 100),      // abandoned: never arrives
+                pending(3, 2, Some(90), 100),  // in time
+            ],
+        };
+        assert!(open.take_overdue(99).is_empty());
+        let overdue = open.take_overdue(100);
+        assert_eq!(overdue.iter().map(|p| p.task).collect::<Vec<_>>(), vec![TaskId(1), TaskId(2)]);
+        // The in-time answer is still collectable.
+        assert_eq!(open.collect_arrived(100).len(), 1);
+    }
+
+    #[test]
+    fn next_event_walks_arrivals_then_deadlines() {
+        let open = OpenRound {
+            round: 0,
+            pending: vec![pending(1, 0, Some(40), 100), pending(2, 1, None, 70)],
+        };
+        assert_eq!(open.next_event_after(0), Some(40));
+        assert_eq!(open.next_event_after(40), Some(70));
+        assert_eq!(open.next_event_after(70), Some(100));
+        assert_eq!(open.next_event_after(100), None);
+        // A late arrival (after its own deadline) is not an event; the
+        // deadline is.
+        let late = OpenRound { round: 0, pending: vec![pending(1, 0, Some(150), 100)] };
+        assert_eq!(late.next_event_after(0), Some(100));
+        assert_eq!(late.next_event_after(100), None);
+    }
+}

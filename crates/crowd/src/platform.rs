@@ -3,7 +3,11 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{Answer, Assignment, AssignmentLog, Task, TaskId, TaskKind, Worker, WorkerId, WorkerPool};
+use crate::latency::{LatencyModel, SimTime};
+use crate::pending::{OpenRound, PendingAssignment};
+use crate::{
+    Answer, Assignment, AssignmentLog, Task, TaskId, TaskKind, Worker, WorkerId, WorkerPool,
+};
 
 /// The crowdsourcing markets CDB deploys on (§2.1). The distinction that
 /// matters for optimization: AMT's developer model lets the requester's
@@ -45,7 +49,13 @@ pub struct SimulatedPlatform {
 impl SimulatedPlatform {
     /// Create a platform over a worker pool with a deterministic seed.
     pub fn new(market: Market, pool: WorkerPool, seed: u64) -> Self {
-        SimulatedPlatform { market, pool, rng: StdRng::seed_from_u64(seed), log: AssignmentLog::new(), round: 0 }
+        SimulatedPlatform {
+            market,
+            pool,
+            rng: StdRng::seed_from_u64(seed),
+            log: AssignmentLog::new(),
+            round: 0,
+        }
     }
 
     /// Which market this simulates.
@@ -108,7 +118,7 @@ impl SimulatedPlatform {
         tasks: &[Task],
         redundancy: usize,
         batch_size: usize,
-        assigner: &mut dyn FnMut(&Worker, &[&Task], &AssignmentLog) -> Vec<TaskId>,
+        assigner: &mut TaskAssigner,
     ) -> Vec<Assignment> {
         assert!(
             self.market.supports_online_assignment(),
@@ -165,56 +175,217 @@ impl SimulatedPlatform {
     }
 
     /// Generate one worker's answer to one task according to the latent
-    /// accuracy model.
+    /// accuracy model, drawing from the platform's own RNG.
     pub fn simulate_answer(&mut self, worker: Worker, task: &Task) -> Answer {
-        // Difficulty-aware accuracy: easy tasks (difficulty -> 0) are
-        // answered correctly almost always, hard tasks at the worker's
-        // latent accuracy (the flat model of the paper's simulation).
-        let eff = worker.accuracy + (1.0 - worker.accuracy) * (1.0 - task.difficulty) * 0.9;
-        match (&task.kind, &task.truth) {
-            (TaskKind::SingleChoice { choices, .. }, Some(Answer::Choice(truth))) => {
-                if self.rng.gen::<f64>() < eff || choices.len() <= 1 {
-                    Answer::Choice(*truth)
-                } else {
-                    // Uniform over the wrong choices.
-                    let mut c = self.rng.gen_range(0..choices.len() - 1);
-                    if c >= *truth {
-                        c += 1;
-                    }
-                    Answer::Choice(c)
-                }
-            }
-            (TaskKind::MultiChoice { choices, .. }, Some(Answer::Choices(truth))) => {
-                // Membership of each choice is reported correctly with
-                // probability `accuracy`, independently (the paper
-                // decomposes a multi-choice task into ℓ single-choice
-                // membership tasks).
-                let mut picked = Vec::new();
-                for i in 0..choices.len() {
-                    let in_truth = truth.binary_search(&i).is_ok();
-                    let correct = self.rng.gen::<f64>() < eff;
-                    if in_truth == correct {
-                        picked.push(i);
-                    }
-                }
-                Answer::Choices(picked)
-            }
-            (TaskKind::FillInBlank { .. }, Some(Answer::Text(truth)))
-            | (TaskKind::Collection { .. }, Some(Answer::Text(truth))) => {
-                if self.rng.gen::<f64>() < eff {
-                    Answer::Text(truth.clone())
-                } else {
-                    Answer::Text(corrupt(truth, &mut self.rng))
-                }
-            }
-            // No ground truth: return an arbitrary deterministic answer —
-            // the caller is exercising plumbing, not quality.
-            (TaskKind::SingleChoice { .. }, _) => Answer::Choice(0),
-            (TaskKind::MultiChoice { .. }, _) => Answer::Choices(vec![]),
-            (TaskKind::FillInBlank { .. } | TaskKind::Collection { .. }, _) => {
-                Answer::Text(String::new())
+        simulate_answer_with(worker, task, &mut self.rng)
+    }
+
+    /// Publish a batch *without* blocking for answers: each task goes to
+    /// `redundancy` distinct workers and every assignment gets a pre-drawn
+    /// answer plus a response-latency sample from `latency`. Nothing is
+    /// logged and the round counter does not move — the caller collects
+    /// arrivals from the returned [`OpenRound`] as virtual time advances
+    /// and calls [`SimulatedPlatform::finish_round`] when done. This is the
+    /// answers-as-they-arrive counterpart of [`SimulatedPlatform::ask_round`].
+    pub fn publish_round(
+        &mut self,
+        tasks: &[Task],
+        redundancy: usize,
+        latency: &LatencyModel,
+        deadline_ms: SimTime,
+        now: SimTime,
+    ) -> OpenRound {
+        let mut open = OpenRound { round: self.round, pending: Vec::new() };
+        for task in tasks {
+            let workers = self.pool.sample_distinct(redundancy.min(self.pool.len()), &mut self.rng);
+            for w in workers {
+                open.pending.push(self.dispatch(w, task, latency, deadline_ms, now, 0));
             }
         }
+        open
+    }
+
+    /// Dispatch one replacement assignment — the reassignment step after a
+    /// worker dropout or an expired per-assignment deadline. On markets
+    /// with online assignment the requester picks a worker outside
+    /// `exclude`; elsewhere the platform hands the task to a random worker,
+    /// excluded or not (the requester has no control). Returns `None` when
+    /// online assignment is supported but no eligible worker remains.
+    pub fn dispatch_replacement(
+        &mut self,
+        task: &Task,
+        exclude: &[WorkerId],
+        latency: &LatencyModel,
+        deadline_ms: SimTime,
+        now: SimTime,
+        attempt: u32,
+    ) -> Option<PendingAssignment> {
+        let w = if self.market.supports_online_assignment() {
+            let eligible: Vec<Worker> =
+                self.pool.workers().iter().copied().filter(|w| !exclude.contains(&w.id)).collect();
+            if eligible.is_empty() {
+                return None;
+            }
+            eligible[self.rng.gen_range(0..eligible.len())]
+        } else {
+            self.pool.workers()[self.rng.gen_range(0..self.pool.len())]
+        };
+        Some(self.dispatch(w, task, latency, deadline_ms, now, attempt))
+    }
+
+    fn dispatch(
+        &mut self,
+        w: Worker,
+        task: &Task,
+        latency: &LatencyModel,
+        deadline_ms: SimTime,
+        now: SimTime,
+        attempt: u32,
+    ) -> PendingAssignment {
+        // The answer is pre-drawn at dispatch time so that arrival order
+        // (and hence thread scheduling) can never change its value.
+        let answer = self.simulate_answer(w, task);
+        let arrives_at = Some(now + latency.sample(w.id, &mut self.rng));
+        PendingAssignment {
+            task: task.id,
+            worker: w,
+            answer,
+            dispatched_at: now,
+            arrives_at,
+            deadline: now + deadline_ms,
+            attempt,
+        }
+    }
+
+    /// Record the answers collected from a published round and advance the
+    /// round counter — the bookkeeping [`SimulatedPlatform::ask_round`]
+    /// does synchronously. Advances the counter even when `assignments` is
+    /// empty: a published round that lost every answer to faults still
+    /// consumed a round of latency.
+    pub fn finish_round(&mut self, assignments: &[Assignment]) {
+        for a in assignments {
+            self.log.record(a.clone());
+        }
+        self.round += 1;
+    }
+}
+
+/// Generate one worker's answer to one task under the latent accuracy
+/// model, using the supplied RNG — the pure core of
+/// [`SimulatedPlatform::simulate_answer`]. Exposed so the concurrent
+/// runtime can draw answers from deterministic keyed streams
+/// (`crate::stream_rng`) instead of a shared sequential RNG.
+pub fn simulate_answer_with(worker: Worker, task: &Task, rng: &mut impl Rng) -> Answer {
+    // Difficulty-aware accuracy: easy tasks (difficulty -> 0) are
+    // answered correctly almost always, hard tasks at the worker's
+    // latent accuracy (the flat model of the paper's simulation).
+    let eff = worker.accuracy + (1.0 - worker.accuracy) * (1.0 - task.difficulty) * 0.9;
+    match (&task.kind, &task.truth) {
+        (TaskKind::SingleChoice { choices, .. }, Some(Answer::Choice(truth))) => {
+            if rng.gen::<f64>() < eff || choices.len() <= 1 {
+                Answer::Choice(*truth)
+            } else {
+                // Uniform over the wrong choices.
+                let mut c = rng.gen_range(0..choices.len() - 1);
+                if c >= *truth {
+                    c += 1;
+                }
+                Answer::Choice(c)
+            }
+        }
+        (TaskKind::MultiChoice { choices, .. }, Some(Answer::Choices(truth))) => {
+            // Membership of each choice is reported correctly with
+            // probability `accuracy`, independently (the paper
+            // decomposes a multi-choice task into ℓ single-choice
+            // membership tasks).
+            let mut picked = Vec::new();
+            for i in 0..choices.len() {
+                let in_truth = truth.binary_search(&i).is_ok();
+                let correct = rng.gen::<f64>() < eff;
+                if in_truth == correct {
+                    picked.push(i);
+                }
+            }
+            Answer::Choices(picked)
+        }
+        (TaskKind::FillInBlank { .. }, Some(Answer::Text(truth)))
+        | (TaskKind::Collection { .. }, Some(Answer::Text(truth))) => {
+            if rng.gen::<f64>() < eff {
+                Answer::Text(truth.clone())
+            } else {
+                Answer::Text(corrupt(truth, rng))
+            }
+        }
+        // No ground truth: return an arbitrary deterministic answer —
+        // the caller is exercising plumbing, not quality.
+        (TaskKind::SingleChoice { .. }, _) => Answer::Choice(0),
+        (TaskKind::MultiChoice { .. }, _) => Answer::Choices(vec![]),
+        (TaskKind::FillInBlank { .. } | TaskKind::Collection { .. }, _) => {
+            Answer::Text(String::new())
+        }
+    }
+}
+
+/// The platform interface the query executor runs against. Abstracting it
+/// Requester-side online assigner: given the arriving worker, the
+/// still-open tasks and the log so far, decide which tasks the worker
+/// receives this visit.
+pub type TaskAssigner<'a> = dyn FnMut(&Worker, &[&Task], &AssignmentLog) -> Vec<TaskId> + 'a;
+
+/// lets `cdb-core`'s round loop drive either the sequential
+/// [`SimulatedPlatform`] or `cdb-runtime`'s concurrent, fault-injecting
+/// engine without a dependency cycle between those crates.
+pub trait CrowdPlatform {
+    /// Which market this platform deploys on.
+    fn market(&self) -> Market;
+
+    /// Number of completed rounds.
+    fn rounds(&self) -> usize;
+
+    /// The assignment log (all answers collected so far).
+    fn log(&self) -> &AssignmentLog;
+
+    /// Publish a batch of tasks as one round with `redundancy` answers per
+    /// task, blocking until the round completes.
+    fn ask_round(&mut self, tasks: &[Task], redundancy: usize) -> Vec<Assignment>;
+
+    /// Publish a batch as one round under requester-side online task
+    /// assignment (AMT's developer model). Implementations must panic when
+    /// [`CrowdPlatform::market`] does not support it.
+    fn ask_round_assigned(
+        &mut self,
+        tasks: &[Task],
+        redundancy: usize,
+        batch_size: usize,
+        assigner: &mut TaskAssigner,
+    ) -> Vec<Assignment>;
+}
+
+impl CrowdPlatform for SimulatedPlatform {
+    fn market(&self) -> Market {
+        SimulatedPlatform::market(self)
+    }
+
+    fn rounds(&self) -> usize {
+        SimulatedPlatform::rounds(self)
+    }
+
+    fn log(&self) -> &AssignmentLog {
+        SimulatedPlatform::log(self)
+    }
+
+    fn ask_round(&mut self, tasks: &[Task], redundancy: usize) -> Vec<Assignment> {
+        SimulatedPlatform::ask_round(self, tasks, redundancy)
+    }
+
+    fn ask_round_assigned(
+        &mut self,
+        tasks: &[Task],
+        redundancy: usize,
+        batch_size: usize,
+        assigner: &mut TaskAssigner,
+    ) -> Vec<Assignment> {
+        SimulatedPlatform::ask_round_assigned(self, tasks, redundancy, batch_size, assigner)
     }
 }
 
@@ -360,11 +531,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "does not support")]
     fn crowdflower_rejects_online_assignment() {
-        let mut p = SimulatedPlatform::new(
-            Market::CrowdFlower,
-            WorkerPool::with_accuracies(&[1.0]),
-            0,
-        );
+        let mut p =
+            SimulatedPlatform::new(Market::CrowdFlower, WorkerPool::with_accuracies(&[1.0]), 0);
         p.ask_round_assigned(&[yes_task(1)], 1, 1, &mut |_, open, _| {
             open.iter().map(|t| t.id).collect()
         });
@@ -406,5 +574,63 @@ mod tests {
         };
         let w = Worker { id: WorkerId(0), accuracy: 1.0 };
         assert_eq!(p.simulate_answer(w, &t), Answer::Choices(vec![0, 2]));
+    }
+
+    #[test]
+    fn publish_round_is_nonblocking_and_finish_round_logs() {
+        let mut p = platform(&[1.0; 8], 11);
+        let latency = LatencyModel::default();
+        let open = p.publish_round(&[yes_task(1), yes_task(2)], 3, &latency, 600_000, 0);
+        assert_eq!(open.in_flight(), 6);
+        assert_eq!(p.log().assignment_count(), 0, "publish must not log");
+        assert_eq!(p.rounds(), 0, "publish must not advance the round");
+        // Drain at the horizon: everything arrives before a 10-minute deadline
+        // only if sampled latencies allow; collect at u64::MAX-ish horizon.
+        let mut open = open;
+        let collected = open.collect_arrived(SimTime::MAX);
+        assert_eq!(collected.len(), 6);
+        assert!(collected.iter().all(|a| a.answer == Answer::Choice(0)));
+        p.finish_round(&collected);
+        assert_eq!(p.log().assignment_count(), 6);
+        assert_eq!(p.rounds(), 1);
+    }
+
+    #[test]
+    fn replacement_respects_online_assignment_exclusions() {
+        let mut p = platform(&[1.0; 3], 5);
+        let latency = LatencyModel::default();
+        let exclude = [WorkerId(0), WorkerId(1)];
+        for _ in 0..8 {
+            let r = p
+                .dispatch_replacement(&yes_task(1), &exclude, &latency, 1000, 0, 1)
+                .expect("one eligible worker remains");
+            assert_eq!(r.worker.id, WorkerId(2));
+            assert_eq!(r.attempt, 1);
+        }
+        // All workers excluded: requester-side assignment has nobody left.
+        let all = [WorkerId(0), WorkerId(1), WorkerId(2)];
+        assert!(p.dispatch_replacement(&yes_task(1), &all, &latency, 1000, 0, 1).is_none());
+    }
+
+    #[test]
+    fn replacement_without_assignment_control_ignores_exclusions() {
+        let mut p =
+            SimulatedPlatform::new(Market::CrowdFlower, WorkerPool::with_accuracies(&[1.0]), 0);
+        let latency = LatencyModel::default();
+        let r = p
+            .dispatch_replacement(&yes_task(1), &[WorkerId(0)], &latency, 1000, 0, 2)
+            .expect("random assignment always finds a worker");
+        assert_eq!(r.worker.id, WorkerId(0), "no control: excluded worker may recur");
+    }
+
+    #[test]
+    fn trait_object_drives_the_platform() {
+        let mut p = platform(&[1.0; 5], 1);
+        let dynp: &mut dyn CrowdPlatform = &mut p;
+        assert_eq!(dynp.market(), Market::Amt);
+        let asg = dynp.ask_round(&[yes_task(1)], 3);
+        assert_eq!(asg.len(), 3);
+        assert_eq!(dynp.rounds(), 1);
+        assert_eq!(dynp.log().assignment_count(), 3);
     }
 }

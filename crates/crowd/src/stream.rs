@@ -1,0 +1,71 @@
+//! Deterministic keyed RNG streams.
+//!
+//! The concurrent runtime (`cdb-runtime`) must produce byte-identical
+//! results regardless of thread count. That rules out drawing randomness
+//! from a shared sequential RNG, whose stream would depend on the order in
+//! which threads reach it. Instead, every stochastic decision is drawn
+//! from a *stream* keyed by what the decision is about — e.g.
+//! `(seed, query, round, task, attempt)` — so the value is a pure function
+//! of the key, not of scheduling.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// SplitMix64 finalizer: a fast, well-mixing 64-bit permutation.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Collapse `(root, parts...)` into one well-mixed 64-bit stream key.
+pub fn stream_key(root: u64, parts: &[u64]) -> u64 {
+    let mut h = mix64(root ^ 0x517c_c1b7_2722_0a95);
+    for &p in parts {
+        h = mix64(h ^ mix64(p));
+    }
+    h
+}
+
+/// A fresh RNG for the stream identified by `(root, parts...)`. Equal keys
+/// give equal streams; differing in any part gives an unrelated stream.
+pub fn stream_rng(root: u64, parts: &[u64]) -> StdRng {
+    StdRng::seed_from_u64(stream_key(root, parts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn equal_keys_equal_streams() {
+        let mut a = stream_rng(7, &[1, 2, 3]);
+        let mut b = stream_rng(7, &[1, 2, 3]);
+        for _ in 0..32 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn any_part_changes_the_stream() {
+        let base: Vec<u64> = (0..16).map(|_| 0).collect();
+        let mut streams = Vec::new();
+        for (i, _) in base.iter().enumerate() {
+            let mut parts = base.clone();
+            parts[i] = 1;
+            streams.push(stream_rng(7, &parts).gen::<u64>());
+        }
+        streams.push(stream_rng(7, &base).gen::<u64>());
+        streams.push(stream_rng(8, &base).gen::<u64>());
+        let distinct: std::collections::BTreeSet<u64> = streams.iter().copied().collect();
+        assert_eq!(distinct.len(), streams.len(), "streams should not collide");
+    }
+
+    #[test]
+    fn order_of_parts_matters() {
+        assert_ne!(stream_key(1, &[2, 3]), stream_key(1, &[3, 2]));
+        assert_ne!(stream_key(1, &[0]), stream_key(1, &[0, 0]));
+    }
+}

@@ -123,12 +123,7 @@ mod tests {
     fn gaussian_pool_has_spread() {
         let mut rng = StdRng::seed_from_u64(7);
         let pool = WorkerPool::gaussian(500, 0.8, 0.1, &mut rng);
-        let var = pool
-            .workers()
-            .iter()
-            .map(|w| (w.accuracy - 0.8).powi(2))
-            .sum::<f64>()
-            / 500.0;
+        let var = pool.workers().iter().map(|w| (w.accuracy - 0.8).powi(2)).sum::<f64>() / 500.0;
         assert!(var > 0.001, "variance = {var}");
     }
 

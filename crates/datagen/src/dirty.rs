@@ -140,7 +140,8 @@ mod tests {
         let mut above = 0;
         let n = 200;
         for _ in 0..n {
-            let v = variant("University of Massachusetts Amherst", &DirtConfig::default(), &mut rng);
+            let v =
+                variant("University of Massachusetts Amherst", &DirtConfig::default(), &mut rng);
             if f.similarity("University of Massachusetts Amherst", &v) >= 0.3 {
                 above += 1;
             }

@@ -22,14 +22,30 @@ pub fn paper_example_dataset() -> (Database, QueryTruth) {
         ]),
     );
     let papers = [
-        ("Michael J. Franklin", "APrivateClean: Data Cleaning and Differential Privacy.", "sigmod16"),
+        (
+            "Michael J. Franklin",
+            "APrivateClean: Data Cleaning and Differential Privacy.",
+            "sigmod16",
+        ),
         ("Samuel Madden", "Querying continuous functions in a database system.", "sigmod08"),
-        ("David J. DeWitt", "Query processing on smart SSDs: opportunities and challenges.", "acm sigmod"),
+        (
+            "David J. DeWitt",
+            "Query processing on smart SSDs: opportunities and challenges.",
+            "acm sigmod",
+        ),
         ("W. Bruce Croft", "Optimization strategies for complex queries", "sigir"),
         ("H. V. Jagadish", "CrowdMatcher: crowd-assisted schema matching", "sigmod14"),
-        ("Hector Garcia-Molina", "Exploiting Correlations for Expensive Predicate Evaluation.", "sigmod15"),
+        (
+            "Hector Garcia-Molina",
+            "Exploiting Correlations for Expensive Predicate Evaluation.",
+            "sigmod15",
+        ),
         ("Aditya G. Parameswaran", "DataSift: a crowd-powered search toolkit", "sigmod14"),
-        ("Surajit Chaudhuri", "Dynamically generating portals for entity-oriented web queries.", "sigmod10"),
+        (
+            "Surajit Chaudhuri",
+            "Dynamically generating portals for entity-oriented web queries.",
+            "sigmod10",
+        ),
     ];
     for (a, t, c) in papers {
         paper.push(vec![Value::from(a), Value::from(t), Value::from(c)]).expect("schema");
@@ -162,18 +178,9 @@ mod tests {
     #[test]
     fn truth_contains_three_answer_chains() {
         let (_, truth) = paper_example_dataset();
-        assert!(truth.joins_match(
-            &TupleId::new("Paper", 7),
-            &TupleId::new("Citation", 11)
-        ));
-        assert!(truth.joins_match(
-            &TupleId::new("Researcher", 7),
-            &TupleId::new("University", 7)
-        ));
-        assert!(!truth.joins_match(
-            &TupleId::new("Paper", 0),
-            &TupleId::new("Citation", 0)
-        ));
+        assert!(truth.joins_match(&TupleId::new("Paper", 7), &TupleId::new("Citation", 11)));
+        assert!(truth.joins_match(&TupleId::new("Researcher", 7), &TupleId::new("University", 7)));
+        assert!(!truth.joins_match(&TupleId::new("Paper", 0), &TupleId::new("Citation", 0)));
     }
 
     #[test]

@@ -12,41 +12,158 @@ pub(crate) const FIRST_NAMES: &[&str] = &[
 ];
 
 pub(crate) const LAST_NAMES: &[&str] = &[
-    "Franklin", "DeWitt", "Madden", "Garcia", "Parameswaran", "Chaudhuri", "Croft", "Jagadish",
-    "Jordan", "Dahlin", "Hunter", "Thomas", "Stone", "Rivera", "Klein", "Meyer", "Wagner",
-    "Fischer", "Weber", "Schmidt", "Keller", "Vogel", "Braun", "Krause", "Lang", "Winter",
-    "Sommer", "Brandt", "Lorenz", "Hartmann", "Schulz", "Berger", "Frank", "Kaiser", "Fuchs",
-    "Graf", "Roth", "Baumann", "Seidel", "Ernst",
+    "Franklin",
+    "DeWitt",
+    "Madden",
+    "Garcia",
+    "Parameswaran",
+    "Chaudhuri",
+    "Croft",
+    "Jagadish",
+    "Jordan",
+    "Dahlin",
+    "Hunter",
+    "Thomas",
+    "Stone",
+    "Rivera",
+    "Klein",
+    "Meyer",
+    "Wagner",
+    "Fischer",
+    "Weber",
+    "Schmidt",
+    "Keller",
+    "Vogel",
+    "Braun",
+    "Krause",
+    "Lang",
+    "Winter",
+    "Sommer",
+    "Brandt",
+    "Lorenz",
+    "Hartmann",
+    "Schulz",
+    "Berger",
+    "Frank",
+    "Kaiser",
+    "Fuchs",
+    "Graf",
+    "Roth",
+    "Baumann",
+    "Seidel",
+    "Ernst",
 ];
 
 pub(crate) const PLACE_STEMS: &[&str] = &[
-    "California", "Wisconsin", "Chicago", "Minnesota", "Massachusetts", "Michigan", "Stanford",
-    "Cambridge", "Oxford", "Toronto", "Melbourne", "Auckland", "Singapore", "Edinburgh",
-    "Heidelberg", "Uppsala", "Bologna", "Coimbra", "Salamanca", "Leiden", "Geneva", "Vienna",
-    "Prague", "Warsaw", "Helsinki", "Copenhagen", "Dublin", "Lisbon", "Athens", "Zurich",
-    "Princeton", "Columbia", "Cornell", "Berkeley", "Austin", "Seattle", "Denver", "Atlanta",
-    "Boston", "Portland",
+    "California",
+    "Wisconsin",
+    "Chicago",
+    "Minnesota",
+    "Massachusetts",
+    "Michigan",
+    "Stanford",
+    "Cambridge",
+    "Oxford",
+    "Toronto",
+    "Melbourne",
+    "Auckland",
+    "Singapore",
+    "Edinburgh",
+    "Heidelberg",
+    "Uppsala",
+    "Bologna",
+    "Coimbra",
+    "Salamanca",
+    "Leiden",
+    "Geneva",
+    "Vienna",
+    "Prague",
+    "Warsaw",
+    "Helsinki",
+    "Copenhagen",
+    "Dublin",
+    "Lisbon",
+    "Athens",
+    "Zurich",
+    "Princeton",
+    "Columbia",
+    "Cornell",
+    "Berkeley",
+    "Austin",
+    "Seattle",
+    "Denver",
+    "Atlanta",
+    "Boston",
+    "Portland",
 ];
 
 pub(crate) const COUNTRIES: &[&str] = &[
-    "USA", "UK", "Canada", "Australia", "Germany", "France", "Italy", "Spain", "Netherlands",
-    "Switzerland", "Austria", "Sweden", "Finland", "Denmark", "Ireland", "Portugal", "Greece",
-    "Poland", "Czechia", "New Zealand",
+    "USA",
+    "UK",
+    "Canada",
+    "Australia",
+    "Germany",
+    "France",
+    "Italy",
+    "Spain",
+    "Netherlands",
+    "Switzerland",
+    "Austria",
+    "Sweden",
+    "Finland",
+    "Denmark",
+    "Ireland",
+    "Portugal",
+    "Greece",
+    "Poland",
+    "Czechia",
+    "New Zealand",
 ];
 
 pub(crate) const TITLE_SUBJECTS: &[&str] = &[
-    "Query Processing", "Data Cleaning", "Entity Resolution", "Crowdsourced Joins",
-    "Similarity Search", "Schema Matching", "Truth Inference", "Task Assignment",
-    "Stream Processing", "Approximate Counting", "Index Structures", "Transaction Management",
-    "Graph Analytics", "Knowledge Bases", "Data Integration", "Privacy Preservation",
-    "Adaptive Sampling", "Workload Forecasting", "Cost Estimation", "Cardinality Estimation",
+    "Query Processing",
+    "Data Cleaning",
+    "Entity Resolution",
+    "Crowdsourced Joins",
+    "Similarity Search",
+    "Schema Matching",
+    "Truth Inference",
+    "Task Assignment",
+    "Stream Processing",
+    "Approximate Counting",
+    "Index Structures",
+    "Transaction Management",
+    "Graph Analytics",
+    "Knowledge Bases",
+    "Data Integration",
+    "Privacy Preservation",
+    "Adaptive Sampling",
+    "Workload Forecasting",
+    "Cost Estimation",
+    "Cardinality Estimation",
 ];
 
 pub(crate) const TITLE_MODIFIERS: &[&str] = &[
-    "Scalable", "Adaptive", "Crowd-Powered", "Distributed", "Incremental", "Robust",
-    "Cost-Effective", "Declarative", "Optimal", "Practical", "Interactive", "Hybrid",
-    "Progressive", "Unified", "Fine-Grained", "Holistic", "Efficient", "Principled",
-    "Learned", "Probabilistic",
+    "Scalable",
+    "Adaptive",
+    "Crowd-Powered",
+    "Distributed",
+    "Incremental",
+    "Robust",
+    "Cost-Effective",
+    "Declarative",
+    "Optimal",
+    "Practical",
+    "Interactive",
+    "Hybrid",
+    "Progressive",
+    "Unified",
+    "Fine-Grained",
+    "Holistic",
+    "Efficient",
+    "Principled",
+    "Learned",
+    "Probabilistic",
 ];
 
 pub(crate) const TITLE_SUFFIXES: &[&str] = &[
@@ -62,16 +179,32 @@ pub(crate) const TITLE_SUFFIXES: &[&str] = &[
     "for Open-World Queries",
 ];
 
-pub(crate) const CONFERENCES: &[&str] =
-    &["sigmod16", "sigmod15", "sigmod14", "vldb16", "vldb15", "icde16", "icde15", "kdd16", "sigir15", "www16"];
+pub(crate) const CONFERENCES: &[&str] = &[
+    "sigmod16", "sigmod15", "sigmod14", "vldb16", "vldb15", "icde16", "icde15", "kdd16", "sigir15",
+    "www16",
+];
 
 pub(crate) const AWARD_STEMS: &[&str] = &[
-    "Turing Award", "Best Paper Award", "Test of Time Award", "Innovation Award",
-    "Dissertation Award", "Early Career Award", "Fellowship", "Medal of Science",
-    "Achievement Award", "Research Excellence Prize", "Distinguished Service Award",
-    "Grand Challenge Prize", "Young Investigator Award", "Lifetime Achievement Award",
-    "Outstanding Contribution Award", "Pioneer Award", "Impact Award", "Rising Star Award",
-    "Community Award", "Visionary Prize",
+    "Turing Award",
+    "Best Paper Award",
+    "Test of Time Award",
+    "Innovation Award",
+    "Dissertation Award",
+    "Early Career Award",
+    "Fellowship",
+    "Medal of Science",
+    "Achievement Award",
+    "Research Excellence Prize",
+    "Distinguished Service Award",
+    "Grand Challenge Prize",
+    "Young Investigator Award",
+    "Lifetime Achievement Award",
+    "Outstanding Contribution Award",
+    "Pioneer Award",
+    "Impact Award",
+    "Rising Star Award",
+    "Community Award",
+    "Visionary Prize",
 ];
 
 /// Deterministically pick one element.
@@ -96,7 +229,7 @@ pub(crate) fn university_name(i: usize, _rng: &mut impl Rng) -> String {
     } else if round == 2 {
         format!("{stem} State University")
     } else {
-        format!("University of {stem} Campus {}", round, )
+        format!("University of {stem} Campus {}", round,)
     }
 }
 

@@ -150,12 +150,10 @@ mod tests {
         for ds in ["paper", "award"] {
             for q in queries_for(ds) {
                 let Statement::Select(sel) = parse(&q.cql).unwrap() else { panic!() };
-                let joins =
-                    sel.predicates.iter().filter(|p| p.is_join()).count();
+                let joins = sel.predicates.iter().filter(|p| p.is_join()).count();
                 let sels = sel.predicates.len() - joins;
                 let expect_j = q.label.as_bytes()[0] - b'0';
-                let expect_s =
-                    if q.label.len() > 2 { q.label.as_bytes()[2] - b'0' } else { 0 };
+                let expect_s = if q.label.len() > 2 { q.label.as_bytes()[2] - b'0' } else { 0 };
                 assert_eq!(joins, expect_j as usize, "{ds}/{}", q.label);
                 assert_eq!(sels, expect_s as usize, "{ds}/{}", q.label);
             }

@@ -246,8 +246,15 @@ pub fn award_dataset(scale: DatasetScale, seed: u64) -> Dataset {
     for i in 0..scale.t2 {
         let name = format!("{} {}", PLACE_STEMS[i % PLACE_STEMS.len()], to_suffix(i));
         let true_usa = rng.gen::<f64>() < 0.4;
-        let country =
-            if true_usa { if rng.gen::<bool>() { "USA" } else { "US" } } else { pick(&COUNTRIES[1..], &mut rng) };
+        let country = if true_usa {
+            if rng.gen::<bool>() {
+                "USA"
+            } else {
+                "US"
+            }
+        } else {
+            pick(&COUNTRIES[1..], &mut rng)
+        };
         let row = city
             .push(vec![Value::from(name.as_str()), Value::from(country)])
             .expect("schema matches");
@@ -277,7 +284,12 @@ pub fn award_dataset(scale: DatasetScale, seed: u64) -> Dataset {
         } else {
             (decoy(&city_names[j], PLACE_STEMS, &mut rng), None)
         };
-        let birthday = format!("19{:02}-{:02}-{:02}", rng.gen_range(30..99), rng.gen_range(1..13), rng.gen_range(1..29));
+        let birthday = format!(
+            "19{:02}-{:02}-{:02}",
+            rng.gen_range(30..99),
+            rng.gen_range(1..13),
+            rng.gen_range(1..29)
+        );
         let row = celebrity
             .push(vec![
                 Value::from(name.as_str()),
@@ -420,12 +432,8 @@ mod tests {
         assert!(!d.truth.selections.is_empty());
         // Roughly 65% of papers have a true researcher and 55% of
         // citations a true paper; well over a third of Paper tuples join.
-        let paper_joins = d
-            .truth
-            .joins
-            .iter()
-            .filter(|(a, b)| a.table == "Paper" || b.table == "Paper")
-            .count();
+        let paper_joins =
+            d.truth.joins.iter().filter(|(a, b)| a.table == "Paper" || b.table == "Paper").count();
         assert!(paper_joins >= d.db.table("Paper").unwrap().row_count() / 3);
     }
 

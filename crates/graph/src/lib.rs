@@ -25,13 +25,13 @@ pub fn connected_components(n: usize, edges: &[(usize, usize)]) -> Vec<usize> {
     let mut next = 0usize;
     let mut map = vec![usize::MAX; n];
     let mut out = vec![0usize; n];
-    for v in 0..n {
+    for (v, slot) in out.iter_mut().enumerate() {
         let root = dsu.find(v);
         if map[root] == usize::MAX {
             map[root] = next;
             next += 1;
         }
-        out[v] = map[root];
+        *slot = map[root];
     }
     out
 }

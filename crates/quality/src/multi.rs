@@ -84,11 +84,7 @@ mod tests {
         for i in 0..3 {
             q.insert(wid(i), 0.9);
         }
-        let answers = vec![
-            (wid(0), vec![0, 1]),
-            (wid(1), vec![0, 1]),
-            (wid(2), vec![0]),
-        ];
+        let answers = vec![(wid(0), vec![0, 1]), (wid(1), vec![0, 1]), (wid(2), vec![0])];
         assert_eq!(infer_multi_choice(TaskId(1), 3, &answers, &q), vec![0, 1]);
     }
 

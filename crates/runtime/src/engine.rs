@@ -1,0 +1,452 @@
+//! The concurrent crowd engine: a [`CrowdPlatform`] whose rounds complete
+//! as answers *arrive* in virtual time, with fault injection and
+//! deadline-driven reassignment.
+//!
+//! One engine serves one query. It wraps a per-query [`SimulatedPlatform`]
+//! and replaces the synchronous `ask_round` with an event loop:
+//!
+//! 1. publish the batch (answers and latencies pre-drawn at dispatch);
+//! 2. apply the fault plan to each dispatch (dropout / abandon / slow);
+//! 3. advance the virtual clock to the next arrival or deadline;
+//! 4. collect arrivals; reassign misses to a fresh worker within the
+//!    retry budget; optionally close tasks early once their collected
+//!    votes can no longer be overturned (CDAS-style, see `cdb-quality`);
+//! 5. the round ends when nothing is in flight.
+//!
+//! Everything the engine does is a pure function of
+//! `(platform seed, fault plan, retry policy, query id)` — no wall-clock,
+//! no thread identity — which is what makes runs replayable and
+//! thread-count-independent.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use cdb_crowd::{
+    Answer, Assignment, AssignmentLog, CrowdPlatform, LatencyModel, Market, PendingAssignment,
+    SimTime, SimulatedPlatform, Task, TaskAssigner, TaskId, TaskKind, WorkerId,
+};
+use cdb_quality::decided_choice;
+
+use crate::fault::{Fault, FaultPlan, RetryPolicy, RuntimeError};
+use crate::metrics::RuntimeMetrics;
+
+/// A fault-injecting, virtual-time crowd platform for one query.
+pub struct RuntimeEngine {
+    platform: SimulatedPlatform,
+    latency: LatencyModel,
+    plan: FaultPlan,
+    retry: RetryPolicy,
+    query_id: u64,
+    metrics: Arc<RuntimeMetrics>,
+    now: SimTime,
+    early_termination: bool,
+    error: Option<RuntimeError>,
+}
+
+impl RuntimeEngine {
+    /// Wrap a per-query platform. `metrics` may be shared across queries.
+    pub fn new(
+        platform: SimulatedPlatform,
+        latency: LatencyModel,
+        plan: FaultPlan,
+        retry: RetryPolicy,
+        query_id: u64,
+        metrics: Arc<RuntimeMetrics>,
+    ) -> Self {
+        RuntimeEngine {
+            platform,
+            latency,
+            plan,
+            retry,
+            query_id,
+            metrics,
+            now: 0,
+            early_termination: false,
+            error: None,
+        }
+    }
+
+    /// Close tasks as soon as their collected votes cannot be overturned,
+    /// cancelling that task's still-pending assignments.
+    pub fn with_early_termination(mut self, on: bool) -> Self {
+        self.early_termination = on;
+        self
+    }
+
+    /// Current virtual time (the query's makespan so far), in ms.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The fatal error, if one was latched.
+    pub fn error(&self) -> Option<&RuntimeError> {
+        self.error.as_ref()
+    }
+
+    /// Take the fatal error, leaving the engine errored-but-queryable.
+    pub fn take_error(&mut self) -> Option<RuntimeError> {
+        self.error.clone()
+    }
+
+    fn apply_faults(&self, p: &mut PendingAssignment, round: u64) {
+        // Scripted dropouts: an answer lands only if it arrives while the
+        // worker is still on the platform.
+        if let Some(arr) = p.arrives_at {
+            if self.plan.worker_dropped_by(p.worker.id, arr) {
+                p.arrives_at = None;
+                self.metrics.add_fault(Fault::Dropout);
+                return;
+            }
+        }
+        let fault = self.plan.fault_for(self.query_id, round, p.task, p.worker.id, p.attempt);
+        self.metrics.add_fault(fault);
+        match fault {
+            Fault::Dropout | Fault::Abandoned => p.arrives_at = None,
+            Fault::Slow => {
+                if let Some(arr) = p.arrives_at {
+                    let slowed = (arr - p.dispatched_at) as f64 * self.plan.slow_factor.max(1.0);
+                    p.arrives_at = Some(p.dispatched_at + slowed as SimTime);
+                }
+            }
+            Fault::None => {}
+        }
+    }
+
+    /// Latch `err`, close the round with what arrived, and return it.
+    fn fail_round(
+        &mut self,
+        err: RuntimeError,
+        collected: Vec<Assignment>,
+        round_start: SimTime,
+    ) -> Vec<Assignment> {
+        self.error = Some(err);
+        self.platform.finish_round(&collected);
+        self.metrics.add_round(self.now - round_start);
+        collected
+    }
+}
+
+impl CrowdPlatform for RuntimeEngine {
+    fn market(&self) -> Market {
+        self.platform.market()
+    }
+
+    fn rounds(&self) -> usize {
+        self.platform.rounds()
+    }
+
+    fn log(&self) -> &AssignmentLog {
+        self.platform.log()
+    }
+
+    fn ask_round(&mut self, tasks: &[Task], redundancy: usize) -> Vec<Assignment> {
+        // A latched fatal error poisons the engine: no more dispatches, so
+        // the executor's round loop runs out of answers and terminates
+        // instead of hanging.
+        if tasks.is_empty() || self.error.is_some() {
+            return Vec::new();
+        }
+        let round = self.platform.rounds() as u64;
+        let round_start = self.now;
+        let by_id: BTreeMap<TaskId, Task> = tasks.iter().map(|t| (t.id, t.clone())).collect();
+
+        let mut open = self.platform.publish_round(
+            tasks,
+            redundancy,
+            &self.latency,
+            self.retry.deadline_ms,
+            self.now,
+        );
+        self.metrics.add_dispatched(open.in_flight() as u64);
+        // Workers already tried per task — reassignment must go elsewhere.
+        let mut tried: HashMap<TaskId, Vec<WorkerId>> = HashMap::new();
+        for p in &mut open.pending {
+            tried.entry(p.task).or_default().push(p.worker.id);
+        }
+        for p in &mut open.pending {
+            self.apply_faults(p, round);
+        }
+
+        let mut collected: Vec<Assignment> = Vec::new();
+        loop {
+            let arrived = open.collect_arrived(self.now);
+            collected.extend(arrived);
+
+            if self.early_termination && !open.is_drained() {
+                cancel_decided(&by_id, &collected, redundancy, &mut open.pending);
+            }
+
+            for missed in open.take_overdue(self.now) {
+                self.metrics.add_timeout();
+                if missed.attempt >= self.retry.max_retries {
+                    let err = RuntimeError::RetryBudgetExhausted {
+                        task: missed.task,
+                        attempts: missed.attempt + 1,
+                    };
+                    return self.fail_round(err, collected, round_start);
+                }
+                self.metrics.add_retry();
+                let task = &by_id[&missed.task];
+                let exclude = tried.get(&missed.task).cloned().unwrap_or_default();
+                let replacement = self.platform.dispatch_replacement(
+                    task,
+                    &exclude,
+                    &self.latency,
+                    self.retry.deadline_ms,
+                    self.now,
+                    missed.attempt + 1,
+                );
+                match replacement {
+                    Some(mut p) => {
+                        self.metrics.add_dispatched(1);
+                        if p.worker.id != missed.worker.id {
+                            self.metrics.add_reassignment();
+                        }
+                        tried.entry(p.task).or_default().push(p.worker.id);
+                        self.apply_faults(&mut p, round);
+                        open.pending.push(p);
+                    }
+                    None => {
+                        let err = RuntimeError::NoEligibleWorker { task: missed.task };
+                        return self.fail_round(err, collected, round_start);
+                    }
+                }
+            }
+
+            if open.is_drained() {
+                break;
+            }
+            match open.next_event_after(self.now) {
+                Some(t) => self.now = t,
+                // Unreachable (every pending has a deadline), but never
+                // spin: close the round instead.
+                None => break,
+            }
+        }
+        self.platform.finish_round(&collected);
+        self.metrics.add_round(self.now - round_start);
+        collected
+    }
+
+    fn ask_round_assigned(
+        &mut self,
+        tasks: &[Task],
+        redundancy: usize,
+        batch_size: usize,
+        assigner: &mut TaskAssigner,
+    ) -> Vec<Assignment> {
+        if tasks.is_empty() || self.error.is_some() {
+            return Vec::new();
+        }
+        // The online-assignment path keeps the synchronous arrival model
+        // (workers come one at a time by construction); the virtual clock
+        // still advances by one nominal wave of responses.
+        let out = self.platform.ask_round_assigned(tasks, redundancy, batch_size, assigner);
+        self.metrics.add_dispatched(out.len() as u64);
+        let wave = self.latency.mean_ms.max(1.0) as SimTime;
+        self.now += wave;
+        self.metrics.add_round(wave);
+        out
+    }
+}
+
+/// Cancel pending assignments of single-choice tasks whose collected votes
+/// already decide the outcome (the outstanding votes cannot overturn it).
+fn cancel_decided(
+    by_id: &BTreeMap<TaskId, Task>,
+    collected: &[Assignment],
+    redundancy: usize,
+    pending: &mut Vec<PendingAssignment>,
+) {
+    let mut votes: HashMap<TaskId, Vec<usize>> = HashMap::new();
+    for a in collected {
+        if let Answer::Choice(c) = a.answer {
+            votes.entry(a.task).or_default().push(c);
+        }
+    }
+    pending.retain(|p| {
+        let Some(task) = by_id.get(&p.task) else { return true };
+        let TaskKind::SingleChoice { ref choices, .. } = task.kind else { return true };
+        let Some(v) = votes.get(&p.task) else { return true };
+        decided_choice(v, choices.len(), redundancy).is_none()
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_crowd::WorkerPool;
+
+    fn engine(accs: &[f64], seed: u64, plan: FaultPlan, retry: RetryPolicy) -> RuntimeEngine {
+        let platform = SimulatedPlatform::new(Market::Amt, WorkerPool::with_accuracies(accs), seed);
+        RuntimeEngine::new(
+            platform,
+            LatencyModel::default(),
+            plan,
+            retry,
+            0,
+            Arc::new(RuntimeMetrics::new()),
+        )
+    }
+
+    fn yes_task(id: u64) -> Task {
+        Task::join_check(TaskId(id), "MIT", "M.I.T.", true)
+    }
+
+    #[test]
+    fn faultless_round_matches_redundancy_and_advances_the_clock() {
+        let mut e = engine(&[1.0; 10], 3, FaultPlan::none(), RetryPolicy::default());
+        let asg = e.ask_round(&[yes_task(1), yes_task(2)], 5);
+        assert_eq!(asg.len(), 10);
+        assert!(asg.iter().all(|a| a.answer == Answer::Choice(0)));
+        assert!(e.now() > 0, "virtual clock must advance");
+        assert_eq!(e.rounds(), 1);
+        assert!(e.error().is_none());
+    }
+
+    #[test]
+    fn answers_arrive_over_time_not_in_lockstep() {
+        // With per-worker response times, the round's makespan is the max
+        // of the sampled latencies — not a fixed barrier. Verify arrivals
+        // span distinct virtual instants by checking the makespan exceeds
+        // the fastest worker's response.
+        let mut e = engine(&[1.0; 12], 7, FaultPlan::none(), RetryPolicy::default());
+        let asg = e.ask_round(&[yes_task(1)], 8);
+        assert_eq!(asg.len(), 8);
+        let makespan = e.now();
+        let fastest = e
+            .log()
+            .answers(TaskId(1))
+            .iter()
+            .map(|a| a.worker)
+            .map(|w| LatencyModel::default().worker_factor(w))
+            .fold(f64::INFINITY, f64::min);
+        assert!(makespan as f64 > fastest * LatencyModel::default().mean_ms * 0.1);
+    }
+
+    #[test]
+    fn identical_engines_replay_identically() {
+        let run = || {
+            let mut e = engine(&[0.8; 10], 11, FaultPlan::uniform(5, 0.3), RetryPolicy::default());
+            let a1 = e.ask_round(&[yes_task(1), yes_task(2)], 5);
+            let a2 = e.ask_round(&[yes_task(3)], 5);
+            (format!("{a1:?}"), format!("{a2:?}"), e.now())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn dropped_workers_force_reassignment_within_deadline() {
+        // First, observe which workers answer task 1 in a faultless run.
+        let mut probe = engine(&[1.0; 8], 21, FaultPlan::none(), RetryPolicy::default());
+        let baseline = probe.ask_round(&[yes_task(1)], 3);
+        let victim = baseline[0].worker;
+
+        // Re-run the same seed with that worker force-dropped from t=0.
+        let metrics = Arc::new(RuntimeMetrics::new());
+        let platform =
+            SimulatedPlatform::new(Market::Amt, WorkerPool::with_accuracies(&[1.0; 8]), 21);
+        let retry = RetryPolicy::default();
+        let mut e = RuntimeEngine::new(
+            platform,
+            LatencyModel::default(),
+            FaultPlan::none().drop_worker(victim, 0),
+            retry,
+            0,
+            Arc::clone(&metrics),
+        );
+        let asg = e.ask_round(&[yes_task(1)], 3);
+        // Full redundancy is still reached, without the dropped worker.
+        assert_eq!(asg.len(), 3);
+        assert!(asg.iter().all(|a| a.worker != victim));
+        let s = metrics.snapshot();
+        assert_eq!(s.timeouts, 1, "exactly one assignment missed its deadline");
+        assert_eq!(s.reassignments, 1, "the dropped worker's task moved exactly once");
+        assert_eq!(s.dropouts, 1);
+        // The replacement was dispatched at the missed deadline, and its
+        // own deadline bounds the round's makespan.
+        assert!(e.now() <= 2 * retry.deadline_ms);
+        assert!(e.error().is_none());
+    }
+
+    #[test]
+    fn exhausted_retry_budget_is_a_typed_error_not_a_hang() {
+        let plan = FaultPlan::none().with_dropout(1.0);
+        let retry = RetryPolicy { deadline_ms: 1000, max_retries: 2 };
+        let mut e = engine(&[1.0; 6], 5, plan, retry);
+        let asg = e.ask_round(&[yes_task(1)], 2);
+        assert!(asg.is_empty(), "every answer was dropped");
+        match e.take_error() {
+            Some(RuntimeError::RetryBudgetExhausted { task, attempts }) => {
+                assert_eq!(task, TaskId(1));
+                assert_eq!(attempts, retry.max_retries + 1);
+            }
+            other => panic!("expected RetryBudgetExhausted, got {other:?}"),
+        }
+        // Poisoned: further rounds dispatch nothing (so callers terminate).
+        assert!(e.ask_round(&[yes_task(2)], 2).is_empty());
+    }
+
+    #[test]
+    fn reassignment_needs_an_eligible_worker() {
+        // Pool of exactly `redundancy` workers: all are tried at dispatch,
+        // so the first miss has nobody left to take the task.
+        let plan = FaultPlan::none().with_dropout(1.0);
+        let retry = RetryPolicy { deadline_ms: 1000, max_retries: 5 };
+        let mut e = engine(&[1.0; 3], 5, plan, retry);
+        let asg = e.ask_round(&[yes_task(1)], 3);
+        assert!(asg.is_empty());
+        assert!(matches!(e.take_error(), Some(RuntimeError::NoEligibleWorker { task: TaskId(1) })));
+    }
+
+    #[test]
+    fn slow_faults_stretch_the_round_makespan() {
+        let base = {
+            let mut e = engine(
+                &[1.0; 10],
+                13,
+                FaultPlan::none(),
+                RetryPolicy { deadline_ms: SimTime::MAX / 2, max_retries: 0 },
+            );
+            e.ask_round(&[yes_task(1)], 5);
+            e.now()
+        };
+        let slowed = {
+            let plan = FaultPlan::none().with_slow(1.0, 6.0);
+            let mut e = engine(
+                &[1.0; 10],
+                13,
+                plan,
+                RetryPolicy { deadline_ms: SimTime::MAX / 2, max_retries: 0 },
+            );
+            e.ask_round(&[yes_task(1)], 5);
+            e.now()
+        };
+        assert!(slowed > base, "slow faults must stretch {base} -> {slowed}");
+    }
+
+    #[test]
+    fn early_termination_cancels_unneeded_assignments() {
+        let retry = RetryPolicy::default();
+        let full = {
+            let mut e = engine(&[1.0; 10], 17, FaultPlan::none(), retry);
+            e.ask_round(&[yes_task(1)], 5).len()
+        };
+        assert_eq!(full, 5);
+        let metrics = Arc::new(RuntimeMetrics::new());
+        let platform =
+            SimulatedPlatform::new(Market::Amt, WorkerPool::with_accuracies(&[1.0; 10]), 17);
+        let mut e = RuntimeEngine::new(
+            platform,
+            LatencyModel::default(),
+            FaultPlan::none(),
+            retry,
+            0,
+            metrics,
+        )
+        .with_early_termination(true);
+        let early = e.ask_round(&[yes_task(1)], 5).len();
+        // Perfect workers: 3 unanimous yes-votes decide; the rest cancel.
+        assert_eq!(early, 3);
+    }
+}

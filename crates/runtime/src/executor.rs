@@ -1,0 +1,363 @@
+//! The concurrent query scheduler.
+//!
+//! [`RuntimeExecutor`] runs many crowd queries at once: query jobs are
+//! dealt across a work-stealing [`ThreadPool`], each job drives the core
+//! round loop ([`cdb_core::Executor`]) against its own per-query
+//! [`RuntimeEngine`], and results flow back over a *bounded* channel —
+//! workers block when the collector lags, which is the backpressure that
+//! keeps memory flat at any fleet size.
+//!
+//! Determinism: each query's platform seed, executor seed and fault
+//! stream are keyed by `(runtime seed, query id)` via
+//! [`cdb_crowd::stream_key`], so a query's outcome is a pure function of
+//! the configuration — never of which thread ran it or when. Results are
+//! sorted by query id before reporting. Consequently
+//! [`RuntimeReport::answers`] is byte-identical across thread counts for
+//! a fixed `(seed, fault plan)` — the deterministic-replay guarantee.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cdb_core::executor::{EdgeTruth, Executor, ExecutorConfig};
+use cdb_core::model::NodeId;
+use cdb_core::QueryGraph;
+use cdb_crowd::{stream_key, LatencyModel, Market, SimTime, SimulatedPlatform, WorkerPool};
+
+use crate::engine::RuntimeEngine;
+use crate::fault::{FaultPlan, RetryPolicy, RuntimeError};
+use crate::metrics::{MetricsSnapshot, RuntimeMetrics};
+use crate::pool::ThreadPool;
+use crate::sync;
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Worker threads in the pool.
+    pub threads: usize,
+    /// Root seed; every per-query stream is keyed off it.
+    pub seed: u64,
+    /// Market the per-query platforms simulate.
+    pub market: Market,
+    /// Accuracies of the simulated worker pool (same pool per query).
+    pub worker_accuracies: Vec<f64>,
+    /// Worker response-time model.
+    pub latency: LatencyModel,
+    /// Fault-injection plan (shared stream root across queries).
+    pub fault_plan: FaultPlan,
+    /// Per-assignment deadline and retry budget.
+    pub retry: RetryPolicy,
+    /// Core executor knobs (its `seed` is re-keyed per query).
+    pub exec: ExecutorConfig,
+    /// Close tasks early once votes are beyond overturning (CDAS).
+    pub early_termination: bool,
+    /// Capacity of the bounded result channel (backpressure).
+    pub result_capacity: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        // A deterministic mixed-quality pool: accuracies in [0.6, 0.95).
+        let accs: Vec<f64> = (0..40)
+            .map(|i| {
+                use rand::Rng;
+                let mut r = cdb_crowd::stream_rng(0xACC0, &[i]);
+                0.6 + 0.35 * r.gen::<f64>()
+            })
+            .collect();
+        RuntimeConfig {
+            threads: 4,
+            seed: 0,
+            market: Market::Amt,
+            worker_accuracies: accs,
+            latency: LatencyModel::default(),
+            fault_plan: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+            exec: ExecutorConfig::default(),
+            early_termination: false,
+            result_capacity: 8,
+        }
+    }
+}
+
+/// One query to run: a prepared graph plus its edge truth.
+#[derive(Debug, Clone)]
+pub struct QueryJob {
+    /// Stable id; results are reported in id order.
+    pub id: u64,
+    /// The query graph.
+    pub graph: QueryGraph,
+    /// Ground-truth edge colors.
+    pub truth: EdgeTruth,
+}
+
+/// A completed query's outcome.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The query id.
+    pub query: u64,
+    /// Answer bindings (all-BLUE candidates).
+    pub bindings: BTreeSet<Vec<NodeId>>,
+    /// Distinct tasks asked.
+    pub tasks_asked: usize,
+    /// Crowd rounds consumed.
+    pub rounds: usize,
+    /// Worker assignments collected.
+    pub assignments: usize,
+    /// Virtual makespan of the query, in simulated ms.
+    pub virtual_ms: SimTime,
+}
+
+/// Everything a runtime run produced.
+#[derive(Debug)]
+pub struct RuntimeReport {
+    /// Per-query outcomes, sorted by query id.
+    pub results: Vec<(u64, Result<QueryResult, RuntimeError>)>,
+    /// Frozen runtime counters.
+    pub metrics: MetricsSnapshot,
+    /// Real (wall-clock) time the run took.
+    pub wall: Duration,
+    /// Jobs run by a thread other than the one they were dealt to.
+    pub steals: u64,
+}
+
+impl RuntimeReport {
+    /// Canonical text rendering of every query's answer — the replay
+    /// artifact: byte-identical across thread counts for a fixed
+    /// `(seed, fault_plan)`.
+    pub fn answers(&self) -> String {
+        let mut s = String::new();
+        for (id, r) in &self.results {
+            match r {
+                Ok(q) => {
+                    let bindings: Vec<String> = q
+                        .bindings
+                        .iter()
+                        .map(|b| b.iter().map(|n| n.0.to_string()).collect::<Vec<_>>().join("."))
+                        .collect();
+                    s.push_str(&format!(
+                        "q{id} tasks={} rounds={} assignments={} virtual_ms={} answers=[{}]\n",
+                        q.tasks_asked,
+                        q.rounds,
+                        q.assignments,
+                        q.virtual_ms,
+                        bindings.join("|")
+                    ));
+                }
+                Err(e) => s.push_str(&format!("q{id} error={e}\n")),
+            }
+        }
+        s
+    }
+
+    /// Queries that finished cleanly.
+    pub fn ok_count(&self) -> usize {
+        self.results.iter().filter(|(_, r)| r.is_ok()).count()
+    }
+
+    /// Queries that failed with a typed error.
+    pub fn failed_count(&self) -> usize {
+        self.results.len() - self.ok_count()
+    }
+
+    /// Sum of per-query virtual makespans — what a *serial* schedule would
+    /// cost in simulated time; compare with the max for the concurrent
+    /// lower bound.
+    pub fn virtual_ms_serial(&self) -> SimTime {
+        self.results.iter().map(|(_, r)| r.as_ref().map(|q| q.virtual_ms).unwrap_or(0)).sum()
+    }
+}
+
+/// Runs fleets of crowd queries concurrently with deterministic replay.
+pub struct RuntimeExecutor {
+    cfg: RuntimeConfig,
+}
+
+impl RuntimeExecutor {
+    /// Build a scheduler from its configuration.
+    pub fn new(cfg: RuntimeConfig) -> Self {
+        assert!(cfg.threads >= 1, "need at least one worker thread");
+        RuntimeExecutor { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// Run every job to completion and report. Jobs execute concurrently
+    /// (up to `threads` at once, work-stealing); results are reported in
+    /// query-id order regardless of completion order.
+    pub fn run(&self, jobs: Vec<QueryJob>) -> RuntimeReport {
+        let start = Instant::now();
+        let metrics = Arc::new(RuntimeMetrics::new());
+        let pool = ThreadPool::new(self.cfg.threads);
+        let (tx, rx) = sync::bounded(self.cfg.result_capacity.max(1));
+        let n = jobs.len();
+        let cfg = Arc::new(self.cfg.clone());
+        pool.scatter(jobs.into_iter().map(|job| {
+            let tx = tx.clone();
+            let metrics = Arc::clone(&metrics);
+            let cfg = Arc::clone(&cfg);
+            move || {
+                let out = run_query(&cfg, &metrics, job);
+                // The collector outlives the workers; a send can only fail
+                // if the whole run was abandoned.
+                let _ = tx.send(out);
+            }
+        }));
+        drop(tx);
+        let mut results: Vec<(u64, Result<QueryResult, RuntimeError>)> =
+            (0..n).map(|_| rx.recv().expect("every job reports")).collect();
+        pool.join();
+        let steals = pool.steals();
+        results.sort_by_key(|&(id, _)| id);
+        RuntimeReport { results, metrics: metrics.snapshot(), wall: start.elapsed(), steals }
+    }
+}
+
+/// Run one query job — a pure function of `(cfg, job)`; the shared
+/// `metrics` is write-only telemetry.
+fn run_query(
+    cfg: &RuntimeConfig,
+    metrics: &Arc<RuntimeMetrics>,
+    job: QueryJob,
+) -> (u64, Result<QueryResult, RuntimeError>) {
+    let platform_seed = stream_key(cfg.seed, &[0x51A7, job.id]);
+    let wpool = WorkerPool::with_accuracies(&cfg.worker_accuracies);
+    let platform = SimulatedPlatform::new(cfg.market, wpool, platform_seed);
+    let mut engine = RuntimeEngine::new(
+        platform,
+        cfg.latency,
+        cfg.fault_plan.clone(),
+        cfg.retry,
+        job.id,
+        Arc::clone(metrics),
+    )
+    .with_early_termination(cfg.early_termination);
+    let exec_cfg = ExecutorConfig { seed: stream_key(cfg.seed, &[0xE5EC, job.id]), ..cfg.exec };
+    let stats = Executor::new(job.graph, &job.truth, &mut engine, exec_cfg).run();
+    let virtual_ms = engine.now();
+    let id = job.id;
+    match engine.take_error() {
+        Some(e) => {
+            metrics.add_query(false, virtual_ms);
+            (id, Err(e))
+        }
+        None => {
+            metrics.add_query(true, virtual_ms);
+            (
+                id,
+                Ok(QueryResult {
+                    query: id,
+                    bindings: stats.answer_bindings(),
+                    tasks_asked: stats.tasks_asked,
+                    rounds: stats.rounds,
+                    assignments: stats.assignments,
+                    virtual_ms,
+                }),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_core::model::PartKind;
+
+    /// A small single-join graph: `a_i` joins `b_j` iff `i % nb == j`.
+    pub(crate) fn join_query(id: u64, na: usize, nb: usize) -> QueryJob {
+        let mut g = QueryGraph::new();
+        let a = g.add_part(PartKind::Table { name: format!("A{id}") });
+        let b = g.add_part(PartKind::Table { name: format!("B{id}") });
+        let an: Vec<NodeId> = (0..na).map(|i| g.add_node(a, None, format!("a{i}"))).collect();
+        let bn: Vec<NodeId> = (0..nb).map(|i| g.add_node(b, None, format!("b{i}"))).collect();
+        let p = g.add_predicate(a, b, true, "A~B");
+        let mut truth = EdgeTruth::new();
+        for (i, &x) in an.iter().enumerate() {
+            for (j, &y) in bn.iter().enumerate() {
+                let e = g.add_edge(x, y, p, 0.5);
+                truth.insert(e, i % nb == j);
+            }
+        }
+        QueryJob { id, graph: g, truth }
+    }
+
+    fn jobs(n: u64) -> Vec<QueryJob> {
+        (0..n).map(|i| join_query(i, 4, 3)).collect()
+    }
+
+    #[test]
+    fn a_fleet_completes_and_reports_in_id_order() {
+        let cfg = RuntimeConfig { threads: 4, ..RuntimeConfig::default() };
+        let report = RuntimeExecutor::new(cfg).run(jobs(12));
+        assert_eq!(report.results.len(), 12);
+        assert_eq!(report.ok_count(), 12);
+        let ids: Vec<u64> = report.results.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, (0..12).collect::<Vec<_>>());
+        assert!(report.metrics.rounds > 0);
+        assert!(report.metrics.tasks_dispatched > 0);
+    }
+
+    #[test]
+    fn perfect_workers_recover_the_true_joins() {
+        let cfg = RuntimeConfig {
+            threads: 2,
+            worker_accuracies: vec![1.0; 20],
+            ..RuntimeConfig::default()
+        };
+        let report = RuntimeExecutor::new(cfg).run(jobs(3));
+        for (_, r) in &report.results {
+            let q = r.as_ref().expect("no faults, no failures");
+            assert_eq!(q.bindings.len(), 4, "each a_i joins exactly one b_j");
+        }
+    }
+
+    #[test]
+    fn report_answers_is_reproducible_within_a_thread_count() {
+        let mk = || {
+            let cfg = RuntimeConfig { threads: 3, seed: 42, ..RuntimeConfig::default() };
+            RuntimeExecutor::new(cfg).run(jobs(6)).answers()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn faults_surface_per_query_without_sinking_the_fleet() {
+        // Dropout-everything plan with a tiny retry budget: every query
+        // fails with a typed error, and the run still terminates.
+        let cfg = RuntimeConfig {
+            threads: 4,
+            worker_accuracies: vec![1.0; 30],
+            fault_plan: FaultPlan::none().with_dropout(1.0),
+            retry: RetryPolicy { deadline_ms: 1_000, max_retries: 1 },
+            ..RuntimeConfig::default()
+        };
+        let report = RuntimeExecutor::new(cfg).run(jobs(5));
+        assert_eq!(report.failed_count(), 5);
+        for (_, r) in &report.results {
+            assert!(matches!(r, Err(RuntimeError::RetryBudgetExhausted { .. })));
+        }
+        assert_eq!(report.metrics.queries_failed, 5);
+    }
+
+    #[test]
+    fn moderate_fault_rates_still_answer() {
+        let cfg = RuntimeConfig {
+            threads: 4,
+            worker_accuracies: vec![0.95; 30],
+            fault_plan: FaultPlan::uniform(7, 0.2),
+            // A "slow" response (4x of a ~60s mean) usually misses the
+            // default 2-minute deadline too, so give the fleet a deadline
+            // and retry budget sized for the injected fault rate.
+            retry: RetryPolicy { deadline_ms: 300_000, max_retries: 8 },
+            ..RuntimeConfig::default()
+        };
+        let report = RuntimeExecutor::new(cfg).run(jobs(6));
+        assert_eq!(report.ok_count(), 6, "answers: {}", report.answers());
+        let m = &report.metrics;
+        assert!(m.dropouts + m.abandons + m.slowdowns > 0, "faults were injected");
+        assert!(m.reassignments > 0, "dropped work was reassigned");
+    }
+}

@@ -1,0 +1,41 @@
+//! Concurrent crowd-execution runtime for CDB.
+//!
+//! The paper's execution loop (Algorithm 1) is round-synchronous: publish
+//! a batch, wait for every answer, infer, repeat. Real crowds are not
+//! synchronous — workers answer at their own pace, drop out, abandon
+//! HITs — and a deployment runs *many* queries at once. This crate adds
+//! that missing layer on top of `cdb-core`'s optimizer:
+//!
+//! * **Scheduling** ([`RuntimeExecutor`], [`pool::ThreadPool`]): query
+//!   jobs are dealt across a work-stealing thread pool and stream results
+//!   back over a bounded channel ([`sync`]) whose blocking `send` is the
+//!   backpressure.
+//! * **Virtual time** ([`engine::RuntimeEngine`] + `cdb-crowd`'s
+//!   [`cdb_crowd::LatencyModel`]/[`cdb_crowd::OpenRound`]): rounds
+//!   complete as answers arrive on a simulated clock, not in lockstep.
+//! * **Fault injection** ([`fault::FaultPlan`]): worker dropout, slow
+//!   workers and abandoned HITs, with per-assignment deadlines, bounded
+//!   retry and reassignment to a different worker (respecting
+//!   [`cdb_crowd::Market::supports_online_assignment`]). Exhausted budgets
+//!   surface as [`fault::RuntimeError`] — typed, never a hang.
+//! * **Deterministic replay**: every stochastic decision is drawn from a
+//!   stream keyed by *what the decision is about*
+//!   ([`cdb_crowd::stream_rng`]), so a `(seed, fault_plan)` pair yields
+//!   byte-identical [`RuntimeReport::answers`] at any thread count.
+//! * **Telemetry** ([`metrics::RuntimeMetrics`]): dispatches, retries,
+//!   timeouts, reassignments and a per-round latency histogram, exported
+//!   as JSON for the bench figures.
+
+pub mod engine;
+pub mod fault;
+pub mod metrics;
+pub mod pool;
+pub mod sync;
+
+mod executor;
+
+pub use engine::RuntimeEngine;
+pub use executor::{QueryJob, QueryResult, RuntimeConfig, RuntimeExecutor, RuntimeReport};
+pub use fault::{Fault, FaultPlan, RetryPolicy, RuntimeError};
+pub use metrics::{MetricsSnapshot, RuntimeMetrics, HISTOGRAM_BUCKETS};
+pub use pool::ThreadPool;

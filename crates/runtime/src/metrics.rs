@@ -1,0 +1,237 @@
+//! Runtime counters, shared across worker threads.
+//!
+//! All counters are atomics so query jobs on different threads update one
+//! [`RuntimeMetrics`] without locks; [`RuntimeMetrics::snapshot`] freezes
+//! them into a plain value that serializes to JSON. (The vendored `serde`
+//! stand-in cannot serialize, so the JSON is written by hand — it is a
+//! dozen fixed fields.)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cdb_crowd::SimTime;
+
+/// Number of power-of-two buckets in the round-latency histogram.
+pub const HISTOGRAM_BUCKETS: usize = 20;
+
+/// Live counters, updated concurrently by query jobs.
+#[derive(Debug, Default)]
+pub struct RuntimeMetrics {
+    tasks_dispatched: AtomicU64,
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+    reassignments: AtomicU64,
+    dropouts: AtomicU64,
+    abandons: AtomicU64,
+    slowdowns: AtomicU64,
+    rounds: AtomicU64,
+    queries_ok: AtomicU64,
+    queries_failed: AtomicU64,
+    virtual_ms_total: AtomicU64,
+    /// Bucket `i` counts rounds whose virtual latency was in
+    /// `[2^i, 2^(i+1))` ms (last bucket open-ended).
+    round_latency: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl RuntimeMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        RuntimeMetrics::default()
+    }
+
+    /// `n` assignments handed to workers.
+    pub fn add_dispatched(&self, n: u64) {
+        self.tasks_dispatched.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// One redispatch attempt after a miss.
+    pub fn add_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One assignment missed its deadline.
+    pub fn add_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One task moved to a different worker.
+    pub fn add_reassignment(&self) {
+        self.reassignments.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an injected fault.
+    pub fn add_fault(&self, fault: crate::fault::Fault) {
+        match fault {
+            crate::fault::Fault::Dropout => {
+                self.dropouts.fetch_add(1, Ordering::Relaxed);
+            }
+            crate::fault::Fault::Abandoned => {
+                self.abandons.fetch_add(1, Ordering::Relaxed);
+            }
+            crate::fault::Fault::Slow => {
+                self.slowdowns.fetch_add(1, Ordering::Relaxed);
+            }
+            crate::fault::Fault::None => {}
+        }
+    }
+
+    /// One crowd round completed in `latency_ms` of virtual time.
+    pub fn add_round(&self, latency_ms: SimTime) {
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+        let bucket = (u64::BITS - latency_ms.leading_zeros()).saturating_sub(1) as usize;
+        let bucket = bucket.min(HISTOGRAM_BUCKETS - 1);
+        self.round_latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One query finished; `ok` tells success from typed failure, and
+    /// `virtual_ms` is its simulated makespan.
+    pub fn add_query(&self, ok: bool, virtual_ms: SimTime) {
+        if ok {
+            self.queries_ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.queries_failed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.virtual_ms_total.fetch_add(virtual_ms, Ordering::Relaxed);
+    }
+
+    /// Freeze the counters into a plain value.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            tasks_dispatched: self.tasks_dispatched.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            reassignments: self.reassignments.load(Ordering::Relaxed),
+            dropouts: self.dropouts.load(Ordering::Relaxed),
+            abandons: self.abandons.load(Ordering::Relaxed),
+            slowdowns: self.slowdowns.load(Ordering::Relaxed),
+            rounds: self.rounds.load(Ordering::Relaxed),
+            queries_ok: self.queries_ok.load(Ordering::Relaxed),
+            queries_failed: self.queries_failed.load(Ordering::Relaxed),
+            virtual_ms_total: self.virtual_ms_total.load(Ordering::Relaxed),
+            round_latency_buckets: self
+                .round_latency
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A frozen copy of [`RuntimeMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Assignments handed to workers (originals + redispatches).
+    pub tasks_dispatched: u64,
+    /// Redispatch attempts after deadline misses.
+    pub retries: u64,
+    /// Assignments that missed their deadline.
+    pub timeouts: u64,
+    /// Tasks moved to a different worker.
+    pub reassignments: u64,
+    /// Injected dropout faults.
+    pub dropouts: u64,
+    /// Injected abandoned-HIT faults.
+    pub abandons: u64,
+    /// Injected slow-response faults.
+    pub slowdowns: u64,
+    /// Crowd rounds completed.
+    pub rounds: u64,
+    /// Queries that finished cleanly.
+    pub queries_ok: u64,
+    /// Queries that failed with a typed error.
+    pub queries_failed: u64,
+    /// Sum of per-query virtual makespans, in ms.
+    pub virtual_ms_total: u64,
+    /// Power-of-two round-latency histogram: bucket `i` counts rounds in
+    /// `[2^i, 2^(i+1))` virtual ms.
+    pub round_latency_buckets: Vec<u64>,
+}
+
+impl MetricsSnapshot {
+    /// Serialize as a single JSON object (stable field order).
+    pub fn to_json(&self) -> String {
+        let buckets =
+            self.round_latency_buckets.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+        format!(
+            concat!(
+                "{{\"tasks_dispatched\":{},\"retries\":{},\"timeouts\":{},",
+                "\"reassignments\":{},\"dropouts\":{},\"abandons\":{},",
+                "\"slowdowns\":{},\"rounds\":{},\"queries_ok\":{},",
+                "\"queries_failed\":{},\"virtual_ms_total\":{},",
+                "\"round_latency_buckets\":[{}]}}"
+            ),
+            self.tasks_dispatched,
+            self.retries,
+            self.timeouts,
+            self.reassignments,
+            self.dropouts,
+            self.abandons,
+            self.slowdowns,
+            self.rounds,
+            self.queries_ok,
+            self.queries_failed,
+            self.virtual_ms_total,
+            buckets,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::Fault;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = RuntimeMetrics::new();
+        m.add_dispatched(10);
+        m.add_dispatched(5);
+        m.add_retry();
+        m.add_timeout();
+        m.add_reassignment();
+        m.add_fault(Fault::Dropout);
+        m.add_fault(Fault::Slow);
+        m.add_fault(Fault::None);
+        m.add_query(true, 500);
+        m.add_query(false, 300);
+        let s = m.snapshot();
+        assert_eq!(s.tasks_dispatched, 15);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.reassignments, 1);
+        assert_eq!(s.dropouts, 1);
+        assert_eq!(s.slowdowns, 1);
+        assert_eq!(s.abandons, 0);
+        assert_eq!((s.queries_ok, s.queries_failed), (1, 1));
+        assert_eq!(s.virtual_ms_total, 800);
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let m = RuntimeMetrics::new();
+        m.add_round(0); // bucket 0
+        m.add_round(1); // bucket 0
+        m.add_round(2); // bucket 1
+        m.add_round(3); // bucket 1
+        m.add_round(1024); // bucket 10
+        m.add_round(u64::MAX); // clamped to the last bucket
+        let s = m.snapshot();
+        assert_eq!(s.rounds, 6);
+        assert_eq!(s.round_latency_buckets[0], 2);
+        assert_eq!(s.round_latency_buckets[1], 2);
+        assert_eq!(s.round_latency_buckets[10], 1);
+        assert_eq!(s.round_latency_buckets[HISTOGRAM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn json_is_wellformed_and_stable() {
+        let m = RuntimeMetrics::new();
+        m.add_dispatched(3);
+        m.add_round(100);
+        let j = m.snapshot().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"tasks_dispatched\":3"));
+        assert!(j.contains("\"rounds\":1"));
+        assert!(j.contains("\"round_latency_buckets\":["));
+        assert_eq!(j, m.snapshot().to_json());
+    }
+}

@@ -1,0 +1,209 @@
+//! Minimal std-only concurrency primitives.
+//!
+//! The build environment has no crossbeam/flume, so the runtime carries
+//! its own bounded multi-producer multi-consumer channel: a
+//! `Mutex<VecDeque>` guarded by two condvars. `send` blocks while the
+//! queue is at capacity — that blocking *is* the backpressure the
+//! scheduler relies on: producers (query workers emitting results, the
+//! dispatcher emitting HIT batches) stall instead of queueing unboundedly.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned by [`Sender::send`] when every receiver is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+struct State<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Create a bounded MPMC channel with room for `capacity` in-flight items.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "a zero-capacity channel would deadlock");
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { inner: Arc::clone(&inner) }, Receiver { inner })
+}
+
+/// Sending half; clonable (multi-producer).
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Deliver `value`, blocking while the channel is full (backpressure).
+    /// Fails only when every [`Receiver`] has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.inner.state.lock().expect("channel poisoned");
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if st.queue.len() < st.capacity {
+                st.queue.push_back(value);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.inner.not_full.wait(st).expect("channel poisoned");
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().expect("channel poisoned").senders += 1;
+        Sender { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.inner.state.lock().expect("channel poisoned");
+        st.senders -= 1;
+        if st.senders == 0 {
+            // Wake receivers so they can observe disconnection.
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+/// Receiving half; clonable (multi-consumer).
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Take the next item, blocking until one arrives. Returns `None` once
+    /// the channel is empty and every [`Sender`] has been dropped.
+    pub fn recv(&self) -> Option<T> {
+        let mut st = self.inner.state.lock().expect("channel poisoned");
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                self.inner.not_full.notify_one();
+                return Some(v);
+            }
+            if st.senders == 0 {
+                return None;
+            }
+            st = self.inner.not_empty.wait(st).expect("channel poisoned");
+        }
+    }
+
+    /// Take the next item only if one is already queued.
+    pub fn try_recv(&self) -> Option<T> {
+        let mut st = self.inner.state.lock().expect("channel poisoned");
+        let v = st.queue.pop_front();
+        if v.is_some() {
+            self.inner.not_full.notify_one();
+        }
+        v
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().expect("channel poisoned").receivers += 1;
+        Receiver { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.inner.state.lock().expect("channel poisoned");
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            // Wake blocked senders so they can observe disconnection.
+            self.inner.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn values_flow_in_order() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(std::iter::from_fn(|| rx.recv()).collect::<Vec<i32>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn full_channel_blocks_the_sender_until_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let sent = Arc::new(AtomicUsize::new(0));
+        let sent2 = Arc::clone(&sent);
+        let h = thread::spawn(move || {
+            tx.send(2).unwrap(); // blocks: capacity 1, queue full
+            sent2.store(1, Ordering::SeqCst);
+        });
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(sent.load(Ordering::SeqCst), 0, "send must block while full");
+        assert_eq!(rx.recv(), Some(1));
+        h.join().unwrap();
+        assert_eq!(sent.load(Ordering::SeqCst), 1);
+        assert_eq!(rx.recv(), Some(2));
+    }
+
+    #[test]
+    fn receiver_drains_then_sees_disconnect() {
+        let (tx, rx) = bounded(8);
+        let h = thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        while let Some(v) = rx.recv() {
+            got.push(v);
+        }
+        h.join().unwrap();
+        assert_eq!(got.len(), 100);
+    }
+
+    #[test]
+    fn send_fails_after_all_receivers_drop() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn multiple_consumers_split_the_stream() {
+        let (tx, rx) = bounded(4);
+        let rx2 = rx.clone();
+        let h1 = thread::spawn(move || std::iter::from_fn(|| rx.recv()).count());
+        let h2 = thread::spawn(move || std::iter::from_fn(|| rx2.recv()).count());
+        for i in 0..50 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(h1.join().unwrap() + h2.join().unwrap(), 50);
+    }
+}

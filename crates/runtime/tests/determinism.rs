@@ -1,0 +1,87 @@
+//! Deterministic replay: a `(seed, fault_plan)` pair must produce
+//! byte-identical query answers regardless of thread count.
+
+use std::collections::HashMap;
+
+use cdb_core::model::{NodeId, PartKind};
+use cdb_core::QueryGraph;
+use cdb_runtime::{FaultPlan, QueryJob, RetryPolicy, RuntimeConfig, RuntimeExecutor};
+use proptest::prelude::*;
+
+/// A single-join query graph: `a_i` joins `b_j` iff `i % nb == j`.
+fn join_query(id: u64, na: usize, nb: usize) -> QueryJob {
+    let mut g = QueryGraph::new();
+    let a = g.add_part(PartKind::Table { name: format!("A{id}") });
+    let b = g.add_part(PartKind::Table { name: format!("B{id}") });
+    let an: Vec<NodeId> = (0..na).map(|i| g.add_node(a, None, format!("a{i}"))).collect();
+    let bn: Vec<NodeId> = (0..nb).map(|i| g.add_node(b, None, format!("b{i}"))).collect();
+    let p = g.add_predicate(a, b, true, "A~B");
+    let mut truth = HashMap::new();
+    for (i, &x) in an.iter().enumerate() {
+        for (j, &y) in bn.iter().enumerate() {
+            let e = g.add_edge(x, y, p, 0.5);
+            truth.insert(e, i % nb == j);
+        }
+    }
+    QueryJob { id, graph: g, truth }
+}
+
+fn run_with(threads: usize, seed: u64, fault_rate: f64) -> String {
+    let cfg = RuntimeConfig {
+        threads,
+        seed,
+        worker_accuracies: vec![0.9; 25],
+        fault_plan: FaultPlan::uniform(seed ^ 0xF00D, fault_rate),
+        retry: RetryPolicy { deadline_ms: 300_000, max_retries: 8 },
+        ..RuntimeConfig::default()
+    };
+    let jobs: Vec<QueryJob> = (0..6).map(|i| join_query(i, 4, 3)).collect();
+    RuntimeExecutor::new(cfg).run(jobs).answers()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+    #[test]
+    fn answers_are_byte_identical_at_1_4_and_8_threads(
+        seed in 0u64..10_000,
+        fault_rate in 0.0f64..0.25,
+    ) {
+        let one = run_with(1, seed, fault_rate);
+        let four = run_with(4, seed, fault_rate);
+        let eight = run_with(8, seed, fault_rate);
+        prop_assert!(!one.is_empty());
+        prop_assert_eq!(&one, &four);
+        prop_assert_eq!(&one, &eight);
+    }
+}
+
+#[test]
+fn replay_is_stable_under_forced_dropouts_too() {
+    let run = |threads: usize| {
+        let cfg = RuntimeConfig {
+            threads,
+            seed: 77,
+            worker_accuracies: vec![0.95; 20],
+            fault_plan: FaultPlan::uniform(3, 0.1)
+                .drop_worker(cdb_crowd::WorkerId(0), 0)
+                .drop_worker(cdb_crowd::WorkerId(5), 90_000),
+            retry: RetryPolicy { deadline_ms: 300_000, max_retries: 8 },
+            ..RuntimeConfig::default()
+        };
+        let jobs: Vec<QueryJob> = (0..8).map(|i| join_query(i, 5, 2)).collect();
+        RuntimeExecutor::new(cfg).run(jobs).answers()
+    };
+    let reference = run(1);
+    assert!(reference.contains("q0") && reference.contains("q7"));
+    assert_eq!(reference, run(4));
+    assert_eq!(reference, run(8));
+}
+
+#[test]
+fn different_seeds_give_different_transcripts() {
+    // Sanity check that the replay artifact actually depends on the seed
+    // (otherwise the byte-identity assertions above would be vacuous).
+    let a = run_with(2, 1, 0.15);
+    let b = run_with(2, 2, 0.15);
+    assert_ne!(a, b);
+}

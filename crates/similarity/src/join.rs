@@ -101,10 +101,7 @@ pub fn similarity_join(
 /// Self-join variant: all unordered pairs `(i, j)` with `i < j` and
 /// similarity at least `eps` within a single value list.
 pub fn similarity_join_self(values: &[&str], f: SimilarityFn, eps: f64) -> Vec<SimJoinPair> {
-    similarity_join(values, values, f, eps)
-        .into_iter()
-        .filter(|p| p.left < p.right)
-        .collect()
+    similarity_join(values, values, f, eps).into_iter().filter(|p| p.left < p.right).collect()
 }
 
 fn prefix_filter_join(
@@ -157,7 +154,7 @@ fn prefix_filter_join(
             }
         }
     }
-    out.sort_by(|a, b| (a.left, a.right).cmp(&(b.left, b.right)));
+    out.sort_by_key(|a| (a.left, a.right));
     out
 }
 
@@ -188,7 +185,12 @@ mod tests {
     use proptest::prelude::*;
     use std::collections::BTreeSet;
 
-    fn brute_force(left: &[&str], right: &[&str], f: SimilarityFn, eps: f64) -> BTreeSet<(usize, usize)> {
+    fn brute_force(
+        left: &[&str],
+        right: &[&str],
+        f: SimilarityFn,
+        eps: f64,
+    ) -> BTreeSet<(usize, usize)> {
         let mut out = BTreeSet::new();
         for (i, a) in left.iter().enumerate() {
             for (j, b) in right.iter().enumerate() {

@@ -81,13 +81,13 @@ impl Table {
             });
         }
         for (col, v) in self.schema.columns().iter().zip(&row) {
-            let ok = match (col.ty, v) {
-                (_, Value::CNull) => true,
-                (ColumnType::Text, Value::Text(_)) => true,
-                (ColumnType::Int, Value::Int(_)) => true,
-                (ColumnType::Float, Value::Float(_) | Value::Int(_)) => true,
-                _ => false,
-            };
+            let ok = matches!(
+                (col.ty, v),
+                (_, Value::CNull)
+                    | (ColumnType::Text, Value::Text(_))
+                    | (ColumnType::Int, Value::Int(_))
+                    | (ColumnType::Float, Value::Float(_) | Value::Int(_))
+            );
             if !ok {
                 return Err(StorageError::TypeMismatch {
                     column: col.name.clone(),
@@ -124,10 +124,7 @@ impl Table {
             column: column.to_string(),
         })?;
         let len = self.rows.len();
-        let r = self
-            .rows
-            .get_mut(row)
-            .ok_or(StorageError::RowOutOfBounds { row, len })?;
+        let r = self.rows.get_mut(row).ok_or(StorageError::RowOutOfBounds { row, len })?;
         r[col] = value;
         Ok(())
     }

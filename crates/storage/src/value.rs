@@ -60,9 +60,7 @@ impl Value {
             (Value::CNull, _) | (_, Value::CNull) => false,
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => a == b,
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *a as f64 == *b
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
             (Value::Text(a), Value::Text(b)) => a == b,
             _ => false,
         }

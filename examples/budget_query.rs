@@ -25,19 +25,11 @@ fn main() {
         unreachable!()
     };
     let analyzed = cdb_cql::analyze_select(&q, &ds.db).expect("analyzes");
-    let g = cdb::core::build_query_graph(
-        &analyzed,
-        &ds.db,
-        &cdb::core::GraphBuildConfig::default(),
-    );
+    let g =
+        cdb::core::build_query_graph(&analyzed, &ds.db, &cdb::core::GraphBuildConfig::default());
     let truth = ds.truth.edge_truth(&g);
-    let reference: BTreeSet<_> =
-        true_answers(&g, &truth).into_iter().map(|c| c.binding).collect();
-    println!(
-        "graph: {} edges; {} true answers reachable\n",
-        g.edge_count(),
-        reference.len()
-    );
+    let reference: BTreeSet<_> = true_answers(&g, &truth).into_iter().map(|c| c.binding).collect();
+    println!("graph: {} edges; {} true answers reachable\n", g.edge_count(), reference.len());
 
     println!(
         "{:<10}{:>14}{:>14}{:>16}{:>16}",

@@ -40,7 +40,8 @@ fn main() {
     // CDB: expectation-based tuple-level selection.
     let pool = WorkerPool::with_accuracies(&[1.0; 10]); // error-free crowd isolates cost
     let mut platform = SimulatedPlatform::new(Market::Amt, pool.clone(), 1);
-    let stats = Executor::new(g.clone(), &edge_truth, &mut platform, ExecutorConfig::default()).run();
+    let stats =
+        Executor::new(g.clone(), &edge_truth, &mut platform, ExecutorConfig::default()).run();
     println!(
         "CDB   (graph model):       {:>3} tasks, {} rounds, {} answers",
         stats.tasks_asked,

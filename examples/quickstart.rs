@@ -46,8 +46,7 @@ fn main() {
         }
         let u = db.table_mut("University").expect("created above");
         for (name, country) in unis {
-            u.push(vec![Value::from(*name), Value::from(*country)])
-                .expect("row matches schema");
+            u.push(vec![Value::from(*name), Value::from(*country)]).expect("row matches schema");
         }
     }
 
@@ -67,14 +66,11 @@ fn main() {
                FROM Researcher, University \
                WHERE Researcher.affiliation CROWDJOIN University.name";
     println!("CQL> {sql}\n");
-    let out = cdb
-        .run_select(sql, &truth, &mut platform, &CdbConfig::default())
-        .expect("query runs");
+    let out =
+        cdb.run_select(sql, &truth, &mut platform, &CdbConfig::default()).expect("query runs");
 
     // 6. Report.
-    let g = cdb
-        .plan_select(sql, &CdbConfig::default().build)
-        .expect("plan");
+    let g = cdb.plan_select(sql, &CdbConfig::default().build).expect("plan");
     println!("query graph: {} tuples, {} candidate pairs", g.node_count(), g.edge_count());
     println!(
         "crowd effort: {} tasks in {} rounds ({} worker answers)",

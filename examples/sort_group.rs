@@ -8,7 +8,9 @@
 //! ```
 
 use cdb::core::{Cdb, CdbConfig, QueryTruth};
-use cdb::crowd::{CrossMarketDeployer, Market, MarketSlot, SimulatedPlatform, Task, TaskId, WorkerPool};
+use cdb::crowd::{
+    CrossMarketDeployer, Market, MarketSlot, SimulatedPlatform, Task, TaskId, WorkerPool,
+};
 use cdb::storage::{TupleId, Value};
 
 fn main() {
@@ -45,11 +47,8 @@ fn main() {
                ORDER BY CROWD Citation.number DESC";
     println!("CQL> {sql}\n");
 
-    let mut platform = SimulatedPlatform::new(
-        Market::Amt,
-        WorkerPool::with_accuracies(&[0.95; 20]),
-        11,
-    );
+    let mut platform =
+        SimulatedPlatform::new(Market::Amt, WorkerPool::with_accuracies(&[0.95; 20]), 11);
     let out = cdb.run_select(sql, &truth, &mut platform, &CdbConfig::default()).unwrap();
     println!(
         "join: {} answers with {} tasks; post-ops cost {} extra tasks\n",
@@ -71,12 +70,7 @@ fn main() {
             .filter_map(|&n| g.node_tuple(n))
             .find(|t| t.table == "Paper")
             .map(|t| {
-                cdb.database()
-                    .table("Paper")
-                    .unwrap()
-                    .cell(t.row, "title")
-                    .unwrap()
-                    .to_string()
+                cdb.database().table("Paper").unwrap().cell(t.row, "title").unwrap().to_string()
             })
             .unwrap_or_default()
     };

@@ -56,11 +56,7 @@ fn perfect_workers_reach_perfect_f_measure() {
     let ds = paper_dataset(DatasetScale::paper_full().scaled(40), 9);
     let cdb = Cdb::with_database(ds.db);
     let q = &queries_for("paper")[0];
-    let mut p = SimulatedPlatform::new(
-        Market::Amt,
-        WorkerPool::with_accuracies(&vec![1.0; 20]),
-        3,
-    );
+    let mut p = SimulatedPlatform::new(Market::Amt, WorkerPool::with_accuracies(&[1.0; 20]), 3);
     let out = cdb.run_select(&q.cql, &ds.truth, &mut p, &CdbConfig::default()).unwrap();
     assert_eq!(out.metrics.f_measure, 1.0, "{:?}", out.metrics);
 }
@@ -90,15 +86,8 @@ fn ddl_then_query_round_trip() {
         assert!(db.table("B").unwrap().is_crowd());
     }
     let mut truth = QueryTruth::default();
-    truth.add_join(
-        cdb::storage::TupleId::new("A", 0),
-        cdb::storage::TupleId::new("B", 0),
-    );
-    let mut p = SimulatedPlatform::new(
-        Market::Amt,
-        WorkerPool::with_accuracies(&vec![1.0; 5]),
-        0,
-    );
+    truth.add_join(cdb::storage::TupleId::new("A", 0), cdb::storage::TupleId::new("B", 0));
+    let mut p = SimulatedPlatform::new(Market::Amt, WorkerPool::with_accuracies(&[1.0; 5]), 0);
     let out = cdb
         .run_select(
             "SELECT * FROM A, B WHERE A.x CROWDJOIN B.y",

@@ -20,8 +20,7 @@ fn setup() -> Cdb {
          affiliation CROWD varchar(64))",
     )
     .unwrap();
-    cdb.execute_ddl("CREATE CROWD TABLE University (name varchar(64), city varchar(64))")
-        .unwrap();
+    cdb.execute_ddl("CREATE CROWD TABLE University (name varchar(64), city varchar(64))").unwrap();
     {
         let db = cdb.database_mut();
         let r = db.table_mut("Researcher").unwrap();

@@ -9,11 +9,8 @@ use proptest::prelude::*;
 
 /// Star graph: one center part with `nc` tuples joined to three leaf parts.
 fn star_graph() -> impl Strategy<Value = (QueryGraph, EdgeTruth)> {
-    (
-        1usize..=3,
-        prop::collection::vec((any::<bool>(), 0.3f64..0.99, any::<bool>()), 36),
-    )
-        .prop_map(|(nc, edges)| {
+    (1usize..=3, prop::collection::vec((any::<bool>(), 0.3f64..0.99, any::<bool>()), 36)).prop_map(
+        |(nc, edges)| {
             let mut g = QueryGraph::new();
             let center = g.add_part(PartKind::Table { name: "C".into() });
             let leaves: Vec<_> = ["X", "Y", "Z"]
@@ -25,8 +22,7 @@ fn star_graph() -> impl Strategy<Value = (QueryGraph, EdgeTruth)> {
             let mut k = 0usize;
             for &leaf in &leaves {
                 let pred = g.add_predicate(center, leaf, true, "c~leaf");
-                let ln: Vec<_> =
-                    (0..2).map(|i| g.add_node(leaf, None, format!("l{i}"))).collect();
+                let ln: Vec<_> = (0..2).map(|i| g.add_node(leaf, None, format!("l{i}"))).collect();
                 for &c in &cn {
                     for &l in &ln {
                         let (present, w, t) = edges[k % edges.len()];
@@ -39,7 +35,8 @@ fn star_graph() -> impl Strategy<Value = (QueryGraph, EdgeTruth)> {
                 }
             }
             (g, truth)
-        })
+        },
+    )
 }
 
 /// Triangle (cyclic) graph over three parts.

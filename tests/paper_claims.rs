@@ -21,11 +21,8 @@ fn fixture(query_idx: usize, seed: u64) -> Fixture {
     let q = &queries_for("paper")[query_idx];
     let cdb_cql::Statement::Select(sel) = cdb_cql::parse(&q.cql).unwrap() else { panic!() };
     let analyzed = cdb_cql::analyze_select(&sel, &ds.db).unwrap();
-    let g = cdb::core::build_query_graph(
-        &analyzed,
-        &ds.db,
-        &cdb::core::GraphBuildConfig::default(),
-    );
+    let g =
+        cdb::core::build_query_graph(&analyzed, &ds.db, &cdb::core::GraphBuildConfig::default());
     let truth = ds.truth.edge_truth(&g);
     Fixture { g, truth }
 }
@@ -45,8 +42,7 @@ fn graph_model_beats_rule_based_tree_on_cost() {
     for seed in 0..3u64 {
         let f = fixture(0, 17 + seed);
         let mut p = platform(0.95, seed);
-        let stats =
-            Executor::new(f.g.clone(), &f.truth, &mut p, ExecutorConfig::default()).run();
+        let stats = Executor::new(f.g.clone(), &f.truth, &mut p, ExecutorConfig::default()).run();
         cdb_total += stats.tasks_asked;
         let mut p = platform(0.95, seed);
         let tree = run_tree(&f.g, &f.truth, Some(&mut p), 5, &crowddb_order(&f.g));
@@ -69,8 +65,7 @@ fn graph_model_at_most_optimal_tree_cost() {
     for seed in 0..3u64 {
         let f = fixture(4, 23 + seed); // 3J2S: most predicates
         let mut p = platform(0.95, seed);
-        let stats =
-            Executor::new(f.g.clone(), &f.truth, &mut p, ExecutorConfig::default()).run();
+        let stats = Executor::new(f.g.clone(), &f.truth, &mut p, ExecutorConfig::default()).run();
         cdb_total += stats.tasks_asked;
         let order = opt_tree_order(&f.g, &f.truth);
         let mut p = platform(0.95, seed);
@@ -88,8 +83,7 @@ fn graph_model_at_most_optimal_tree_cost() {
 fn latency_shape_graph_close_to_tree_er_far() {
     let f = fixture(2, 31); // 3J
     let mut p = platform(0.95, 1);
-    let cdb_stats =
-        Executor::new(f.g.clone(), &f.truth, &mut p, ExecutorConfig::default()).run();
+    let cdb_stats = Executor::new(f.g.clone(), &f.truth, &mut p, ExecutorConfig::default()).run();
     let mut p = platform(0.95, 1);
     let tree = run_tree(&f.g, &f.truth, Some(&mut p), 5, &crowddb_order(&f.g));
     let mut p = platform(0.95, 1);
@@ -151,8 +145,7 @@ fn quality_control_beats_majority_voting_with_weak_workers() {
 fn er_methods_cost_more_than_cdb_on_selective_queries() {
     let f = fixture(1, 47); // 2J1S
     let mut p = platform(0.95, 1);
-    let cdb_stats =
-        Executor::new(f.g.clone(), &f.truth, &mut p, ExecutorConfig::default()).run();
+    let cdb_stats = Executor::new(f.g.clone(), &f.truth, &mut p, ExecutorConfig::default()).run();
     let mut p = platform(0.95, 1);
     let trans = run_er(&f.g, &f.truth, &mut p, 5, ErMethod::Trans);
     assert!(

@@ -65,7 +65,8 @@ fn order_by_crowd_ranks_answers() {
         .find(|t| t.table == "Citation")
         .unwrap()
         .row;
-    let num = cdb.database().table("Citation").unwrap().cell(citation_row, "number").unwrap().as_int();
+    let num =
+        cdb.database().table("Citation").unwrap().cell(citation_row, "number").unwrap().as_int();
     assert_eq!(num, Some(95));
 }
 

@@ -1,0 +1,205 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId` and `black_box`.
+//!
+//! Semantics mirror criterion's two modes: when the binary receives the
+//! `--bench` flag (what `cargo bench` passes) each benchmark runs a small
+//! timed sample loop and prints a median per-iteration time; otherwise —
+//! notably under `cargo test`, which builds `harness = false` bench
+//! targets and runs them plain — every benchmark executes exactly one
+//! iteration as a smoke test. No statistics, plots or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; defers to `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Per-iteration timing harness handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run `f` once per sample, timing each run.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.timings.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.timings.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.timings.is_empty() {
+            return Duration::ZERO;
+        }
+        self.timings.sort_unstable();
+        self.timings[self.timings.len() / 2]
+    }
+}
+
+/// Top-level driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10, bench_mode: std::env::args().any(|a| a == "--bench") }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark (bench mode only).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    fn samples(&self) -> usize {
+        if self.bench_mode {
+            self.sample_size
+        } else {
+            1
+        }
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(None, id.into(), self.samples(), f);
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(Some(&self.name), id.into(), self.criterion.samples(), f);
+    }
+
+    /// Run one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(Some(&self.name), id.into(), self.criterion.samples(), |b| f(b, input));
+    }
+
+    /// End the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: Option<&str>, id: BenchmarkId, samples: usize, mut f: F) {
+    let mut bencher = Bencher { samples, timings: Vec::with_capacity(samples) };
+    f(&mut bencher);
+    let median = bencher.median();
+    match group {
+        Some(g) => println!("bench {g}/{}: median {median:?} ({samples} samples)", id.label),
+        None => println!("bench {}: median {median:?} ({samples} samples)", id.label),
+    }
+}
+
+/// Collect benchmark functions into a named runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point for `harness = false` bench binaries.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_benches_run() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0;
+        c.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        {
+            let mut g = c.benchmark_group("grp");
+            g.bench_with_input(BenchmarkId::new("with_input", 7), &7usize, |b, &n| {
+                b.iter(|| {
+                    runs += 1;
+                    black_box(n * 2)
+                })
+            });
+            g.finish();
+        }
+        // Test mode (no --bench): exactly one iteration.
+        assert_eq!(runs, 1);
+    }
+}

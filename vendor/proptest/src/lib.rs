@@ -1,0 +1,325 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no crates.io access, so the real crate cannot
+//! be vendored. This stub keeps the property-test call sites
+//! source-compatible: the `proptest!` macro, `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`, `any::<T>()`,
+//! numeric-range and regex-string strategies, tuple composition,
+//! `prop::collection::{vec, btree_set}` and `Strategy::prop_map`.
+//!
+//! Differences from upstream, deliberate for this repo:
+//! * cases are generated from a seed derived from the test name, so runs
+//!   are fully deterministic (no `PROPTEST_` env handling);
+//! * failing inputs are *not* shrunk — the panic reports the case index
+//!   and assertion message instead;
+//! * the regex-string strategy supports the subset actually used here:
+//!   literals, `.`, `[...]` classes with ranges, groups, and the
+//!   `?`/`*`/`+`/`{m,n}` quantifiers.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+mod pattern;
+mod strategies;
+
+pub use strategies::{any, Any, Map};
+
+/// Generator RNG threaded through every strategy.
+pub type TestRng = StdRng;
+
+/// Outcome channel for one generated case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// An assertion failed; the message explains what.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` and should be skipped.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject => write!(f, "case rejected by prop_assume!"),
+        }
+    }
+}
+
+/// Run-count configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the offline suite snappy while
+        // still exploring a meaningful slice of each input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator. The stub collapses upstream's `Strategy`/`ValueTree`
+/// pair into direct generation (no shrinking).
+pub trait Strategy {
+    /// Type of the generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f` (upstream `prop_map`).
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Drive one property: generate `cfg.cases` inputs and evaluate `f` on
+/// each, panicking on the first failure. Called by the `proptest!` macro.
+pub fn run_cases<F>(name: &str, cfg: &ProptestConfig, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    // FNV-1a over the test name: deterministic per test, stable per run.
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut rejects = 0u32;
+    for case in 0..cfg.cases {
+        match f(&mut rng) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                assert!(
+                    rejects <= cfg.cases.saturating_mul(8),
+                    "{name}: too many prop_assume! rejections"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: property failed at case {case}/{}: {msg}", cfg.cases)
+            }
+        }
+    }
+}
+
+/// Mirrors `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{any, Any, ProptestConfig, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Mirrors the `prop` module alias exported by upstream's prelude.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Define property tests. Matches the upstream surface used here: an
+/// optional `#![proptest_config(...)]` header followed by `#[test] fn
+/// name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(stringify!($name), &config, |rng| {
+                let ($($pat,)+) = $crate::Strategy::generate(&($($strat,)+), rng);
+                (move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })()
+            });
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+/// `assert!` that reports through the proptest failure channel.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest failure channel.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest failure channel.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Skip the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn helper_with_result(x: usize) -> Result<(), TestCaseError> {
+        prop_assert!(x < 1000, "x = {x}");
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies stay inside their bounds.
+        #[test]
+        fn ranges_in_bounds(a in 3usize..10, b in 0.25f64..0.75, c in 2u32..=4) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((0.25..0.75).contains(&b));
+            prop_assert!((2..=4).contains(&c));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            (x, y) in (0usize..5, 0usize..5).prop_map(|(x, y)| (x + 10, y + 20)),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!((10..15).contains(&x));
+            prop_assert!((20..25).contains(&y));
+            prop_assert!(usize::from(flag) <= 1);
+            helper_with_result(x)?;
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in prop::collection::vec(0usize..100, 2..6),
+            s in prop::collection::btree_set("[a-e]{1,3}", 1..8),
+            exact in prop::collection::vec(any::<bool>(), 7),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(!s.is_empty() && s.len() < 8);
+            prop_assert_eq!(exact.len(), 7);
+        }
+
+        #[test]
+        fn regex_strings_match_shape(a in "[a-c]{1,6}", b in ".{0,20}", c in "[a-d]{1,8}( [a-d]{1,8})?") {
+            prop_assert!(!a.is_empty() && a.len() <= 6);
+            prop_assert!(a.chars().all(|ch| ('a'..='c').contains(&ch)));
+            prop_assert!(b.chars().count() <= 20);
+            let words: Vec<&str> = c.split(' ').collect();
+            prop_assert!(words.len() <= 2 && words.iter().all(|w| !w.is_empty()));
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0usize..10) {
+            prop_assume!(n != 3);
+            prop_assert_ne!(n, 3);
+        }
+    }
+
+    #[test]
+    fn determinism_per_test_name() {
+        let mut first = Vec::new();
+        run_cases("stable", &ProptestConfig::with_cases(5), |rng| {
+            first.push(Strategy::generate(&(0usize..1000,), rng));
+            Ok(())
+        });
+        let mut second = Vec::new();
+        run_cases("stable", &ProptestConfig::with_cases(5), |rng| {
+            second.push(Strategy::generate(&(0usize..1000,), rng));
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_context() {
+        run_cases("doomed", &ProptestConfig::with_cases(3), |_| Err(TestCaseError::fail("nope")));
+    }
+
+    use crate::{run_cases, Strategy};
+}

@@ -1,0 +1,246 @@
+//! Generator for strings matching a small regex subset.
+//!
+//! Supports exactly the constructs the workspace's string strategies use:
+//! literal characters, `.` (any printable ASCII), character classes
+//! `[a-z…]` built from ranges and singletons, groups `( … )`, escapes
+//! `\x`, and the quantifiers `?`, `*`, `+` and `{m}` / `{m,n}`. Unbounded
+//! quantifiers are capped at 8 repetitions. Unsupported syntax (e.g.
+//! alternation) panics so a test author notices immediately.
+
+use rand::Rng;
+
+use crate::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    AnyChar,
+    Class(Vec<(char, char)>),
+    Group(Vec<Node>),
+    Repeat { node: Box<Node>, min: usize, max: usize },
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut rest = chars.as_slice();
+    let nodes = parse_sequence(&mut rest, pattern);
+    assert!(rest.is_empty(), "unbalanced ')' in pattern {pattern:?}");
+    let mut out = String::new();
+    for node in &nodes {
+        emit(node, rng, &mut out);
+    }
+    out
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        // Printable ASCII, space through tilde.
+        Node::AnyChar => out.push(rng.gen_range(0x20u32..0x7f) as u8 as char),
+        Node::Class(ranges) => {
+            let total: u32 = ranges.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+            let mut pick = rng.gen_range(0..total);
+            for &(lo, hi) in ranges {
+                let span = hi as u32 - lo as u32 + 1;
+                if pick < span {
+                    out.push(char::from_u32(lo as u32 + pick).expect("class range is valid"));
+                    return;
+                }
+                pick -= span;
+            }
+            unreachable!("pick is within total");
+        }
+        Node::Group(nodes) => {
+            for n in nodes {
+                emit(n, rng, out);
+            }
+        }
+        Node::Repeat { node, min, max } => {
+            let count = if min == max { *min } else { rng.gen_range(*min..max + 1) };
+            for _ in 0..count {
+                emit(node, rng, out);
+            }
+        }
+    }
+}
+
+/// Parse a sequence of atoms until the slice is exhausted or a `)` is hit
+/// (left unconsumed for the caller).
+fn parse_sequence(input: &mut &[char], pattern: &str) -> Vec<Node> {
+    let mut nodes = Vec::new();
+    while let Some(&c) = input.first() {
+        if c == ')' {
+            break;
+        }
+        let atom = parse_atom(input, pattern);
+        let node = parse_quantifier(input, atom, pattern);
+        nodes.push(node);
+    }
+    nodes
+}
+
+fn parse_atom(input: &mut &[char], pattern: &str) -> Node {
+    let c = input[0];
+    *input = &input[1..];
+    match c {
+        '.' => Node::AnyChar,
+        '(' => {
+            let inner = parse_sequence(input, pattern);
+            expect(input, ')', pattern);
+            Node::Group(inner)
+        }
+        '[' => {
+            let mut ranges = Vec::new();
+            loop {
+                let Some(&lo) = input.first() else {
+                    panic!("unterminated character class in pattern {pattern:?}");
+                };
+                *input = &input[1..];
+                if lo == ']' {
+                    break;
+                }
+                assert!(
+                    lo != '^',
+                    "negated classes are not supported by the proptest stub (pattern {pattern:?})"
+                );
+                if input.first() == Some(&'-') && input.get(1).is_some_and(|&c| c != ']') {
+                    let hi = input[1];
+                    *input = &input[2..];
+                    assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+                    ranges.push((lo, hi));
+                } else {
+                    ranges.push((lo, lo));
+                }
+            }
+            assert!(!ranges.is_empty(), "empty character class in pattern {pattern:?}");
+            Node::Class(ranges)
+        }
+        '\\' => {
+            let Some(&escaped) = input.first() else {
+                panic!("dangling escape in pattern {pattern:?}");
+            };
+            *input = &input[1..];
+            Node::Literal(escaped)
+        }
+        '|' | '*' | '+' | '?' | '{' => {
+            panic!("unsupported regex construct {c:?} in pattern {pattern:?}")
+        }
+        other => Node::Literal(other),
+    }
+}
+
+fn parse_quantifier(input: &mut &[char], atom: Node, pattern: &str) -> Node {
+    // Unbounded repetition is capped: generated strings stay small.
+    const CAP: usize = 8;
+    let Some(&c) = input.first() else {
+        return atom;
+    };
+    let (min, max) = match c {
+        '?' => (0, 1),
+        '*' => (0, CAP),
+        '+' => (1, CAP),
+        '{' => {
+            *input = &input[1..];
+            let min = parse_number(input, pattern);
+            let max = if input.first() == Some(&',') {
+                *input = &input[1..];
+                if input.first() == Some(&'}') {
+                    min + CAP
+                } else {
+                    parse_number(input, pattern)
+                }
+            } else {
+                min
+            };
+            expect(input, '}', pattern);
+            assert!(min <= max, "inverted repetition bounds in pattern {pattern:?}");
+            return Node::Repeat { node: Box::new(atom), min, max };
+        }
+        _ => return atom,
+    };
+    *input = &input[1..];
+    Node::Repeat { node: Box::new(atom), min, max }
+}
+
+fn parse_number(input: &mut &[char], pattern: &str) -> usize {
+    let mut n = 0usize;
+    let mut any = false;
+    while let Some(&c) = input.first() {
+        let Some(d) = c.to_digit(10) else { break };
+        n = n * 10 + d as usize;
+        any = true;
+        *input = &input[1..];
+    }
+    assert!(any, "expected a number in repetition of pattern {pattern:?}");
+    n
+}
+
+fn expect(input: &mut &[char], wanted: char, pattern: &str) {
+    assert!(input.first() == Some(&wanted), "expected {wanted:?} in pattern {pattern:?}");
+    *input = &input[1..];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate_matching;
+    use rand::SeedableRng;
+
+    fn rng() -> crate::TestRng {
+        crate::TestRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn class_with_counts() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-c]{1,6}", &mut r);
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn optional_group_with_space() {
+        let mut r = rng();
+        let mut with = 0;
+        let mut without = 0;
+        for _ in 0..200 {
+            let s = generate_matching("[a-d]{1,8}( [a-d]{1,8})?", &mut r);
+            let parts: Vec<&str> = s.split(' ').collect();
+            assert!(parts.len() <= 2, "{s:?}");
+            assert!(parts.iter().all(|p| (1..=8).contains(&p.len())), "{s:?}");
+            if parts.len() == 2 {
+                with += 1;
+            } else {
+                without += 1;
+            }
+        }
+        assert!(with > 0 && without > 0);
+    }
+
+    #[test]
+    fn dot_and_exact_counts() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_matching(".{0,20}", &mut r);
+            assert!(s.chars().count() <= 20);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+            let t = generate_matching("x{3}", &mut r);
+            assert_eq!(t, "xxx");
+        }
+    }
+
+    #[test]
+    fn escapes_and_literals() {
+        let mut r = rng();
+        assert_eq!(generate_matching(r"a\.b", &mut r), "a.b");
+        assert_eq!(generate_matching("abc", &mut r), "abc");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex construct")]
+    fn alternation_rejected() {
+        generate_matching("a|b", &mut rng());
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for the slice of `serde` this workspace touches.
+//!
+//! The repo derives `Serialize`/`Deserialize` on a handful of plain data
+//! types but never instantiates a serializer (JSON export in `cdb-runtime`
+//! is hand-rolled), so marker traits with blanket impls plus the no-op
+//! derive macros from `serde_derive` keep every call site and trait bound
+//! source-compatible without crates.io access.
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
