@@ -10,8 +10,11 @@
 //! * **Fault tolerance is not free**: the faulted groups pay extra rounds
 //!   (timeouts + reassignments) but still answer every query.
 
+use std::sync::Arc;
+
 use cdb_bench::{runtime_fleet, ExpConfig};
 use cdb_datagen::{paper_dataset, queries_for, DatasetScale};
+use cdb_obsv::{Ring, Trace};
 use cdb_runtime::{FaultPlan, QueryJob, RetryPolicy, RuntimeConfig, RuntimeExecutor};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -88,9 +91,35 @@ fn bench_concurrency_evidence(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_tracing_overhead(c: &mut Criterion) {
+    // The acceptance bar for the observability layer: with no collector
+    // attached (`Trace::off`, the default) a traced-instrumented run must
+    // cost within 2% of the pre-instrumentation baseline — compare the
+    // `trace_off` line against `trace_ring` to see what a live collector
+    // adds on top.
+    let jobs = fleet();
+    let mut group = c.benchmark_group("runtime_tracing_overhead");
+    group.bench_function("trace_off", |b| {
+        b.iter(|| RuntimeExecutor::new(config(4, 0.1)).run(jobs.clone()).ok_count())
+    });
+    // The ring outlives the iterations (as it would in a live system);
+    // each pass drains what it produced so the buffer never fills.
+    let ring = Arc::new(Ring::with_capacity(1 << 18));
+    let traced = RuntimeConfig { trace: Trace::collector(ring.clone()), ..config(4, 0.1) };
+    group.bench_function("trace_ring", |b| {
+        b.iter(|| {
+            let report = RuntimeExecutor::new(traced.clone()).run(jobs.clone());
+            let drained = ring.drain().len();
+            assert_eq!(ring.dropped(), 0);
+            (report.ok_count(), drained)
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_throughput, bench_concurrency_evidence
+    targets = bench_throughput, bench_concurrency_evidence, bench_tracing_overhead
 }
 criterion_main!(benches);

@@ -6,7 +6,12 @@
 //!
 //! targets: fig8 fig9 fig10 fig11 fig14 fig15 fig16 fig17 fig18 fig19
 //!          fig20 fig21 fig22 fig23 fig24 table2 table3 table4 table5
-//!          example runtime all
+//!          example runtime trace all
+//!
+//! `trace` runs one crowd-join query under the concurrent runtime with
+//! tracing on and prints Chrome `trace_event` JSON on stdout — pipe it to
+//! a file and load it at <https://ui.perfetto.dev> (or `about:tracing`).
+//! The per-query cost/latency/quality attribution rollup goes to stderr.
 //! ```
 //!
 //! `--scale N` divides the paper's table cardinalities by `N` (default 10)
@@ -47,7 +52,7 @@ fn parse_args() -> Args {
         }
     }
     if args.target.is_empty() {
-        eprintln!("usage: figures [--scale N] [--reps R] [--seed S] <fig8..fig24|table2..table5|example|runtime|all>");
+        eprintln!("usage: figures [--scale N] [--reps R] [--seed S] <fig8..fig24|table2..table5|example|runtime|trace|all>");
         std::process::exit(2);
     }
     args
@@ -540,6 +545,52 @@ fn runtime(args: &Args) {
     println!();
 }
 
+/// `figures trace`: one crowd-join query through the concurrent runtime
+/// with tracing on. Chrome `trace_event` JSON goes to stdout (load it in
+/// Perfetto); the attribution rollup and conservation totals to stderr.
+fn trace(args: &Args) {
+    use cdb_bench::runtime_fleet;
+    use cdb_obsv::{chrome_trace, Attribution, Ring, Trace};
+    use cdb_runtime::{FaultPlan, RetryPolicy, RuntimeConfig, RuntimeExecutor};
+    use std::sync::Arc;
+
+    let ds = dataset("paper", args);
+    let q = &queries_for("paper")[0]; // 2J: the crowd join
+    let cfg = ExpConfig { worker_quality: 0.9, seed: args.seed, ..Default::default() };
+    let jobs = runtime_fleet(&ds, &q.cql, &cfg, 1);
+
+    let ring = Arc::new(Ring::with_capacity(1 << 16));
+    let rcfg = RuntimeConfig {
+        threads: 1,
+        seed: args.seed,
+        fault_plan: FaultPlan::uniform(args.seed, 0.1),
+        retry: RetryPolicy { deadline_ms: 300_000, max_retries: 8 },
+        trace: Trace::collector(ring.clone()),
+        ..RuntimeConfig::default()
+    };
+    let report = RuntimeExecutor::new(rcfg).run(jobs);
+    let events = ring.drain();
+
+    let attribution = Attribution::from_events(&events);
+    eprintln!("# query: [{}] {}", q.label, q.cql);
+    eprintln!("# outcome: {} ok / {} failed", report.ok_count(), report.failed_count());
+    eprintln!("# events: {} collected, {} dropped", events.len(), ring.dropped());
+    eprintln!("# attribution rollup:");
+    eprintln!("{}", attribution.to_json());
+    let t = attribution.conservation();
+    eprintln!(
+        "# conservation: dispatched={} (metrics {}), cost_cents={} (metrics {}), rounds={} (metrics {})",
+        t.dispatched,
+        report.metrics.tasks_dispatched,
+        t.cost_cents,
+        report.metrics.cost_cents,
+        t.rounds,
+        report.metrics.rounds,
+    );
+
+    println!("{}", chrome_trace(&events));
+}
+
 fn main() {
     let args = parse_args();
     let t = args.target.as_str();
@@ -600,5 +651,9 @@ fn main() {
     }
     if all || t == "runtime" {
         runtime(&args);
+    }
+    // Not part of `all`: its stdout is a JSON artifact, not a report.
+    if t == "trace" {
+        trace(&args);
     }
 }

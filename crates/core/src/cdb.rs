@@ -107,17 +107,24 @@ pub struct QueryOutcome {
 #[derive(Debug, Default)]
 pub struct Cdb {
     db: Database,
+    trace: cdb_obsv::Trace,
 }
 
 impl Cdb {
     /// An empty instance.
     pub fn new() -> Self {
-        Cdb { db: Database::new() }
+        Cdb { db: Database::new(), trace: cdb_obsv::Trace::off() }
     }
 
     /// Wrap an existing database.
     pub fn with_database(db: Database) -> Self {
-        Cdb { db }
+        Cdb { db, trace: cdb_obsv::Trace::off() }
+    }
+
+    /// Attach an observability sink: `run_select` emits a `plan.select`
+    /// event per query and threads the trace into the [`Executor`].
+    pub fn set_trace(&mut self, trace: cdb_obsv::Trace) {
+        self.trace = trace;
     }
 
     /// The catalog.
@@ -316,7 +323,20 @@ impl Cdb {
         }
         let reference: BTreeSet<_> =
             true_answers(&graph, &edge_truth).into_iter().map(|c| c.binding).collect();
-        let stats = Executor::new(graph.clone(), &edge_truth, platform, exec_cfg).run();
+        // The plan-selection fact: what the optimizer is about to execute.
+        self.trace.emit(cdb_obsv::Event::instant(
+            cdb_obsv::SpanId::root(),
+            cdb_obsv::attr::names::PLAN_SELECT,
+            0,
+            cdb_obsv::kv![
+                edges => graph.edge_count() as u64,
+                parts => graph.part_count() as u64,
+                n => reference.len() as u64
+            ],
+        ));
+        let stats = Executor::new(graph.clone(), &edge_truth, platform, exec_cfg)
+            .with_trace(self.trace.clone())
+            .run();
         let metrics = precision_recall(&stats.answer_bindings(), &reference);
 
         // Crowd post-ops (the §4.2 Remark): group/sort the answers by a
@@ -526,6 +546,34 @@ mod tests {
             )
             .unwrap();
         assert!(out.stats.tasks_asked <= 1);
+    }
+
+    #[test]
+    fn traced_select_emits_the_plan_fact() {
+        use cdb_obsv::{attr::names, Ring, Trace};
+        use std::sync::Arc;
+        let (mut cdb, truth) = setup();
+        let ring = Arc::new(Ring::with_capacity(2048));
+        cdb.set_trace(Trace::collector(ring.clone()));
+        let mut platform =
+            SimulatedPlatform::new(Market::Amt, WorkerPool::with_accuracies(&[1.0; 10]), 7);
+        let out = cdb
+            .run_select(
+                "SELECT * FROM Researcher, University \
+                 WHERE Researcher.affiliation CROWDJOIN University.name",
+                &truth,
+                &mut platform,
+                &CdbConfig::default(),
+            )
+            .unwrap();
+        let evs = ring.drain();
+        let plan = evs.iter().find(|e| e.name == names::PLAN_SELECT).expect("plan fact");
+        assert_eq!(plan.get_u64("n"), Some(out.true_answer_count as u64));
+        // The executor's trace rode along: plan-node bindings were emitted.
+        assert_eq!(
+            evs.iter().filter(|e| e.name == names::PLAN_EDGE).count(),
+            out.stats.tasks_asked
+        );
     }
 
     #[test]

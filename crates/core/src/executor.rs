@@ -10,9 +10,11 @@
 use std::collections::{BTreeSet, HashMap};
 
 use cdb_crowd::{CrowdPlatform, SimulatedPlatform, Task, TaskId, WorkerId};
+use cdb_obsv::attr::names;
+use cdb_obsv::{kv, Event, Span, SpanId, Trace};
 use cdb_quality::{
-    bayesian_posterior_difficulty, em_truth_inference, majority_vote, select_top_k_tasks, EmConfig,
-    TaskAnswers,
+    bayesian_posterior_difficulty, em_truth_inference, majority_vote, select_top_k_tasks,
+    vote_entropy, EmConfig, TaskAnswers,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -148,6 +150,8 @@ pub struct Executor<'a, P: CrowdPlatform = SimulatedPlatform> {
     qualities: HashMap<WorkerId, f64>,
     asked: BTreeSet<EdgeId>,
     rng: StdRng,
+    /// Plan-level observability sink (off by default; see `cdb-obsv`).
+    trace: Trace,
 }
 
 impl<'a, P: CrowdPlatform> Executor<'a, P> {
@@ -168,7 +172,17 @@ impl<'a, P: CrowdPlatform> Executor<'a, P> {
             qualities: HashMap::new(),
             asked: BTreeSet::new(),
             rng,
+            trace: Trace::off(),
         }
+    }
+
+    /// Attach an observability sink: each round opens an `exec.round`
+    /// span carrying `plan.select` / `cost.estimate` / `exec.edge` /
+    /// `exec.color` events (see `cdb_obsv::attr::names`). Timestamps are
+    /// round ordinals — the core loop has no clock of its own.
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Seed worker-quality priors from history (§2.1 worker metadata):
@@ -205,6 +219,19 @@ impl<'a, P: CrowdPlatform> Executor<'a, P> {
             // Latency constraint: in the final permitted round, flush all.
             let this_round = self.platform.rounds() - start_rounds + 1;
             let flush = self.cfg.max_rounds.is_some_and(|r| this_round >= r);
+
+            if self.trace.on() {
+                self.trace.emit(Event::instant(
+                    SpanId::root(),
+                    names::COST_ESTIMATE,
+                    this_round as u64,
+                    kv![
+                        round => this_round as u64,
+                        n => open.len() as u64,
+                        kind => self.selection_name(flush)
+                    ],
+                ));
+            }
 
             let batch: Vec<EdgeId> = if flush {
                 open.clone()
@@ -251,9 +278,20 @@ impl<'a, P: CrowdPlatform> Executor<'a, P> {
             if batch.is_empty() {
                 break;
             }
+            let round_no = this_round as u64;
+            let span = self.trace.span(
+                SpanId::root(),
+                names::EXEC_ROUND,
+                &[round_no],
+                round_no,
+                kv![round => round_no, n => batch.len() as u64],
+            );
+            self.emit_plan_edges(&span, &batch, round_no);
             self.ask_batch(&batch);
             self.infer_and_color(&batch);
+            self.emit_colors(&span, &batch, round_no);
             prune_invalid_edges(&mut self.graph);
+            span.close(round_no, kv![n => batch.len() as u64]);
         }
 
         // CDB+ final pass: early rounds were colored with immature worker
@@ -278,6 +316,68 @@ impl<'a, P: CrowdPlatform> Executor<'a, P> {
             answers: answers(&self.graph),
             worker_qualities: self.qualities,
             worker_answer_counts,
+        }
+    }
+
+    /// Name of the selection mode that produced this round's batch.
+    fn selection_name(&self, flush: bool) -> &'static str {
+        if flush {
+            "flush"
+        } else if self.cfg.budget.is_some() {
+            "budget"
+        } else {
+            match self.cfg.selection {
+                SelectionStrategy::Expectation => "expectation",
+                SelectionStrategy::MinCutSampling { .. } => "mincut",
+                SelectionStrategy::WeightDescending => "weight",
+                SelectionStrategy::Unordered => "unordered",
+            }
+        }
+    }
+
+    /// One `exec.edge` event per *newly* asked edge, binding the task to
+    /// its plan node (the predicate) — the attribution join key. Must run
+    /// before `ask_batch` extends `self.asked`.
+    fn emit_plan_edges(&self, span: &Span, batch: &[EdgeId], at: u64) {
+        if !self.trace.on() {
+            return;
+        }
+        for &e in batch {
+            if !self.asked.contains(&e) {
+                span.event(
+                    names::PLAN_EDGE,
+                    at,
+                    kv![task => e.0 as u64, node => self.graph.edge_predicate(e) as u64],
+                );
+            }
+        }
+    }
+
+    /// One `exec.color` event per edge colored this round, with the vote
+    /// agreement (`conf`) and vote entropy — the per-round quality signal.
+    /// Iterates the batch slice, never the votes map, so event order is
+    /// deterministic.
+    fn emit_colors(&self, span: &Span, batch: &[EdgeId], at: u64) {
+        if !self.trace.on() {
+            return;
+        }
+        for &e in batch {
+            let votes: Vec<usize> =
+                self.votes.get(&e).map(|v| v.iter().map(|&(_, c)| c).collect()).unwrap_or_default();
+            let choice = if self.graph.edge_color(e) == Color::Blue { 0u64 } else { 1u64 };
+            let agree = votes.iter().filter(|&&c| c as u64 == choice).count();
+            let conf = if votes.is_empty() { 0.0 } else { agree as f64 / votes.len() as f64 };
+            span.event(
+                names::COLOR,
+                at,
+                kv![
+                    task => e.0 as u64,
+                    choice => choice,
+                    conf => conf,
+                    entropy => vote_entropy(&votes, 2),
+                    n => votes.len() as u64
+                ],
+            );
         }
     }
 
@@ -546,6 +646,39 @@ mod tests {
             em_f += crate::metrics::precision_recall(&em.answer_bindings(), &reference).f_measure;
         }
         assert!(em_f > mv_f, "EM {em_f} should beat MV {mv_f}");
+    }
+
+    #[test]
+    fn traced_run_emits_rounds_edges_and_colors() {
+        use cdb_obsv::{EventKind, Ring, Trace};
+        use std::sync::Arc;
+        let (g, truth) = fixture();
+        let mut p = platform(1.0, 20, 1);
+        let ring = Arc::new(Ring::with_capacity(1024));
+        let stats = Executor::new(g, &truth, &mut p, ExecutorConfig::default())
+            .with_trace(Trace::collector(ring.clone()))
+            .run();
+        let evs = ring.drain();
+        assert_eq!(ring.dropped(), 0);
+        let rounds = evs
+            .iter()
+            .filter(|e| e.name == names::EXEC_ROUND && e.kind == EventKind::Enter)
+            .count();
+        assert_eq!(rounds, stats.rounds);
+        // Every asked task is bound to its plan node exactly once.
+        let edges = evs.iter().filter(|e| e.name == names::PLAN_EDGE).count();
+        assert_eq!(edges, stats.tasks_asked);
+        // Each round colors its batch; perfect workers agree unanimously.
+        let colors: Vec<_> = evs.iter().filter(|e| e.name == names::COLOR).collect();
+        assert!(colors.len() >= stats.tasks_asked);
+        assert!(colors.iter().all(|e| e.get("conf").unwrap().as_f64() == Some(1.0)));
+        let est = evs.iter().filter(|e| e.name == names::COST_ESTIMATE).count();
+        assert_eq!(est, stats.rounds);
+        assert!(evs.iter().filter(|e| e.name == names::COST_ESTIMATE).all(|e| e
+            .get("kind")
+            .unwrap()
+            .as_str()
+            == Some("expectation")));
     }
 
     #[test]

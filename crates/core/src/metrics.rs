@@ -14,17 +14,26 @@ pub struct PrMetrics {
 }
 
 /// Compute precision and recall of `returned` against `truth` over any
-/// ordered item type. Empty-set conventions: if both are empty, all
-/// metrics are 1; if only `returned` is empty, recall and F are 0 and
-/// precision is 1 (nothing wrong was returned); if only `truth` is empty,
-/// precision and F are 0.
+/// ordered item type.
+///
+/// Empty-set conventions (all four pinned by tests):
+/// 1. both empty → precision = recall = F = 1;
+/// 2. only `returned` empty → precision 1 (nothing wrong was returned),
+///    recall 0, F 0;
+/// 3. only `truth` empty → precision 0 (everything returned is wrong),
+///    recall 1 (vacuous: all zero true answers were found), F 0;
+/// 4. both non-empty → the plain ratios.
+///
+/// The vacuous cases are each assigned 1, symmetrically: an empty
+/// `returned` cannot contain a wrong result, and an empty `truth` cannot
+/// contain a missed one. F is 0 whenever exactly one side is empty.
 pub fn precision_recall<T: Ord>(returned: &BTreeSet<T>, truth: &BTreeSet<T>) -> PrMetrics {
     if returned.is_empty() && truth.is_empty() {
         return PrMetrics { precision: 1.0, recall: 1.0, f_measure: 1.0 };
     }
     let correct = returned.intersection(truth).count() as f64;
     let precision = if returned.is_empty() { 1.0 } else { correct / returned.len() as f64 };
-    let recall = if truth.is_empty() { 0.0 } else { correct / truth.len() as f64 };
+    let recall = if truth.is_empty() { 1.0 } else { correct / truth.len() as f64 };
     PrMetrics { precision, recall, f_measure: f_measure(precision, recall) }
 }
 
@@ -72,14 +81,18 @@ mod tests {
     #[test]
     fn empty_conventions() {
         let empty = set(&[]);
+        // 1. Both empty: perfect on all three.
         let m = precision_recall(&empty, &empty);
-        assert_eq!(m.f_measure, 1.0);
+        assert_eq!((m.precision, m.recall, m.f_measure), (1.0, 1.0, 1.0));
+        // 2. Only `returned` empty: vacuous precision, zero recall.
         let m = precision_recall(&empty, &set(&[1]));
-        assert_eq!(m.recall, 0.0);
-        assert_eq!(m.f_measure, 0.0);
+        assert_eq!((m.precision, m.recall, m.f_measure), (1.0, 0.0, 0.0));
+        // 3. Only `truth` empty: zero precision, vacuous recall.
         let m = precision_recall(&set(&[1]), &empty);
-        assert_eq!(m.precision, 0.0);
-        assert_eq!(m.f_measure, 0.0);
+        assert_eq!((m.precision, m.recall, m.f_measure), (0.0, 1.0, 0.0));
+        // 4. Both non-empty, disjoint: everything is 0.
+        let m = precision_recall(&set(&[1]), &set(&[2]));
+        assert_eq!((m.precision, m.recall, m.f_measure), (0.0, 0.0, 0.0));
     }
 
     #[test]

@@ -1,0 +1,280 @@
+//! A tiny hand-rolled JSON writer (and checker).
+//!
+//! The workspace's vendored `serde` is an API stub that cannot actually
+//! serialize, so every crate that needed JSON grew its own `format!`
+//! string. This module is the single shared emitter: `RuntimeMetrics`
+//! snapshots, the `figures` binary, and the Chrome trace writer all build
+//! on it. Output is minified, key order is insertion order (stable), and
+//! floats use Rust's shortest round-trippable formatting.
+
+use std::fmt::Write;
+
+/// Escape a string per JSON rules.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `f64` as a JSON number (JSON has no NaN/Inf; those become
+/// `null`, matching what lenient parsers expect).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Builder for a JSON object. Values passed to `raw` must already be
+/// valid JSON fragments (nested builders' `finish()` output qualifies).
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+    first: bool,
+}
+
+impl JsonObject {
+    /// Start an object.
+    pub fn new() -> Self {
+        JsonObject { buf: String::from("{"), first: true }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        let _ = write!(self.buf, "\"{}\":", escape(key));
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "\"{}\"", escape(value));
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Add a signed integer field.
+    pub fn i64(mut self, key: &str, value: i64) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Add a float field.
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        self.buf.push_str(&number(value));
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Add a pre-rendered JSON fragment (nested object/array).
+    pub fn raw(mut self, key: &str, fragment: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(fragment);
+        self
+    }
+
+    /// Close the object and return the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Builder for a JSON array.
+#[derive(Debug, Default)]
+pub struct JsonArray {
+    buf: String,
+    first: bool,
+}
+
+impl JsonArray {
+    /// Start an array.
+    pub fn new() -> Self {
+        JsonArray { buf: String::from("["), first: true }
+    }
+
+    fn sep(&mut self) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+    }
+
+    /// Append an unsigned integer element.
+    pub fn u64(mut self, value: u64) -> Self {
+        self.sep();
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Append a float element.
+    pub fn f64(mut self, value: f64) -> Self {
+        self.sep();
+        self.buf.push_str(&number(value));
+        self
+    }
+
+    /// Append a string element.
+    pub fn str(mut self, value: &str) -> Self {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\"", escape(value));
+        self
+    }
+
+    /// Append a pre-rendered JSON fragment.
+    pub fn raw(mut self, fragment: &str) -> Self {
+        self.sep();
+        self.buf.push_str(fragment);
+        self
+    }
+
+    /// Close the array and return the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push(']');
+        self.buf
+    }
+}
+
+/// Check that `text` is structurally valid JSON: balanced braces/brackets
+/// outside strings, proper string escapes, non-empty. Not a full parser —
+/// a cheap guard for tests and the CI smoke script against emitter bugs.
+pub fn check_balanced(text: &str) -> Result<(), String> {
+    let mut stack: Vec<char> = Vec::new();
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut saw_value = false;
+    for (i, c) in text.char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                saw_value = true;
+            }
+            '{' | '[' => {
+                stack.push(c);
+                saw_value = true;
+            }
+            '}' => {
+                if stack.pop() != Some('{') {
+                    return Err(format!("unbalanced '}}' at byte {i}"));
+                }
+            }
+            ']' => {
+                if stack.pop() != Some('[') {
+                    return Err(format!("unbalanced ']' at byte {i}"));
+                }
+            }
+            _ => {
+                if !c.is_whitespace() {
+                    saw_value = true;
+                }
+            }
+        }
+    }
+    if in_string {
+        return Err("unterminated string".to_string());
+    }
+    if let Some(open) = stack.pop() {
+        return Err(format!("unclosed '{open}'"));
+    }
+    if !saw_value {
+        return Err("empty document".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_builder_matches_hand_written_form() {
+        let s = JsonObject::new()
+            .u64("tasks", 12)
+            .f64("rate", 0.5)
+            .str("name", "fleet")
+            .bool("ok", true)
+            .finish();
+        assert_eq!(s, r#"{"tasks":12,"rate":0.5,"name":"fleet","ok":true}"#);
+        check_balanced(&s).unwrap();
+    }
+
+    #[test]
+    fn nested_raw_and_arrays() {
+        let inner = JsonArray::new().u64(1).u64(2).u64(3).finish();
+        let s = JsonObject::new().raw("hist", &inner).i64("delta", -4).finish();
+        assert_eq!(s, r#"{"hist":[1,2,3],"delta":-4}"#);
+        check_balanced(&s).unwrap();
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        let s = JsonObject::new().str("k", "he said \"hi\"").finish();
+        check_balanced(&s).unwrap();
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(2.5), "2.5");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+        assert_eq!(JsonArray::new().finish(), "[]");
+        check_balanced("{}").unwrap();
+        check_balanced("[]").unwrap();
+    }
+
+    #[test]
+    fn checker_catches_breakage() {
+        assert!(check_balanced(r#"{"a":1"#).is_err());
+        assert!(check_balanced(r#"{"a":1]}"#).is_err());
+        assert!(check_balanced(r#""unterminated"#).is_err());
+        assert!(check_balanced("   ").is_err());
+        // Braces inside strings don't count.
+        check_balanced(r#"{"a":"}{"}"#).unwrap();
+    }
+}

@@ -29,7 +29,7 @@ pub use assign::{
 pub use estimate::chao92_estimate;
 pub use fill::{aggregated_similarity, pivot_answer};
 pub use multi::{decompose_multi_choice, infer_multi_choice};
-pub use partial::{decided_choice, early_decision, PartialDecision};
+pub use partial::{decided_choice, early_decision, vote_entropy, PartialDecision};
 pub use truth::{
     bayesian_posterior, bayesian_posterior_difficulty, effective_accuracy, em_truth_inference,
     majority_vote, EmConfig, EmResult, TaskAnswers,

@@ -56,6 +56,35 @@ pub fn early_decision(votes: &[usize], num_choices: usize, redundancy: usize) ->
     }
 }
 
+/// Shannon entropy (in bits) of the empirical vote distribution over
+/// `num_choices` options. 0 for unanimous or empty vote sets, 1 bit for a
+/// perfectly split binary vote — the "how contested is this task" signal
+/// the observability layer attaches to every inference decision.
+pub fn vote_entropy(votes: &[usize], num_choices: usize) -> f64 {
+    if votes.is_empty() || num_choices < 2 {
+        return 0.0;
+    }
+    let mut counts = vec![0usize; num_choices];
+    let mut total = 0usize;
+    for &v in votes {
+        if v < num_choices {
+            counts[v] += 1;
+            total += 1;
+        }
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    let mut h = 0.0;
+    for &c in &counts {
+        if c > 0 {
+            let p = c as f64 / total as f64;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
 /// Convenience: the decided choice, if any (early or exhausted).
 pub fn decided_choice(votes: &[usize], num_choices: usize, redundancy: usize) -> Option<usize> {
     match early_decision(votes, num_choices, redundancy) {
@@ -109,6 +138,20 @@ mod tests {
         assert_eq!(early_decision(&[0, 1, 0, 1, 0], 3, 6), PartialDecision::NeedMore);
         // Counts 4/1/0, redundancy 6 → one outstanding; lead 3 > 1.
         assert_eq!(early_decision(&[0, 0, 1, 0, 0], 3, 6), PartialDecision::Decided(0));
+    }
+
+    #[test]
+    fn vote_entropy_measures_contestedness() {
+        assert_eq!(vote_entropy(&[], 2), 0.0);
+        assert_eq!(vote_entropy(&[0, 0, 0], 2), 0.0);
+        assert!((vote_entropy(&[0, 1], 2) - 1.0).abs() < 1e-12);
+        assert!((vote_entropy(&[0, 1, 2, 3], 4) - 2.0).abs() < 1e-12);
+        // Out-of-range votes are ignored, degenerate choice sets are 0.
+        assert_eq!(vote_entropy(&[9, 9], 2), 0.0);
+        assert_eq!(vote_entropy(&[0, 0], 1), 0.0);
+        // 3-1 split: between unanimous and even.
+        let h = vote_entropy(&[0, 0, 0, 1], 2);
+        assert!(h > 0.0 && h < 1.0);
     }
 
     #[test]

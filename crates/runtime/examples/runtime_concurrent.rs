@@ -5,11 +5,19 @@
 //! ```text
 //! cargo run --release -p cdb-runtime --example runtime_concurrent
 //! ```
+//!
+//! With `CDB_TRACE=1` the run also attaches a ring-buffer collector and
+//! writes `target/obsv/metrics.prom` (Prometheus text exposition) and
+//! `target/obsv/trace.json` (Chrome `trace_event`, loadable in
+//! [Perfetto](https://ui.perfetto.dev)) — the CI smoke job exercises this
+//! path and validates the exposition line format.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use cdb_core::model::{NodeId, PartKind};
 use cdb_core::QueryGraph;
+use cdb_obsv::{chrome_trace, Ring, Trace};
 use cdb_runtime::{FaultPlan, QueryJob, RetryPolicy, RuntimeConfig, RuntimeExecutor};
 
 /// A single-join query: `a_i` joins `b_j` iff `i % nb == j`.
@@ -46,7 +54,14 @@ fn config(threads: usize) -> RuntimeConfig {
 fn main() {
     let jobs: Vec<QueryJob> = (0..100).map(|i| join_query(i, 4, 3)).collect();
 
-    let report = RuntimeExecutor::new(config(4)).run(jobs.clone());
+    let tracing = std::env::var("CDB_TRACE").is_ok_and(|v| v == "1");
+    let ring = Arc::new(Ring::with_capacity(1 << 18));
+    let mut cfg = config(4);
+    if tracing {
+        cfg.trace = Trace::collector(ring.clone());
+    }
+
+    let report = RuntimeExecutor::new(cfg).run(jobs.clone());
     println!(
         "ran {} queries on 4 threads in {:?} ({} ok, {} failed, {} steals)",
         report.results.len(),
@@ -76,4 +91,19 @@ fn main() {
         println!("  {line}");
     }
     println!("\nmetrics JSON:\n{}", m.to_json());
+
+    if tracing {
+        let dir = std::path::Path::new("target/obsv");
+        std::fs::create_dir_all(dir).expect("create target/obsv");
+        let prom = m.to_prometheus();
+        cdb_obsv::validate_exposition(&prom).expect("prometheus exposition must validate");
+        std::fs::write(dir.join("metrics.prom"), &prom).expect("write metrics.prom");
+        let events = ring.drain();
+        std::fs::write(dir.join("trace.json"), chrome_trace(&events)).expect("write trace.json");
+        println!(
+            "\ntrace: {} events captured ({} dropped) -> target/obsv/{{metrics.prom,trace.json}}",
+            events.len(),
+            ring.dropped()
+        );
+    }
 }

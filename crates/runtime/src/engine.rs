@@ -17,6 +17,13 @@
 //! `(platform seed, fault plan, retry policy, query id)` — no wall-clock,
 //! no thread identity — which is what makes runs replayable and
 //! thread-count-independent.
+//!
+//! Telemetry: every dispatch, arrival, fault, timeout, retry,
+//! reassignment and early-termination decision is emitted exactly once as
+//! a `cdb-obsv` event; the shared [`RuntimeMetrics`] is simply one
+//! collector on that stream (attached in [`RuntimeEngine::new`]), so the
+//! aggregate counters and any richer sink (ring buffer, Chrome trace) can
+//! never disagree.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -25,7 +32,9 @@ use cdb_crowd::{
     Answer, Assignment, AssignmentLog, CrowdPlatform, LatencyModel, Market, PendingAssignment,
     SimTime, SimulatedPlatform, Task, TaskAssigner, TaskId, TaskKind, WorkerId,
 };
-use cdb_quality::decided_choice;
+use cdb_obsv::attr::names;
+use cdb_obsv::{kv, Span, SpanId, Trace};
+use cdb_quality::{decided_choice, vote_entropy};
 
 use crate::fault::{Fault, FaultPlan, RetryPolicy, RuntimeError};
 use crate::metrics::RuntimeMetrics;
@@ -37,14 +46,15 @@ pub struct RuntimeEngine {
     plan: FaultPlan,
     retry: RetryPolicy,
     query_id: u64,
-    metrics: Arc<RuntimeMetrics>,
+    trace: Trace,
     now: SimTime,
     early_termination: bool,
     error: Option<RuntimeError>,
 }
 
 impl RuntimeEngine {
-    /// Wrap a per-query platform. `metrics` may be shared across queries.
+    /// Wrap a per-query platform. `metrics` may be shared across queries;
+    /// it is attached as the first collector on the engine's event stream.
     pub fn new(
         platform: SimulatedPlatform,
         latency: LatencyModel,
@@ -59,7 +69,7 @@ impl RuntimeEngine {
             plan,
             retry,
             query_id,
-            metrics,
+            trace: Trace::collector(metrics),
             now: 0,
             early_termination: false,
             error: None,
@@ -71,6 +81,18 @@ impl RuntimeEngine {
     pub fn with_early_termination(mut self, on: bool) -> Self {
         self.early_termination = on;
         self
+    }
+
+    /// Tee the engine's event stream into `trace` as well (the metrics
+    /// collector attached at construction keeps receiving everything).
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = self.trace.and(&trace);
+        self
+    }
+
+    /// The engine's event stream (metrics collector + any added sinks).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// Current virtual time (the query's makespan so far), in ms.
@@ -88,18 +110,48 @@ impl RuntimeEngine {
         self.error.clone()
     }
 
-    fn apply_faults(&self, p: &mut PendingAssignment, round: u64) {
+    fn emit_dispatch(&self, span: &Span, p: &PendingAssignment, round: u64) {
+        span.event(
+            names::DISPATCH,
+            p.dispatched_at,
+            kv![
+                task => p.task.0,
+                worker => p.worker.id.0,
+                attempt => u64::from(p.attempt),
+                round => round,
+                cents => self.platform.market().task_price_cents(),
+            ],
+        );
+    }
+
+    fn apply_faults(&self, span: &Span, p: &mut PendingAssignment, round: u64) {
         // Scripted dropouts: an answer lands only if it arrives while the
         // worker is still on the platform.
         if let Some(arr) = p.arrives_at {
             if self.plan.worker_dropped_by(p.worker.id, arr) {
                 p.arrives_at = None;
-                self.metrics.add_fault(Fault::Dropout);
+                span.event(
+                    names::FAULT,
+                    p.dispatched_at,
+                    kv![kind => "dropout", task => p.task.0, worker => p.worker.id.0],
+                );
                 return;
             }
         }
         let fault = self.plan.fault_for(self.query_id, round, p.task, p.worker.id, p.attempt);
-        self.metrics.add_fault(fault);
+        let kind = match fault {
+            Fault::Dropout => "dropout",
+            Fault::Abandoned => "abandoned",
+            Fault::Slow => "slow",
+            Fault::None => "",
+        };
+        if fault != Fault::None {
+            span.event(
+                names::FAULT,
+                p.dispatched_at,
+                kv![kind => kind, task => p.task.0, worker => p.worker.id.0],
+            );
+        }
         match fault {
             Fault::Dropout | Fault::Abandoned => p.arrives_at = None,
             Fault::Slow => {
@@ -118,10 +170,11 @@ impl RuntimeEngine {
         err: RuntimeError,
         collected: Vec<Assignment>,
         round_start: SimTime,
+        span: Span,
     ) -> Vec<Assignment> {
         self.error = Some(err);
         self.platform.finish_round(&collected);
-        self.metrics.add_round(self.now - round_start);
+        span.close(self.now, kv![ms => self.now - round_start, ok => false]);
         collected
     }
 }
@@ -148,6 +201,8 @@ impl CrowdPlatform for RuntimeEngine {
         }
         let round = self.platform.rounds() as u64;
         let round_start = self.now;
+        let span =
+            self.trace.span(SpanId::ROOT, names::ROUND, &[round], round_start, kv![round => round]);
         let by_id: BTreeMap<TaskId, Task> = tasks.iter().map(|t| (t.id, t.clone())).collect();
 
         let mut open = self.platform.publish_round(
@@ -157,35 +212,58 @@ impl CrowdPlatform for RuntimeEngine {
             self.retry.deadline_ms,
             self.now,
         );
-        self.metrics.add_dispatched(open.in_flight() as u64);
         // Workers already tried per task — reassignment must go elsewhere.
         let mut tried: HashMap<TaskId, Vec<WorkerId>> = HashMap::new();
-        for p in &mut open.pending {
+        for p in &open.pending {
+            self.emit_dispatch(&span, p, round);
             tried.entry(p.task).or_default().push(p.worker.id);
         }
         for p in &mut open.pending {
-            self.apply_faults(p, round);
+            self.apply_faults(&span, p, round);
         }
 
         let mut collected: Vec<Assignment> = Vec::new();
         loop {
             let arrived = open.collect_arrived(self.now);
+            for a in &arrived {
+                span.event(names::ARRIVAL, self.now, kv![task => a.task.0, worker => a.worker.0]);
+            }
             collected.extend(arrived);
 
             if self.early_termination && !open.is_drained() {
-                cancel_decided(&by_id, &collected, redundancy, &mut open.pending);
+                for d in cancel_decided(&by_id, &collected, redundancy, &mut open.pending) {
+                    span.event(
+                        names::DECIDE,
+                        self.now,
+                        kv![
+                            task => d.task.0,
+                            choice => d.choice,
+                            conf => d.confidence,
+                            entropy => d.entropy,
+                        ],
+                    );
+                    span.event(names::CANCEL, self.now, kv![task => d.task.0, n => d.cancelled]);
+                }
             }
 
             for missed in open.take_overdue(self.now) {
-                self.metrics.add_timeout();
+                span.event(
+                    names::TIMEOUT,
+                    self.now,
+                    kv![task => missed.task.0, worker => missed.worker.id.0, attempt => u64::from(missed.attempt)],
+                );
                 if missed.attempt >= self.retry.max_retries {
                     let err = RuntimeError::RetryBudgetExhausted {
                         task: missed.task,
                         attempts: missed.attempt + 1,
                     };
-                    return self.fail_round(err, collected, round_start);
+                    return self.fail_round(err, collected, round_start, span);
                 }
-                self.metrics.add_retry();
+                span.event(
+                    names::RETRY,
+                    self.now,
+                    kv![task => missed.task.0, attempt => u64::from(missed.attempt + 1)],
+                );
                 let task = &by_id[&missed.task];
                 let exclude = tried.get(&missed.task).cloned().unwrap_or_default();
                 let replacement = self.platform.dispatch_replacement(
@@ -198,17 +276,21 @@ impl CrowdPlatform for RuntimeEngine {
                 );
                 match replacement {
                     Some(mut p) => {
-                        self.metrics.add_dispatched(1);
+                        self.emit_dispatch(&span, &p, round);
                         if p.worker.id != missed.worker.id {
-                            self.metrics.add_reassignment();
+                            span.event(
+                                names::REASSIGN,
+                                self.now,
+                                kv![task => p.task.0, worker => p.worker.id.0],
+                            );
                         }
                         tried.entry(p.task).or_default().push(p.worker.id);
-                        self.apply_faults(&mut p, round);
+                        self.apply_faults(&span, &mut p, round);
                         open.pending.push(p);
                     }
                     None => {
                         let err = RuntimeError::NoEligibleWorker { task: missed.task };
-                        return self.fail_round(err, collected, round_start);
+                        return self.fail_round(err, collected, round_start, span);
                     }
                 }
             }
@@ -224,7 +306,7 @@ impl CrowdPlatform for RuntimeEngine {
             }
         }
         self.platform.finish_round(&collected);
-        self.metrics.add_round(self.now - round_start);
+        span.close(self.now, kv![ms => self.now - round_start, ok => true]);
         collected
     }
 
@@ -241,41 +323,92 @@ impl CrowdPlatform for RuntimeEngine {
         // The online-assignment path keeps the synchronous arrival model
         // (workers come one at a time by construction); the virtual clock
         // still advances by one nominal wave of responses.
+        let round = self.platform.rounds() as u64;
+        let span =
+            self.trace.span(SpanId::ROOT, names::ROUND, &[round], self.now, kv![round => round]);
         let out = self.platform.ask_round_assigned(tasks, redundancy, batch_size, assigner);
-        self.metrics.add_dispatched(out.len() as u64);
+        let cents = self.platform.market().task_price_cents();
+        for a in &out {
+            span.event(
+                names::DISPATCH,
+                self.now,
+                kv![task => a.task.0, worker => a.worker.0, round => round, cents => cents],
+            );
+        }
         let wave = self.latency.mean_ms.max(1.0) as SimTime;
         self.now += wave;
-        self.metrics.add_round(wave);
+        for a in &out {
+            span.event(names::ARRIVAL, self.now, kv![task => a.task.0, worker => a.worker.0]);
+        }
+        span.close(self.now, kv![ms => wave, ok => true]);
         out
     }
 }
 
+/// One task closed early by CDAS-style termination.
+struct EarlyDecision {
+    task: TaskId,
+    choice: u64,
+    confidence: f64,
+    entropy: f64,
+    cancelled: u64,
+}
+
 /// Cancel pending assignments of single-choice tasks whose collected votes
 /// already decide the outcome (the outstanding votes cannot overturn it).
+/// Returns one record per task that had assignments cancelled, with the
+/// decided choice and the vote statistics quality attribution wants.
 fn cancel_decided(
     by_id: &BTreeMap<TaskId, Task>,
     collected: &[Assignment],
     redundancy: usize,
     pending: &mut Vec<PendingAssignment>,
-) {
+) -> Vec<EarlyDecision> {
     let mut votes: HashMap<TaskId, Vec<usize>> = HashMap::new();
     for a in collected {
         if let Answer::Choice(c) = a.answer {
             votes.entry(a.task).or_default().push(c);
         }
     }
+    let mut cancelled: BTreeMap<TaskId, (u64, usize)> = BTreeMap::new();
     pending.retain(|p| {
         let Some(task) = by_id.get(&p.task) else { return true };
         let TaskKind::SingleChoice { ref choices, .. } = task.kind else { return true };
         let Some(v) = votes.get(&p.task) else { return true };
-        decided_choice(v, choices.len(), redundancy).is_none()
+        match decided_choice(v, choices.len(), redundancy) {
+            Some(choice) => {
+                let e = cancelled.entry(p.task).or_insert((0, choice));
+                e.0 += 1;
+                false
+            }
+            None => true,
+        }
     });
+    cancelled
+        .into_iter()
+        .map(|(task, (n, choice))| {
+            let v = &votes[&task];
+            let num_choices = match by_id[&task].kind {
+                TaskKind::SingleChoice { ref choices, .. } => choices.len(),
+                _ => 2,
+            };
+            let share = v.iter().filter(|&&c| c == choice).count() as f64 / v.len().max(1) as f64;
+            EarlyDecision {
+                task,
+                choice: choice as u64,
+                confidence: share,
+                entropy: vote_entropy(v, num_choices),
+                cancelled: n,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use cdb_crowd::WorkerPool;
+    use cdb_obsv::Ring;
 
     fn engine(accs: &[f64], seed: u64, plan: FaultPlan, retry: RetryPolicy) -> RuntimeEngine {
         let platform = SimulatedPlatform::new(Market::Amt, WorkerPool::with_accuracies(accs), seed);
@@ -448,5 +581,69 @@ mod tests {
         let early = e.ask_round(&[yes_task(1)], 5).len();
         // Perfect workers: 3 unanimous yes-votes decide; the rest cancel.
         assert_eq!(early, 3);
+    }
+
+    #[test]
+    fn traced_round_emits_one_event_per_fact() {
+        let ring = Arc::new(Ring::with_capacity(1024));
+        let metrics = Arc::new(RuntimeMetrics::new());
+        let platform =
+            SimulatedPlatform::new(Market::Amt, WorkerPool::with_accuracies(&[1.0; 10]), 3);
+        let mut e = RuntimeEngine::new(
+            platform,
+            LatencyModel::default(),
+            FaultPlan::none(),
+            RetryPolicy::default(),
+            0,
+            Arc::clone(&metrics),
+        )
+        .with_trace(Trace::collector(ring.clone()));
+        let asg = e.ask_round(&[yes_task(1), yes_task(2)], 5);
+        assert_eq!(asg.len(), 10);
+        let evs = ring.drain();
+        let count = |n: &str| evs.iter().filter(|e| e.name == n).count();
+        assert_eq!(count(names::DISPATCH), 10);
+        assert_eq!(count(names::ARRIVAL), 10);
+        // The round span opened and closed.
+        let round_evs: Vec<_> = evs.iter().filter(|e| e.name == names::ROUND).collect();
+        assert_eq!(round_evs.len(), 2);
+        assert_eq!(round_evs[1].get_u64("ms"), Some(e.now()));
+        // Every dispatch priced at the AMT rate.
+        assert!(evs
+            .iter()
+            .filter(|e| e.name == names::DISPATCH)
+            .all(|e| e.get_u64("cents") == Some(5)));
+        // The metrics collector consumed the same stream.
+        let s = metrics.snapshot();
+        assert_eq!(s.tasks_dispatched, 10);
+        assert_eq!(s.rounds, 1);
+        assert_eq!(s.cost_cents, 50);
+        assert_eq!(s.round_ms_total, e.now());
+    }
+
+    #[test]
+    fn early_termination_emits_decide_and_cancel_events() {
+        let ring = Arc::new(Ring::with_capacity(1024));
+        let platform =
+            SimulatedPlatform::new(Market::Amt, WorkerPool::with_accuracies(&[1.0; 10]), 17);
+        let mut e = RuntimeEngine::new(
+            platform,
+            LatencyModel::default(),
+            FaultPlan::none(),
+            RetryPolicy::default(),
+            0,
+            Arc::new(RuntimeMetrics::new()),
+        )
+        .with_early_termination(true)
+        .with_trace(Trace::collector(ring.clone()));
+        e.ask_round(&[yes_task(1)], 5);
+        let evs = ring.drain();
+        let decide = evs.iter().find(|e| e.name == names::DECIDE).expect("a DECIDE event");
+        // Perfect workers vote unanimously: confidence 1, entropy 0.
+        assert_eq!(decide.get("conf").unwrap().as_f64(), Some(1.0));
+        assert_eq!(decide.get("entropy").unwrap().as_f64(), Some(0.0));
+        assert_eq!(decide.get_u64("choice"), Some(0));
+        let cancel = evs.iter().find(|e| e.name == names::CANCEL).expect("a CANCEL event");
+        assert_eq!(cancel.get_u64("n"), Some(2), "5 dispatched, 3 decide, 2 cancelled");
     }
 }

@@ -23,6 +23,8 @@ use cdb_core::executor::{EdgeTruth, Executor, ExecutorConfig};
 use cdb_core::model::NodeId;
 use cdb_core::QueryGraph;
 use cdb_crowd::{stream_key, LatencyModel, Market, SimTime, SimulatedPlatform, WorkerPool};
+use cdb_obsv::attr::names;
+use cdb_obsv::{kv, Event, SpanId, Trace};
 
 use crate::engine::RuntimeEngine;
 use crate::fault::{FaultPlan, RetryPolicy, RuntimeError};
@@ -53,6 +55,10 @@ pub struct RuntimeConfig {
     pub early_termination: bool,
     /// Capacity of the bounded result channel (backpressure).
     pub result_capacity: usize,
+    /// Observability sink. Off by default (zero cost); when attached,
+    /// every query's events are tagged with its `q` id and its span ids
+    /// are salted into a per-query namespace before reaching the sink.
+    pub trace: Trace,
 }
 
 impl Default for RuntimeConfig {
@@ -76,6 +82,7 @@ impl Default for RuntimeConfig {
             exec: ExecutorConfig::default(),
             early_termination: false,
             result_capacity: 8,
+            trace: Trace::off(),
         }
     }
 }
@@ -226,6 +233,11 @@ fn run_query(
     let platform_seed = stream_key(cfg.seed, &[0x51A7, job.id]);
     let wpool = WorkerPool::with_accuracies(&cfg.worker_accuracies);
     let platform = SimulatedPlatform::new(cfg.market, wpool, platform_seed);
+    // Per-query view of the configured sink: every event gains the `q`
+    // key and span ids are salted into the query's namespace, so the
+    // instrumented code never threads the query id through its calls.
+    let qspan = SpanId::root().child(names::QUERY, &[job.id]);
+    let qtrace = cfg.trace.with_context(kv![q => job.id], qspan.raw());
     let mut engine = RuntimeEngine::new(
         platform,
         cfg.latency,
@@ -234,30 +246,38 @@ fn run_query(
         job.id,
         Arc::clone(metrics),
     )
+    .with_trace(qtrace.clone())
     .with_early_termination(cfg.early_termination);
     let exec_cfg = ExecutorConfig { seed: stream_key(cfg.seed, &[0xE5EC, job.id]), ..cfg.exec };
-    let stats = Executor::new(job.graph, &job.truth, &mut engine, exec_cfg).run();
+    // The core loop gets the same per-query view, so its plan-level
+    // events (`exec.edge` task→node bindings, `exec.color`) land in the
+    // same stream the engine's crowd events do.
+    let stats =
+        Executor::new(job.graph, &job.truth, &mut engine, exec_cfg).with_trace(qtrace).run();
     let virtual_ms = engine.now();
     let id = job.id;
-    match engine.take_error() {
-        Some(e) => {
-            metrics.add_query(false, virtual_ms);
-            (id, Err(e))
-        }
-        None => {
-            metrics.add_query(true, virtual_ms);
-            (
-                id,
-                Ok(QueryResult {
-                    query: id,
-                    bindings: stats.answer_bindings(),
-                    tasks_asked: stats.tasks_asked,
-                    rounds: stats.rounds,
-                    assignments: stats.assignments,
-                    virtual_ms,
-                }),
-            )
-        }
+    let err = engine.take_error();
+    // One `runtime.query` fact per query: metrics folds it into the
+    // ok/failed counters; external sinks read the makespan off it.
+    engine.trace().emit(Event::instant(
+        SpanId::root(),
+        names::QUERY,
+        virtual_ms,
+        kv![q => id, ok => err.is_none(), ms => virtual_ms],
+    ));
+    match err {
+        Some(e) => (id, Err(e)),
+        None => (
+            id,
+            Ok(QueryResult {
+                query: id,
+                bindings: stats.answer_bindings(),
+                tasks_asked: stats.tasks_asked,
+                rounds: stats.rounds,
+                assignments: stats.assignments,
+                virtual_ms,
+            }),
+        ),
     }
 }
 

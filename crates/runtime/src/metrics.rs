@@ -2,13 +2,21 @@
 //!
 //! All counters are atomics so query jobs on different threads update one
 //! [`RuntimeMetrics`] without locks; [`RuntimeMetrics::snapshot`] freezes
-//! them into a plain value that serializes to JSON. (The vendored `serde`
-//! stand-in cannot serialize, so the JSON is written by hand — it is a
-//! dozen fixed fields.)
+//! them into a plain value that serializes to JSON (via `cdb-obsv`'s
+//! shared `json` module — the vendored `serde` stand-in cannot serialize).
+//!
+//! Since the observability layer landed, `RuntimeMetrics` is a *consumer
+//! of the event stream*: it implements [`cdb_obsv::Collector`] and folds
+//! `crowd.*` / `runtime.*` events into its counters, so the engine emits
+//! each fact exactly once and every sink — aggregate counters, ring
+//! buffers, trace files — derives from the same stream. The `add_*`
+//! methods remain public for direct use in tests and ad-hoc tooling.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use cdb_crowd::SimTime;
+use cdb_obsv::attr::{keys, names};
+use cdb_obsv::{Collector, Event, EventKind};
 
 /// Number of power-of-two buckets in the round-latency histogram.
 pub const HISTOGRAM_BUCKETS: usize = 20;
@@ -27,6 +35,8 @@ pub struct RuntimeMetrics {
     queries_ok: AtomicU64,
     queries_failed: AtomicU64,
     virtual_ms_total: AtomicU64,
+    round_ms_total: AtomicU64,
+    cost_cents: AtomicU64,
     /// Bucket `i` counts rounds whose virtual latency was in
     /// `[2^i, 2^(i+1))` ms (last bucket open-ended).
     round_latency: [AtomicU64; HISTOGRAM_BUCKETS],
@@ -41,6 +51,11 @@ impl RuntimeMetrics {
     /// `n` assignments handed to workers.
     pub fn add_dispatched(&self, n: u64) {
         self.tasks_dispatched.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Money spent on assignments, in cents.
+    pub fn add_cost(&self, cents: u64) {
+        self.cost_cents.fetch_add(cents, Ordering::Relaxed);
     }
 
     /// One redispatch attempt after a miss.
@@ -77,6 +92,7 @@ impl RuntimeMetrics {
     /// One crowd round completed in `latency_ms` of virtual time.
     pub fn add_round(&self, latency_ms: SimTime) {
         self.rounds.fetch_add(1, Ordering::Relaxed);
+        self.round_ms_total.fetch_add(latency_ms, Ordering::Relaxed);
         let bucket = (u64::BITS - latency_ms.leading_zeros()).saturating_sub(1) as usize;
         let bucket = bucket.min(HISTOGRAM_BUCKETS - 1);
         self.round_latency[bucket].fetch_add(1, Ordering::Relaxed);
@@ -107,11 +123,48 @@ impl RuntimeMetrics {
             queries_ok: self.queries_ok.load(Ordering::Relaxed),
             queries_failed: self.queries_failed.load(Ordering::Relaxed),
             virtual_ms_total: self.virtual_ms_total.load(Ordering::Relaxed),
+            round_ms_total: self.round_ms_total.load(Ordering::Relaxed),
+            cost_cents: self.cost_cents.load(Ordering::Relaxed),
             round_latency_buckets: self
                 .round_latency
                 .iter()
                 .map(|b| b.load(Ordering::Relaxed))
                 .collect(),
+        }
+    }
+}
+
+/// The event-stream consumer: every `crowd.*` / `runtime.*` fact the
+/// engine emits folds into exactly one counter update. Unknown event
+/// names are ignored, so richer instrumentation downstream never breaks
+/// the aggregates.
+impl Collector for RuntimeMetrics {
+    fn record(&self, ev: &Event) {
+        match ev.name {
+            names::DISPATCH => {
+                self.add_dispatched(1);
+                self.add_cost(ev.get_u64(keys::CENTS).unwrap_or(0));
+            }
+            names::RETRY => self.add_retry(),
+            names::TIMEOUT => self.add_timeout(),
+            names::REASSIGN => self.add_reassignment(),
+            names::FAULT => {
+                let fault = match ev.get(keys::KIND).and_then(|v| v.as_str()) {
+                    Some("dropout") => crate::fault::Fault::Dropout,
+                    Some("abandoned") => crate::fault::Fault::Abandoned,
+                    Some("slow") => crate::fault::Fault::Slow,
+                    _ => crate::fault::Fault::None,
+                };
+                self.add_fault(fault);
+            }
+            names::ROUND if ev.kind == EventKind::Exit => {
+                self.add_round(ev.get_u64(keys::MS).unwrap_or(0))
+            }
+            names::QUERY => {
+                let ok = ev.get(keys::OK) == Some(cdb_obsv::Value::Bool(true));
+                self.add_query(ok, ev.get_u64(keys::MS).unwrap_or(0));
+            }
+            _ => {}
         }
     }
 }
@@ -141,37 +194,96 @@ pub struct MetricsSnapshot {
     pub queries_failed: u64,
     /// Sum of per-query virtual makespans, in ms.
     pub virtual_ms_total: u64,
+    /// Sum of per-round virtual latencies, in ms (the histogram's `_sum`).
+    pub round_ms_total: u64,
+    /// Money spent on dispatched assignments, in cents.
+    pub cost_cents: u64,
     /// Power-of-two round-latency histogram: bucket `i` counts rounds in
     /// `[2^i, 2^(i+1))` virtual ms.
     pub round_latency_buckets: Vec<u64>,
 }
 
 impl MetricsSnapshot {
-    /// Serialize as a single JSON object (stable field order).
+    /// Serialize as a single JSON object (stable field order), via the
+    /// shared `cdb-obsv` json emitter.
     pub fn to_json(&self) -> String {
-        let buckets =
-            self.round_latency_buckets.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
-        format!(
-            concat!(
-                "{{\"tasks_dispatched\":{},\"retries\":{},\"timeouts\":{},",
-                "\"reassignments\":{},\"dropouts\":{},\"abandons\":{},",
-                "\"slowdowns\":{},\"rounds\":{},\"queries_ok\":{},",
-                "\"queries_failed\":{},\"virtual_ms_total\":{},",
-                "\"round_latency_buckets\":[{}]}}"
-            ),
+        let mut buckets = cdb_obsv::json::JsonArray::new();
+        for &b in &self.round_latency_buckets {
+            buckets = buckets.u64(b);
+        }
+        cdb_obsv::json::JsonObject::new()
+            .u64("tasks_dispatched", self.tasks_dispatched)
+            .u64("retries", self.retries)
+            .u64("timeouts", self.timeouts)
+            .u64("reassignments", self.reassignments)
+            .u64("dropouts", self.dropouts)
+            .u64("abandons", self.abandons)
+            .u64("slowdowns", self.slowdowns)
+            .u64("rounds", self.rounds)
+            .u64("queries_ok", self.queries_ok)
+            .u64("queries_failed", self.queries_failed)
+            .u64("virtual_ms_total", self.virtual_ms_total)
+            .u64("round_ms_total", self.round_ms_total)
+            .u64("cost_cents", self.cost_cents)
+            .raw("round_latency_buckets", &buckets.finish())
+            .finish()
+    }
+
+    /// Render as Prometheus text-format exposition. Counter names carry
+    /// the `cdb_` prefix and `_total` suffix per convention; the
+    /// round-latency histogram keeps its power-of-two buckets (bucket `i`
+    /// covers `[2^i, 2^(i+1))` ms, so its inclusive `le` is `2^(i+1)-1`;
+    /// the final open-ended bucket folds into `+Inf`).
+    pub fn to_prometheus(&self) -> String {
+        let mut p = cdb_obsv::prom::PromText::new();
+        p.counter(
+            "cdb_tasks_dispatched_total",
+            "Assignments handed to workers (originals + redispatches).",
             self.tasks_dispatched,
-            self.retries,
-            self.timeouts,
+        );
+        p.counter("cdb_retries_total", "Redispatch attempts after deadline misses.", self.retries);
+        p.counter("cdb_timeouts_total", "Assignments that missed their deadline.", self.timeouts);
+        p.counter(
+            "cdb_reassignments_total",
+            "Tasks moved to a different worker.",
             self.reassignments,
-            self.dropouts,
-            self.abandons,
-            self.slowdowns,
-            self.rounds,
-            self.queries_ok,
-            self.queries_failed,
+        );
+        p.counter_family(
+            "cdb_faults_total",
+            "Injected faults by kind.",
+            &[
+                (vec![("kind", "dropout")], self.dropouts),
+                (vec![("kind", "abandoned")], self.abandons),
+                (vec![("kind", "slow")], self.slowdowns),
+            ],
+        );
+        p.counter_family(
+            "cdb_queries_total",
+            "Queries finished, by outcome.",
+            &[
+                (vec![("outcome", "ok")], self.queries_ok),
+                (vec![("outcome", "failed")], self.queries_failed),
+            ],
+        );
+        p.counter(
+            "cdb_virtual_ms_total",
+            "Sum of per-query virtual makespans in ms.",
             self.virtual_ms_total,
-            buckets,
-        )
+        );
+        p.counter("cdb_cost_cents_total", "Money spent on assignments in cents.", self.cost_cents);
+        let n = self.round_latency_buckets.len();
+        // Finite uppers for all but the open-ended last bucket.
+        let mut uppers: Vec<f64> =
+            (0..n.saturating_sub(1)).map(|i| (1u64 << (i + 1)).wrapping_sub(1) as f64).collect();
+        uppers.push(f64::INFINITY);
+        p.histogram(
+            "cdb_round_latency_ms",
+            "Crowd round latency in virtual ms.",
+            &uppers,
+            &self.round_latency_buckets,
+            self.round_ms_total as f64,
+        );
+        p.finish()
     }
 }
 
@@ -179,6 +291,8 @@ impl MetricsSnapshot {
 mod tests {
     use super::*;
     use crate::fault::Fault;
+    use cdb_obsv::span::SpanId;
+    use cdb_obsv::{kv, Event, EventKind};
 
     #[test]
     fn counters_accumulate() {
@@ -193,6 +307,7 @@ mod tests {
         m.add_fault(Fault::None);
         m.add_query(true, 500);
         m.add_query(false, 300);
+        m.add_cost(25);
         let s = m.snapshot();
         assert_eq!(s.tasks_dispatched, 15);
         assert_eq!(s.retries, 1);
@@ -203,6 +318,7 @@ mod tests {
         assert_eq!(s.abandons, 0);
         assert_eq!((s.queries_ok, s.queries_failed), (1, 1));
         assert_eq!(s.virtual_ms_total, 800);
+        assert_eq!(s.cost_cents, 25);
     }
 
     #[test]
@@ -223,6 +339,68 @@ mod tests {
     }
 
     #[test]
+    fn histogram_edges_land_on_bucket_boundaries() {
+        // Exact powers of two start a new bucket; their predecessors
+        // close the previous one; the last bucket is open-ended.
+        let m = RuntimeMetrics::new();
+        for i in 1..HISTOGRAM_BUCKETS {
+            m.add_round(1u64 << i); // lower edge of bucket i
+            m.add_round((1u64 << i) - 1); // upper edge of bucket i-1
+        }
+        let s = m.snapshot();
+        // Bucket 0 got {1}; buckets 1..18 got {2^i} and {2^(i+1)-1};
+        // bucket 19 got {2^19} and every value the loop put past it.
+        assert_eq!(s.round_latency_buckets[0], 1);
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(s.round_latency_buckets[i], 2, "bucket {i}");
+        }
+        assert_eq!(s.round_latency_buckets[HISTOGRAM_BUCKETS - 1], 1);
+        // Values far past the last bucket clamp instead of panicking.
+        m.add_round(u64::MAX);
+        m.add_round(1u64 << 40);
+        let s = m.snapshot();
+        assert_eq!(s.round_latency_buckets[HISTOGRAM_BUCKETS - 1], 3);
+        // The histogram always sums to the round count.
+        assert_eq!(s.round_latency_buckets.iter().sum::<u64>(), s.rounds);
+        assert_eq!(s.round_ms_total, {
+            let edges: u64 =
+                (1..HISTOGRAM_BUCKETS as u64).map(|i| (1u64 << i) + ((1u64 << i) - 1)).sum();
+            edges.wrapping_add(u64::MAX).wrapping_add(1u64 << 40)
+        });
+    }
+
+    #[test]
+    fn concurrent_updates_sum_exactly() {
+        use std::sync::Arc;
+        let m = Arc::new(RuntimeMetrics::new());
+        let threads = 6;
+        let per = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        m.add_dispatched(1);
+                        m.add_round(i % 4096);
+                        if i % 3 == 0 {
+                            m.add_retry();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = m.snapshot();
+        assert_eq!(s.tasks_dispatched, threads * per);
+        assert_eq!(s.rounds, threads * per);
+        assert_eq!(s.retries, threads * per.div_ceil(3));
+        assert_eq!(s.round_latency_buckets.iter().sum::<u64>(), s.rounds);
+        assert_eq!(s.round_ms_total, threads * (0..per).map(|i| i % 4096).sum::<u64>());
+    }
+
+    #[test]
     fn json_is_wellformed_and_stable() {
         let m = RuntimeMetrics::new();
         m.add_dispatched(3);
@@ -231,7 +409,65 @@ mod tests {
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"tasks_dispatched\":3"));
         assert!(j.contains("\"rounds\":1"));
+        assert!(j.contains("\"round_ms_total\":100"));
         assert!(j.contains("\"round_latency_buckets\":["));
         assert_eq!(j, m.snapshot().to_json());
+        cdb_obsv::json::check_balanced(&j).unwrap();
+    }
+
+    #[test]
+    fn prometheus_exposition_validates_and_carries_the_histogram() {
+        let m = RuntimeMetrics::new();
+        m.add_dispatched(7);
+        m.add_cost(35);
+        m.add_round(3);
+        m.add_round(1000);
+        m.add_query(true, 1003);
+        let text = m.snapshot().to_prometheus();
+        cdb_obsv::prom::validate_exposition(&text).unwrap();
+        assert!(text.contains("cdb_tasks_dispatched_total 7"));
+        assert!(text.contains("cdb_cost_cents_total 35"));
+        assert!(text.contains("cdb_round_latency_ms_count 2"));
+        assert!(text.contains("cdb_round_latency_ms_sum 1003"));
+        assert!(text.contains("cdb_queries_total{outcome=\"ok\"} 1"));
+        // le bounds are inclusive: bucket 1 covers [2,3] so le="3".
+        assert!(text.contains("cdb_round_latency_ms_bucket{le=\"3\"} 1"));
+        assert!(text.contains("cdb_round_latency_ms_bucket{le=\"+Inf\"} 2"));
+        // Exactly one +Inf bucket despite the open-ended 20th bucket.
+        assert_eq!(text.matches("le=\"+Inf\"").count(), 1);
+    }
+
+    #[test]
+    fn metrics_consume_the_event_stream() {
+        let m = RuntimeMetrics::new();
+        let span = SpanId::root();
+        let record = |name, kind, at: u64, kvs| m.record(&Event { span, name, kind, at, kv: kvs });
+        use cdb_obsv::attr::names;
+        record(names::DISPATCH, EventKind::Instant, 0, kv![task => 1u64, cents => 5u64]);
+        record(names::DISPATCH, EventKind::Instant, 0, kv![task => 2u64, cents => 4u64]);
+        record(names::TIMEOUT, EventKind::Instant, 9, kv![task => 1u64]);
+        record(names::RETRY, EventKind::Instant, 9, kv![task => 1u64]);
+        record(names::REASSIGN, EventKind::Instant, 9, kv![task => 1u64]);
+        record(names::FAULT, EventKind::Instant, 3, kv![kind => "dropout"]);
+        record(names::FAULT, EventKind::Instant, 3, kv![kind => "slow"]);
+        // Round spans count only on Exit (with the closing latency).
+        record(names::ROUND, EventKind::Enter, 0, kv![round => 0u64]);
+        record(names::ROUND, EventKind::Exit, 120, kv![ms => 120u64]);
+        record(names::QUERY, EventKind::Instant, 120, kv![ok => true, ms => 120u64]);
+        record(names::QUERY, EventKind::Instant, 80, kv![ok => false, ms => 80u64]);
+        // Unknown names are ignored.
+        record("exotic.event", EventKind::Instant, 0, kv![]);
+        let s = m.snapshot();
+        assert_eq!(s.tasks_dispatched, 2);
+        assert_eq!(s.cost_cents, 9);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.reassignments, 1);
+        assert_eq!(s.dropouts, 1);
+        assert_eq!(s.slowdowns, 1);
+        assert_eq!(s.rounds, 1);
+        assert_eq!(s.round_ms_total, 120);
+        assert_eq!((s.queries_ok, s.queries_failed), (1, 1));
+        assert_eq!(s.virtual_ms_total, 200);
     }
 }

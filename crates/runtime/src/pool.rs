@@ -17,6 +17,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use cdb_obsv::attr::names;
+use cdb_obsv::{kv, Event, SpanId, Trace};
+
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 struct Shared {
@@ -33,6 +36,13 @@ struct Shared {
     drained: Condvar,
     shutdown: AtomicBool,
     steals: AtomicU64,
+    /// Scheduler diagnostics sink. Pool events describe *which thread ran
+    /// what* — inherently schedule-dependent — so the runtime never routes
+    /// them into the deterministic per-query streams; attach one here
+    /// explicitly (e.g. via [`ThreadPool::new_traced`]) to study stealing.
+    trace: Trace,
+    /// Ordering stamp for pool events (the pool has no virtual clock).
+    seq: AtomicU64,
 }
 
 /// A fixed-size work-stealing thread pool.
@@ -44,6 +54,13 @@ pub struct ThreadPool {
 impl ThreadPool {
     /// Spawn a pool with `threads` workers (at least 1).
     pub fn new(threads: usize) -> Self {
+        ThreadPool::new_traced(threads, Trace::off())
+    }
+
+    /// Spawn a pool that emits `pool.job` / `pool.steal` scheduler
+    /// diagnostics into `trace`. These events are schedule-dependent by
+    /// nature — do not mix them into streams you expect to replay.
+    pub fn new_traced(threads: usize, trace: Trace) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(Shared {
             locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
@@ -53,6 +70,8 @@ impl ThreadPool {
             drained: Condvar::new(),
             shutdown: AtomicBool::new(false),
             steals: AtomicU64::new(0),
+            trace,
+            seq: AtomicU64::new(0),
         });
         let handles = (0..threads)
             .map(|i| {
@@ -134,6 +153,15 @@ fn take_job(me: usize, shared: &Shared) -> Option<Job> {
         let victim = (me + off) % n;
         if let Some(j) = shared.locals[victim].lock().expect("pool poisoned").pop_back() {
             shared.steals.fetch_add(1, Ordering::Relaxed);
+            if shared.trace.on() {
+                let at = shared.seq.fetch_add(1, Ordering::Relaxed);
+                shared.trace.emit(Event::instant(
+                    SpanId::root(),
+                    names::POOL_STEAL,
+                    at,
+                    kv![worker => me as u64, victim => victim as u64],
+                ));
+            }
             return Some(j);
         }
     }
@@ -144,6 +172,15 @@ fn worker_loop(me: usize, shared: &Shared) {
     loop {
         match take_job(me, shared) {
             Some(job) => {
+                if shared.trace.on() {
+                    let at = shared.seq.fetch_add(1, Ordering::Relaxed);
+                    shared.trace.emit(Event::instant(
+                        SpanId::root(),
+                        names::POOL_JOB,
+                        at,
+                        kv![worker => me as u64],
+                    ));
+                }
                 // Count the job as done even if it panics, so `join` can
                 // never hang on a crashed job.
                 struct Done<'a>(&'a Shared);
@@ -252,6 +289,27 @@ mod tests {
         // accept zero only if the machine ran everything before workers
         // went idle — steal count is monotonic and never negative.
         let _ = pool.steals();
+    }
+
+    #[test]
+    fn traced_pool_reports_every_job_start() {
+        use cdb_obsv::Ring;
+        let ring = Arc::new(Ring::with_capacity(256));
+        let pool = ThreadPool::new_traced(3, Trace::collector(ring.clone()));
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool.scatter((0..24).map(|_| {
+            let c = Arc::clone(&counter);
+            move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }
+        }));
+        pool.join();
+        let evs = ring.drain();
+        let jobs = evs.iter().filter(|e| e.name == names::POOL_JOB).count();
+        assert_eq!(jobs, 24);
+        // Steal events, if any, agree with the pool's own counter.
+        let steals = evs.iter().filter(|e| e.name == names::POOL_STEAL).count() as u64;
+        assert_eq!(steals, pool.steals());
     }
 
     #[test]

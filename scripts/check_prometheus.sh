@@ -1,0 +1,54 @@
+#!/usr/bin/env sh
+# Line-format check for Prometheus text exposition (version 0.0.4).
+#
+# Usage: scripts/check_prometheus.sh <exposition-file>
+#
+# This is the CI-side complement of `cdb_obsv::prom::validate_exposition`
+# (which the example already runs in-process before writing the file):
+# a dependency-free awk pass asserting every line is either a well-formed
+# `# HELP` / `# TYPE` comment or a `name[{labels}] value` sample, that
+# every sample's metric family was declared first, and that histogram
+# `_bucket` series end with an `le="+Inf"` line.
+set -eu
+
+file="${1:?usage: scripts/check_prometheus.sh <exposition-file>}"
+
+[ -s "$file" ] || { echo "FAIL: $file is missing or empty" >&2; exit 1; }
+
+awk '
+function fail(msg) { printf "FAIL line %d: %s: %s\n", NR, msg, $0 > "/dev/stderr"; bad = 1 }
+/^$/ { next }
+/^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* / { helped[$3] = 1; next }
+/^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)$/ {
+    typed[$3] = $4; next
+}
+/^#/ { fail("malformed comment (expected # HELP or # TYPE)") ; next }
+{
+    # Sample line: name[{labels}] value
+    if ($0 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?([0-9.eE+-]+|\+Inf|-Inf|NaN)$/) {
+        fail("not a sample line"); next
+    }
+    name = $0
+    sub(/[{ ].*$/, "", name)
+    # A histogram family declares one TYPE for name, samples appear as
+    # name_bucket / name_sum / name_count.
+    family = name
+    sub(/_(bucket|sum|count)$/, "", family)
+    if (!(name in typed) && !(family in typed)) fail("sample before # TYPE")
+    if (!(name in helped) && !(family in helped)) fail("sample before # HELP")
+    if (name ~ /_bucket$/) {
+        if ($0 !~ /le="/) fail("histogram bucket without an le label")
+        if ($0 ~ /le="\+Inf"/) inf_buckets[family] = 1
+        bucket_families[family] = 1
+    }
+}
+END {
+    for (f in bucket_families)
+        if (!(f in inf_buckets)) {
+            printf "FAIL: histogram %s has no le=\"+Inf\" bucket\n", f > "/dev/stderr"
+            bad = 1
+        }
+    exit bad
+}' "$file"
+
+echo "OK: $file is well-formed Prometheus exposition"
