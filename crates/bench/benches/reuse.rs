@@ -1,0 +1,76 @@
+//! Answer reuse: task-count reduction on the self-join workload.
+//!
+//! The evidence pass runs the self-join fleet twice — once without a
+//! cache, once against a shared [`ReuseCache`] — and asserts the
+//! cache+entailment path cuts dispatched crowd tasks by at least 20%
+//! while producing the same answers. The timed groups then compare a
+//! cold run against a warm-cache run, where almost every task resolves
+//! by entailment before dispatch.
+
+use std::sync::Arc;
+
+use cdb_bench::selfjoin_jobs;
+use cdb_core::ReuseCache;
+use cdb_runtime::{QueryJob, RuntimeConfig, RuntimeExecutor};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fleet() -> Vec<QueryJob> {
+    selfjoin_jobs(4, 8, 3)
+}
+
+fn config(reuse: Option<Arc<ReuseCache>>) -> RuntimeConfig {
+    RuntimeConfig {
+        threads: 4,
+        seed: 7,
+        worker_accuracies: vec![1.0; 20],
+        reuse,
+        ..RuntimeConfig::default()
+    }
+}
+
+fn bench_reuse_savings(c: &mut Criterion) {
+    // Evidence pass (not timed): two fleet passes per mode, since the
+    // cache absorbs answers between runs.
+    let two_passes = |cache: Option<Arc<ReuseCache>>| {
+        let exec = RuntimeExecutor::new(config(cache));
+        let a = exec.run(fleet());
+        let b = exec.run(fleet());
+        (
+            a.metrics.tasks_dispatched + b.metrics.tasks_dispatched,
+            a.metrics.tasks_saved + b.metrics.tasks_saved,
+            format!("{}{}", a.bindings_text(), b.bindings_text()),
+        )
+    };
+    let (off, _, off_answers) = two_passes(None);
+    let (on, saved, on_answers) = two_passes(Some(Arc::new(ReuseCache::new())));
+    assert!(
+        (on as f64) <= 0.8 * off as f64,
+        "reuse must cut dispatched tasks by >= 20%: {off} -> {on}"
+    );
+    assert_eq!(on_answers, off_answers, "reuse must not change answers");
+    println!("# reuse: dispatched {off} -> {on}, {saved} tasks saved");
+
+    let mut group = c.benchmark_group("reuse_selfjoin");
+    group.bench_function("cache_off", |b| {
+        b.iter(|| RuntimeExecutor::new(config(None)).run(fleet()).metrics.tasks_dispatched)
+    });
+    let cache = Arc::new(ReuseCache::new());
+    // Warm the cache once; each timed iteration then runs mostly on hits.
+    RuntimeExecutor::new(config(Some(Arc::clone(&cache)))).run(fleet());
+    group.bench_function("cache_warm", |b| {
+        b.iter(|| {
+            RuntimeExecutor::new(config(Some(Arc::clone(&cache))))
+                .run(fleet())
+                .metrics
+                .tasks_dispatched
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_reuse_savings
+}
+criterion_main!(benches);

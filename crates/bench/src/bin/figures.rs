@@ -6,7 +6,11 @@
 //!
 //! targets: fig8 fig9 fig10 fig11 fig14 fig15 fig16 fig17 fig18 fig19
 //!          fig20 fig21 fig22 fig23 fig24 table2 table3 table4 table5
-//!          example runtime trace all
+//!          example runtime reuse trace all
+//!
+//! `reuse` sweeps the cross-query answer-reuse cache (on/off × fault
+//! rate) over the self-join fleet and checks the dispatched-task
+//! reduction and answer equality.
 //!
 //! `trace` runs one crowd-join query under the concurrent runtime with
 //! tracing on and prints Chrome `trace_event` JSON on stdout — pipe it to
@@ -52,7 +56,7 @@ fn parse_args() -> Args {
         }
     }
     if args.target.is_empty() {
-        eprintln!("usage: figures [--scale N] [--reps R] [--seed S] <fig8..fig24|table2..table5|example|runtime|trace|all>");
+        eprintln!("usage: figures [--scale N] [--reps R] [--seed S] <fig8..fig24|table2..table5|example|runtime|reuse|trace|all>");
         std::process::exit(2);
     }
     args
@@ -545,6 +549,68 @@ fn runtime(args: &Args) {
     println!();
 }
 
+/// `figures reuse`: the answer-reuse sweep — cache on/off × fault rate
+/// over the self-join fleet, two passes per cell (the second pass is where
+/// cross-query reuse pays: the cache absorbed pass one's answers).
+fn reuse(args: &Args) {
+    use cdb_bench::selfjoin_jobs;
+    use cdb_core::ReuseCache;
+    use cdb_runtime::{FaultPlan, RetryPolicy, RuntimeConfig, RuntimeExecutor};
+    use std::sync::Arc;
+
+    let queries = 6u64;
+    let items = (80 / args.scale.max(1)).clamp(4, 24);
+    println!("# Answer reuse: {queries} self-join queries x 2 passes ({items} items, 3 clusters)");
+    println!(
+        "{:<8}{:<8}{:>12}{:>12}{:>9}{:>12}{:>11}{:>10}",
+        "cache", "faults", "dispatched", "saved", "red_%", "saved_\u{a2}", "depth_sum", "same_ans"
+    );
+    for &fault_rate in &[0.0f64, 0.1, 0.3] {
+        let run_passes = |cache: Option<Arc<ReuseCache>>| {
+            let rcfg = RuntimeConfig {
+                threads: 4,
+                seed: args.seed,
+                worker_accuracies: vec![1.0; 20],
+                fault_plan: FaultPlan::uniform(args.seed, fault_rate),
+                retry: RetryPolicy { deadline_ms: 300_000, max_retries: 8 },
+                reuse: cache,
+                ..RuntimeConfig::default()
+            };
+            let exec = RuntimeExecutor::new(rcfg);
+            let first = exec.run(selfjoin_jobs(queries, items, 3));
+            let second = exec.run(selfjoin_jobs(queries, items, 3));
+            let dispatched = first.metrics.tasks_dispatched + second.metrics.tasks_dispatched;
+            let saved = first.metrics.tasks_saved + second.metrics.tasks_saved;
+            let cents = first.metrics.money_saved_cents + second.metrics.money_saved_cents;
+            let depth = first.metrics.entailment_depth_sum + second.metrics.entailment_depth_sum;
+            let bindings = format!("{}{}", first.bindings_text(), second.bindings_text());
+            (dispatched, saved, cents, depth, bindings)
+        };
+        let off = run_passes(None);
+        let on = run_passes(Some(Arc::new(ReuseCache::new())));
+        let reduction = 100.0 * (off.0 as f64 - on.0 as f64) / off.0.max(1) as f64;
+        for (label, r) in [("off", &off), ("on", &on)] {
+            println!(
+                "{:<8}{:<8}{:>12}{:>12}{:>9.1}{:>12}{:>11}{:>10}",
+                label,
+                fault_rate,
+                r.0,
+                r.1,
+                if label == "on" { reduction } else { 0.0 },
+                r.2,
+                r.3,
+                if r.4 == off.4 { "yes" } else { "NO" },
+            );
+        }
+        assert!(
+            reduction >= 20.0,
+            "reuse must cut dispatched tasks by >= 20% (got {reduction:.1}%)"
+        );
+        assert_eq!(on.4, off.4, "reuse must not change query answers");
+    }
+    println!();
+}
+
 /// `figures trace`: one crowd-join query through the concurrent runtime
 /// with tracing on. Chrome `trace_event` JSON goes to stdout (load it in
 /// Perfetto); the attribution rollup and conservation totals to stderr.
@@ -651,6 +717,9 @@ fn main() {
     }
     if all || t == "runtime" {
         runtime(&args);
+    }
+    if all || t == "reuse" {
+        reuse(&args);
     }
     // Not part of `all`: its stdout is a JSON artifact, not a report.
     if t == "trace" {

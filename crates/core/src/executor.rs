@@ -8,6 +8,7 @@
 //! or pruned. The answers are the all-BLUE candidates.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Mutex};
 
 use cdb_crowd::{CrowdPlatform, SimulatedPlatform, Task, TaskId, WorkerId};
 use cdb_obsv::attr::names;
@@ -26,6 +27,7 @@ use crate::cost::sampling::mincut_sampling_order;
 use crate::latency::parallel_round;
 use crate::model::{Color, EdgeId, NodeId, QueryGraph};
 use crate::prune::prune_invalid_edges;
+use crate::reuse::{ReuseOutcome, ReuseSession};
 
 /// Ground-truth edge colors: `truth[e] == true` means the edge is truly
 /// BLUE. Every edge of the graph must be present.
@@ -104,6 +106,9 @@ impl Default for ExecutorConfig {
 pub struct ExecutionStats {
     /// Distinct tasks (edges) asked — the paper's cost metric.
     pub tasks_asked: usize,
+    /// Edges resolved from the answer-reuse layer instead of being asked
+    /// (0 unless a [`ReuseSession`] is attached via `with_reuse`).
+    pub tasks_saved: usize,
     /// Rounds of crowd interaction — the paper's latency metric.
     pub rounds: usize,
     /// Total worker assignments collected (`tasks × redundancy`).
@@ -152,6 +157,10 @@ pub struct Executor<'a, P: CrowdPlatform = SimulatedPlatform> {
     rng: StdRng,
     /// Plan-level observability sink (off by default; see `cdb-obsv`).
     trace: Trace,
+    /// Answer-reuse session: resolves open edges by cache lookup +
+    /// entailment before selection, and records every inferred color.
+    reuse: Option<Arc<Mutex<ReuseSession>>>,
+    tasks_saved: usize,
 }
 
 impl<'a, P: CrowdPlatform> Executor<'a, P> {
@@ -173,7 +182,21 @@ impl<'a, P: CrowdPlatform> Executor<'a, P> {
             asked: BTreeSet::new(),
             rng,
             trace: Trace::off(),
+            reuse: None,
+            tasks_saved: 0,
         }
+    }
+
+    /// Attach an answer-reuse session (§5.1 cost control, extended with
+    /// cross-query answer reuse). Before each round's selection, every
+    /// open edge is checked against the session — cached or entailed
+    /// answers color the edge directly (counted in
+    /// [`ExecutionStats::tasks_saved`], emitted as `reuse.hit` events)
+    /// instead of dispatching a task; every crowd-inferred color is
+    /// recorded back so later edges and queries can reuse it.
+    pub fn with_reuse(mut self, session: Arc<Mutex<ReuseSession>>) -> Self {
+        self.reuse = Some(session);
+        self
     }
 
     /// Attach an observability sink: each round opens an `exec.round`
@@ -219,6 +242,15 @@ impl<'a, P: CrowdPlatform> Executor<'a, P> {
             // Latency constraint: in the final permitted round, flush all.
             let this_round = self.platform.rounds() - start_rounds + 1;
             let flush = self.cfg.max_rounds.is_some_and(|r| this_round >= r);
+
+            // Answer reuse: resolve whatever the cache + entailment already
+            // know *before* spending selection effort or crowd money. A
+            // resolved edge can invalidate candidates, so re-prune and
+            // re-derive the open set when anything resolved.
+            if self.reuse.is_some() && self.sweep_reuse(&open, this_round as u64) > 0 {
+                prune_invalid_edges(&mut self.graph);
+                continue;
+            }
 
             if self.trace.on() {
                 self.trace.emit(Event::instant(
@@ -289,6 +321,7 @@ impl<'a, P: CrowdPlatform> Executor<'a, P> {
             self.emit_plan_edges(&span, &batch, round_no);
             self.ask_batch(&batch);
             self.infer_and_color(&batch);
+            self.record_reuse(&batch);
             self.emit_colors(&span, &batch, round_no);
             prune_invalid_edges(&mut self.graph);
             span.close(round_no, kv![n => batch.len() as u64]);
@@ -311,11 +344,60 @@ impl<'a, P: CrowdPlatform> Executor<'a, P> {
         }
         ExecutionStats {
             tasks_asked: self.asked.len(),
+            tasks_saved: self.tasks_saved,
             rounds: self.platform.rounds() - start_rounds,
             assignments: self.votes.values().map(Vec::len).sum(),
             answers: answers(&self.graph),
             worker_qualities: self.qualities,
             worker_answer_counts,
+        }
+    }
+
+    /// Check every open edge against the reuse session; color the hits
+    /// and return how many resolved. Each hit saves one task's worth of
+    /// money (`redundancy × task price`) and is emitted as a `reuse.hit`
+    /// event carrying provenance kind, entailment depth and saved cents.
+    fn sweep_reuse(&mut self, open: &[EdgeId], at: u64) -> usize {
+        let Some(session) = self.reuse.clone() else { return 0 };
+        let mut session = session.lock().expect("reuse session poisoned");
+        let cents = self.platform.market().task_price_cents() * self.cfg.redundancy as u64;
+        let mut resolved = 0usize;
+        for &e in open {
+            let (u, v) = self.graph.edge_endpoints(e);
+            let outcome = session.resolve(self.graph.node_label(u), self.graph.node_label(v));
+            if let ReuseOutcome::Hit { same, provenance } = outcome {
+                self.graph.set_color(e, if same { Color::Blue } else { Color::Red });
+                resolved += 1;
+                if self.trace.on() {
+                    self.trace.emit(Event::instant(
+                        SpanId::root(),
+                        names::REUSE_HIT,
+                        at,
+                        kv![
+                            task => e.0 as u64,
+                            node => self.graph.edge_predicate(e) as u64,
+                            kind => provenance.kind(),
+                            depth => provenance.depth() as u64,
+                            cents => cents
+                        ],
+                    ));
+                }
+            }
+        }
+        self.tasks_saved += resolved;
+        resolved
+    }
+
+    /// Record this round's inferred colors into the reuse session so the
+    /// rest of this query — and, once absorbed, later queries — can skip
+    /// re-asking the same value pair.
+    fn record_reuse(&mut self, batch: &[EdgeId]) {
+        let Some(session) = self.reuse.clone() else { return };
+        let mut session = session.lock().expect("reuse session poisoned");
+        for &e in batch {
+            let (u, v) = self.graph.edge_endpoints(e);
+            let same = self.graph.edge_color(e) == Color::Blue;
+            session.record(self.graph.node_label(u), self.graph.node_label(v), same);
         }
     }
 
@@ -698,6 +780,59 @@ mod tests {
         .run();
         assert_eq!(stats.answers.len(), 1);
         assert!(stats.assignments >= stats.tasks_asked * 5);
+    }
+
+    #[test]
+    fn reuse_session_skips_everything_on_a_repeat_run() {
+        let (g, truth) = fixture();
+        let session = Arc::new(Mutex::new(ReuseSession::default()));
+        let mut p1 = platform(1.0, 20, 1);
+        let first = Executor::new(g.clone(), &truth, &mut p1, ExecutorConfig::default())
+            .with_reuse(session.clone())
+            .run();
+        assert_eq!(first.tasks_saved, 0);
+        assert!(first.tasks_asked > 0);
+        // Same graph again: every edge's value pair is now recorded (or
+        // entailed), so the repeat run never dispatches a single task.
+        let mut p2 = platform(1.0, 20, 99);
+        let second = Executor::new(g.clone(), &truth, &mut p2, ExecutorConfig::default())
+            .with_reuse(session)
+            .run();
+        assert_eq!(second.tasks_asked, 0);
+        assert!(second.tasks_saved > 0);
+        assert_eq!(second.answer_bindings(), first.answer_bindings());
+        // Without reuse the second run would have paid full price.
+        let mut p3 = platform(1.0, 20, 99);
+        let plain = Executor::new(g, &truth, &mut p3, ExecutorConfig::default()).run();
+        assert_eq!(plain.tasks_asked, first.tasks_asked);
+        assert_eq!(plain.tasks_saved, 0);
+    }
+
+    #[test]
+    fn reuse_emits_hit_events_with_provenance() {
+        use cdb_obsv::{Ring, Trace};
+        use std::sync::Arc as ObsArc;
+        let (g, truth) = fixture();
+        let session = Arc::new(Mutex::new(ReuseSession::default()));
+        let mut p1 = platform(1.0, 20, 1);
+        Executor::new(g.clone(), &truth, &mut p1, ExecutorConfig::default())
+            .with_reuse(session.clone())
+            .run();
+        let ring = ObsArc::new(Ring::with_capacity(1024));
+        let mut p2 = platform(1.0, 20, 1);
+        let stats = Executor::new(g, &truth, &mut p2, ExecutorConfig::default())
+            .with_reuse(session)
+            .with_trace(Trace::collector(ring.clone()))
+            .run();
+        let evs = ring.drain();
+        let hits: Vec<_> = evs.iter().filter(|e| e.name == names::REUSE_HIT).collect();
+        assert_eq!(hits.len(), stats.tasks_saved);
+        for h in &hits {
+            assert!(h.get("depth").unwrap().as_u64().unwrap() >= 1);
+            assert!(h.get("cents").unwrap().as_u64().unwrap() > 0);
+            let kind = h.get("kind").unwrap().as_str().unwrap();
+            assert!(["cached", "transitive", "negative"].contains(&kind));
+        }
     }
 
     #[test]

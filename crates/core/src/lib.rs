@@ -32,6 +32,7 @@ pub mod metrics;
 pub mod model;
 pub mod ops;
 pub mod prune;
+pub mod reuse;
 
 mod cdb;
 
@@ -43,3 +44,4 @@ pub use executor::{
 };
 pub use metrics::{f_measure, precision_recall, PrMetrics};
 pub use model::{Color, EdgeId, NodeId, PartId, PartKind, QueryGraph};
+pub use reuse::{normalize, Provenance, Recorded, ReuseCache, ReuseOutcome, ReuseSession};

@@ -15,7 +15,7 @@
 //!   transitive closure, i.e. crowdsourced ER over the group keys.
 
 use cdb_crowd::{Answer, SimulatedPlatform, Task, TaskId, TaskKind};
-use cdb_graph::UnionFind;
+use cdb_graph::{Entailment, EntailmentGraph};
 use cdb_quality::majority_vote;
 use cdb_similarity::{SimilarityFn, SimilarityMeasure};
 
@@ -89,6 +89,7 @@ pub fn crowd_sort(
                 // Choice 0 = first item greater.
                 truth: Some(Answer::Choice(usize::from(truth_rank[a] > truth_rank[b]))),
                 difficulty: 1.0,
+                values: None,
             })
             .collect();
         let answers = platform.ask_round(&tasks, redundancy);
@@ -156,23 +157,27 @@ pub fn crowd_group(
     // Most-similar first maximizes transitive savings.
     pairs.sort_by(|a, b| b.2.total_cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1))));
 
-    let mut dsu = UnionFind::new(n);
-    let mut negative: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    // Entailment over crowd answers: positive transitivity *and* negative
+    // propagation (a = b, b ≠ c ⇒ a ≠ c). The previous implementation
+    // kept a negative set keyed by DSU roots frozen at insertion time;
+    // after later unions re-rooted a component those entries never matched
+    // again, silently re-asking pairs the answers already determined.
+    let mut entail = EntailmentGraph::new(n);
     let mut tasks_asked = 0usize;
     let mut rounds = 0usize;
     let mut remaining = pairs;
     while !remaining.is_empty() {
-        // Build one round: skip pairs decided by transitivity; defer pairs
-        // whose clusters are already touched this round (their answer may
-        // become inferable from this round's merges).
+        // Build one round: skip pairs the entailment already decides;
+        // defer pairs whose clusters are already touched this round (their
+        // answer may become inferable from this round's merges).
         let mut batch: Vec<(usize, usize, f64)> = Vec::new();
         let mut deferred: Vec<(usize, usize, f64)> = Vec::new();
         let mut touched: std::collections::HashSet<usize> = std::collections::HashSet::new();
         for &(i, j, s) in &remaining {
-            let (ci, cj) = (dsu.find(i), dsu.find(j));
-            if ci == cj || negative.contains(&(ci.min(cj), ci.max(cj))) {
+            if entail.entails(i, j) != Entailment::Unknown {
                 continue;
             }
+            let (ci, cj) = (entail.root(i), entail.root(j));
             if touched.contains(&ci) || touched.contains(&cj) {
                 deferred.push((i, j, s));
                 continue;
@@ -204,11 +209,13 @@ pub fn crowd_group(
         }
         for (t, &(i, j, _)) in batch.iter().enumerate() {
             let same = majority_vote(&votes[t], 2) == 0;
+            // A noisy answer can contradict the closure (e.g. "no" on a
+            // pair already entailed equal); the assertion is rejected and
+            // the earlier answers stand.
             if same {
-                dsu.union(i, j);
+                entail.assert_same(i, j);
             } else {
-                let (ci, cj) = (dsu.find(i), dsu.find(j));
-                negative.insert((ci.min(cj), ci.max(cj)));
+                entail.assert_different(i, j);
             }
         }
     }
@@ -217,7 +224,7 @@ pub fn crowd_group(
     let mut group_of: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
     let mut groups: Vec<Vec<usize>> = Vec::new();
     for i in 0..n {
-        let root = dsu.find(i);
+        let root = entail.root(i);
         let g = *group_of.entry(root).or_insert_with(|| {
             groups.push(Vec::new());
             groups.len() - 1
@@ -296,6 +303,22 @@ mod tests {
         let out = crowd_group(&keys, &|_, _| false, &mut p, 3, SimilarityFn::default(), 0.3);
         assert_eq!(out.tasks_asked, 0, "no pair clears the threshold");
         assert_eq!(out.groups.len(), 3);
+    }
+
+    #[test]
+    fn group_negative_entailment_survives_re_rooting() {
+        // Cluster {0, 1, 2} plus singleton 3, all pairs candidates (NoSim
+        // gives every pair similarity 0.5, so ordering is lexicographic).
+        // Round 1 asks (0,1)=yes and (2,3)=no; round 2 asks (0,2)=yes,
+        // which re-roots 2's component. The old root-keyed negative set
+        // lost 2≠3 at that union and re-asked (0,3); entailment keeps it:
+        // 0=2 ∧ 2≠3 ⇒ 0≠3 and 1≠3, so exactly 3 tasks are asked.
+        let keys: Vec<String> = (0..4).map(|i| format!("k{i}")).collect();
+        let truth = |i: usize, j: usize| i < 3 && j < 3;
+        let mut p = platform(1.0, 7);
+        let out = crowd_group(&keys, &truth, &mut p, 3, SimilarityFn::NoSim, 0.3);
+        assert_eq!(out.groups, vec![vec![0, 1, 2], vec![3]]);
+        assert_eq!(out.tasks_asked, 3, "negative entailment must skip (0,3) and (1,3)");
     }
 
     #[test]

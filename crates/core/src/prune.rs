@@ -7,6 +7,14 @@
 //! structures (chains, stars, trees — with at most one predicate per table
 //! pair) arc consistency is exact; for cyclic structures an exact
 //! candidate-membership check cleans up what arc consistency misses.
+//!
+//! Interaction with answer reuse (`crate::reuse`): the executor's reuse
+//! sweep colors edges *between* rounds, so pruning must be re-run after
+//! every sweep — a reuse-colored RED edge kills candidates exactly like a
+//! crowd-colored one. Pruning itself only reads colors and holds no
+//! root-keyed state, so it is immune to the stale-root hazard fixed in
+//! `cdb_graph::EntailmentGraph`: the `UnionFind` here is rebuilt from the
+//! predicate structure on every call, never persisted across unions.
 
 use crate::candidate::{edge_in_some_candidate, CandidateFilter};
 use crate::model::{EdgeId, NodeId, QueryGraph};

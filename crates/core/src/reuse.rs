@@ -1,0 +1,349 @@
+//! Cross-query crowd-answer reuse (§5.1 cost control, extended with the
+//! CDAS answer-reuse idea of Liu et al. and the transitive-relation
+//! leverage of Wang et al.).
+//!
+//! The unit of reuse is a *value pair*: a crowd join-check asks whether two
+//! string values refer to the same entity, so its answer is a property of
+//! the values, not of the query that asked. [`ReuseCache`] interns
+//! normalized values and layers a [`cdb_graph::EntailmentGraph`] over them:
+//! recorded `yes` answers union components, recorded `no` answers add
+//! negative edges, and a lookup resolves to
+//!
+//! * **Cached** — the exact pair was answered before (depth 1),
+//! * **Transitive** — entailed equal through a chain of positives,
+//! * **Negative** — entailed distinct through positives plus one negative,
+//!
+//! each with the entailment depth (answers chained through) as provenance.
+//!
+//! # Determinism
+//!
+//! Concurrent queries must not observe each other's in-flight answers or
+//! replay breaks (which query "wins" a cache slot would depend on thread
+//! scheduling). The runtime therefore takes a [`ReuseCache::snapshot`] once
+//! per fleet run, hands every query its own [`ReuseSession`] (snapshot +
+//! private overlay), and after the pool joins, [`ReuseCache::absorb`]s the
+//! sessions *in query-id order* — first writer wins on conflicting answers.
+//! Per-query outcomes are thus a pure function of (config, job, snapshot),
+//! independent of thread count; cross-query reuse compounds across
+//! sequential fleet runs sharing one cache.
+
+use cdb_graph::{Assertion, Entailment, EntailmentGraph};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Normalize a value for cache keying: trim, lowercase, collapse runs of
+/// whitespace. Two spellings that normalize equal share one interned id.
+pub fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut pending_space = false;
+    for ch in s.trim().chars() {
+        if ch.is_whitespace() {
+            pending_space = true;
+            continue;
+        }
+        if pending_space && !out.is_empty() {
+            out.push(' ');
+        }
+        pending_space = false;
+        for lc in ch.to_lowercase() {
+            out.push(lc);
+        }
+    }
+    out
+}
+
+/// How a cache hit was derived — recorded with the inferred answer so the
+/// replay transcript carries provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// The exact normalized pair was answered before.
+    Cached,
+    /// Entailed equal via a positive chain of `depth` recorded answers.
+    Transitive { depth: usize },
+    /// Entailed distinct via `depth` recorded answers (one negative plus
+    /// the positive paths connecting to it).
+    Negative { depth: usize },
+}
+
+impl Provenance {
+    /// Number of prior crowd answers the inference chained through.
+    pub fn depth(&self) -> usize {
+        match *self {
+            Provenance::Cached => 1,
+            Provenance::Transitive { depth } | Provenance::Negative { depth } => depth,
+        }
+    }
+
+    /// Short label for events and transcripts.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Provenance::Cached => "cached",
+            Provenance::Transitive { .. } => "transitive",
+            Provenance::Negative { .. } => "negative",
+        }
+    }
+}
+
+/// Outcome of consulting the reuse layer for one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReuseOutcome {
+    /// Resolved without dispatch: `same` is the entailed answer.
+    Hit { same: bool, provenance: Provenance },
+    /// Unknown — the task must go to the crowd.
+    Miss,
+}
+
+/// Result of recording one crowd answer into a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recorded {
+    /// New fact, now part of the session's closure.
+    Inserted,
+    /// Already entailed; nothing changed.
+    Duplicate,
+    /// Contradicts the closure (noisy crowd); dropped and counted.
+    Conflict,
+}
+
+/// Interned entailment store: value interner + entailment graph + the raw
+/// answers recorded (for absorb-time replay into the shared cache).
+#[derive(Debug, Clone, Default)]
+struct Store {
+    ids: HashMap<String, usize>,
+    graph: EntailmentGraph,
+    /// Recorded `(left, right, same)` answers in insertion order, by
+    /// normalized value. Only *new* facts are appended.
+    answers: Vec<(String, String, bool)>,
+}
+
+impl Store {
+    fn intern(&mut self, value: &str) -> usize {
+        let norm = normalize(value);
+        if let Some(&id) = self.ids.get(&norm) {
+            return id;
+        }
+        let id = self.graph.push();
+        self.ids.insert(norm, id);
+        id
+    }
+
+    fn resolve(&mut self, left: &str, right: &str) -> ReuseOutcome {
+        let (a, b) = (self.intern(left), self.intern(right));
+        match self.graph.entails(a, b) {
+            Entailment::Same { depth } => {
+                let provenance =
+                    if depth <= 1 { Provenance::Cached } else { Provenance::Transitive { depth } };
+                ReuseOutcome::Hit { same: true, provenance }
+            }
+            Entailment::Different { depth } => {
+                let provenance =
+                    if depth <= 1 { Provenance::Cached } else { Provenance::Negative { depth } };
+                ReuseOutcome::Hit { same: false, provenance }
+            }
+            Entailment::Unknown => ReuseOutcome::Miss,
+        }
+    }
+
+    fn record(&mut self, left: &str, right: &str, same: bool) -> Recorded {
+        let (a, b) = (self.intern(left), self.intern(right));
+        let assertion =
+            if same { self.graph.assert_same(a, b) } else { self.graph.assert_different(a, b) };
+        match assertion {
+            Assertion::Inserted => {
+                self.answers.push((normalize(left), normalize(right), same));
+                Recorded::Inserted
+            }
+            Assertion::Redundant => Recorded::Duplicate,
+            Assertion::Contradiction => Recorded::Conflict,
+        }
+    }
+}
+
+/// Per-query view of the cache: a private clone of the fleet-start snapshot
+/// plus everything this query has learned. Cheap to mutate without locks;
+/// absorbed back into the shared [`ReuseCache`] in query-id order.
+#[derive(Debug, Clone, Default)]
+pub struct ReuseSession {
+    store: Store,
+    /// Facts recorded *by this session* (not inherited from the snapshot),
+    /// replayed into the shared cache on absorb.
+    fresh: Vec<(String, String, bool)>,
+    hits: usize,
+    depth_sum: usize,
+    conflicts: usize,
+}
+
+impl ReuseSession {
+    /// Resolve a pending join-check against everything known so far.
+    /// Counts hits and accumulated entailment depth.
+    pub fn resolve(&mut self, left: &str, right: &str) -> ReuseOutcome {
+        let outcome = self.store.resolve(left, right);
+        if let ReuseOutcome::Hit { provenance, .. } = outcome {
+            self.hits += 1;
+            self.depth_sum += provenance.depth();
+        }
+        outcome
+    }
+
+    /// Record a crowd answer observed by this query.
+    pub fn record(&mut self, left: &str, right: &str, same: bool) -> Recorded {
+        let recorded = self.store.record(left, right, same);
+        match recorded {
+            Recorded::Inserted => {
+                self.fresh.push((normalize(left), normalize(right), same));
+            }
+            Recorded::Conflict => self.conflicts += 1,
+            Recorded::Duplicate => {}
+        }
+        recorded
+    }
+
+    /// Tasks resolved without dispatch so far.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Sum of entailment depths over all hits.
+    pub fn depth_sum(&self) -> usize {
+        self.depth_sum
+    }
+
+    /// Crowd answers dropped because they contradicted the closure.
+    pub fn conflicts(&self) -> usize {
+        self.conflicts
+    }
+}
+
+/// Shared cross-query answer cache. Lock-cheap: queries never touch it
+/// mid-flight; the runtime snapshots once per fleet and absorbs once per
+/// query after the pool joins.
+#[derive(Debug, Default)]
+pub struct ReuseCache {
+    store: Mutex<Store>,
+    conflicts: Mutex<usize>,
+}
+
+impl ReuseCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ReuseCache::default()
+    }
+
+    /// A per-query session seeded with the cache's current contents.
+    pub fn snapshot(&self) -> ReuseSession {
+        let store = self.store.lock().expect("reuse cache poisoned").clone();
+        ReuseSession { store, ..ReuseSession::default() }
+    }
+
+    /// Merge a finished session's fresh answers into the cache. Callers
+    /// absorb sessions in query-id order so the first (lowest-id) writer
+    /// wins conflicting answers deterministically; losers are counted.
+    pub fn absorb(&self, session: &ReuseSession) {
+        let mut store = self.store.lock().expect("reuse cache poisoned");
+        let mut dropped = 0usize;
+        for (left, right, same) in &session.fresh {
+            if store.record(left, right, *same) == Recorded::Conflict {
+                dropped += 1;
+            }
+        }
+        if dropped > 0 {
+            *self.conflicts.lock().expect("reuse cache poisoned") += dropped;
+        }
+    }
+
+    /// Distinct answers currently recorded.
+    pub fn len(&self) -> usize {
+        self.store.lock().expect("reuse cache poisoned").answers.len()
+    }
+
+    /// True when no answers are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Answers dropped at absorb time because an earlier query's answer
+    /// contradicted them.
+    pub fn conflicts(&self) -> usize {
+        *self.conflicts.lock().expect("reuse cache poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_folds_case_and_whitespace() {
+        assert_eq!(normalize("  IBM   Corp \t"), "ibm corp");
+        assert_eq!(normalize("ibm corp"), "ibm corp");
+        assert_eq!(normalize(""), "");
+    }
+
+    #[test]
+    fn exact_repeat_is_a_cached_hit() {
+        let mut s = ReuseSession::default();
+        assert_eq!(s.resolve("IBM", "I.B.M."), ReuseOutcome::Miss);
+        s.record("IBM", "I.B.M.", true);
+        assert_eq!(
+            s.resolve("ibm", "I.B.M."),
+            ReuseOutcome::Hit { same: true, provenance: Provenance::Cached }
+        );
+        assert_eq!(s.hits(), 1);
+    }
+
+    #[test]
+    fn transitive_and_negative_entailment_resolve_unseen_pairs() {
+        let mut s = ReuseSession::default();
+        s.record("a", "b", true);
+        s.record("b", "c", true);
+        s.record("c", "x", false);
+        assert_eq!(
+            s.resolve("a", "c"),
+            ReuseOutcome::Hit { same: true, provenance: Provenance::Transitive { depth: 2 } }
+        );
+        assert_eq!(
+            s.resolve("a", "x"),
+            ReuseOutcome::Hit { same: false, provenance: Provenance::Negative { depth: 3 } }
+        );
+        assert_eq!(s.depth_sum(), 5);
+    }
+
+    #[test]
+    fn conflicting_answers_are_dropped_and_counted() {
+        let mut s = ReuseSession::default();
+        s.record("a", "b", true);
+        assert_eq!(s.record("a", "b", false), Recorded::Conflict);
+        assert_eq!(s.conflicts(), 1);
+        assert!(matches!(s.resolve("a", "b"), ReuseOutcome::Hit { same: true, .. }));
+    }
+
+    #[test]
+    fn snapshot_absorb_round_trip_compounds_knowledge() {
+        let cache = ReuseCache::new();
+        let mut s1 = cache.snapshot();
+        s1.record("a", "b", true);
+        cache.absorb(&s1);
+        assert_eq!(cache.len(), 1);
+
+        let mut s2 = cache.snapshot();
+        assert!(matches!(s2.resolve("a", "b"), ReuseOutcome::Hit { same: true, .. }));
+        s2.record("b", "c", true);
+        cache.absorb(&s2);
+
+        let mut s3 = cache.snapshot();
+        assert!(matches!(s3.resolve("a", "c"), ReuseOutcome::Hit { same: true, .. }));
+    }
+
+    #[test]
+    fn absorb_order_resolves_conflicts_first_writer_wins() {
+        let cache = ReuseCache::new();
+        let mut s1 = cache.snapshot();
+        let mut s2 = cache.snapshot();
+        s1.record("a", "b", true);
+        s2.record("a", "b", false);
+        cache.absorb(&s1);
+        cache.absorb(&s2);
+        assert_eq!(cache.conflicts(), 1);
+        let mut s3 = cache.snapshot();
+        assert!(matches!(s3.resolve("a", "b"), ReuseOutcome::Hit { same: true, .. }));
+    }
+}

@@ -97,6 +97,10 @@ pub struct Task {
     pub truth: Option<Answer>,
     /// Simulated difficulty in `[0, 1]`; 1.0 = the flat error model.
     pub difficulty: f64,
+    /// For join checks: the raw `(left, right)` value pair the question was
+    /// built from, so the answer-reuse layer can key its cache on values
+    /// instead of parsing the question text. `None` for other task kinds.
+    pub values: Option<(String, String)>,
 }
 
 /// Difficulty of a join check on a value pair with similarity `w`:
@@ -120,6 +124,7 @@ impl Task {
             },
             truth: Some(Answer::Choice(usize::from(!truth_yes))),
             difficulty: 1.0,
+            values: Some((left.to_string(), right.to_string())),
         }
     }
 

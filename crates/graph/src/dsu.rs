@@ -1,7 +1,7 @@
 //! Union-find (disjoint set union) with path halving and union by size.
 
 /// Disjoint-set forest over elements `0..n`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct UnionFind {
     parent: Vec<usize>,
     size: Vec<u32>,
@@ -54,6 +54,16 @@ impl UnionFind {
         true
     }
 
+    /// Append a fresh singleton element and return its index. Lets callers
+    /// intern values lazily instead of sizing the forest up front.
+    pub fn push(&mut self) -> usize {
+        let id = self.parent.len();
+        self.parent.push(id);
+        self.size.push(1);
+        self.components += 1;
+        id
+    }
+
     /// True when `a` and `b` are in the same set.
     pub fn connected(&mut self, a: usize, b: usize) -> bool {
         self.find(a) == self.find(b)
@@ -91,6 +101,19 @@ mod tests {
         assert!(d.union(1, 2));
         assert_eq!(d.component_count(), 1);
         assert_eq!(d.set_size(3), 4);
+    }
+
+    #[test]
+    fn push_grows_the_forest_with_singletons() {
+        let mut d = UnionFind::new(2);
+        d.union(0, 1);
+        let v = d.push();
+        assert_eq!(v, 2);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.component_count(), 2);
+        assert!(!d.connected(0, 2));
+        d.union(1, 2);
+        assert_eq!(d.set_size(2), 3);
     }
 
     #[test]

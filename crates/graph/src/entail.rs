@@ -1,0 +1,294 @@
+//! Entailment over crowd equality answers: positive transitive closure plus
+//! negative edge propagation (Wang et al., "Leveraging Transitive Relations
+//! for Crowdsourced Joins").
+//!
+//! Positive answers (`a = b`) merge DSU components; negative answers
+//! (`a ≠ b`) are stored as adjacency between *current roots* and re-homed on
+//! every union (small-to-large), so a later `find` never consults a stale
+//! root — the bug class this module exists to eliminate (see
+//! `cdb-core::ops::crowd_group`, which previously keyed its negative set by
+//! roots frozen at insertion time). Contradictory answers are detected, not
+//! silently absorbed: asserting `a = b` while a negative edge connects their
+//! components (or `a ≠ b` while connected) is rejected.
+//!
+//! A proof forest over the recorded positive edges yields an *entailment
+//! depth* per derived fact — the number of crowd answers the inference
+//! chains through — used by the answer-reuse layer for provenance.
+
+use crate::UnionFind;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Result of asserting one crowd answer into the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assertion {
+    /// The fact was new and is now part of the closure.
+    Inserted,
+    /// The fact was already entailed; nothing changed.
+    Redundant,
+    /// The fact contradicts the existing closure and was rejected.
+    Contradiction,
+}
+
+/// What the closure knows about a pair of elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Entailment {
+    /// Entailed equal; depth = number of recorded answers chained through.
+    Same { depth: usize },
+    /// Entailed distinct; depth counts the negative edge plus the positive
+    /// paths connecting each endpoint to the negative edge's endpoints.
+    Different { depth: usize },
+    /// Not determined by the recorded answers.
+    Unknown,
+}
+
+/// DSU-backed positive/negative entailment graph over elements `0..len()`.
+#[derive(Debug, Clone, Default)]
+pub struct EntailmentGraph {
+    dsu: UnionFind,
+    /// Negative edges keyed by current component root: `neg[r]` holds, for
+    /// each adversary root `s`, one witness pair `(a, b)` with `a` in `r`'s
+    /// component and `b` in `s`'s. Kept symmetric and re-homed on union.
+    neg: Vec<HashMap<usize, (usize, usize)>>,
+    /// Proof forest: spanning adjacency over *recorded* positive answers.
+    pos_adj: Vec<Vec<usize>>,
+}
+
+impl EntailmentGraph {
+    /// An empty graph over `n` elements.
+    pub fn new(n: usize) -> Self {
+        EntailmentGraph {
+            dsu: UnionFind::new(n),
+            neg: vec![HashMap::new(); n],
+            pos_adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.dsu.len()
+    }
+
+    /// True when the graph has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.dsu.is_empty()
+    }
+
+    /// Append a fresh element and return its id.
+    pub fn push(&mut self) -> usize {
+        self.neg.push(HashMap::new());
+        self.pos_adj.push(Vec::new());
+        self.dsu.push()
+    }
+
+    /// Record a crowd answer `a = b`. Rejects the union (returning
+    /// [`Assertion::Contradiction`]) when a negative edge already separates
+    /// the two components.
+    pub fn assert_same(&mut self, a: usize, b: usize) -> Assertion {
+        let (ra, rb) = (self.dsu.find(a), self.dsu.find(b));
+        if ra == rb {
+            return Assertion::Redundant;
+        }
+        if self.neg[ra].contains_key(&rb) {
+            return Assertion::Contradiction;
+        }
+        self.pos_adj[a].push(b);
+        self.pos_adj[b].push(a);
+        self.dsu.union(a, b);
+        let root = self.dsu.find(a);
+        let (winner, loser) = if root == ra { (ra, rb) } else { (rb, ra) };
+        // Re-home the loser's negative adjacency onto the winner, updating
+        // the reverse entries so every key stays a live root.
+        let moved: Vec<(usize, (usize, usize))> = self.neg[loser].drain().collect();
+        for (adversary, witness) in moved {
+            self.neg[adversary].remove(&loser);
+            self.neg[adversary].insert(winner, witness);
+            self.neg[winner].entry(adversary).or_insert(witness);
+        }
+        Assertion::Inserted
+    }
+
+    /// Record a crowd answer `a ≠ b`. Rejects it when `a` and `b` are
+    /// already entailed equal.
+    pub fn assert_different(&mut self, a: usize, b: usize) -> Assertion {
+        let (ra, rb) = (self.dsu.find(a), self.dsu.find(b));
+        if ra == rb {
+            return Assertion::Contradiction;
+        }
+        if self.neg[ra].contains_key(&rb) {
+            return Assertion::Redundant;
+        }
+        self.neg[ra].insert(rb, (a, b));
+        self.neg[rb].insert(ra, (a, b));
+        Assertion::Inserted
+    }
+
+    /// What the recorded answers entail about `(a, b)`.
+    pub fn entails(&mut self, a: usize, b: usize) -> Entailment {
+        if a == b {
+            return Entailment::Same { depth: 0 };
+        }
+        let (ra, rb) = (self.dsu.find(a), self.dsu.find(b));
+        if ra == rb {
+            return Entailment::Same { depth: self.proof_depth(a, b) };
+        }
+        if let Some(&(wa, wb)) = self.neg[ra].get(&rb) {
+            // Orient the witness pair so `wa` sits in `a`'s component.
+            let (wa, wb) = if self.dsu.find(wa) == ra { (wa, wb) } else { (wb, wa) };
+            let depth = 1 + self.proof_depth(a, wa) + self.proof_depth(b, wb);
+            return Entailment::Different { depth };
+        }
+        Entailment::Unknown
+    }
+
+    /// True when `a` and `b` are entailed equal.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        matches!(self.entails(a, b), Entailment::Same { .. })
+    }
+
+    /// True when `a` and `b` are entailed distinct.
+    pub fn different(&mut self, a: usize, b: usize) -> bool {
+        matches!(self.entails(a, b), Entailment::Different { .. })
+    }
+
+    /// Current representative of `x`'s positive component. Stable only
+    /// until the next [`assert_same`](Self::assert_same) — use for
+    /// scheduling/grouping, never as a persistent key (persisting roots
+    /// across unions is exactly the stale-root bug this type prevents).
+    pub fn root(&mut self, x: usize) -> usize {
+        self.dsu.find(x)
+    }
+
+    /// Distinct component roots (sorted), for tests and diagnostics.
+    pub fn roots(&mut self) -> BTreeSet<usize> {
+        (0..self.dsu.len()).map(|v| self.dsu.find(v)).collect()
+    }
+
+    /// BFS distance through the recorded positive answers; 0 when `a == b`.
+    /// Both endpoints are in the same component, so a path always exists.
+    fn proof_depth(&self, a: usize, b: usize) -> usize {
+        if a == b {
+            return 0;
+        }
+        let mut dist: HashMap<usize, usize> = HashMap::new();
+        dist.insert(a, 0);
+        let mut queue = VecDeque::from([a]);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[&u];
+            for &v in &self.pos_adj[u] {
+                if v == b {
+                    return du + 1;
+                }
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
+                    e.insert(du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        // Unreachable for same-component queries; be defensive anyway.
+        usize::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn positive_transitivity_with_depth() {
+        let mut g = EntailmentGraph::new(4);
+        assert_eq!(g.assert_same(0, 1), Assertion::Inserted);
+        assert_eq!(g.assert_same(1, 2), Assertion::Inserted);
+        assert_eq!(g.entails(0, 2), Entailment::Same { depth: 2 });
+        assert_eq!(g.entails(0, 1), Entailment::Same { depth: 1 });
+        assert_eq!(g.entails(0, 3), Entailment::Unknown);
+        assert_eq!(g.assert_same(2, 0), Assertion::Redundant);
+    }
+
+    #[test]
+    fn negative_entailment_propagates_through_unions() {
+        let mut g = EntailmentGraph::new(4);
+        g.assert_different(0, 2);
+        // These unions re-root both components; the negative edge must
+        // follow the live roots (the stale-root bug this module fixes).
+        g.assert_same(0, 1);
+        g.assert_same(2, 3);
+        assert_eq!(g.entails(1, 3), Entailment::Different { depth: 3 });
+        assert_eq!(g.entails(0, 2), Entailment::Different { depth: 1 });
+        assert_eq!(g.assert_different(1, 3), Assertion::Redundant);
+    }
+
+    #[test]
+    fn contradictions_are_rejected_not_absorbed() {
+        let mut g = EntailmentGraph::new(3);
+        g.assert_same(0, 1);
+        assert_eq!(g.assert_different(0, 1), Assertion::Contradiction);
+        g.assert_different(1, 2);
+        assert_eq!(g.assert_same(0, 2), Assertion::Contradiction);
+        // Rejected facts leave the closure untouched.
+        assert!(g.same(0, 1));
+        assert!(g.different(0, 2));
+    }
+
+    #[test]
+    fn push_extends_the_universe() {
+        let mut g = EntailmentGraph::new(1);
+        let v = g.push();
+        assert_eq!(v, 1);
+        g.assert_same(0, 1);
+        assert!(g.same(0, 1));
+    }
+
+    /// Random answer sequences drawn from a random ground-truth partition:
+    /// the closure must agree with the partition wherever it claims
+    /// knowledge, stay contradiction-free, and be transitively closed.
+    fn truth_strategy() -> impl Strategy<Value = (Vec<usize>, Vec<(usize, usize)>)> {
+        (
+            prop::collection::vec(0usize..4, 12),
+            prop::collection::vec((0usize..12, 0usize..12), 0..60),
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn closure_is_sound_and_contradiction_free((labels, pairs) in truth_strategy()) {
+            let mut g = EntailmentGraph::new(labels.len());
+            for (a, b) in pairs {
+                if a == b {
+                    continue;
+                }
+                // Answer according to ground truth; consistent truth must
+                // never produce a contradiction.
+                let r = if labels[a] == labels[b] {
+                    g.assert_same(a, b)
+                } else {
+                    g.assert_different(a, b)
+                };
+                prop_assert_ne!(r, Assertion::Contradiction);
+            }
+            for a in 0..labels.len() {
+                for b in 0..labels.len() {
+                    match g.entails(a, b) {
+                        Entailment::Same { .. } => prop_assert_eq!(labels[a], labels[b]),
+                        Entailment::Different { .. } => prop_assert_ne!(labels[a], labels[b]),
+                        Entailment::Unknown => {}
+                    }
+                }
+            }
+            // Transitive closure: Same is an equivalence relation and
+            // Different propagates across it.
+            for a in 0..labels.len() {
+                for b in 0..labels.len() {
+                    for c in 0..labels.len() {
+                        if g.same(a, b) && g.same(b, c) {
+                            prop_assert!(g.same(a, c));
+                        }
+                        if g.same(a, b) && g.different(b, c) {
+                            prop_assert!(g.different(a, c));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

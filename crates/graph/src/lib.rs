@@ -9,9 +9,11 @@
 //! controller.
 
 mod dsu;
+mod entail;
 mod maxflow;
 
 pub use dsu::UnionFind;
+pub use entail::{Assertion, Entailment, EntailmentGraph};
 pub use maxflow::{Dinic, INF_CAPACITY};
 
 /// Connected components of an undirected graph given as an edge list over

@@ -47,6 +47,8 @@ pub mod keys {
     pub const CHOICE: &str = "choice";
     /// Market name.
     pub const MARKET: &str = "market";
+    /// Entailment depth of a reuse hit (answers chained through).
+    pub const DEPTH: &str = "depth";
 }
 
 /// Canonical event names. The `crowd.*` / `exec.*` / `runtime.*` families
@@ -90,6 +92,10 @@ pub mod names {
     pub const POOL_STEAL: &str = "pool.steal";
     /// Pool executed a job (wall-clock domain).
     pub const POOL_JOB: &str = "pool.job";
+    /// A task resolved from the answer-reuse cache instead of dispatch
+    /// (kv `task`, `node`, `kind` = cached/transitive/negative, `depth`,
+    /// `cents` = money saved).
+    pub const REUSE_HIT: &str = "reuse.hit";
 }
 
 /// Money/latency/count rollup for one plan node of one query.
@@ -107,6 +113,10 @@ pub struct NodeAttribution {
     pub confidence_sum: f64,
     /// Sum of vote entropies.
     pub entropy_sum: f64,
+    /// Tasks resolved from the reuse cache instead of dispatched.
+    pub tasks_saved: u64,
+    /// Money not spent thanks to reuse, in cents.
+    pub money_saved_cents: u64,
 }
 
 /// Full rollup for one query.
@@ -142,6 +152,12 @@ pub struct QueryAttribution {
     pub confidence_sum: f64,
     /// Sum of vote entropies.
     pub entropy_sum: f64,
+    /// Tasks resolved from the reuse cache instead of dispatched.
+    pub tasks_saved: u64,
+    /// Money not spent thanks to reuse, in cents.
+    pub money_saved_cents: u64,
+    /// Sum of entailment depths over reuse hits.
+    pub entailment_depth_sum: u64,
     /// Per-plan-node breakdown (key: predicate index; `u64::MAX` holds
     /// charges for tasks with no known plan edge).
     pub per_node: BTreeMap<u64, NodeAttribution>,
@@ -186,6 +202,10 @@ pub struct ConservationTotals {
     pub virtual_ms: u64,
     /// Total money spent, in cents.
     pub cost_cents: u64,
+    /// Total tasks resolved by answer reuse instead of dispatch.
+    pub tasks_saved: u64,
+    /// Total money saved by reuse, in cents.
+    pub money_saved_cents: u64,
 }
 
 /// The attribution table: per-query rollups built from an event stream.
@@ -238,6 +258,15 @@ impl Attribution {
                     qa.per_node.entry(node().unwrap_or(UNATTRIBUTED_NODE)).or_default().arrivals +=
                         1;
                 }
+                names::REUSE_HIT => {
+                    qa.tasks_saved += 1;
+                    let cents = ev.get_u64(keys::CENTS).unwrap_or(0);
+                    qa.money_saved_cents += cents;
+                    qa.entailment_depth_sum += ev.get_u64(keys::DEPTH).unwrap_or(0);
+                    let na = qa.per_node.entry(node().unwrap_or(UNATTRIBUTED_NODE)).or_default();
+                    na.tasks_saved += 1;
+                    na.money_saved_cents += cents;
+                }
                 names::RETRY => qa.retries += 1,
                 names::REASSIGN => qa.reassignments += 1,
                 names::TIMEOUT => qa.timeouts += 1,
@@ -287,6 +316,8 @@ impl Attribution {
             t.queries_ok += qa.ok as u64;
             t.virtual_ms += qa.virtual_ms;
             t.cost_cents += qa.cost_cents;
+            t.tasks_saved += qa.tasks_saved;
+            t.money_saved_cents += qa.money_saved_cents;
         }
         t
     }
@@ -306,6 +337,8 @@ impl Attribution {
                     .u64("decisions", na.decisions)
                     .f64("confidence_sum", na.confidence_sum)
                     .f64("entropy_sum", na.entropy_sum)
+                    .u64("tasks_saved", na.tasks_saved)
+                    .u64("money_saved_cents", na.money_saved_cents)
                     .finish();
                 nodes = nodes.raw(&o);
             }
@@ -326,6 +359,9 @@ impl Attribution {
                 .u64("decisions", qa.decisions)
                 .f64("mean_confidence", qa.mean_confidence().unwrap_or(f64::NAN))
                 .f64("entropy_sum", qa.entropy_sum)
+                .u64("tasks_saved", qa.tasks_saved)
+                .u64("money_saved_cents", qa.money_saved_cents)
+                .u64("entailment_depth_sum", qa.entailment_depth_sum)
                 .raw("per_node", &nodes.finish())
                 .finish();
             arr = arr.raw(&o);
@@ -389,6 +425,14 @@ mod tests {
                 at: 130,
                 kv: kv![q => 1u64, round => 0u64, ms => 130u64],
             },
+            // Task 4 (node 1) resolved from the reuse cache: no dispatch,
+            // 5 cents saved, entailed through a depth-2 positive chain.
+            instant(names::PLAN_EDGE, 130, kv![q => 1u64, task => 4u64, node => 1u64]),
+            instant(
+                names::REUSE_HIT,
+                130,
+                kv![q => 1u64, task => 4u64, node => 1u64, kind => "transitive", depth => 2u64, cents => 5u64],
+            ),
             instant(names::QUERY, 130, kv![q => 1u64, ok => true, ms => 130u64]),
             // A second, failed query with no plan edges.
             instant(names::DISPATCH, 0, kv![q => 2u64, round => 0u64, task => 9u64, cents => 3u64]),
@@ -443,6 +487,25 @@ mod tests {
         assert_eq!(t.queries_ok, 1);
         assert_eq!(t.virtual_ms, 180);
         assert_eq!(t.cost_cents, 23);
+    }
+
+    #[test]
+    fn reuse_hits_roll_up_saved_cost_and_depth() {
+        let a = Attribution::from_events(&sample_stream());
+        let q1 = &a.queries[&1];
+        assert_eq!(q1.tasks_saved, 1);
+        assert_eq!(q1.money_saved_cents, 5);
+        assert_eq!(q1.entailment_depth_sum, 2);
+        assert_eq!(q1.per_node[&1].tasks_saved, 1);
+        assert_eq!(q1.per_node[&1].money_saved_cents, 5);
+        // Saved money is not spent money.
+        assert_eq!(q1.cost_cents, 20);
+        let t = a.conservation();
+        assert_eq!(t.tasks_saved, 1);
+        assert_eq!(t.money_saved_cents, 5);
+        let json = a.to_json();
+        assert!(json.contains(r#""tasks_saved":1"#));
+        assert!(json.contains(r#""money_saved_cents":5"#));
     }
 
     #[test]

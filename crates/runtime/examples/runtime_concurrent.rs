@@ -11,6 +11,10 @@
 //! `target/obsv/trace.json` (Chrome `trace_event`, loadable in
 //! [Perfetto](https://ui.perfetto.dev)) — the CI smoke job exercises this
 //! path and validates the exposition line format.
+//!
+//! With `CDB_REUSE=1` the fleet runs twice against a shared cross-query
+//! answer cache: the second pass must resolve tasks by entailment
+//! (`tasks_saved > 0`) without changing a single binding.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -91,6 +95,26 @@ fn main() {
         println!("  {line}");
     }
     println!("\nmetrics JSON:\n{}", m.to_json());
+
+    if std::env::var("CDB_REUSE").is_ok_and(|v| v == "1") {
+        let cache = Arc::new(cdb_core::ReuseCache::new());
+        let with_cache = || {
+            let mut cfg = config(4);
+            cfg.reuse = Some(Arc::clone(&cache));
+            RuntimeExecutor::new(cfg).run((0..100).map(|i| join_query(i, 4, 3)).collect())
+        };
+        let cold = with_cache();
+        let warm = with_cache();
+        assert!(warm.metrics.tasks_saved > 0, "warm pass must hit the answer cache");
+        assert_eq!(cold.bindings_text(), warm.bindings_text(), "reuse must not change any binding");
+        println!(
+            "\nreuse check: warm pass saved {} tasks / {}¢ (dispatch {} -> {}), identical bindings",
+            warm.metrics.tasks_saved,
+            warm.metrics.money_saved_cents,
+            cold.metrics.tasks_dispatched,
+            warm.metrics.tasks_dispatched,
+        );
+    }
 
     if tracing {
         let dir = std::path::Path::new("target/obsv");

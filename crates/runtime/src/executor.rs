@@ -16,12 +16,12 @@
 //! a fixed `(seed, fault plan)` — the deterministic-replay guarantee.
 
 use std::collections::BTreeSet;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use cdb_core::executor::{EdgeTruth, Executor, ExecutorConfig};
 use cdb_core::model::NodeId;
-use cdb_core::QueryGraph;
+use cdb_core::{QueryGraph, ReuseCache, ReuseSession};
 use cdb_crowd::{stream_key, LatencyModel, Market, SimTime, SimulatedPlatform, WorkerPool};
 use cdb_obsv::attr::names;
 use cdb_obsv::{kv, Event, SpanId, Trace};
@@ -59,6 +59,14 @@ pub struct RuntimeConfig {
     /// every query's events are tagged with its `q` id and its span ids
     /// are salted into a per-query namespace before reaching the sink.
     pub trace: Trace,
+    /// Cross-query answer-reuse cache. `None` disables reuse. When set,
+    /// the run snapshots the cache once before scattering jobs, hands
+    /// every query a private [`ReuseSession`], and absorbs the sessions
+    /// back in query-id order after the pool joins — so per-query
+    /// outcomes stay a pure function of `(config, job, snapshot)` at any
+    /// thread count, and knowledge compounds across fleet runs sharing
+    /// the same cache.
+    pub reuse: Option<Arc<ReuseCache>>,
 }
 
 impl Default for RuntimeConfig {
@@ -83,6 +91,7 @@ impl Default for RuntimeConfig {
             early_termination: false,
             result_capacity: 8,
             trace: Trace::off(),
+            reuse: None,
         }
     }
 }
@@ -111,6 +120,8 @@ pub struct QueryResult {
     pub rounds: usize,
     /// Worker assignments collected.
     pub assignments: usize,
+    /// Tasks answered from the reuse cache instead of the crowd.
+    pub tasks_saved: usize,
     /// Virtual makespan of the query, in simulated ms.
     pub virtual_ms: SimTime,
 }
@@ -150,6 +161,29 @@ impl RuntimeReport {
                         q.virtual_ms,
                         bindings.join("|")
                     ));
+                }
+                Err(e) => s.push_str(&format!("q{id} error={e}\n")),
+            }
+        }
+        s
+    }
+
+    /// Bindings-only rendering: one line per query with just its answer
+    /// set. Unlike [`answers`](Self::answers) this omits the task, round
+    /// and assignment counts, which legitimately shrink when answer reuse
+    /// is enabled — so it is the right artifact for comparing a
+    /// cache-enabled run against a cache-disabled one.
+    pub fn bindings_text(&self) -> String {
+        let mut s = String::new();
+        for (id, r) in &self.results {
+            match r {
+                Ok(q) => {
+                    let bindings: Vec<String> = q
+                        .bindings
+                        .iter()
+                        .map(|b| b.iter().map(|n| n.0.to_string()).collect::<Vec<_>>().join("."))
+                        .collect();
+                    s.push_str(&format!("q{id} answers=[{}]\n", bindings.join("|")));
                 }
                 Err(e) => s.push_str(&format!("q{id} error={e}\n")),
             }
@@ -202,12 +236,23 @@ impl RuntimeExecutor {
         let (tx, rx) = sync::bounded(self.cfg.result_capacity.max(1));
         let n = jobs.len();
         let cfg = Arc::new(self.cfg.clone());
+        // Answer reuse: snapshot the shared cache ONCE, before any job
+        // runs. Every query resolves against the same frozen knowledge, so
+        // which thread runs first cannot change what a query sees.
+        let mut sessions: Vec<(u64, Arc<Mutex<ReuseSession>>)> = Vec::new();
+        if let Some(cache) = &self.cfg.reuse {
+            sessions =
+                jobs.iter().map(|job| (job.id, Arc::new(Mutex::new(cache.snapshot())))).collect();
+            sessions.sort_by_key(|&(id, _)| id);
+        }
         pool.scatter(jobs.into_iter().map(|job| {
             let tx = tx.clone();
             let metrics = Arc::clone(&metrics);
             let cfg = Arc::clone(&cfg);
+            let session =
+                sessions.iter().find(|&&(id, _)| id == job.id).map(|(_, s)| Arc::clone(s));
             move || {
-                let out = run_query(&cfg, &metrics, job);
+                let out = run_query(&cfg, &metrics, job, session);
                 // The collector outlives the workers; a send can only fail
                 // if the whole run was abandoned.
                 let _ = tx.send(out);
@@ -217,6 +262,13 @@ impl RuntimeExecutor {
         let mut results: Vec<(u64, Result<QueryResult, RuntimeError>)> =
             (0..n).map(|_| rx.recv().expect("every job reports")).collect();
         pool.join();
+        // Absorb in query-id order: the first (lowest-id) writer wins any
+        // conflicting answer, independent of completion order.
+        if let Some(cache) = &self.cfg.reuse {
+            for (_, session) in &sessions {
+                cache.absorb(&session.lock().expect("reuse session poisoned"));
+            }
+        }
         let steals = pool.steals();
         results.sort_by_key(|&(id, _)| id);
         RuntimeReport { results, metrics: metrics.snapshot(), wall: start.elapsed(), steals }
@@ -229,6 +281,7 @@ fn run_query(
     cfg: &RuntimeConfig,
     metrics: &Arc<RuntimeMetrics>,
     job: QueryJob,
+    reuse: Option<Arc<Mutex<ReuseSession>>>,
 ) -> (u64, Result<QueryResult, RuntimeError>) {
     let platform_seed = stream_key(cfg.seed, &[0x51A7, job.id]);
     let wpool = WorkerPool::with_accuracies(&cfg.worker_accuracies);
@@ -248,12 +301,26 @@ fn run_query(
     )
     .with_trace(qtrace.clone())
     .with_early_termination(cfg.early_termination);
+    if let Some(session) = &reuse {
+        engine = engine.with_reuse(Arc::clone(session));
+    }
     let exec_cfg = ExecutorConfig { seed: stream_key(cfg.seed, &[0xE5EC, job.id]), ..cfg.exec };
     // The core loop gets the same per-query view, so its plan-level
     // events (`exec.edge` task→node bindings, `exec.color`) land in the
-    // same stream the engine's crowd events do.
-    let stats =
-        Executor::new(job.graph, &job.truth, &mut engine, exec_cfg).with_trace(qtrace).run();
+    // same stream the engine's crowd events do — teeing in the shared
+    // metrics so the core's pre-round `reuse.hit` sweeps count in the
+    // snapshot exactly like the engine's publish-time hits.
+    let exec_trace =
+        Trace::collector(Arc::clone(metrics) as Arc<dyn cdb_obsv::Collector>).and(&qtrace);
+    let mut executor =
+        Executor::new(job.graph, &job.truth, &mut engine, exec_cfg).with_trace(exec_trace);
+    if let Some(session) = reuse {
+        // Read/write split: the engine only *resolves* against the
+        // session; the core executor is the single writer, recording
+        // each round's inferred colors after vote aggregation.
+        executor = executor.with_reuse(session);
+    }
+    let stats = executor.run();
     let virtual_ms = engine.now();
     let id = job.id;
     let err = engine.take_error();
@@ -275,6 +342,7 @@ fn run_query(
                 tasks_asked: stats.tasks_asked,
                 rounds: stats.rounds,
                 assignments: stats.assignments,
+                tasks_saved: stats.tasks_saved,
                 virtual_ms,
             }),
         ),
@@ -341,6 +409,54 @@ mod tests {
             RuntimeExecutor::new(cfg).run(jobs(6)).answers()
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn reuse_cache_compounds_across_fleet_runs() {
+        // The fleet's queries share node labels and truth, so after the
+        // first run absorbs its answers, a second run over the same cache
+        // resolves everything by entailment and dispatches almost nothing.
+        let cache = Arc::new(ReuseCache::new());
+        let cfg = RuntimeConfig {
+            threads: 4,
+            worker_accuracies: vec![1.0; 20],
+            reuse: Some(Arc::clone(&cache)),
+            ..RuntimeConfig::default()
+        };
+        let exec = RuntimeExecutor::new(cfg);
+        let first = exec.run(jobs(4));
+        assert_eq!(first.ok_count(), 4);
+        assert!(!cache.is_empty(), "absorb fed the cache");
+        let second = exec.run(jobs(4));
+        assert_eq!(second.ok_count(), 4);
+        assert_eq!(first.bindings_text(), second.bindings_text());
+        assert!(second.metrics.tasks_saved > 0, "second run hits the cache");
+        assert!(
+            second.metrics.tasks_dispatched < first.metrics.tasks_dispatched,
+            "reuse must reduce dispatch: {} -> {}",
+            first.metrics.tasks_dispatched,
+            second.metrics.tasks_dispatched
+        );
+        for (_, r) in &second.results {
+            assert!(r.as_ref().unwrap().tasks_saved > 0);
+        }
+    }
+
+    #[test]
+    fn reuse_matches_cache_off_bindings() {
+        // Perfect workers and transitively-consistent truth: the entailed
+        // answers are the true answers, so reuse changes cost, never the
+        // result.
+        let run = |reuse: Option<Arc<ReuseCache>>| {
+            let cfg = RuntimeConfig {
+                threads: 2,
+                worker_accuracies: vec![1.0; 20],
+                reuse,
+                ..RuntimeConfig::default()
+            };
+            RuntimeExecutor::new(cfg).run(jobs(5)).bindings_text()
+        };
+        assert_eq!(run(None), run(Some(Arc::new(ReuseCache::new()))));
     }
 
     #[test]

@@ -37,6 +37,9 @@ pub struct RuntimeMetrics {
     virtual_ms_total: AtomicU64,
     round_ms_total: AtomicU64,
     cost_cents: AtomicU64,
+    tasks_saved: AtomicU64,
+    money_saved_cents: AtomicU64,
+    entailment_depth_sum: AtomicU64,
     /// Bucket `i` counts rounds whose virtual latency was in
     /// `[2^i, 2^(i+1))` ms (last bucket open-ended).
     round_latency: [AtomicU64; HISTOGRAM_BUCKETS],
@@ -98,6 +101,15 @@ impl RuntimeMetrics {
         self.round_latency[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One task resolved from the answer-reuse cache instead of being
+    /// dispatched, saving `cents` and chaining through `depth` prior
+    /// answers.
+    pub fn add_reuse_hit(&self, cents: u64, depth: u64) {
+        self.tasks_saved.fetch_add(1, Ordering::Relaxed);
+        self.money_saved_cents.fetch_add(cents, Ordering::Relaxed);
+        self.entailment_depth_sum.fetch_add(depth, Ordering::Relaxed);
+    }
+
     /// One query finished; `ok` tells success from typed failure, and
     /// `virtual_ms` is its simulated makespan.
     pub fn add_query(&self, ok: bool, virtual_ms: SimTime) {
@@ -125,6 +137,9 @@ impl RuntimeMetrics {
             virtual_ms_total: self.virtual_ms_total.load(Ordering::Relaxed),
             round_ms_total: self.round_ms_total.load(Ordering::Relaxed),
             cost_cents: self.cost_cents.load(Ordering::Relaxed),
+            tasks_saved: self.tasks_saved.load(Ordering::Relaxed),
+            money_saved_cents: self.money_saved_cents.load(Ordering::Relaxed),
+            entailment_depth_sum: self.entailment_depth_sum.load(Ordering::Relaxed),
             round_latency_buckets: self
                 .round_latency
                 .iter()
@@ -146,6 +161,10 @@ impl Collector for RuntimeMetrics {
                 self.add_cost(ev.get_u64(keys::CENTS).unwrap_or(0));
             }
             names::RETRY => self.add_retry(),
+            names::REUSE_HIT => self.add_reuse_hit(
+                ev.get_u64(keys::CENTS).unwrap_or(0),
+                ev.get_u64(keys::DEPTH).unwrap_or(0),
+            ),
             names::TIMEOUT => self.add_timeout(),
             names::REASSIGN => self.add_reassignment(),
             names::FAULT => {
@@ -198,6 +217,12 @@ pub struct MetricsSnapshot {
     pub round_ms_total: u64,
     /// Money spent on dispatched assignments, in cents.
     pub cost_cents: u64,
+    /// Tasks resolved from the answer-reuse cache instead of dispatched.
+    pub tasks_saved: u64,
+    /// Money not spent thanks to answer reuse, in cents.
+    pub money_saved_cents: u64,
+    /// Sum of entailment depths over reuse hits.
+    pub entailment_depth_sum: u64,
     /// Power-of-two round-latency histogram: bucket `i` counts rounds in
     /// `[2^i, 2^(i+1))` virtual ms.
     pub round_latency_buckets: Vec<u64>,
@@ -225,6 +250,9 @@ impl MetricsSnapshot {
             .u64("virtual_ms_total", self.virtual_ms_total)
             .u64("round_ms_total", self.round_ms_total)
             .u64("cost_cents", self.cost_cents)
+            .u64("tasks_saved", self.tasks_saved)
+            .u64("money_saved_cents", self.money_saved_cents)
+            .u64("entailment_depth_sum", self.entailment_depth_sum)
             .raw("round_latency_buckets", &buckets.finish())
             .finish()
     }
@@ -271,6 +299,21 @@ impl MetricsSnapshot {
             self.virtual_ms_total,
         );
         p.counter("cdb_cost_cents_total", "Money spent on assignments in cents.", self.cost_cents);
+        p.counter(
+            "cdb_tasks_saved_total",
+            "Tasks resolved by answer reuse instead of dispatch.",
+            self.tasks_saved,
+        );
+        p.counter(
+            "cdb_money_saved_cents_total",
+            "Money not spent thanks to answer reuse, in cents.",
+            self.money_saved_cents,
+        );
+        p.counter(
+            "cdb_entailment_depth_total",
+            "Sum of entailment depths over reuse hits.",
+            self.entailment_depth_sum,
+        );
         let n = self.round_latency_buckets.len();
         // Finite uppers for all but the open-ended last bucket.
         let mut uppers: Vec<f64> =
@@ -447,6 +490,12 @@ mod tests {
         record(names::DISPATCH, EventKind::Instant, 0, kv![task => 2u64, cents => 4u64]);
         record(names::TIMEOUT, EventKind::Instant, 9, kv![task => 1u64]);
         record(names::RETRY, EventKind::Instant, 9, kv![task => 1u64]);
+        record(
+            names::REUSE_HIT,
+            EventKind::Instant,
+            9,
+            kv![task => 3u64, kind => "transitive", depth => 2u64, cents => 15u64],
+        );
         record(names::REASSIGN, EventKind::Instant, 9, kv![task => 1u64]);
         record(names::FAULT, EventKind::Instant, 3, kv![kind => "dropout"]);
         record(names::FAULT, EventKind::Instant, 3, kv![kind => "slow"]);
@@ -469,5 +518,11 @@ mod tests {
         assert_eq!(s.round_ms_total, 120);
         assert_eq!((s.queries_ok, s.queries_failed), (1, 1));
         assert_eq!(s.virtual_ms_total, 200);
+        assert_eq!(s.tasks_saved, 1);
+        assert_eq!(s.money_saved_cents, 15);
+        assert_eq!(s.entailment_depth_sum, 2);
+        assert!(s.to_json().contains("\"tasks_saved\":1"));
+        assert!(s.to_prometheus().contains("cdb_tasks_saved_total 1"));
+        assert!(s.to_prometheus().contains("cdb_money_saved_cents_total 15"));
     }
 }

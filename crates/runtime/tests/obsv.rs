@@ -90,6 +90,46 @@ fn attribution_conserves_the_aggregate_counters() {
     assert_eq!(attributed_cents, snap.cost_cents);
 }
 
+/// With answer reuse enabled, the conservation law extends to the saved
+/// counters: `reuse.hit` events must roll up to exactly the aggregate
+/// `tasks_saved` / `money_saved_cents`, at every thread count.
+#[test]
+fn saved_cost_conserves_with_reuse_enabled_at_1_4_and_8_threads() {
+    use cdb_core::ReuseCache;
+
+    for &threads in &[1usize, 4, 8] {
+        let cache = Arc::new(ReuseCache::new());
+        let run = |ring: &Arc<Ring>| {
+            let cfg = RuntimeConfig {
+                threads,
+                seed: 23,
+                worker_accuracies: vec![0.9; 25],
+                retry: RetryPolicy { deadline_ms: 300_000, max_retries: 8 },
+                trace: Trace::collector(ring.clone()),
+                reuse: Some(Arc::clone(&cache)),
+                ..RuntimeConfig::default()
+            };
+            let jobs: Vec<QueryJob> = (0..6).map(|i| join_query(i, 4, 3)).collect();
+            RuntimeExecutor::new(cfg).run(jobs)
+        };
+        // Two passes over one ring: pass one warms the cache, pass two
+        // reuses; both passes' events conserve against the summed metrics.
+        let ring = Arc::new(Ring::with_capacity(1 << 16));
+        let first = run(&ring);
+        let second = run(&ring);
+        assert_eq!(ring.dropped(), 0);
+        let t = Attribution::from_events(&ring.drain()).conservation();
+        assert!(second.metrics.tasks_saved > 0, "warm pass must hit the cache");
+        assert_eq!(t.tasks_saved, first.metrics.tasks_saved + second.metrics.tasks_saved);
+        assert_eq!(
+            t.money_saved_cents,
+            first.metrics.money_saved_cents + second.metrics.money_saved_cents
+        );
+        assert_eq!(t.dispatched, first.metrics.tasks_dispatched + second.metrics.tasks_dispatched);
+        assert_eq!(t.cost_cents, first.metrics.cost_cents + second.metrics.cost_cents);
+    }
+}
+
 #[test]
 fn fault_free_run_attributes_zero_faults() {
     let (events, snap) = run_traced(2, 7, 0.0);

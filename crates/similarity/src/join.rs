@@ -63,12 +63,28 @@ fn build_signatures(values: &[&str], f: SimilarityFn) -> Vec<Signature> {
 
 /// Prefix length for Jaccard threshold `eps` on a set of size `len`:
 /// `len - ceil(eps * len) + 1`.
+///
+/// The product is nudged down by a relative epsilon before the ceil:
+/// `eps * len` is frequently integral in exact arithmetic but lands just
+/// above the integer in f64 (e.g. `0.8 * 20 == 16.000000000000004`), and a
+/// raw ceil then demands one more overlapping token than the threshold
+/// actually requires — shortening the prefix and silently dropping true
+/// pairs before verification. Biasing downward is always safe: an
+/// undersized overlap only lengthens the prefix, admitting extra
+/// candidates that exact verification rejects.
 fn jaccard_prefix_len(len: usize, eps: f64) -> usize {
     if len == 0 {
         return 0;
     }
-    let min_overlap = (eps * len as f64).ceil() as usize;
+    let product = eps * len as f64;
+    let min_overlap = (product - product * 1e-9 - f64::EPSILON).ceil() as usize;
     len - min_overlap.min(len) + 1
+}
+
+/// FP-robust slack for the `eps*|A| <= |B| <= |A|/eps` length filter —
+/// same downward bias as [`jaccard_prefix_len`], scaled to the lengths.
+fn length_filter_slack(la: f64, lb: f64) -> f64 {
+    1e-9 * la.max(lb).max(1.0)
 }
 
 /// Find all pairs `(i, j)` with `f.similarity(left[i], right[j]) >= eps`.
@@ -100,8 +116,22 @@ pub fn similarity_join(
 
 /// Self-join variant: all unordered pairs `(i, j)` with `i < j` and
 /// similarity at least `eps` within a single value list.
+///
+/// Enumerates the upper triangle directly rather than running the
+/// bipartite join on `(values, values)` and discarding half the output:
+/// each record probes only records before it, so candidate generation and
+/// verification cost half the bipartite version, and degenerate measures
+/// (`NoSim` admits everything) never verify the diagonal `(i, i)`.
 pub fn similarity_join_self(values: &[&str], f: SimilarityFn, eps: f64) -> Vec<SimJoinPair> {
-    similarity_join(values, values, f, eps).into_iter().filter(|p| p.left < p.right).collect()
+    assert!((0.0..=1.0).contains(&eps), "threshold must be in [0, 1]");
+    match f {
+        SimilarityFn::TokenJaccard | SimilarityFn::QGramJaccard { .. } => {
+            prefix_filter_join_self(values, f, eps)
+        }
+        SimilarityFn::Cosine | SimilarityFn::EditDistance | SimilarityFn::NoSim => {
+            verify_upper_pairs(values, f, eps)
+        }
+    }
 }
 
 fn prefix_filter_join(
@@ -145,7 +175,8 @@ fn prefix_filter_join(
         for &j in &seen {
             // Length filter: J(A,B) >= eps requires eps*|A| <= |B| <= |A|/eps.
             let (la, lb) = (sig.tokens.len() as f64, rsigs[j].tokens.len() as f64);
-            if lb < eps * la || (eps > 0.0 && lb > la / eps) {
+            let slack = length_filter_slack(la, lb);
+            if lb < eps * la - slack || (eps > 0.0 && lb > la / eps + slack) {
                 continue;
             }
             let sim = f.similarity(left[i], right[j]);
@@ -155,6 +186,68 @@ fn prefix_filter_join(
         }
     }
     out.sort_by_key(|a| (a.left, a.right));
+    out
+}
+
+/// Upper-triangle prefix-filter join over one list: record `i` probes the
+/// index of records `0..i`, then posts its own prefix tokens — every
+/// candidate pair is generated exactly once, as `(j, i)` with `j < i`.
+fn prefix_filter_join_self(values: &[&str], f: SimilarityFn, eps: f64) -> Vec<SimJoinPair> {
+    let sigs = build_signatures(values, f);
+    let mut index: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut out = Vec::new();
+    let mut seen: Vec<usize> = Vec::new(); // generation-stamped dedup
+    let mut stamp = vec![usize::MAX; values.len()];
+    for (i, sig) in sigs.iter().enumerate() {
+        seen.clear();
+        let plen = jaccard_prefix_len(sig.tokens.len(), eps).min(sig.tokens.len());
+        for &t in &sig.tokens[..plen] {
+            if let Some(cands) = index.get(&t) {
+                for &j in cands {
+                    if stamp[j] != i {
+                        stamp[j] = i;
+                        seen.push(j);
+                    }
+                }
+            }
+        }
+        for &j in &seen {
+            let (la, lb) = (sigs[j].tokens.len() as f64, sig.tokens.len() as f64);
+            let slack = length_filter_slack(la, lb);
+            if lb < eps * la - slack || (eps > 0.0 && lb > la / eps + slack) {
+                continue;
+            }
+            let sim = f.similarity(values[j], values[i]);
+            if sim >= eps {
+                out.push(SimJoinPair { left: j, right: i, sim });
+            }
+        }
+        for &t in &sig.tokens[..plen] {
+            index.entry(t).or_default().push(i);
+        }
+    }
+    out.sort_by_key(|a| (a.left, a.right));
+    out
+}
+
+/// Exact verification over the upper triangle (`i < j` only).
+fn verify_upper_pairs(values: &[&str], f: SimilarityFn, eps: f64) -> Vec<SimJoinPair> {
+    let mut out = Vec::new();
+    for (i, a) in values.iter().enumerate() {
+        for (j, b) in values.iter().enumerate().skip(i + 1) {
+            if f == SimilarityFn::EditDistance {
+                let (la, lb) = (a.chars().count(), b.chars().count());
+                let max_len = la.max(lb);
+                if max_len > 0 && (la.abs_diff(lb) as f64) > (1.0 - eps) * max_len as f64 {
+                    continue;
+                }
+            }
+            let sim = f.similarity(a, b);
+            if sim >= eps {
+                out.push(SimJoinPair { left: i, right: j, sim });
+            }
+        }
+    }
     out
 }
 
@@ -275,6 +368,82 @@ mod tests {
         assert_eq!(jaccard_prefix_len(1, 1.0), 1);
     }
 
+    #[test]
+    fn prefix_len_is_robust_to_fp_rounding() {
+        // A product that is integral in exact arithmetic but lands just
+        // above the integer in f64: a raw `(eps * len).ceil()` demands one
+        // extra overlap token and shortens the prefix below completeness.
+        assert_eq!(0.07f64 * 100.0, 7.000000000000001);
+        assert_eq!(jaccard_prefix_len(100, 0.07), 100 - 7 + 1);
+        // Products that do round to the exact integer keep the textbook
+        // value — the slack must not under-count them either.
+        assert_eq!(jaccard_prefix_len(20, 0.8), 5); // 0.8 * 20 == 16.0 exactly
+        assert_eq!(jaccard_prefix_len(20, 0.5), 11);
+        assert_eq!(jaccard_prefix_len(5, 0.9), 1); // ceil(4.5) = 5
+    }
+
+    /// Deterministic corpus of exactly `len`-token records with sliding
+    /// overlap, so pair similarities straddle every grid threshold.
+    fn sliding_corpus(len: usize) -> Vec<String> {
+        (0..15)
+            .map(|i| {
+                (0..len).map(|k| format!("t{:02}", (i * 2 + k) % 30)).collect::<Vec<_>>().join(" ")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prefix_filter_grid_matches_brute_force() {
+        // The ISSUE grid: eps x len including the (0.8, 20) FP trigger.
+        for &len in &[5usize, 10, 20] {
+            let vals = sliding_corpus(len);
+            let refs: Vec<&str> = vals.iter().map(String::as_str).collect();
+            for &eps in &[0.5, 0.8, 0.9] {
+                let got: BTreeSet<(usize, usize)> =
+                    similarity_join(&refs, &refs, SimilarityFn::TokenJaccard, eps)
+                        .into_iter()
+                        .map(|p| (p.left, p.right))
+                        .collect();
+                let want = brute_force(&refs, &refs, SimilarityFn::TokenJaccard, eps);
+                assert_eq!(got, want, "len={len} eps={eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn self_join_grid_matches_upper_triangle_brute_force() {
+        for &len in &[5usize, 10, 20] {
+            let vals = sliding_corpus(len);
+            let refs: Vec<&str> = vals.iter().map(String::as_str).collect();
+            for &eps in &[0.5, 0.8, 0.9] {
+                let got: BTreeSet<(usize, usize)> =
+                    similarity_join_self(&refs, SimilarityFn::TokenJaccard, eps)
+                        .into_iter()
+                        .map(|p| (p.left, p.right))
+                        .collect();
+                let want: BTreeSet<(usize, usize)> =
+                    brute_force(&refs, &refs, SimilarityFn::TokenJaccard, eps)
+                        .into_iter()
+                        .filter(|&(i, j)| i < j)
+                        .collect();
+                assert_eq!(got, want, "len={len} eps={eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn nosim_self_join_enumerates_each_unordered_pair_once() {
+        // n(n-1)/2 pairs, no diagonal: the self-join no longer runs the
+        // bipartite product and filters.
+        let vals = ["a", "b", "c", "d", "e"];
+        let pairs = similarity_join_self(&vals, SimilarityFn::NoSim, 0.3);
+        assert_eq!(pairs.len(), 5 * 4 / 2);
+        for p in &pairs {
+            assert!(p.left < p.right);
+            assert_eq!(p.sim, 0.5);
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -290,6 +459,25 @@ mod tests {
                 let got: BTreeSet<(usize, usize)> = similarity_join(&l, &r, f, eps)
                     .into_iter().map(|p| (p.left, p.right)).collect();
                 prop_assert_eq!(got, brute_force(&l, &r, f, eps));
+            }
+        }
+
+        #[test]
+        fn self_join_equals_filtered_bipartite_join(
+            vals in prop::collection::vec("[a-d]{1,8}( [a-d]{1,8})?", 0..12),
+            eps in 0.1f64..0.9,
+        ) {
+            let v: Vec<&str> = vals.iter().map(String::as_str).collect();
+            for f in [
+                SimilarityFn::QGramJaccard { q: 2 },
+                SimilarityFn::TokenJaccard,
+                SimilarityFn::EditDistance,
+            ] {
+                let got: BTreeSet<(usize, usize)> = similarity_join_self(&v, f, eps)
+                    .into_iter().map(|p| (p.left, p.right)).collect();
+                let want: BTreeSet<(usize, usize)> = brute_force(&v, &v, f, eps)
+                    .into_iter().filter(|&(i, j)| i < j).collect();
+                prop_assert_eq!(got, want, "{:?}", f);
             }
         }
     }
