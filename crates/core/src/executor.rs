@@ -364,7 +364,11 @@ impl<'a, P: CrowdPlatform> Executor<'a, P> {
         let mut resolved = 0usize;
         for &e in open {
             let (u, v) = self.graph.edge_endpoints(e);
-            let outcome = session.resolve(self.graph.node_label(u), self.graph.node_label(v));
+            let outcome = session.resolve(
+                self.edge_measure(e),
+                self.graph.node_label(u),
+                self.graph.node_label(v),
+            );
             if let ReuseOutcome::Hit { same, provenance } = outcome {
                 self.graph.set_color(e, if same { Color::Blue } else { Color::Red });
                 resolved += 1;
@@ -390,15 +394,32 @@ impl<'a, P: CrowdPlatform> Executor<'a, P> {
 
     /// Record this round's inferred colors into the reuse session so the
     /// rest of this query — and, once absorbed, later queries — can skip
-    /// re-asking the same value pair.
+    /// re-asking the same value pair. Edges with no collected votes are
+    /// skipped: their color is a vacuous default (a failed engine returns
+    /// zero assignments and majority-vote over nothing picks Blue), not
+    /// crowd evidence, and must never seed the cache.
     fn record_reuse(&mut self, batch: &[EdgeId]) {
         let Some(session) = self.reuse.clone() else { return };
         let mut session = session.lock().expect("reuse session poisoned");
         for &e in batch {
+            if self.votes.get(&e).is_none_or(Vec::is_empty) {
+                continue;
+            }
             let (u, v) = self.graph.edge_endpoints(e);
             let same = self.graph.edge_color(e) == Color::Blue;
-            session.record(self.graph.node_label(u), self.graph.node_label(v), same);
+            session.record(
+                self.edge_measure(e),
+                self.graph.node_label(u),
+                self.graph.node_label(v),
+                same,
+            );
         }
+    }
+
+    /// The similarity measure a crowd check on `e` evaluates — its
+    /// predicate's description, the answer-reuse cache namespace.
+    fn edge_measure(&self, e: EdgeId) -> &str {
+        &self.graph.predicates()[self.graph.edge_predicate(e)].description
     }
 
     /// Name of the selection mode that produced this round's batch.
@@ -472,6 +493,7 @@ impl<'a, P: CrowdPlatform> Executor<'a, P> {
             self.truth[&e],
         )
         .with_difficulty(self.edge_difficulty(e))
+        .with_measure(self.edge_measure(e))
     }
 
     /// Task difficulty for an edge under the configured error model.

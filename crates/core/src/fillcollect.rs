@@ -73,6 +73,7 @@ pub fn execute_fill(
             truth: Some(Answer::Text(truth.clone())),
             difficulty: 1.0,
             values: None,
+            measure: None,
         };
         let first = if cfg.early_stop { cfg.first_phase } else { cfg.redundancy };
         let mut answers: Vec<String> = platform

@@ -90,6 +90,7 @@ pub fn crowd_sort(
                 truth: Some(Answer::Choice(usize::from(truth_rank[a] > truth_rank[b]))),
                 difficulty: 1.0,
                 values: None,
+                measure: None,
             })
             .collect();
         let answers = platform.ask_round(&tasks, redundancy);

@@ -2,12 +2,15 @@
 //! CDAS answer-reuse idea of Liu et al. and the transitive-relation
 //! leverage of Wang et al.).
 //!
-//! The unit of reuse is a *value pair*: a crowd join-check asks whether two
-//! string values refer to the same entity, so its answer is a property of
-//! the values, not of the query that asked. [`ReuseCache`] interns
-//! normalized values and layers a [`cdb_graph::EntailmentGraph`] over them:
-//! recorded `yes` answers union components, recorded `no` answers add
-//! negative edges, and a lookup resolves to
+//! The unit of reuse is a *measure-qualified value pair*: a crowd
+//! join-check asks whether two string values are equivalent **under a
+//! particular predicate** (its similarity measure), so the cache key is
+//! `(measure, normalized value pair)` — two edges comparing the same
+//! labels under different predicates never conflate, and each measure
+//! forms its own equivalence relation. Within one measure, [`ReuseCache`]
+//! interns normalized values and layers a [`cdb_graph::EntailmentGraph`]
+//! over them: recorded `yes` answers union components, recorded `no`
+//! answers add negative edges, and a lookup resolves to
 //!
 //! * **Cached** — the exact pair was answered before (depth 1),
 //! * **Transitive** — entailed equal through a chain of positives,
@@ -20,16 +23,26 @@
 //! Concurrent queries must not observe each other's in-flight answers or
 //! replay breaks (which query "wins" a cache slot would depend on thread
 //! scheduling). The runtime therefore takes a [`ReuseCache::snapshot`] once
-//! per fleet run, hands every query its own [`ReuseSession`] (snapshot +
-//! private overlay), and after the pool joins, [`ReuseCache::absorb`]s the
-//! sessions *in query-id order* — first writer wins on conflicting answers.
-//! Per-query outcomes are thus a pure function of (config, job, snapshot),
-//! independent of thread count; cross-query reuse compounds across
-//! sequential fleet runs sharing one cache.
+//! per fleet run, hands every query its own [`ReuseSession`], and after the
+//! pool joins, [`ReuseCache::absorb`]s the sessions of *successful* queries
+//! *in query-id order* — first writer wins on conflicting answers, and a
+//! query that failed with a runtime error contributes nothing (its colors
+//! past the error point carry no crowd evidence). Per-query outcomes are
+//! thus a pure function of (config, job, snapshot), independent of thread
+//! count; cross-query reuse compounds across sequential fleet runs sharing
+//! one cache.
+//!
+//! # Cost
+//!
+//! `snapshot()` is O(1): sessions share the frozen store behind an `Arc`
+//! and lookups resolve against it without interning or mutation. A session
+//! clones the store copy-on-write only when it records a fact the snapshot
+//! does not already decide — a warm-cache query that merely re-confirms
+//! known answers never pays for a copy.
 
 use cdb_graph::{Assertion, Entailment, EntailmentGraph};
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Normalize a value for cache keying: trim, lowercase, collapse runs of
 /// whitespace. Two spellings that normalize equal share one interned id.
@@ -104,30 +117,48 @@ pub enum Recorded {
     Conflict,
 }
 
-/// Interned entailment store: value interner + entailment graph + the raw
-/// answers recorded (for absorb-time replay into the shared cache).
+/// One recorded crowd answer: `(measure, left, right, same)`, values
+/// normalized.
+type AnswerRec = (String, String, String, bool);
+
+/// Interned entailment store: per-measure value interners over one shared
+/// entailment graph + the raw answers recorded (for absorb-time replay
+/// into the shared cache). Each measure's values occupy disjoint ids, so
+/// one graph holds many independent equivalence relations.
 #[derive(Debug, Clone, Default)]
 struct Store {
-    ids: HashMap<String, usize>,
+    /// `measure -> normalized value -> interned id`.
+    ids: HashMap<String, HashMap<String, usize>>,
     graph: EntailmentGraph,
-    /// Recorded `(left, right, same)` answers in insertion order, by
-    /// normalized value. Only *new* facts are appended.
-    answers: Vec<(String, String, bool)>,
+    /// Recorded answers in insertion order. Only *new* facts are appended.
+    answers: Vec<AnswerRec>,
 }
 
 impl Store {
-    fn intern(&mut self, value: &str) -> usize {
+    fn intern(&mut self, measure: &str, value: &str) -> usize {
         let norm = normalize(value);
-        if let Some(&id) = self.ids.get(&norm) {
+        let per = self.ids.entry(measure.to_string()).or_default();
+        if let Some(&id) = per.get(&norm) {
             return id;
         }
         let id = self.graph.push();
-        self.ids.insert(norm, id);
+        per.insert(norm, id);
         id
     }
 
-    fn resolve(&mut self, left: &str, right: &str) -> ReuseOutcome {
-        let (a, b) = (self.intern(left), self.intern(right));
+    /// Pure lookup: never interns, never mutates — safe on the frozen
+    /// snapshot shared across sessions.
+    fn resolve(&self, measure: &str, left: &str, right: &str) -> ReuseOutcome {
+        let (ln, rn) = (normalize(left), normalize(right));
+        if ln == rn {
+            // Identical normalized values are trivially the same entity —
+            // free even on a cold cache.
+            return ReuseOutcome::Hit { same: true, provenance: Provenance::Cached };
+        }
+        let Some(per) = self.ids.get(measure) else { return ReuseOutcome::Miss };
+        let (Some(&a), Some(&b)) = (per.get(&ln), per.get(&rn)) else {
+            return ReuseOutcome::Miss;
+        };
         match self.graph.entails(a, b) {
             Entailment::Same { depth } => {
                 let provenance =
@@ -143,13 +174,13 @@ impl Store {
         }
     }
 
-    fn record(&mut self, left: &str, right: &str, same: bool) -> Recorded {
-        let (a, b) = (self.intern(left), self.intern(right));
+    fn record(&mut self, measure: &str, left: &str, right: &str, same: bool) -> Recorded {
+        let (a, b) = (self.intern(measure, left), self.intern(measure, right));
         let assertion =
             if same { self.graph.assert_same(a, b) } else { self.graph.assert_different(a, b) };
         match assertion {
             Assertion::Inserted => {
-                self.answers.push((normalize(left), normalize(right), same));
+                self.answers.push((measure.to_string(), normalize(left), normalize(right), same));
                 Recorded::Inserted
             }
             Assertion::Redundant => Recorded::Duplicate,
@@ -158,25 +189,38 @@ impl Store {
     }
 }
 
-/// Per-query view of the cache: a private clone of the fleet-start snapshot
-/// plus everything this query has learned. Cheap to mutate without locks;
-/// absorbed back into the shared [`ReuseCache`] in query-id order.
+/// Per-query view of the cache: the fleet-start snapshot (shared, frozen)
+/// plus everything this query has learned (a copy-on-write overlay,
+/// materialized only on the first genuinely new fact). Absorbed back into
+/// the shared [`ReuseCache`] in query-id order — failed queries' sessions
+/// are discarded by the runtime, never absorbed.
 #[derive(Debug, Clone, Default)]
 pub struct ReuseSession {
-    store: Store,
+    /// Frozen fleet-start snapshot, shared by every session of the run.
+    base: Arc<Store>,
+    /// Private copy (snapshot + this query's facts); `None` until the
+    /// first recorded fact the snapshot does not already decide.
+    overlay: Option<Store>,
     /// Facts recorded *by this session* (not inherited from the snapshot),
     /// replayed into the shared cache on absorb.
-    fresh: Vec<(String, String, bool)>,
+    fresh: Vec<AnswerRec>,
     hits: usize,
     depth_sum: usize,
     conflicts: usize,
 }
 
 impl ReuseSession {
+    /// Everything this session knows: its overlay if it has one, else the
+    /// shared snapshot.
+    fn store(&self) -> &Store {
+        self.overlay.as_ref().unwrap_or(&self.base)
+    }
+
     /// Resolve a pending join-check against everything known so far.
-    /// Counts hits and accumulated entailment depth.
-    pub fn resolve(&mut self, left: &str, right: &str) -> ReuseOutcome {
-        let outcome = self.store.resolve(left, right);
+    /// Counts hits and accumulated entailment depth. Lookups never intern:
+    /// unknown values leave the session untouched.
+    pub fn resolve(&mut self, measure: &str, left: &str, right: &str) -> ReuseOutcome {
+        let outcome = self.store().resolve(measure, left, right);
         if let ReuseOutcome::Hit { provenance, .. } = outcome {
             self.hits += 1;
             self.depth_sum += provenance.depth();
@@ -185,11 +229,27 @@ impl ReuseSession {
     }
 
     /// Record a crowd answer observed by this query.
-    pub fn record(&mut self, left: &str, right: &str, same: bool) -> Recorded {
-        let recorded = self.store.record(left, right, same);
+    pub fn record(&mut self, measure: &str, left: &str, right: &str, same: bool) -> Recorded {
+        if self.overlay.is_none() {
+            // Facts the shared snapshot already decides need no private
+            // copy — the common case for warm-cache queries.
+            match self.base.resolve(measure, left, right) {
+                ReuseOutcome::Hit { same: known, .. } if known == same => {
+                    return Recorded::Duplicate;
+                }
+                ReuseOutcome::Hit { .. } => {
+                    self.conflicts += 1;
+                    return Recorded::Conflict;
+                }
+                ReuseOutcome::Miss => {}
+            }
+        }
+        let base = Arc::clone(&self.base);
+        let store = self.overlay.get_or_insert_with(|| (*base).clone());
+        let recorded = store.record(measure, left, right, same);
         match recorded {
             Recorded::Inserted => {
-                self.fresh.push((normalize(left), normalize(right), same));
+                self.fresh.push((measure.to_string(), normalize(left), normalize(right), same));
             }
             Recorded::Conflict => self.conflicts += 1,
             Recorded::Duplicate => {}
@@ -214,11 +274,17 @@ impl ReuseSession {
 }
 
 /// Shared cross-query answer cache. Lock-cheap: queries never touch it
-/// mid-flight; the runtime snapshots once per fleet and absorbs once per
-/// query after the pool joins.
+/// mid-flight; the runtime snapshots once per fleet (an `Arc` clone, O(1))
+/// and absorbs once per *successful* query after the pool joins.
+///
+/// Within one measure the cache assumes a single equivalence relation:
+/// every recorded answer for a `(measure, value-pair)` key must mean the
+/// same question. Jobs whose predicates compare values under different
+/// semantics must use distinct measures or the later answer is dropped as
+/// a [`Recorded::Conflict`].
 #[derive(Debug, Default)]
 pub struct ReuseCache {
-    store: Mutex<Store>,
+    store: Mutex<Arc<Store>>,
     conflicts: Mutex<usize>,
 }
 
@@ -229,19 +295,27 @@ impl ReuseCache {
     }
 
     /// A per-query session seeded with the cache's current contents.
+    /// O(1): the session shares the frozen store and copies it only if it
+    /// records a genuinely new fact.
     pub fn snapshot(&self) -> ReuseSession {
-        let store = self.store.lock().expect("reuse cache poisoned").clone();
-        ReuseSession { store, ..ReuseSession::default() }
+        let base = Arc::clone(&self.store.lock().expect("reuse cache poisoned"));
+        ReuseSession { base, ..ReuseSession::default() }
     }
 
     /// Merge a finished session's fresh answers into the cache. Callers
     /// absorb sessions in query-id order so the first (lowest-id) writer
     /// wins conflicting answers deterministically; losers are counted.
+    /// Only absorb sessions of queries that completed successfully — a
+    /// failed query's post-error colors carry no crowd evidence.
     pub fn absorb(&self, session: &ReuseSession) {
-        let mut store = self.store.lock().expect("reuse cache poisoned");
+        if session.fresh.is_empty() {
+            return;
+        }
+        let mut guard = self.store.lock().expect("reuse cache poisoned");
+        let store = Arc::make_mut(&mut guard);
         let mut dropped = 0usize;
-        for (left, right, same) in &session.fresh {
-            if store.record(left, right, *same) == Recorded::Conflict {
+        for (measure, left, right, same) in &session.fresh {
+            if store.record(measure, left, right, *same) == Recorded::Conflict {
                 dropped += 1;
             }
         }
@@ -271,6 +345,9 @@ impl ReuseCache {
 mod tests {
     use super::*;
 
+    /// Measure used throughout; an arbitrary predicate description.
+    const M: &str = "R.v~R.v";
+
     #[test]
     fn normalize_folds_case_and_whitespace() {
         assert_eq!(normalize("  IBM   Corp \t"), "ibm corp");
@@ -281,56 +358,81 @@ mod tests {
     #[test]
     fn exact_repeat_is_a_cached_hit() {
         let mut s = ReuseSession::default();
-        assert_eq!(s.resolve("IBM", "I.B.M."), ReuseOutcome::Miss);
-        s.record("IBM", "I.B.M.", true);
+        assert_eq!(s.resolve(M, "IBM", "I.B.M."), ReuseOutcome::Miss);
+        s.record(M, "IBM", "I.B.M.", true);
         assert_eq!(
-            s.resolve("ibm", "I.B.M."),
+            s.resolve(M, "ibm", "I.B.M."),
             ReuseOutcome::Hit { same: true, provenance: Provenance::Cached }
         );
         assert_eq!(s.hits(), 1);
     }
 
     #[test]
+    fn identical_normalized_values_hit_even_cold() {
+        let mut s = ReuseSession::default();
+        assert_eq!(
+            s.resolve(M, "IBM  Corp", " ibm corp "),
+            ReuseOutcome::Hit { same: true, provenance: Provenance::Cached }
+        );
+    }
+
+    #[test]
     fn transitive_and_negative_entailment_resolve_unseen_pairs() {
         let mut s = ReuseSession::default();
-        s.record("a", "b", true);
-        s.record("b", "c", true);
-        s.record("c", "x", false);
+        s.record(M, "a", "b", true);
+        s.record(M, "b", "c", true);
+        s.record(M, "c", "x", false);
         assert_eq!(
-            s.resolve("a", "c"),
+            s.resolve(M, "a", "c"),
             ReuseOutcome::Hit { same: true, provenance: Provenance::Transitive { depth: 2 } }
         );
         assert_eq!(
-            s.resolve("a", "x"),
+            s.resolve(M, "a", "x"),
             ReuseOutcome::Hit { same: false, provenance: Provenance::Negative { depth: 3 } }
         );
         assert_eq!(s.depth_sum(), 5);
     }
 
     #[test]
+    fn measures_are_disjoint_namespaces() {
+        // The same value pair under two measures is two independent facts:
+        // no cross-measure hits, and opposite answers are NOT a conflict.
+        let mut s = ReuseSession::default();
+        s.record("title~title", "a", "b", true);
+        assert_eq!(s.resolve("author~author", "a", "b"), ReuseOutcome::Miss);
+        assert_eq!(s.record("author~author", "a", "b", false), Recorded::Inserted);
+        assert!(matches!(s.resolve("title~title", "a", "b"), ReuseOutcome::Hit { same: true, .. }));
+        assert!(matches!(
+            s.resolve("author~author", "a", "b"),
+            ReuseOutcome::Hit { same: false, .. }
+        ));
+        assert_eq!(s.conflicts(), 0);
+    }
+
+    #[test]
     fn conflicting_answers_are_dropped_and_counted() {
         let mut s = ReuseSession::default();
-        s.record("a", "b", true);
-        assert_eq!(s.record("a", "b", false), Recorded::Conflict);
+        s.record(M, "a", "b", true);
+        assert_eq!(s.record(M, "a", "b", false), Recorded::Conflict);
         assert_eq!(s.conflicts(), 1);
-        assert!(matches!(s.resolve("a", "b"), ReuseOutcome::Hit { same: true, .. }));
+        assert!(matches!(s.resolve(M, "a", "b"), ReuseOutcome::Hit { same: true, .. }));
     }
 
     #[test]
     fn snapshot_absorb_round_trip_compounds_knowledge() {
         let cache = ReuseCache::new();
         let mut s1 = cache.snapshot();
-        s1.record("a", "b", true);
+        s1.record(M, "a", "b", true);
         cache.absorb(&s1);
         assert_eq!(cache.len(), 1);
 
         let mut s2 = cache.snapshot();
-        assert!(matches!(s2.resolve("a", "b"), ReuseOutcome::Hit { same: true, .. }));
-        s2.record("b", "c", true);
+        assert!(matches!(s2.resolve(M, "a", "b"), ReuseOutcome::Hit { same: true, .. }));
+        s2.record(M, "b", "c", true);
         cache.absorb(&s2);
 
         let mut s3 = cache.snapshot();
-        assert!(matches!(s3.resolve("a", "c"), ReuseOutcome::Hit { same: true, .. }));
+        assert!(matches!(s3.resolve(M, "a", "c"), ReuseOutcome::Hit { same: true, .. }));
     }
 
     #[test]
@@ -338,12 +440,39 @@ mod tests {
         let cache = ReuseCache::new();
         let mut s1 = cache.snapshot();
         let mut s2 = cache.snapshot();
-        s1.record("a", "b", true);
-        s2.record("a", "b", false);
+        s1.record(M, "a", "b", true);
+        s2.record(M, "a", "b", false);
         cache.absorb(&s1);
         cache.absorb(&s2);
         assert_eq!(cache.conflicts(), 1);
         let mut s3 = cache.snapshot();
-        assert!(matches!(s3.resolve("a", "b"), ReuseOutcome::Hit { same: true, .. }));
+        assert!(matches!(s3.resolve(M, "a", "b"), ReuseOutcome::Hit { same: true, .. }));
+    }
+
+    #[test]
+    fn sessions_share_the_snapshot_until_they_learn() {
+        let cache = ReuseCache::new();
+        let mut warmup = cache.snapshot();
+        warmup.record(M, "a", "b", true);
+        cache.absorb(&warmup);
+
+        let mut s = cache.snapshot();
+        // Pure lookups (hit or miss) and re-confirmations of known facts
+        // never materialize a private copy.
+        assert!(matches!(s.resolve(M, "a", "b"), ReuseOutcome::Hit { .. }));
+        assert_eq!(s.resolve(M, "x", "y"), ReuseOutcome::Miss);
+        assert_eq!(s.record(M, "a", "b", true), Recorded::Duplicate);
+        assert_eq!(s.record(M, "a", "b", false), Recorded::Conflict);
+        assert_eq!(s.conflicts(), 1);
+        assert!(s.overlay.is_none(), "no copy for lookups and known facts");
+        // The first genuinely new fact triggers the copy-on-write.
+        assert_eq!(s.record(M, "b", "c", true), Recorded::Inserted);
+        assert!(s.overlay.is_some());
+        assert!(matches!(s.resolve(M, "a", "c"), ReuseOutcome::Hit { same: true, .. }));
+        // Absorbing a session with no fresh facts is a no-op.
+        let mut idle = cache.snapshot();
+        idle.resolve(M, "a", "b");
+        cache.absorb(&idle);
+        assert_eq!(cache.len(), 1);
     }
 }

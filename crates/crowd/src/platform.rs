@@ -638,6 +638,7 @@ mod tests {
             truth: Some(Answer::Text("MIT".into())),
             difficulty: 1.0,
             values: None,
+            measure: None,
         };
         let w = Worker { id: WorkerId(0), accuracy: 1.0 };
         assert_eq!(p.simulate_answer(w, &t), Answer::Text("MIT".into()));
@@ -655,6 +656,7 @@ mod tests {
             truth: Some(Answer::choices(vec![0, 2])),
             difficulty: 1.0,
             values: None,
+            measure: None,
         };
         let w = Worker { id: WorkerId(0), accuracy: 1.0 };
         assert_eq!(p.simulate_answer(w, &t), Answer::Choices(vec![0, 2]));

@@ -38,6 +38,17 @@ impl UnionFind {
         x
     }
 
+    /// Representative of the set containing `x` without path compression —
+    /// for read-only callers (frozen snapshots shared behind an `Arc`).
+    /// Union-by-size keeps tree depth `O(log n)`, so skipping compression
+    /// stays cheap.
+    pub fn find_ro(&self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            x = self.parent[x];
+        }
+        x
+    }
+
     /// Merge the sets containing `a` and `b`; returns true if they were
     /// previously disjoint.
     pub fn union(&mut self, a: usize, b: usize) -> bool {

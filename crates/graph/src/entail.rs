@@ -97,11 +97,15 @@ impl EntailmentGraph {
         let root = self.dsu.find(a);
         let (winner, loser) = if root == ra { (ra, rb) } else { (rb, ra) };
         // Re-home the loser's negative adjacency onto the winner, updating
-        // the reverse entries so every key stays a live root.
+        // the reverse entries so every key stays a live root. When both the
+        // winner and the loser already held a negative edge to the same
+        // adversary, the winner's witness survives on BOTH sides — the map
+        // must stay symmetric or `entails(a, b)` and `entails(b, a)` would
+        // report different proof depths.
         let moved: Vec<(usize, (usize, usize))> = self.neg[loser].drain().collect();
         for (adversary, witness) in moved {
             self.neg[adversary].remove(&loser);
-            self.neg[adversary].insert(winner, witness);
+            self.neg[adversary].entry(winner).or_insert(witness);
             self.neg[winner].entry(adversary).or_insert(witness);
         }
         Assertion::Inserted
@@ -122,18 +126,20 @@ impl EntailmentGraph {
         Assertion::Inserted
     }
 
-    /// What the recorded answers entail about `(a, b)`.
-    pub fn entails(&mut self, a: usize, b: usize) -> Entailment {
+    /// What the recorded answers entail about `(a, b)`. Takes `&self`
+    /// (finds skip path compression) so frozen snapshots shared behind an
+    /// `Arc` can answer lookups without cloning.
+    pub fn entails(&self, a: usize, b: usize) -> Entailment {
         if a == b {
             return Entailment::Same { depth: 0 };
         }
-        let (ra, rb) = (self.dsu.find(a), self.dsu.find(b));
+        let (ra, rb) = (self.dsu.find_ro(a), self.dsu.find_ro(b));
         if ra == rb {
             return Entailment::Same { depth: self.proof_depth(a, b) };
         }
         if let Some(&(wa, wb)) = self.neg[ra].get(&rb) {
             // Orient the witness pair so `wa` sits in `a`'s component.
-            let (wa, wb) = if self.dsu.find(wa) == ra { (wa, wb) } else { (wb, wa) };
+            let (wa, wb) = if self.dsu.find_ro(wa) == ra { (wa, wb) } else { (wb, wa) };
             let depth = 1 + self.proof_depth(a, wa) + self.proof_depth(b, wb);
             return Entailment::Different { depth };
         }
@@ -141,12 +147,12 @@ impl EntailmentGraph {
     }
 
     /// True when `a` and `b` are entailed equal.
-    pub fn same(&mut self, a: usize, b: usize) -> bool {
+    pub fn same(&self, a: usize, b: usize) -> bool {
         matches!(self.entails(a, b), Entailment::Same { .. })
     }
 
     /// True when `a` and `b` are entailed distinct.
-    pub fn different(&mut self, a: usize, b: usize) -> bool {
+    pub fn different(&self, a: usize, b: usize) -> bool {
         matches!(self.entails(a, b), Entailment::Different { .. })
     }
 
@@ -216,6 +222,22 @@ mod tests {
         assert_eq!(g.entails(1, 3), Entailment::Different { depth: 3 });
         assert_eq!(g.entails(0, 2), Entailment::Different { depth: 1 });
         assert_eq!(g.assert_different(1, 3), Assertion::Redundant);
+    }
+
+    #[test]
+    fn rehomed_negative_witnesses_stay_symmetric() {
+        // Both 0 (the union winner) and 1 (the loser) hold negative edges
+        // to 4 before they merge. Re-homing must keep the winner's witness
+        // on BOTH sides of the symmetric map, or the two query directions
+        // would report different depths.
+        let mut g = EntailmentGraph::new(5);
+        g.assert_different(0, 4);
+        g.assert_different(1, 4);
+        g.assert_same(0, 1);
+        assert_eq!(g.entails(0, 4), Entailment::Different { depth: 1 });
+        assert_eq!(g.entails(4, 0), g.entails(0, 4));
+        assert_eq!(g.entails(1, 4), Entailment::Different { depth: 2 });
+        assert_eq!(g.entails(4, 1), g.entails(1, 4));
     }
 
     #[test]

@@ -199,7 +199,7 @@ impl RuntimeEngine {
         let mut misses = Vec::new();
         for t in tasks {
             let outcome = match &t.values {
-                Some((l, r)) => session.resolve(l, r),
+                Some((l, r)) => session.resolve(t.measure.as_deref().unwrap_or(""), l, r),
                 None => ReuseOutcome::Miss,
             };
             match outcome {
@@ -699,8 +699,8 @@ mod tests {
         let session = Arc::new(Mutex::new(ReuseSession::default()));
         {
             let mut s = session.lock().unwrap();
-            s.record("MIT", "M.I.T.", true);
-            s.record("MIT", "Stanford", false);
+            s.record("", "MIT", "M.I.T.", true);
+            s.record("", "MIT", "Stanford", false);
         }
         let metrics = Arc::new(RuntimeMetrics::new());
         let platform =
@@ -738,7 +738,7 @@ mod tests {
     #[test]
     fn all_hit_round_never_touches_the_platform() {
         let session = Arc::new(Mutex::new(ReuseSession::default()));
-        session.lock().unwrap().record("MIT", "M.I.T.", true);
+        session.lock().unwrap().record("", "MIT", "M.I.T.", true);
         let mut e = engine(&[1.0; 10], 3, FaultPlan::none(), RetryPolicy::default());
         e = e.with_reuse(session);
         let asg = e.ask_round(&[yes_task(1), yes_task(2)], 5);
@@ -756,7 +756,7 @@ mod tests {
         let miss = |id| Task::join_check(TaskId(id), "CMU", "Carnegie Mellon", true);
         let with_reuse = {
             let session = Arc::new(Mutex::new(ReuseSession::default()));
-            session.lock().unwrap().record("MIT", "M.I.T.", true);
+            session.lock().unwrap().record("", "MIT", "M.I.T.", true);
             let mut e = engine(&[0.8; 10], 11, FaultPlan::uniform(5, 0.3), RetryPolicy::default());
             e = e.with_reuse(session);
             let asg = e.ask_round(&[yes_task(1), miss(2)], 5);

@@ -62,10 +62,11 @@ pub struct RuntimeConfig {
     /// Cross-query answer-reuse cache. `None` disables reuse. When set,
     /// the run snapshots the cache once before scattering jobs, hands
     /// every query a private [`ReuseSession`], and absorbs the sessions
-    /// back in query-id order after the pool joins — so per-query
-    /// outcomes stay a pure function of `(config, job, snapshot)` at any
-    /// thread count, and knowledge compounds across fleet runs sharing
-    /// the same cache.
+    /// of *successful* queries back in query-id order after the pool
+    /// joins (failed queries' sessions are discarded: their post-error
+    /// colors carry no crowd evidence) — so per-query outcomes stay a
+    /// pure function of `(config, job, snapshot)` at any thread count,
+    /// and knowledge compounds across fleet runs sharing the same cache.
     pub reuse: Option<Arc<ReuseCache>>,
 }
 
@@ -263,10 +264,18 @@ impl RuntimeExecutor {
             (0..n).map(|_| rx.recv().expect("every job reports")).collect();
         pool.join();
         // Absorb in query-id order: the first (lowest-id) writer wins any
-        // conflicting answer, independent of completion order.
+        // conflicting answer, independent of completion order. Only
+        // successful queries contribute — once an engine latches a fatal
+        // error it stops dispatching, so the failed query's remaining
+        // colors are vote-less defaults, not crowd answers, and absorbing
+        // them would silently corrupt every later query sharing the cache.
         if let Some(cache) = &self.cfg.reuse {
-            for (_, session) in &sessions {
-                cache.absorb(&session.lock().expect("reuse session poisoned"));
+            let failed: BTreeSet<u64> =
+                results.iter().filter(|(_, r)| r.is_err()).map(|&(id, _)| id).collect();
+            for (id, session) in &sessions {
+                if !failed.contains(id) {
+                    cache.absorb(&session.lock().expect("reuse session poisoned"));
+                }
             }
         }
         let steals = pool.steals();
@@ -476,6 +485,40 @@ mod tests {
             assert!(matches!(r, Err(RuntimeError::RetryBudgetExhausted { .. })));
         }
         assert_eq!(report.metrics.queries_failed, 5);
+    }
+
+    #[test]
+    fn failed_queries_never_feed_the_reuse_cache() {
+        // Dropout-everything: every query latches a fatal error, the
+        // engine stops dispatching, and the executor's remaining rounds
+        // color edges with zero collected votes. None of that is crowd
+        // evidence — the cache must stay empty, or the vacuous colors
+        // would beat real answers in every later run sharing the cache.
+        let cache = Arc::new(ReuseCache::new());
+        let cfg = RuntimeConfig {
+            threads: 4,
+            worker_accuracies: vec![1.0; 30],
+            fault_plan: FaultPlan::none().with_dropout(1.0),
+            retry: RetryPolicy { deadline_ms: 1_000, max_retries: 1 },
+            reuse: Some(Arc::clone(&cache)),
+            ..RuntimeConfig::default()
+        };
+        let report = RuntimeExecutor::new(cfg).run(jobs(5));
+        assert_eq!(report.failed_count(), 5);
+        assert!(cache.is_empty(), "failed queries contributed {} answers", cache.len());
+
+        // A healthy run over the same (still-empty) cache then answers
+        // exactly as a cache-off run would.
+        let healthy = |reuse: Option<Arc<ReuseCache>>| {
+            let cfg = RuntimeConfig {
+                threads: 2,
+                worker_accuracies: vec![1.0; 20],
+                reuse,
+                ..RuntimeConfig::default()
+            };
+            RuntimeExecutor::new(cfg).run(jobs(3)).bindings_text()
+        };
+        assert_eq!(healthy(Some(cache)), healthy(None));
     }
 
     #[test]
