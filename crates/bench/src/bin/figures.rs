@@ -2,11 +2,11 @@
 //! (Section 6 + Appendix D) as plain-text series.
 //!
 //! ```text
-//! figures [--scale N] [--reps R] [--seed S] <target>
+//! figures [--scale N] [--reps R] [--seed S] [--iters N] <target>
 //!
 //! targets: fig8 fig9 fig10 fig11 fig14 fig15 fig16 fig17 fig18 fig19
 //!          fig20 fig21 fig22 fig23 fig24 table2 table3 table4 table5
-//!          example runtime reuse trace all
+//!          example runtime reuse trace sim all
 //!
 //! `reuse` sweeps the cross-query answer-reuse cache (on/off × fault
 //! rate) over the self-join fleet and checks the dispatched-task
@@ -16,6 +16,13 @@
 //! tracing on and prints Chrome `trace_event` JSON on stdout — pipe it to
 //! a file and load it at <https://ui.perfetto.dev> (or `about:tracing`).
 //! The per-query cost/latency/quality attribution rollup goes to stderr.
+//!
+//! `sim` soaks the deterministic simulation harness (`cdb-sim`) over
+//! `--iters` consecutive seeds starting at `--seed`: each seed generates
+//! a randomized workload + environment, runs it on the real runtime and
+//! on the sequential reference oracle, and checks every differential
+//! invariant. On failure the seed is printed, the scenario is shrunk,
+//! and the repro text is dumped; exit status is nonzero.
 //! ```
 //!
 //! `--scale N` divides the paper's table cardinalities by `N` (default 10)
@@ -41,22 +48,24 @@ struct Args {
     scale: usize,
     reps: usize,
     seed: u64,
+    iters: usize,
     target: String,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { scale: 10, reps: 3, seed: 42, target: String::new() };
+    let mut args = Args { scale: 10, reps: 3, seed: 42, iters: 100, target: String::new() };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => args.scale = it.next().and_then(|v| v.parse().ok()).expect("--scale N"),
             "--reps" => args.reps = it.next().and_then(|v| v.parse().ok()).expect("--reps R"),
             "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).expect("--seed S"),
+            "--iters" => args.iters = it.next().and_then(|v| v.parse().ok()).expect("--iters N"),
             other => args.target = other.to_string(),
         }
     }
     if args.target.is_empty() {
-        eprintln!("usage: figures [--scale N] [--reps R] [--seed S] <fig8..fig24|table2..table5|example|runtime|reuse|trace|all>");
+        eprintln!("usage: figures [--scale N] [--reps R] [--seed S] [--iters N] <fig8..fig24|table2..table5|example|runtime|reuse|trace|sim|all>");
         std::process::exit(2);
     }
     args
@@ -657,6 +666,56 @@ fn trace(args: &Args) {
     println!("{}", chrome_trace(&events));
 }
 
+/// `figures sim`: soak the deterministic simulation harness over
+/// `--iters` consecutive seeds. Prints progress every 100 scenarios, the
+/// seed and shrunk repro on any violation, and exits nonzero on failure.
+fn sim(args: &Args) {
+    use cdb_sim::{soak, Sabotage};
+
+    println!(
+        "# cdb-sim soak: {} scenarios, seeds {}..{}",
+        args.iters,
+        args.seed,
+        args.seed + args.iters as u64
+    );
+    let start = Instant::now();
+    let mut done = 0usize;
+    let report = soak(args.seed, args.iters, Sabotage::None, |outcome| {
+        done += 1;
+        if done.is_multiple_of(100) {
+            println!(
+                "  {done} scenarios checked ({:.1}s), last seed {}",
+                start.elapsed().as_secs_f64(),
+                outcome.seed
+            );
+        }
+        if !outcome.violations.is_empty() {
+            eprintln!("FAILED seed {}:", outcome.seed);
+            for v in &outcome.violations {
+                eprintln!("  {v}");
+            }
+        }
+    });
+    println!(
+        "# {} scenarios ({} crowd queries) in {:.1}s: {} violating seed(s)",
+        report.scenarios,
+        report.queries,
+        start.elapsed().as_secs_f64(),
+        report.failures.len()
+    );
+    for f in &report.failures {
+        eprintln!("\n# shrunk repro for seed {} (replay with cdb_sim::replay_repro):", f.seed);
+        if let Some(shrunk) = &f.shrunk {
+            eprintln!("{}", shrunk.repro);
+        }
+    }
+    if !report.failures.is_empty() {
+        let seeds: Vec<String> = report.failures.iter().map(|f| f.seed.to_string()).collect();
+        eprintln!("\nsim soak FAILED; violating seeds: {}", seeds.join(", "));
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = parse_args();
     let t = args.target.as_str();
@@ -724,5 +783,9 @@ fn main() {
     // Not part of `all`: its stdout is a JSON artifact, not a report.
     if t == "trace" {
         trace(&args);
+    }
+    // Not part of `all`: a correctness soak, not a paper figure.
+    if t == "sim" {
+        sim(&args);
     }
 }

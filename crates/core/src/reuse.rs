@@ -271,6 +271,13 @@ impl ReuseSession {
     pub fn conflicts(&self) -> usize {
         self.conflicts
     }
+
+    /// Invariant accessor: the facts recorded *by this session* (not
+    /// inherited from the snapshot), as `(measure, left, right, same)`
+    /// with values normalized — what [`ReuseCache::absorb`] would replay.
+    pub fn fresh_facts(&self) -> &[(String, String, String, bool)] {
+        &self.fresh
+    }
 }
 
 /// Shared cross-query answer cache. Lock-cheap: queries never touch it
@@ -338,6 +345,22 @@ impl ReuseCache {
     /// contradicted them.
     pub fn conflicts(&self) -> usize {
         *self.conflicts.lock().expect("reuse cache poisoned")
+    }
+
+    /// Invariant accessor: every crowd-recorded answer in insertion order,
+    /// as `(measure, left, right, same)` with values normalized. These are
+    /// the *crowd-decided* facts — an external checker (the `cdb-sim`
+    /// harness) verifies that no entailment-derived color contradicts
+    /// them and, under perfect workers, that each matches ground truth.
+    pub fn recorded(&self) -> Vec<(String, String, String, bool)> {
+        self.store.lock().expect("reuse cache poisoned").answers.clone()
+    }
+
+    /// Invariant accessor: re-resolve a pair against the current contents
+    /// without mutating anything — the checker's view of what any future
+    /// session would be entailed to answer.
+    pub fn resolve(&self, measure: &str, left: &str, right: &str) -> ReuseOutcome {
+        self.store.lock().expect("reuse cache poisoned").resolve(measure, left, right)
     }
 }
 

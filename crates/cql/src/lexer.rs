@@ -165,7 +165,12 @@ pub fn tokenize(input: &str) -> crate::Result<Vec<Token>> {
                 if is_float {
                     out.push(Token::Float(text.parse().expect("lexer produced valid float")));
                 } else {
-                    out.push(Token::Int(text.parse().expect("lexer produced valid int")));
+                    // A digit run can still overflow the integer type.
+                    let n = text.parse().map_err(|_| CqlError::Parse {
+                        expected: "integer literal in range".into(),
+                        found: format!("`{text}` at byte {start}"),
+                    })?;
+                    out.push(Token::Int(n));
                 }
             }
             c if c.is_alphabetic() || c == '_' => {

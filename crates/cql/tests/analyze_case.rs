@@ -1,0 +1,124 @@
+//! Golden tests for case-insensitive table/column resolution in
+//! `analyze_select`: however the query spells a name, the analyzer must
+//! bind it and report it back in the catalog's canonical spelling.
+
+use cdb_cql::{analyze_select, AnalyzedPredicate, AnalyzedSelect, Statement};
+use cdb_storage::{ColumnDef, ColumnType, Database, Schema, Table};
+
+fn catalog() -> Database {
+    let mut db = Database::new();
+    db.add_table(Table::new(
+        "Paper",
+        Schema::new(vec![
+            ColumnDef::new("Author", ColumnType::Text),
+            ColumnDef::new("Title", ColumnType::Text),
+        ]),
+    ))
+    .unwrap();
+    db.add_table(Table::new(
+        "Citation",
+        Schema::new(vec![
+            ColumnDef::new("title", ColumnType::Text),
+            ColumnDef::new("number", ColumnType::Int),
+        ]),
+    ))
+    .unwrap();
+    db
+}
+
+fn analyze(sql: &str) -> cdb_cql::Result<AnalyzedSelect> {
+    let Statement::Select(q) = cdb_cql::parse(sql).expect("parses") else {
+        panic!("not a select: {sql}")
+    };
+    analyze_select(&q, &catalog())
+}
+
+/// FROM tables in any case resolve to the catalog's canonical names.
+#[test]
+fn from_tables_resolve_case_insensitively() {
+    for sql in [
+        "SELECT * FROM paper, citation",
+        "SELECT * FROM PAPER, CITATION",
+        "SELECT * FROM pApEr, CiTaTiOn",
+    ] {
+        let a = analyze(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        assert_eq!(a.tables, vec!["Paper", "Citation"], "{sql}");
+    }
+}
+
+/// Qualified refs mix table and column case freely; the binding reports
+/// canonical spellings of both.
+#[test]
+fn qualified_columns_resolve_case_insensitively() {
+    let a = analyze(
+        "SELECT PAPER.title FROM paper, Citation WHERE paper.TITLE CROWDJOIN citation.Title",
+    )
+    .unwrap();
+    assert_eq!(a.projection[0].to_string(), "Paper.Title");
+    let AnalyzedPredicate::CrowdJoin { left, right } = &a.predicates[0] else {
+        panic!("expected CrowdJoin")
+    };
+    assert_eq!(left.to_string(), "Paper.Title");
+    assert_eq!(right.to_string(), "Citation.title");
+}
+
+/// An unqualified ref that is unique only case-insensitively still binds.
+#[test]
+fn unqualified_column_resolves_case_insensitively() {
+    let a = analyze("SELECT NUMBER FROM Paper, Citation").unwrap();
+    assert_eq!(a.projection[0].to_string(), "Citation.number");
+    let a = analyze("SELECT author FROM Paper, Citation").unwrap();
+    assert_eq!(a.projection[0].to_string(), "Paper.Author");
+}
+
+/// Ambiguity is detected across cases: `Paper.Title` and `Citation.title`
+/// both match an unqualified `TITLE`.
+#[test]
+fn ambiguity_is_case_insensitive_too() {
+    let err = analyze("SELECT TITLE FROM Paper, Citation").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("ambiguous"), "{msg}");
+    assert!(msg.contains("Paper") && msg.contains("Citation"), "{msg}");
+}
+
+/// `Table.*` expansion accepts any case and expands the canonical table.
+#[test]
+fn table_star_is_case_insensitive() {
+    let a = analyze("SELECT CITATION.* FROM Paper, citation").unwrap();
+    assert_eq!(a.projection.len(), 2);
+    assert_eq!(a.projection[0].to_string(), "Citation.title");
+}
+
+/// Duplicate FROM entries are duplicates even when spelled differently.
+#[test]
+fn duplicate_from_detected_across_cases() {
+    let err = analyze("SELECT * FROM Paper, PAPER").unwrap_err();
+    assert!(err.to_string().contains("listed twice"), "{err}");
+}
+
+/// A self join is rejected even when the two sides spell the table
+/// differently.
+#[test]
+fn self_join_detected_across_cases() {
+    let err = analyze("SELECT * FROM Paper WHERE PAPER.author CROWDJOIN paper.title").unwrap_err();
+    assert!(err.to_string().contains("two different tables"), "{err}");
+}
+
+/// GROUP BY / ORDER BY key columns resolve case-insensitively.
+#[test]
+fn post_op_keys_resolve_case_insensitively() {
+    let a = analyze("SELECT * FROM Paper GROUP BY CROWD AUTHOR").unwrap();
+    assert_eq!(a.group_by.unwrap().column.to_string(), "Paper.Author");
+    let a = analyze("SELECT * FROM Paper ORDER BY CROWD title DESC").unwrap();
+    let ob = a.order_by.unwrap();
+    assert_eq!(ob.column.to_string(), "Paper.Title");
+    assert!(ob.descending);
+}
+
+/// Misses stay misses in every case: wrong names are not rescued.
+#[test]
+fn unknown_names_still_rejected() {
+    assert!(analyze("SELECT * FROM papers").is_err(), "near-miss table must not resolve");
+    assert!(analyze("SELECT Paper.titles FROM Paper").is_err(), "near-miss column");
+    assert!(analyze("SELECT Citation.Title FROM Paper").is_err(), "table not in FROM");
+}

@@ -1,0 +1,110 @@
+//! Fuzz-style parser robustness: 1000 seeded mutations of valid CQL must
+//! never panic the lexer or parser — every outcome is `Ok` or a proper
+//! `CqlError`. Mutations are byte-level (flip, delete, duplicate, insert,
+//! truncate, splice), so most outputs are garbage; the property under
+//! test is "no panic", not "rejects garbage".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Every statement family the grammar knows, as mutation corpus.
+const CORPUS: &[&str] = &[
+    "SELECT * FROM Paper, Citation WHERE Paper.title CROWDJOIN Citation.title",
+    "SELECT Paper.title, number FROM Paper, Citation \
+     WHERE Paper.title CROWDJOIN Citation.title AND Paper.author CROWDEQUAL 'Alice' \
+     BUDGET 500",
+    "SELECT * FROM Paper, Citation, Researcher, University \
+     WHERE Paper.title CROWDJOIN Citation.title AND \
+     Paper.author CROWDJOIN Researcher.name AND \
+     University.name CROWDJOIN Researcher.affiliation",
+    "SELECT * FROM Paper WHERE conference = 'SIGMOD' GROUP BY CROWD conference",
+    "SELECT * FROM Paper ORDER BY CROWD title DESC BUDGET 10",
+    "CREATE TABLE Paper(author varchar(64), title CROWD varchar(64), year INT)",
+    "CREATE CROWD TABLE University(name varchar(64))",
+    "FILL Paper.conference WHERE Paper.year = 2017",
+    "COLLECT University.name, University.city WHERE University.country = 'China' BUDGET 100",
+];
+
+/// One random byte-level edit. Operates on bytes on purpose: invalid
+/// UTF-8 boundaries are repaired lossily, which is itself an input class
+/// the parser must survive.
+fn mutate(bytes: &mut Vec<u8>, rng: &mut StdRng) {
+    if bytes.is_empty() {
+        bytes.push(rng.gen());
+        return;
+    }
+    let i = rng.gen_range(0..bytes.len());
+    match rng.gen_range(0..6) {
+        0 => bytes[i] = rng.gen(), // flip
+        1 => {
+            let b = bytes.remove(i); // delete
+            let _ = b;
+        }
+        2 => {
+            let b = bytes[i]; // duplicate
+            bytes.insert(i, b);
+        }
+        3 => {
+            // Insert a token-ish fragment: grammar keywords and fences
+            // reach deeper parser states than random bytes.
+            const FRAGMENTS: &[&str] =
+                &["CROWDJOIN", "SELECT", "WHERE", "'", ".", ",", "(", "BUDGET", "*", "CROWD"];
+            let frag = FRAGMENTS[rng.gen_range(0..FRAGMENTS.len())];
+            for (k, b) in frag.bytes().enumerate() {
+                bytes.insert(i + k, b);
+            }
+        }
+        4 => bytes.truncate(i), // truncate
+        _ => {
+            // Splice: replace the tail with the tail of another corpus entry.
+            let other = CORPUS[rng.gen_range(0..CORPUS.len())].as_bytes();
+            let j = rng.gen_range(0..=other.len());
+            bytes.truncate(i);
+            bytes.extend_from_slice(&other[j.min(other.len())..]);
+        }
+    }
+}
+
+#[test]
+fn thousand_seeded_mutations_never_panic() {
+    let mut rng = StdRng::seed_from_u64(0xF022);
+    for case in 0..1000 {
+        let base = CORPUS[case % CORPUS.len()];
+        let mut bytes = base.as_bytes().to_vec();
+        for _ in 0..rng.gen_range(1..=8) {
+            mutate(&mut bytes, &mut rng);
+        }
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        // The property: parse returns, it never panics. Result ignored.
+        let _ = cdb_cql::parse(&text);
+        let _ = cdb_cql::tokenize(&text);
+    }
+}
+
+#[test]
+fn corpus_itself_parses() {
+    for sql in CORPUS {
+        cdb_cql::parse(sql).unwrap_or_else(|e| panic!("corpus entry failed: {sql}: {e}"));
+    }
+}
+
+#[test]
+fn pathological_inputs_do_not_panic() {
+    let deep_parens =
+        format!("SELECT * FROM T WHERE a = {}'x'{}", "(".repeat(500), ")".repeat(500));
+    for text in [
+        "",
+        " ",
+        "'",
+        "''",
+        "'unterminated",
+        "SELECT",
+        "SELECT * FROM",
+        "BUDGET BUDGET BUDGET",
+        "\u{0}\u{ffff}\u{10FFFF}",
+        "SELECT * FROM T BUDGET 99999999999999999999999999",
+        deep_parens.as_str(),
+    ] {
+        let _ = cdb_cql::parse(text);
+    }
+}

@@ -18,10 +18,12 @@
 mod dirty;
 mod example;
 mod names;
+mod pools;
 mod queries;
 mod scenario;
 
 pub use dirty::{abbreviate, drop_token, typo, variant, DirtConfig};
 pub use example::paper_example_dataset;
+pub use pools::{cluster_labels, entity_pool};
 pub use queries::{queries_for, QuerySpec};
 pub use scenario::{award_dataset, paper_dataset, Dataset, DatasetScale};

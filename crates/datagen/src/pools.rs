@@ -1,0 +1,100 @@
+//! Seeded sub-generators: small deterministic label pools for harnesses
+//! that compose their own workloads (the `cdb-sim` simulation harness)
+//! instead of materializing a full [`crate::Dataset`].
+//!
+//! Every label is a pure function of `(seed, index)` — *not* of the pool
+//! size — so a shrinker that trims a pool never respells the survivors,
+//! and two pools drawn from the same seed agree on their common prefix.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::dirty::{variant, DirtConfig};
+use crate::names;
+
+/// Per-item RNG: splits one pool seed into an independent stream per
+/// index, so item `i`'s spelling never depends on how many items exist.
+fn item_rng(seed: u64, i: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17))
+}
+
+/// `n` distinct canonical entity names (university-style), seeded.
+pub fn entity_pool(n: usize, seed: u64) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            let mut rng = item_rng(seed, i as u64);
+            names::university_name(i, &mut rng)
+        })
+        .collect()
+}
+
+/// A pool of `n` item labels over `clusters` underlying entities: item `i`
+/// denotes entity `i % clusters`, spelled as a seeded dirty variant of the
+/// entity's canonical name with the entity id pinned as a `#k` suffix.
+///
+/// The suffix guarantees labels of *different* entities can never
+/// normalize equal (no aliasing between equivalence classes), while
+/// labels of the *same* entity still vary in spelling — exactly the
+/// structure a crowd-join reuse cache must stay sound under.
+pub fn cluster_labels(n: usize, clusters: usize, seed: u64, dirt: &DirtConfig) -> Vec<String> {
+    assert!(clusters >= 1, "need at least one cluster");
+    let canon = entity_pool(clusters, seed ^ 0xC1A5);
+    (0..n)
+        .map(|i| {
+            let k = i % clusters;
+            let mut rng = item_rng(seed, i as u64);
+            // Roughly half the items keep the canonical spelling; the rest
+            // are dirty variants, like a crawled table would hold.
+            let name = if rng.gen::<f64>() < 0.5 {
+                canon[k].clone()
+            } else {
+                variant(&canon[k], dirt, &mut rng)
+            };
+            format!("{name} #{k}")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_a_pure_function_of_seed_and_index() {
+        let dirt = DirtConfig::default();
+        let a = cluster_labels(12, 3, 7, &dirt);
+        let b = cluster_labels(12, 3, 7, &dirt);
+        assert_eq!(a, b);
+        // A shorter pool from the same seed is a prefix of the longer one.
+        let short = cluster_labels(5, 3, 7, &dirt);
+        assert_eq!(&a[..5], &short[..]);
+        // A different seed respells.
+        assert_ne!(a, cluster_labels(12, 3, 8, &dirt));
+    }
+
+    #[test]
+    fn different_entities_never_alias() {
+        let dirt = DirtConfig::default();
+        let labels = cluster_labels(40, 4, 99, &dirt);
+        for (i, a) in labels.iter().enumerate() {
+            for (j, b) in labels.iter().enumerate() {
+                if i % 4 != j % 4 {
+                    assert_ne!(
+                        cdb_core::normalize(a),
+                        cdb_core::normalize(b),
+                        "items {i} and {j} alias across clusters"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn entity_pool_is_distinct() {
+        let pool = entity_pool(30, 1);
+        for (i, a) in pool.iter().enumerate() {
+            for b in &pool[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -208,6 +208,35 @@ pub struct ConservationTotals {
     pub money_saved_cents: u64,
 }
 
+impl ConservationTotals {
+    /// Invariant accessor: compare these totals field-by-field against an
+    /// independently-maintained set (e.g. one built from the runtime's
+    /// aggregate counters) and name every field that disagrees. An empty
+    /// result is the conservation invariant; a non-empty one tells a
+    /// checker exactly which counter leaked.
+    pub fn mismatches(&self, other: &ConservationTotals) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut cmp = |name: &str, a: u64, b: u64| {
+            if a != b {
+                out.push(format!("{name}: events={a} counters={b}"));
+            }
+        };
+        cmp("dispatched", self.dispatched, other.dispatched);
+        cmp("retries", self.retries, other.retries);
+        cmp("reassignments", self.reassignments, other.reassignments);
+        cmp("timeouts", self.timeouts, other.timeouts);
+        cmp("faults", self.faults, other.faults);
+        cmp("rounds", self.rounds, other.rounds);
+        cmp("queries", self.queries, other.queries);
+        cmp("queries_ok", self.queries_ok, other.queries_ok);
+        cmp("virtual_ms", self.virtual_ms, other.virtual_ms);
+        cmp("cost_cents", self.cost_cents, other.cost_cents);
+        cmp("tasks_saved", self.tasks_saved, other.tasks_saved);
+        cmp("money_saved_cents", self.money_saved_cents, other.money_saved_cents);
+        out
+    }
+}
+
 /// The attribution table: per-query rollups built from an event stream.
 #[derive(Debug, Default, Clone)]
 pub struct Attribution {

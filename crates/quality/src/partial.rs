@@ -32,17 +32,19 @@ pub enum PartialDecision {
 /// matches what full-redundancy majority voting *could still* return.
 pub fn early_decision(votes: &[usize], num_choices: usize, redundancy: usize) -> PartialDecision {
     debug_assert!(num_choices >= 1);
+    // An out-of-range vote (a malformed crowd answer) consumed its
+    // assignment but carries no signal: it counts toward the answers
+    // received, never toward any choice.
+    let valid: Vec<usize> = votes.iter().copied().filter(|&v| v < num_choices).collect();
     let outstanding = redundancy.saturating_sub(votes.len());
     if outstanding == 0 {
-        return PartialDecision::Exhausted(majority_vote(votes, num_choices));
+        return PartialDecision::Exhausted(majority_vote(&valid, num_choices));
     }
     let mut counts = vec![0usize; num_choices];
-    for &v in votes {
-        if v < num_choices {
-            counts[v] += 1;
-        }
+    for &v in &valid {
+        counts[v] += 1;
     }
-    let leader = majority_vote(votes, num_choices);
+    let leader = majority_vote(&valid, num_choices);
     let runner_up =
         counts.iter().enumerate().filter(|&(i, _)| i != leader).map(|(_, &c)| c).max().unwrap_or(0);
     // Even if every outstanding vote went to the strongest rival, could it

@@ -253,7 +253,7 @@ impl RuntimeExecutor {
             let session =
                 sessions.iter().find(|&&(id, _)| id == job.id).map(|(_, s)| Arc::clone(s));
             move || {
-                let out = run_query(&cfg, &metrics, job, session);
+                let out = execute_query(&cfg, &metrics, job, session);
                 // The collector outlives the workers; a send can only fail
                 // if the whole run was abandoned.
                 let _ = tx.send(out);
@@ -284,9 +284,16 @@ impl RuntimeExecutor {
     }
 }
 
-/// Run one query job — a pure function of `(cfg, job)`; the shared
-/// `metrics` is write-only telemetry.
-fn run_query(
+/// Run one query job — a pure function of `(cfg, job, reuse snapshot)`;
+/// the shared `metrics` is write-only telemetry.
+///
+/// This is the *seedable scheduler hook*: [`RuntimeExecutor::run`] calls
+/// it from its thread pool, but external harnesses (the `cdb-sim`
+/// differential oracle) can call it directly, one query at a time in any
+/// order, and must observe byte-identical outcomes — the scheduler only
+/// adds concurrency, never behavior. All randomness is keyed by
+/// `(cfg.seed, job.id)` via [`cdb_crowd::stream_key`].
+pub fn execute_query(
     cfg: &RuntimeConfig,
     metrics: &Arc<RuntimeMetrics>,
     job: QueryJob,

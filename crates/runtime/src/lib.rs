@@ -35,7 +35,9 @@ pub mod sync;
 mod executor;
 
 pub use engine::RuntimeEngine;
-pub use executor::{QueryJob, QueryResult, RuntimeConfig, RuntimeExecutor, RuntimeReport};
+pub use executor::{
+    execute_query, QueryJob, QueryResult, RuntimeConfig, RuntimeExecutor, RuntimeReport,
+};
 pub use fault::{Fault, FaultPlan, RetryPolicy, RuntimeError};
 pub use metrics::{MetricsSnapshot, RuntimeMetrics, HISTOGRAM_BUCKETS};
 pub use pool::ThreadPool;

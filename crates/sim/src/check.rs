@@ -1,0 +1,390 @@
+//! Differential invariant checks: run a scenario on the real concurrent
+//! runtime and on the reference oracle, and verify every whole-system
+//! property the seed is supposed to pin down.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use cdb_core::executor::true_answers;
+use cdb_core::fillcollect::{execute_collect, execute_fill, CollectConfig, FillConfig};
+use cdb_core::{ReuseCache, ReuseOutcome};
+use cdb_crowd::{stream_key, stream_rng, Market, SimulatedPlatform, WorkerPool};
+use cdb_obsv::{Attribution, ConservationTotals, Ring, Trace};
+use cdb_runtime::{RuntimeExecutor, RuntimeReport};
+
+use crate::oracle::run_sequential;
+use crate::scenario::ScenarioSpec;
+use crate::world::{build_world, entity_of, runtime_config, salt, worker_accuracies};
+
+/// One violated invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant broke (stable kebab-case name).
+    pub invariant: String,
+    /// What was expected vs observed.
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(invariant: &str, detail: impl Into<String>) -> Violation {
+        let mut detail = detail.into();
+        // Keep repro files and soak logs readable.
+        if detail.len() > 600 {
+            detail.truncate(600);
+            detail.push('…');
+        }
+        Violation { invariant: invariant.into(), detail }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.detail)
+    }
+}
+
+/// Test-only corruption, injected between execution and checking, to
+/// prove the detector and shrinker catch a break end to end. `None` in
+/// every production path; the soak command and regression tests arm the
+/// others deliberately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sabotage {
+    /// No corruption (the only production value).
+    #[default]
+    None,
+    /// Drop one answer binding from the real runtime's report — a lost
+    /// result the oracle still has.
+    FlipBinding,
+    /// Flip the `same` bit of the first crowd-recorded reuse answer — an
+    /// entailed color now contradicts a crowd-decided one.
+    FlipEntailment,
+    /// Count one extra dispatched task in the aggregate counters — a
+    /// money/task accounting leak.
+    LeakTask,
+}
+
+impl Sabotage {
+    /// Stable name for repro files and CLI flags.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Sabotage::None => "none",
+            Sabotage::FlipBinding => "flip-binding",
+            Sabotage::FlipEntailment => "flip-entailment",
+            Sabotage::LeakTask => "leak-task",
+        }
+    }
+
+    /// Parse a stable name back.
+    pub fn parse(s: &str) -> Option<Sabotage> {
+        match s {
+            "none" => Some(Sabotage::None),
+            "flip-binding" => Some(Sabotage::FlipBinding),
+            "flip-entailment" => Some(Sabotage::FlipEntailment),
+            "leak-task" => Some(Sabotage::LeakTask),
+            _ => None,
+        }
+    }
+}
+
+/// Run every check for one scenario. Deterministic: equal specs (and
+/// equal sabotage) produce equal violation lists.
+pub fn check(spec: &ScenarioSpec, sabotage: Sabotage) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let world = build_world(spec);
+    let jobs = world.jobs;
+
+    // --- The real (concurrent) run, with the event ring attached.
+    let ring = Arc::new(Ring::with_capacity(1 << 16));
+    let trace = Trace::collector(Arc::clone(&ring) as Arc<dyn cdb_obsv::Collector>);
+    let cache = spec.reuse.then(|| Arc::new(ReuseCache::new()));
+    let cfg = runtime_config(spec, cache.clone(), trace);
+    let mut real = RuntimeExecutor::new(cfg).run(jobs.clone());
+    if sabotage == Sabotage::FlipBinding {
+        flip_one_binding(&mut real);
+    }
+
+    // --- Replay: the same scenario again (fresh cache) must be
+    // byte-identical — the determinism invariant.
+    let replay_cfg =
+        runtime_config(spec, spec.reuse.then(|| Arc::new(ReuseCache::new())), Trace::off());
+    let replay = RuntimeExecutor::new(replay_cfg).run(jobs.clone());
+    if real.answers() != replay.answers() {
+        v.push(Violation::new(
+            "replay-divergence",
+            format!("first run:\n{}\nsecond run:\n{}", real.answers(), replay.answers()),
+        ));
+    }
+
+    // --- The oracle: naive single-threaded execution must match the
+    // concurrent scheduler byte-for-byte, counters included.
+    let oracle_cfg =
+        runtime_config(spec, spec.reuse.then(|| Arc::new(ReuseCache::new())), Trace::off());
+    let oracle = run_sequential(&oracle_cfg, jobs.clone());
+    if real.answers() != oracle.answers() {
+        v.push(Violation::new(
+            "oracle-divergence",
+            format!(
+                "threads={} vs sequential oracle\nreal:\n{}\noracle:\n{}",
+                spec.threads,
+                real.answers(),
+                oracle.answers()
+            ),
+        ));
+    }
+    if real.metrics.to_json() != oracle.metrics.to_json() {
+        v.push(Violation::new(
+            "oracle-metrics-divergence",
+            format!("real:\n{}\noracle:\n{}", real.metrics.to_json(), oracle.metrics.to_json()),
+        ));
+    }
+
+    // --- Task/money accounting: fold the event stream into per-query
+    // attribution and compare its conservation totals against the
+    // runtime's aggregate counters, field by field.
+    let events = ring.drain();
+    if ring.dropped() == 0 {
+        let m = &real.metrics;
+        let mut counters = ConservationTotals {
+            dispatched: m.tasks_dispatched,
+            retries: m.retries,
+            reassignments: m.reassignments,
+            timeouts: m.timeouts,
+            faults: m.dropouts + m.abandons + m.slowdowns,
+            rounds: m.rounds,
+            queries: real.results.len() as u64,
+            queries_ok: m.queries_ok,
+            virtual_ms: m.virtual_ms_total,
+            cost_cents: m.cost_cents,
+            tasks_saved: m.tasks_saved,
+            money_saved_cents: m.money_saved_cents,
+        };
+        if sabotage == Sabotage::LeakTask {
+            counters.dispatched += 1;
+        }
+        let totals = Attribution::from_events(&events).conservation();
+        for mismatch in totals.mismatches(&counters) {
+            v.push(Violation::new("accounting", mismatch));
+        }
+        if m.queries_ok as usize != real.ok_count()
+            || m.queries_failed as usize != real.failed_count()
+        {
+            v.push(Violation::new(
+                "accounting",
+                format!(
+                    "query counters: metrics ok={}/failed={} report ok={}/failed={}",
+                    m.queries_ok,
+                    m.queries_failed,
+                    real.ok_count(),
+                    real.failed_count()
+                ),
+            ));
+        }
+        if real.failed_count() == 0 {
+            let rounds: u64 = per_query_sum(&real, |q| q.rounds as u64);
+            if rounds != m.rounds {
+                v.push(Violation::new(
+                    "round-accounting",
+                    format!("per-query rounds sum {} != metrics.rounds {}", rounds, m.rounds),
+                ));
+            }
+            let saved: u64 = per_query_sum(&real, |q| q.tasks_saved as u64);
+            if saved != m.tasks_saved {
+                v.push(Violation::new(
+                    "round-accounting",
+                    format!("per-query tasks_saved sum {} != metrics {}", saved, m.tasks_saved),
+                ));
+            }
+        }
+    }
+
+    // --- Ground truth: perfect workers and no budget cap must recover
+    // exactly the true answers on every query that completed.
+    if spec.perfect && spec.budget.is_none() {
+        for (id, r) in &real.results {
+            let Ok(q) = r else { continue };
+            let job = &jobs[*id as usize];
+            let truth: BTreeSet<Vec<cdb_core::model::NodeId>> =
+                true_answers(&job.graph, &job.truth).into_iter().map(|c| c.binding).collect();
+            if q.bindings != truth {
+                v.push(Violation::new(
+                    "truth-divergence",
+                    format!(
+                        "q{id}: got {} bindings, ground truth has {}",
+                        q.bindings.len(),
+                        truth.len()
+                    ),
+                ));
+            }
+        }
+    }
+
+    // --- Reuse must change cost, never answers: under perfect workers the
+    // entailed colors equal the crowd's, so any query that completes both
+    // with and without the cache must report identical bindings. Gated on
+    // no budget cap: under a cap the tasks reuse saves buy extra edges, so
+    // the cache legitimately changes which bindings are reached.
+    if spec.reuse && spec.perfect && spec.budget.is_none() {
+        let fresh_cfg = runtime_config(spec, None, Trace::off());
+        let fresh = RuntimeExecutor::new(fresh_cfg).run(jobs.clone());
+        for ((id, a), (_, b)) in real.results.iter().zip(&fresh.results) {
+            if let (Ok(a), Ok(b)) = (a, b) {
+                if a.bindings != b.bindings {
+                    v.push(Violation::new(
+                        "reuse-divergence",
+                        format!(
+                            "q{id}: reuse-on bindings {:?} != reuse-off {:?}",
+                            a.bindings, b.bindings
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // --- Reuse-entailment soundness: every crowd-recorded answer must
+    // still resolve to itself through the final entailment closure (no
+    // inferred color may contradict a crowd-decided one), and under
+    // perfect workers the crowd never contradicts itself (zero conflicts)
+    // or ground truth (entity suffixes must agree with `same`).
+    if let Some(cache) = &cache {
+        let mut recorded = cache.recorded();
+        if sabotage == Sabotage::FlipEntailment {
+            if let Some(first) = recorded.first_mut() {
+                first.3 = !first.3;
+            }
+        }
+        for (measure, a, b, same) in &recorded {
+            match cache.resolve(measure, a, b) {
+                ReuseOutcome::Hit { same: inferred, .. } if inferred == *same => {}
+                other => {
+                    v.push(Violation::new(
+                        "reuse-soundness",
+                        format!(
+                            "crowd decided ({measure}, `{a}`, `{b}`) = {same}, closure says {other:?}"
+                        ),
+                    ));
+                }
+            }
+            // The entity-suffix ground truth only speaks for the cluster
+            // measure; dataset values carry a per-table `#row` suffix in
+            // an unrelated namespace.
+            if spec.perfect && measure == crate::world::CLUSTER_MEASURE {
+                if let (Some(ka), Some(kb)) = (entity_of(a), entity_of(b)) {
+                    if *same != (ka == kb) {
+                        v.push(Violation::new(
+                            "reuse-soundness",
+                            format!(
+                                "recorded ({measure}, `{a}`, `{b}`) = {same} but entities are {ka} and {kb}"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        // Zero-conflict only holds when ground truth is a function of the
+        // value pair scenario-wide. Two dataset queries of the same family
+        // at different scales reuse the same measure and `#row` values
+        // with independently generated truth, so their absorbed answers
+        // may legitimately collide.
+        let mut paper_scales = BTreeSet::new();
+        let mut award_scales = BTreeSet::new();
+        for q in &spec.queries {
+            if let crate::scenario::QueryShape::Dataset { paper, scale, .. } = q {
+                if *paper {
+                    paper_scales.insert(*scale);
+                } else {
+                    award_scales.insert(*scale);
+                }
+            }
+        }
+        let value_determined = paper_scales.len() <= 1 && award_scales.len() <= 1;
+        if spec.perfect && value_determined && cache.conflicts() > 0 {
+            v.push(Violation::new(
+                "reuse-soundness",
+                format!("perfect workers produced {} cache conflicts", cache.conflicts()),
+            ));
+        }
+    }
+
+    // --- Auxiliary FILL / COLLECT workloads: deterministic and sane.
+    check_fill(spec, &mut v);
+    check_collect(spec, &mut v);
+    v
+}
+
+fn per_query_sum(report: &RuntimeReport, f: impl Fn(&cdb_runtime::QueryResult) -> u64) -> u64 {
+    report.results.iter().filter_map(|(_, r)| r.as_ref().ok()).map(f).sum()
+}
+
+fn flip_one_binding(report: &mut RuntimeReport) {
+    for (_, r) in report.results.iter_mut() {
+        if let Ok(q) = r {
+            if let Some(first) = q.bindings.iter().next().cloned() {
+                q.bindings.remove(&first);
+                return;
+            }
+        }
+    }
+}
+
+fn check_fill(spec: &ScenarioSpec, v: &mut Vec<Violation>) {
+    if spec.fill_slots == 0 {
+        return;
+    }
+    let truths = cdb_datagen::entity_pool(spec.fill_slots, stream_key(spec.seed, &[salt::FILL, 1]));
+    let run = || {
+        let pool = WorkerPool::with_accuracies(&worker_accuracies(spec));
+        let mut platform =
+            SimulatedPlatform::new(Market::Amt, pool, stream_key(spec.seed, &[salt::FILL]));
+        execute_fill(&truths, &mut platform, &FillConfig::default())
+    };
+    let (a, b) = (run(), run());
+    if a.questions != b.questions || a.values != b.values || a.correct != b.correct {
+        v.push(Violation::new(
+            "fill-nondeterminism",
+            format!("({}, {:?}) vs ({}, {:?})", a.questions, a.values, b.questions, b.values),
+        ));
+    }
+    if a.values.len() != spec.fill_slots || a.questions < spec.fill_slots {
+        v.push(Violation::new(
+            "fill-sanity",
+            format!(
+                "{} slots gave {} values from {} questions",
+                spec.fill_slots,
+                a.values.len(),
+                a.questions
+            ),
+        ));
+    }
+}
+
+fn check_collect(spec: &ScenarioSpec, v: &mut Vec<Violation>) {
+    let Some((universe_n, target)) = spec.collect else { return };
+    let universe = cdb_datagen::entity_pool(universe_n, stream_key(spec.seed, &[salt::COLLECT, 1]));
+    let cfg = CollectConfig { target, max_questions: 5_000, ..CollectConfig::default() };
+    let run = || {
+        let mut rng = stream_rng(spec.seed, &[salt::COLLECT]);
+        execute_collect(&universe, &mut rng, &cfg)
+    };
+    let (a, b) = (run(), run());
+    if a.questions != b.questions || a.distinct != b.distinct || a.curve != b.curve {
+        v.push(Violation::new(
+            "collect-nondeterminism",
+            format!("({}, {}) vs ({}, {})", a.questions, a.distinct, b.questions, b.distinct),
+        ));
+    }
+    if a.distinct > target || a.questions != a.curve.len() {
+        v.push(Violation::new(
+            "collect-sanity",
+            format!(
+                "distinct {} (target {target}), questions {} curve {}",
+                a.distinct,
+                a.questions,
+                a.curve.len()
+            ),
+        ));
+    }
+    if a.curve.windows(2).any(|w| w[1].1 < w[0].1 || w[1].0 != w[0].0 + 1) {
+        v.push(Violation::new("collect-sanity", "curve is not monotone".to_string()));
+    }
+}

@@ -1,0 +1,109 @@
+//! cdb-sim: deterministic simulation testing for the CDB stack.
+//!
+//! One `u64` seed pins down an entire scenario — the workload (schemas,
+//! dirty data, a mix of crowd joins/selections plus FILL/COLLECT), and
+//! the environment (fault schedule, worker-quality distribution, thread
+//! count, reuse on/off, budget and deadline settings). Every run of the
+//! same seed is byte-reproducible.
+//!
+//! Each scenario executes on the real concurrent runtime *and* on a
+//! naive single-threaded reference oracle ([`oracle::run_sequential`]),
+//! then a battery of differential invariants is checked
+//! ([`check::check`]): answer bindings, task/money accounting against
+//! the `cdb-obsv` event stream, round counts, ground-truth recovery,
+//! reuse neutrality, and reuse-entailment soundness (no inferred color
+//! may contradict a crowd-decided one).
+//!
+//! On any violation the scenario is shrunk ([`shrink::shrink`]) — drop
+//! queries, then shrink tuples, then simplify the fault schedule — and
+//! rendered as a self-contained repro file ([`repro::repro_text`]) that
+//! [`repro::replay_repro`] (and hence a `#[test]`) can replay verbatim.
+
+pub mod check;
+pub mod oracle;
+pub mod repro;
+pub mod scenario;
+pub mod shrink;
+pub mod world;
+
+pub use check::{check, Sabotage, Violation};
+pub use repro::{parse_repro, recorded_violations, replay_repro, repro_text};
+pub use scenario::{QueryShape, ScenarioSpec, THREAD_CHOICES};
+pub use shrink::shrink;
+
+/// What a shrink produced: the minimized spec and its repro file text.
+#[derive(Debug, Clone)]
+pub struct ShrunkRepro {
+    /// The minimized still-failing scenario.
+    pub spec: ScenarioSpec,
+    /// Self-contained repro file text (spec + sabotage + violations).
+    pub repro: String,
+}
+
+/// Outcome of checking one seed.
+#[derive(Debug, Clone)]
+pub struct SeedOutcome {
+    /// The seed that generated the scenario.
+    pub seed: u64,
+    /// The generated scenario.
+    pub spec: ScenarioSpec,
+    /// Violations found on the full scenario (empty = healthy).
+    pub violations: Vec<Violation>,
+    /// Present iff violations were found: the shrunk repro.
+    pub shrunk: Option<ShrunkRepro>,
+}
+
+/// Generate the scenario for `seed`, check every invariant, and shrink
+/// to a repro on failure.
+pub fn run_seed(seed: u64, sabotage: Sabotage) -> SeedOutcome {
+    let spec = ScenarioSpec::from_seed(seed);
+    let violations = check(&spec, sabotage);
+    let shrunk = if violations.is_empty() {
+        None
+    } else {
+        let (small, small_violations) = shrink(&spec, sabotage);
+        let repro = repro_text(&small, sabotage, &small_violations);
+        Some(ShrunkRepro { spec: small, repro })
+    };
+    SeedOutcome { seed, spec, violations, shrunk }
+}
+
+/// Aggregate result of a soak run.
+#[derive(Debug, Clone, Default)]
+pub struct SoakReport {
+    /// Scenarios executed.
+    pub scenarios: usize,
+    /// Total crowd queries across all scenarios.
+    pub queries: usize,
+    /// Outcomes of the seeds that violated at least one invariant.
+    pub failures: Vec<SeedOutcome>,
+}
+
+impl SoakReport {
+    /// True when every scenario passed every invariant.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Check `iters` consecutive seeds starting at `start_seed`. Failing
+/// seeds are shrunk and collected; `progress` is called after each seed
+/// (for live soak output).
+pub fn soak(
+    start_seed: u64,
+    iters: usize,
+    sabotage: Sabotage,
+    mut progress: impl FnMut(&SeedOutcome),
+) -> SoakReport {
+    let mut report = SoakReport::default();
+    for i in 0..iters {
+        let outcome = run_seed(start_seed.wrapping_add(i as u64), sabotage);
+        report.scenarios += 1;
+        report.queries += outcome.spec.queries.len();
+        progress(&outcome);
+        if !outcome.violations.is_empty() {
+            report.failures.push(outcome);
+        }
+    }
+    report
+}

@@ -1,0 +1,48 @@
+//! The reference oracle: a naive single-threaded executor.
+//!
+//! It answers every query sequentially, in query-id order, through the
+//! runtime's per-query hook [`cdb_runtime::execute_query`] — no thread
+//! pool, no work stealing, no channels, no backpressure, and a
+//! hand-rolled snapshot/absorb loop instead of the scheduler's session
+//! plumbing. Because every stochastic decision is stream-keyed by
+//! `(seed, query id)`, the concurrent scheduler must produce *exactly*
+//! this oracle's answers and aggregate counters; any divergence is a
+//! scheduler bug (ordering leak, session mixup, metrics race).
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use cdb_runtime::{execute_query, QueryJob, RuntimeConfig, RuntimeMetrics, RuntimeReport};
+
+/// Run the whole fleet sequentially and report in the scheduler's format.
+/// Mirrors the scheduler's contract: one cache snapshot before any query
+/// runs, sessions of *successful* queries absorbed in id order after all
+/// queries finish.
+pub fn run_sequential(cfg: &RuntimeConfig, mut jobs: Vec<QueryJob>) -> RuntimeReport {
+    let start = Instant::now();
+    let metrics = Arc::new(RuntimeMetrics::new());
+    jobs.sort_by_key(|j| j.id);
+    let sessions: Vec<_> = match &cfg.reuse {
+        Some(cache) => {
+            jobs.iter().map(|j| (j.id, Arc::new(Mutex::new(cache.snapshot())))).collect()
+        }
+        None => Vec::new(),
+    };
+    let mut results = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let session = sessions.iter().find(|(id, _)| *id == job.id).map(|(_, s)| Arc::clone(s));
+        results.push(execute_query(cfg, &metrics, job, session));
+    }
+    if let Some(cache) = &cfg.reuse {
+        let failed: BTreeSet<u64> =
+            results.iter().filter(|(_, r)| r.is_err()).map(|&(id, _)| id).collect();
+        for (id, session) in &sessions {
+            if !failed.contains(id) {
+                cache.absorb(&session.lock().expect("oracle session poisoned"));
+            }
+        }
+    }
+    results.sort_by_key(|&(id, _)| id);
+    RuntimeReport { results, metrics: metrics.snapshot(), wall: start.elapsed(), steals: 0 }
+}

@@ -1,0 +1,76 @@
+//! Self-contained repro files: a shrunk scenario serialized together with
+//! the sabotage that was armed (if any) and the invariants it violated,
+//! replayable by a `#[test]` with nothing but the file's text.
+
+use crate::check::{check, Sabotage, Violation};
+use crate::scenario::ScenarioSpec;
+
+/// Render a repro file. The `violation=` lines are informational (they
+/// record what was caught at write time); `sabotage=` is operative — a
+/// replay re-arms it, so sabotage-demonstration repros stay failing.
+pub fn repro_text(spec: &ScenarioSpec, sabotage: Sabotage, violations: &[Violation]) -> String {
+    let mut s = spec.to_text();
+    s.push_str(&format!("sabotage={}\n", sabotage.as_str()));
+    let mut seen = Vec::new();
+    for v in violations {
+        if !seen.contains(&&v.invariant) {
+            s.push_str(&format!("violation={}\n", v.invariant));
+            seen.push(&v.invariant);
+        }
+    }
+    s
+}
+
+/// Parse a repro file back into its scenario and armed sabotage.
+pub fn parse_repro(text: &str) -> Result<(ScenarioSpec, Sabotage), String> {
+    let spec = ScenarioSpec::parse(text)?;
+    let mut sabotage = Sabotage::None;
+    for line in text.lines() {
+        if let Some(val) = line.trim().strip_prefix("sabotage=") {
+            sabotage = Sabotage::parse(val).ok_or_else(|| format!("unknown sabotage `{val}`"))?;
+        }
+    }
+    Ok((spec, sabotage))
+}
+
+/// The invariant names a repro file recorded at write time.
+pub fn recorded_violations(text: &str) -> Vec<String> {
+    text.lines()
+        .filter_map(|l| l.trim().strip_prefix("violation=").map(|s| s.to_string()))
+        .collect()
+}
+
+/// Replay a repro file: rebuild the scenario, re-arm the sabotage, run
+/// every check. A committed repro regression-passes when this still
+/// reports the violation it was written for.
+pub fn replay_repro(text: &str) -> Result<Vec<Violation>, String> {
+    let (spec, sabotage) = parse_repro(text)?;
+    Ok(check(&spec, sabotage))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repro_round_trips_spec_and_sabotage() {
+        let spec = ScenarioSpec::from_seed(11);
+        let text = repro_text(&spec, Sabotage::FlipBinding, &[]);
+        let (back, sab) = parse_repro(&text).expect("parses");
+        assert_eq!(back, spec);
+        assert_eq!(sab, Sabotage::FlipBinding);
+    }
+
+    #[test]
+    fn violation_lines_are_recorded_and_ignored_by_the_parser() {
+        let spec = ScenarioSpec::from_seed(11);
+        let vs = vec![
+            Violation { invariant: "oracle-divergence".into(), detail: "x".into() },
+            Violation { invariant: "oracle-divergence".into(), detail: "y".into() },
+        ];
+        let text = repro_text(&spec, Sabotage::None, &vs);
+        assert_eq!(recorded_violations(&text), vec!["oracle-divergence"]);
+        let (back, _) = parse_repro(&text).expect("parses despite annotations");
+        assert_eq!(back, spec);
+    }
+}
