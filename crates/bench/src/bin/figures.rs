@@ -6,11 +6,16 @@
 //!
 //! targets: fig8 fig9 fig10 fig11 fig14 fig15 fig16 fig17 fig18 fig19
 //!          fig20 fig21 fig22 fig23 fig24 table2 table3 table4 table5
-//!          example runtime reuse trace sim all
+//!          example runtime reuse sched trace sim all
 //!
 //! `reuse` sweeps the cross-query answer-reuse cache (on/off × fault
 //! rate) over the self-join fleet and checks the dispatched-task
 //! reduction and answer equality.
+//!
+//! `sched` sweeps 1/2/4/8 concurrent queries through the multi-query
+//! scheduler (`cdb-sched`) with shared-HIT batching on and off, and
+//! checks byte-identical bindings plus the ≥15% HIT reduction at 8
+//! concurrent queries.
 //!
 //! `trace` runs one crowd-join query under the concurrent runtime with
 //! tracing on and prints Chrome `trace_event` JSON on stdout — pipe it to
@@ -65,7 +70,7 @@ fn parse_args() -> Args {
         }
     }
     if args.target.is_empty() {
-        eprintln!("usage: figures [--scale N] [--reps R] [--seed S] [--iters N] <fig8..fig24|table2..table5|example|runtime|reuse|trace|sim|all>");
+        eprintln!("usage: figures [--scale N] [--reps R] [--seed S] [--iters N] <fig8..fig24|table2..table5|example|runtime|reuse|sched|trace|sim|all>");
         std::process::exit(2);
     }
     args
@@ -620,6 +625,70 @@ fn reuse(args: &Args) {
     println!();
 }
 
+/// `figures sched`: the multi-query scheduling sweep — 1/2/4/8 concurrent
+/// self-join queries, shared-HIT batching on vs off. Checks the scheduler's
+/// two contracts: per-query bindings are byte-identical either way (and
+/// identical to a plain runtime run), and at 8 concurrent queries shared
+/// packing publishes ≥ 15% fewer HITs than per-query billing.
+fn sched(args: &Args) {
+    use cdb_bench::selfjoin_jobs;
+    use cdb_runtime::{RuntimeConfig, RuntimeExecutor};
+    use cdb_sched::{DrrConfig, SchedConfig, SchedJob, Scheduler};
+
+    let items = (80 / args.scale.max(1)).clamp(4, 24);
+    // A quantum below `tasks_per_hit` maximizes the per-query partial-HIT
+    // waste that cross-query packing recovers.
+    let quantum = 5;
+    println!("# Multi-query scheduling: {items}-item self-joins, DRR quantum {quantum}, shared-HIT batching on/off");
+    println!(
+        "{:<9}{:>7}{:>11}{:>8}{:>12}{:>8}{:>10}",
+        "queries", "rounds", "solo_hits", "hits", "platform_\u{a2}", "red_%", "same_ans"
+    );
+    for &n in &[1u64, 2, 4, 8] {
+        let rcfg = || RuntimeConfig {
+            threads: 4,
+            seed: args.seed,
+            worker_accuracies: vec![1.0; 20],
+            ..RuntimeConfig::default()
+        };
+        let run = |batching: bool| {
+            let cfg = SchedConfig {
+                runtime: rcfg(),
+                drr: DrrConfig { quantum, capacity: None },
+                batching,
+                ..SchedConfig::default()
+            };
+            let subs = selfjoin_jobs(n, items, 3).into_iter().map(SchedJob::unconstrained);
+            Scheduler::new(cfg).run(subs.collect())
+        };
+        let on = run(true);
+        let off = run(false);
+        let plain = RuntimeExecutor::new(rcfg()).run(selfjoin_jobs(n, items, 3)).bindings_text();
+        let same = on.bindings_text() == off.bindings_text() && on.bindings_text() == plain;
+        let reduction = 100.0 * on.hit_reduction();
+        println!(
+            "{:<9}{:>7}{:>11}{:>8}{:>12}{:>8.1}{:>10}",
+            n,
+            on.rounds.len(),
+            on.solo_hits,
+            on.total_hits,
+            on.platform_cents,
+            reduction,
+            if same { "yes" } else { "NO" },
+        );
+        assert!(same, "batching and scheduling must never change query answers");
+        let sum: u64 = on.attributed_cents.values().sum();
+        assert_eq!(sum, on.platform_cents, "attributed cents must conserve platform spend");
+        if n == 8 {
+            assert!(
+                reduction >= 15.0,
+                "shared-HIT batching must cut HITs by >= 15% at 8 concurrent queries (got {reduction:.1}%)"
+            );
+        }
+    }
+    println!();
+}
+
 /// `figures trace`: one crowd-join query through the concurrent runtime
 /// with tracing on. Chrome `trace_event` JSON goes to stdout (load it in
 /// Perfetto); the attribution rollup and conservation totals to stderr.
@@ -779,6 +848,9 @@ fn main() {
     }
     if all || t == "reuse" {
         reuse(&args);
+    }
+    if all || t == "sched" {
+        sched(&args);
     }
     // Not part of `all`: its stdout is a JSON artifact, not a report.
     if t == "trace" {

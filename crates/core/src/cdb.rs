@@ -176,6 +176,23 @@ impl Cdb {
         }
     }
 
+    /// Cost envelope for a CQL SELECT without executing it: plan the query
+    /// graph and bound its tasks/rounds/cents (see [`cost::estimate`]).
+    /// This is what admission control (`cdb-sched`) holds against its
+    /// money envelope before letting the query near the crowd.
+    ///
+    /// [`cost::estimate`]: crate::cost::estimate
+    pub fn estimate_select(
+        &self,
+        sql: &str,
+        build: &GraphBuildConfig,
+        redundancy: usize,
+        task_price_cents: u64,
+    ) -> Result<crate::cost::estimate::CostEstimate, CqlError> {
+        let g = self.plan_select(sql, build)?;
+        Ok(crate::cost::estimate::estimate(&g, redundancy, task_price_cents))
+    }
+
     /// Execute a CQL `FILL` statement: every `CNULL` cell of the target
     /// column (restricted by the optional `WHERE` filter) is crowdsourced
     /// and the inferred value written back into the table.

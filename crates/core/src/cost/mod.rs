@@ -10,8 +10,11 @@
 //!   their expected pruning power.
 //! * [`budget`] — budget-aware selection (§5.1.3): maximize answers found
 //!   within `B` tasks by asking the most promising candidates first.
+//! * [`estimate`] — pre-execution cost envelopes: sound upper bounds on
+//!   tasks/rounds/cents for admission control (`cdb-sched`).
 
 pub mod budget;
+pub mod estimate;
 pub mod expectation;
 pub mod known;
 pub mod sampling;

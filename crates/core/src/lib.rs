@@ -22,6 +22,8 @@
 //! The [`Cdb`] façade runs a CQL query end to end against a (simulated)
 //! crowd platform.
 
+#![deny(missing_docs)]
+
 pub mod build;
 pub mod candidate;
 pub mod cost;
@@ -39,6 +41,7 @@ mod cdb;
 pub use build::{build_query_graph, GraphBuildConfig};
 pub use candidate::{enumerate_candidates, Candidate, CandidateFilter};
 pub use cdb::{answer_tuples, binding_key, load_table, Cdb, CdbConfig, QueryOutcome, QueryTruth};
+pub use cost::estimate::CostEstimate;
 pub use executor::{
     EdgeTruth, ExecutionStats, Executor, ExecutorConfig, QualityStrategy, SelectionStrategy,
 };

@@ -2,8 +2,8 @@
 //!
 //! The paper's optimizer focuses on selections and joins; for queries
 //! that also want crowd-powered `ORDER BY` or `GROUP BY`, CDB "first
-//! execute[s] the crowd-based selection and join operations … and then
-//! group[s] the results by applying existing crowdsourced entity
+//! execute\[s\] the crowd-based selection and join operations … and then
+//! group\[s\] the results by applying existing crowdsourced entity
 //! resolution approaches", and analogously sorts with pairwise-comparison
 //! techniques. This module provides both post-processing operators over
 //! the (simulated) crowd:

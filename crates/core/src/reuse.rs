@@ -72,10 +72,16 @@ pub enum Provenance {
     /// The exact normalized pair was answered before.
     Cached,
     /// Entailed equal via a positive chain of `depth` recorded answers.
-    Transitive { depth: usize },
+    Transitive {
+        /// Recorded answers the positive chain passes through.
+        depth: usize,
+    },
     /// Entailed distinct via `depth` recorded answers (one negative plus
     /// the positive paths connecting to it).
-    Negative { depth: usize },
+    Negative {
+        /// Recorded answers the proof passes through.
+        depth: usize,
+    },
 }
 
 impl Provenance {
@@ -101,7 +107,12 @@ impl Provenance {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReuseOutcome {
     /// Resolved without dispatch: `same` is the entailed answer.
-    Hit { same: bool, provenance: Provenance },
+    Hit {
+        /// The entailed answer: do the two values join?
+        same: bool,
+        /// How the answer was derived.
+        provenance: Provenance,
+    },
     /// Unknown — the task must go to the crowd.
     Miss,
 }

@@ -58,6 +58,11 @@ pub struct RuntimeEngine {
     /// Answer-reuse session: join-check tasks the session already entails
     /// are answered by the cache instead of being dispatched.
     reuse: Option<Arc<Mutex<ReuseSession>>>,
+    /// Tasks published per crowd round, in round order (rounds fully
+    /// resolved from the reuse cache publish nothing and are not recorded).
+    /// This is the per-round footprint the multi-query scheduler replays
+    /// when interleaving queries into shared HITs.
+    round_tasks: Vec<usize>,
 }
 
 impl RuntimeEngine {
@@ -82,6 +87,7 @@ impl RuntimeEngine {
             early_termination: false,
             error: None,
             reuse: None,
+            round_tasks: Vec::new(),
         }
     }
 
@@ -130,6 +136,12 @@ impl RuntimeEngine {
     /// Take the fatal error, leaving the engine errored-but-queryable.
     pub fn take_error(&mut self) -> Option<RuntimeError> {
         self.error.clone()
+    }
+
+    /// Tasks published to the crowd per round, in round order. All-cache
+    /// rounds publish nothing and do not appear.
+    pub fn round_tasks(&self) -> &[usize] {
+        &self.round_tasks
     }
 
     fn emit_dispatch(&self, span: &Span, p: &PendingAssignment, round: u64) {
@@ -273,6 +285,7 @@ impl CrowdPlatform for RuntimeEngine {
         }
         let round = self.platform.rounds() as u64;
         let round_start = self.now;
+        self.round_tasks.push(tasks.len());
         let span =
             self.trace.span(SpanId::ROOT, names::ROUND, &[round], round_start, kv![round => round]);
         let by_id: BTreeMap<TaskId, Task> = tasks.iter().map(|t| (t.id, t.clone())).collect();
@@ -397,6 +410,7 @@ impl CrowdPlatform for RuntimeEngine {
         // (workers come one at a time by construction); the virtual clock
         // still advances by one nominal wave of responses.
         let round = self.platform.rounds() as u64;
+        self.round_tasks.push(tasks.len());
         let span =
             self.trace.span(SpanId::ROOT, names::ROUND, &[round], self.now, kv![round => round]);
         let out = self.platform.ask_round_assigned(tasks, redundancy, batch_size, assigner);

@@ -123,6 +123,10 @@ pub struct QueryResult {
     pub assignments: usize,
     /// Tasks answered from the reuse cache instead of the crowd.
     pub tasks_saved: usize,
+    /// Tasks published to the crowd per round, in round order — the
+    /// per-round footprint `cdb-sched` interleaves into shared HITs
+    /// (all-cache rounds publish nothing and are not recorded).
+    pub round_tasks: Vec<usize>,
     /// Virtual makespan of the query, in simulated ms.
     pub virtual_ms: SimTime,
 }
@@ -338,6 +342,7 @@ pub fn execute_query(
     }
     let stats = executor.run();
     let virtual_ms = engine.now();
+    let round_tasks = engine.round_tasks().to_vec();
     let id = job.id;
     let err = engine.take_error();
     // One `runtime.query` fact per query: metrics folds it into the
@@ -359,6 +364,7 @@ pub fn execute_query(
                 rounds: stats.rounds,
                 assignments: stats.assignments,
                 tasks_saved: stats.tasks_saved,
+                round_tasks,
                 virtual_ms,
             }),
         ),

@@ -26,6 +26,8 @@
 //!   timeouts, reassignments and a per-round latency histogram, exported
 //!   as JSON for the bench figures.
 
+#![deny(missing_docs)]
+
 pub mod engine;
 pub mod fault;
 pub mod metrics;

@@ -1,0 +1,281 @@
+//! Deficit-round-robin fair sharing: interleave per-query task batches
+//! into global crowd rounds so one large join cannot starve small
+//! selections.
+//!
+//! The runtime executes each admitted query deterministically and records
+//! its *round trace* — how many tasks it published to the crowd in each of
+//! its own rounds ([`cdb_runtime::QueryResult::round_tasks`]). The DRR
+//! scheduler then replays those traces into a shared global schedule:
+//!
+//! * every global round, each still-active query (visited in query-id
+//!   order) earns `quantum` deficit and releases up to that many tasks
+//!   from its *current* executor round;
+//! * an executor round must fully drain before the query's next one
+//!   becomes eligible, and the next one starts no earlier than the
+//!   following global round — answers from round *r* inform round *r+1*,
+//!   so their order is a data dependency, not a policy choice;
+//! * an optional global `capacity` bounds the tasks a single global round
+//!   may carry (worker supply); a query cut off by the cap keeps its
+//!   accrued deficit and catches up in later rounds — the classic DRR
+//!   carry-over.
+//!
+//! Fairness bound: with capacity at least `active × quantum`, a query
+//! whose executor rounds each publish `t_r` tasks finishes in exactly
+//! `Σ_r ceil(t_r / quantum)` global rounds — independent of how many or
+//! how large its neighbors are. A small selection keeps its solo latency
+//! (one global round per executor round when `t_r ≤ quantum`) while a
+//! 500-task join round spreads over `ceil(500/quantum)` rounds instead of
+//! monopolizing the crowd.
+
+/// Fair-share knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrrConfig {
+    /// Tasks of deficit each active query earns per global round.
+    pub quantum: usize,
+    /// Optional cap on total tasks per global round (worker supply). With
+    /// `None`, every query always receives its full quantum.
+    pub capacity: Option<usize>,
+}
+
+impl Default for DrrConfig {
+    fn default() -> Self {
+        DrrConfig { quantum: 10, capacity: None }
+    }
+}
+
+/// One global crowd round of the interleaved schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalRound {
+    /// Index in the global schedule.
+    pub index: usize,
+    /// `(query id, tasks released)` in query-id order; only queries that
+    /// released at least one task appear.
+    pub contributions: Vec<(u64, usize)>,
+}
+
+impl GlobalRound {
+    /// Total tasks this round carries.
+    pub fn task_count(&self) -> usize {
+        self.contributions.iter().map(|&(_, n)| n).sum()
+    }
+}
+
+struct QueryState {
+    id: u64,
+    rounds: Vec<usize>,
+    /// Index of the current executor round.
+    round: usize,
+    /// Tasks still to release from the current executor round.
+    remaining: usize,
+    /// Accrued deficit (carries over only when the capacity cap cut the
+    /// query off mid-round).
+    deficit: usize,
+    /// Global round in which the previous executor round drained — the
+    /// next round may not release before `barrier + 1`.
+    barrier: Option<usize>,
+}
+
+impl QueryState {
+    fn done(&self) -> bool {
+        self.round >= self.rounds.len()
+    }
+
+    fn advance_past_empty(&mut self) {
+        while self.round < self.rounds.len() && self.remaining == 0 {
+            self.round += 1;
+            if self.round < self.rounds.len() {
+                self.remaining = self.rounds[self.round];
+            }
+        }
+    }
+}
+
+/// Interleave per-query round traces into a global schedule.
+///
+/// `traces` is `(query id, tasks per executor round)`; ids must be unique.
+/// Traces are scheduled in query-id order each round. Returns the global
+/// rounds plus, for bookkeeping, the global round index (0-based) in which
+/// each query released its last task, as `(query id, finish round)` in
+/// query-id order (queries with empty traces finish in round 0 having
+/// released nothing — they do not appear).
+pub fn schedule(
+    traces: &[(u64, Vec<usize>)],
+    cfg: DrrConfig,
+) -> (Vec<GlobalRound>, Vec<(u64, usize)>) {
+    assert!(cfg.quantum > 0, "quantum must be positive");
+    assert!(cfg.capacity != Some(0), "a zero-capacity round can never drain");
+    let mut states: Vec<QueryState> = traces
+        .iter()
+        .filter(|(_, rounds)| rounds.iter().any(|&t| t > 0))
+        .map(|(id, rounds)| {
+            let mut s = QueryState {
+                id: *id,
+                rounds: rounds.clone(),
+                round: 0,
+                remaining: rounds.first().copied().unwrap_or(0),
+                deficit: 0,
+                barrier: None,
+            };
+            s.advance_past_empty();
+            s
+        })
+        .collect();
+    states.sort_by_key(|s| s.id);
+    assert!(states.windows(2).all(|w| w[0].id != w[1].id), "duplicate query id in DRR traces");
+
+    let mut rounds = Vec::new();
+    let mut finish: Vec<(u64, usize)> = Vec::new();
+    while states.iter().any(|s| !s.done()) {
+        let g = rounds.len();
+        let mut room = cfg.capacity.unwrap_or(usize::MAX);
+        let mut contributions = Vec::new();
+        for s in states.iter_mut().filter(|s| !s.done()) {
+            // Data dependency: an executor round that drained in global
+            // round `b` hands its answers to the optimizer before the next
+            // round's tasks exist — those go out in `b + 1` at the earliest.
+            if s.barrier == Some(g) {
+                continue;
+            }
+            s.deficit += cfg.quantum;
+            let take = s.deficit.min(s.remaining).min(room);
+            if take > 0 {
+                contributions.push((s.id, take));
+                s.remaining -= take;
+                s.deficit -= take;
+                room -= take;
+            }
+            if s.remaining == 0 {
+                // Round drained: reset the deficit (DRR resets when the
+                // queue empties — accrual is for backlog, not banking).
+                s.deficit = 0;
+                s.round += 1;
+                if s.round < s.rounds.len() {
+                    s.remaining = s.rounds[s.round];
+                    s.advance_past_empty();
+                }
+                if s.done() {
+                    finish.push((s.id, g));
+                } else {
+                    s.barrier = Some(g);
+                }
+            }
+        }
+        debug_assert!(!contributions.is_empty(), "live queries must make progress");
+        rounds.push(GlobalRound { index: g, contributions });
+    }
+    finish.sort_by_key(|&(id, _)| id);
+    (rounds, finish)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(quantum: usize) -> DrrConfig {
+        DrrConfig { quantum, capacity: None }
+    }
+
+    #[test]
+    fn small_queries_keep_their_solo_latency_beside_a_giant() {
+        // One join publishing 100 tasks per round for 3 rounds, four
+        // selections publishing 4 tasks per round for 2 rounds.
+        let mut traces = vec![(0u64, vec![100, 100, 100])];
+        for q in 1..=4u64 {
+            traces.push((q, vec![4, 4]));
+        }
+        let (rounds, finish) = schedule(&traces, cfg(10));
+        // Each selection drains one executor round per global round: solo
+        // latency (2 rounds) preserved exactly.
+        for q in 1..=4 {
+            assert_eq!(finish.iter().find(|&&(id, _)| id == q).unwrap().1, 1);
+        }
+        // The giant spreads each 100-task round over ceil(100/10) = 10
+        // global rounds: 3 × 10 = 30 rounds, finishing in round 29.
+        assert_eq!(finish.iter().find(|&&(id, _)| id == 0).unwrap().1, 29);
+        assert_eq!(rounds.len(), 30);
+        // Total tasks are conserved.
+        let total: usize = rounds.iter().map(GlobalRound::task_count).sum();
+        assert_eq!(total, 300 + 4 * 8);
+    }
+
+    #[test]
+    fn executor_rounds_respect_the_data_dependency() {
+        // 3 tasks per round at quantum 10: each executor round drains in
+        // one global round, but the next cannot start in the same one.
+        let (rounds, finish) = schedule(&[(7, vec![3, 3, 3])], cfg(10));
+        assert_eq!(rounds.len(), 3);
+        for (i, r) in rounds.iter().enumerate() {
+            assert_eq!(r.contributions, vec![(7, 3)], "round {i}");
+        }
+        assert_eq!(finish, vec![(7, 2)]);
+    }
+
+    #[test]
+    fn capacity_cut_queries_carry_deficit_forward() {
+        // Two queries, one 8-task round each, capacity 10, quantum 8:
+        // q1 takes 8, q2 only gets the remaining 2 — but keeps its 6
+        // unspent deficit and needs no new full quantum next round.
+        let (rounds, _) =
+            schedule(&[(1, vec![8]), (2, vec![8])], DrrConfig { quantum: 8, capacity: Some(10) });
+        assert_eq!(rounds[0].contributions, vec![(1, 8), (2, 2)]);
+        // Round 1: q2 has deficit 6 + quantum 8 = 14 ≥ remaining 6.
+        assert_eq!(rounds[1].contributions, vec![(2, 6)]);
+        assert_eq!(rounds.len(), 2);
+    }
+
+    #[test]
+    fn empty_and_zero_traces_schedule_to_nothing() {
+        let (rounds, finish) = schedule(&[], cfg(10));
+        assert!(rounds.is_empty());
+        assert!(finish.is_empty());
+        let (rounds, finish) = schedule(&[(1, vec![]), (2, vec![0, 0])], cfg(10));
+        assert!(rounds.is_empty());
+        assert!(finish.is_empty());
+    }
+
+    #[test]
+    fn zero_task_interior_rounds_are_skipped() {
+        // Reuse can blank an interior round (all hits publish nothing);
+        // the trace recorded by the engine omits them, but be robust to
+        // explicit zeros too.
+        let (rounds, finish) = schedule(&[(3, vec![2, 0, 2])], cfg(10));
+        assert_eq!(rounds.len(), 2);
+        assert_eq!(finish, vec![(3, 1)]);
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_id_ordered() {
+        let traces = vec![(9u64, vec![5, 5]), (2, vec![7]), (5, vec![1, 1, 1])];
+        let (a, fa) = schedule(&traces, cfg(4));
+        let mut shuffled = traces.clone();
+        shuffled.rotate_left(1);
+        let (b, fb) = schedule(&shuffled, cfg(4));
+        assert_eq!(a, b, "input order must not matter");
+        assert_eq!(fa, fb);
+        for r in &a {
+            let ids: Vec<u64> = r.contributions.iter().map(|&(q, _)| q).collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            assert_eq!(ids, sorted, "contributions in query-id order");
+        }
+    }
+
+    #[test]
+    fn fairness_bound_holds_for_every_query() {
+        // completion(q) == Σ_r ceil(t_r/quantum) global rounds when the
+        // capacity never binds — the per-query latency bound.
+        let traces: Vec<(u64, Vec<usize>)> = vec![
+            (0, vec![33, 7, 12]),
+            (1, vec![1]),
+            (2, vec![10, 10, 10, 10]),
+            (3, vec![2, 2, 2, 2, 2]),
+        ];
+        let q = 10;
+        let (_, finish) = schedule(&traces, cfg(q));
+        for (id, tr) in &traces {
+            let expect: usize = tr.iter().map(|t| t.div_ceil(q)).sum();
+            let got = finish.iter().find(|&&(f, _)| f == *id).unwrap().1;
+            assert_eq!(got + 1, expect, "query {id}");
+        }
+    }
+}

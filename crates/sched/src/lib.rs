@@ -1,0 +1,39 @@
+//! Multi-query scheduling for CDB: admission control, fair-share rounds
+//! and cross-query HIT batching.
+//!
+//! The paper optimizes one query at a time; under the "heavy traffic"
+//! north star many queries hit the crowd *together*, and per-query
+//! dispatch wastes both money (every query pays for its own partial HITs)
+//! and fairness (a large join can monopolize the worker pool the way a
+//! table scan monopolizes a disk). This crate sits between the `Cdb`
+//! facade and the runtime engine and adds the multi-query layer:
+//!
+//! * [`admission`] — typed admission against a global money/worker
+//!   envelope: [`AdmissionDecision::Admitted`] /
+//!   [`AdmissionDecision::Queued`] (bounded — backpressure, not unbounded
+//!   queueing) / [`AdmissionDecision::Rejected`], holding each query's
+//!   pre-execution [`cdb_core::CostEstimate`] against the envelope.
+//! * [`drr`] — deficit-round-robin interleaving of per-query round traces
+//!   into global crowd rounds, preserving each query's solo latency bound.
+//! * [`scheduler`] — the driver: execute admitted waves on the unmodified
+//!   deterministic [`cdb_runtime::RuntimeExecutor`], interleave, and bill
+//!   global rounds as shared HITs ([`cdb_crowd::pack_shared`]) with
+//!   cents-exact per-query attribution.
+//! * [`metrics`] — `sched.*` counters as a [`cdb_obsv::Collector`], with
+//!   the conservation check (attributed cents == platform cents).
+//!
+//! Batching never changes answers: execution is per-query deterministic
+//! and the scheduler only re-packs the billing — see the determinism notes
+//! on [`scheduler`].
+
+#![deny(missing_docs)]
+
+pub mod admission;
+pub mod drr;
+pub mod metrics;
+pub mod scheduler;
+
+pub use admission::{AdmissionController, AdmissionDecision, Envelope, QueryRequest, RejectReason};
+pub use drr::{DrrConfig, GlobalRound};
+pub use metrics::{SchedMetrics, SchedSnapshot};
+pub use scheduler::{RoundRecord, SchedConfig, SchedJob, SchedReport, Scheduler};

@@ -1,0 +1,113 @@
+//! Aggregate scheduler counters as a `cdb-obsv` collector.
+//!
+//! Like `RuntimeMetrics`, these counters are *derived from the event
+//! stream*: [`SchedMetrics`] implements [`cdb_obsv::Collector`] and folds
+//! the `sched.*` events the scheduler emits. Because the counters and any
+//! richer sink (ring buffer, attribution) consume the same stream, they
+//! can never disagree — the conservation check
+//! ([`SchedSnapshot::conservation_mismatches`]) is then a real invariant,
+//! not a tautology.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cdb_obsv::attr::{keys, names};
+use cdb_obsv::{Collector, Event};
+
+/// Lock-free scheduler counters (one instance shared across a run).
+#[derive(Debug, Default)]
+pub struct SchedMetrics {
+    admitted: AtomicU64,
+    queued: AtomicU64,
+    rejected: AtomicU64,
+    rounds: AtomicU64,
+    hits: AtomicU64,
+    tasks: AtomicU64,
+    platform_cents: AtomicU64,
+    attributed_cents: AtomicU64,
+}
+
+impl SchedMetrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        SchedMetrics::default()
+    }
+
+    /// Freeze the counters into a snapshot.
+    pub fn snapshot(&self) -> SchedSnapshot {
+        SchedSnapshot {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            queued: self.queued.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            rounds: self.rounds.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            tasks: self.tasks.load(Ordering::Relaxed),
+            platform_cents: self.platform_cents.load(Ordering::Relaxed),
+            attributed_cents: self.attributed_cents.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Collector for SchedMetrics {
+    fn record(&self, event: &Event) {
+        match event.name {
+            names::SCHED_ADMIT => {
+                self.admitted.fetch_add(1, Ordering::Relaxed);
+            }
+            names::SCHED_QUEUE => {
+                self.queued.fetch_add(1, Ordering::Relaxed);
+            }
+            names::SCHED_REJECT => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            names::SCHED_ROUND => {
+                self.rounds.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(event.get_u64(keys::HITS).unwrap_or(0), Ordering::Relaxed);
+                self.tasks.fetch_add(event.get_u64(keys::N).unwrap_or(0), Ordering::Relaxed);
+                self.platform_cents
+                    .fetch_add(event.get_u64(keys::CENTS).unwrap_or(0), Ordering::Relaxed);
+            }
+            names::SCHED_COST => {
+                self.attributed_cents
+                    .fetch_add(event.get_u64(keys::CENTS).unwrap_or(0), Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Frozen scheduler counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedSnapshot {
+    /// Queries admitted (any wave).
+    pub admitted: u64,
+    /// Queries that waited in the bounded queue.
+    pub queued: u64,
+    /// Queries rejected at admission.
+    pub rejected: u64,
+    /// Global scheduler rounds.
+    pub rounds: u64,
+    /// HITs published across all global rounds.
+    pub hits: u64,
+    /// Tasks carried across all global rounds.
+    pub tasks: u64,
+    /// Platform spend across all global rounds, in cents.
+    pub platform_cents: u64,
+    /// Per-query attributed spend, summed, in cents.
+    pub attributed_cents: u64,
+}
+
+impl SchedSnapshot {
+    /// The scheduler's conservation invariant: per-query attributed cost
+    /// must sum exactly to the platform spend. Returns one line per
+    /// disagreement (empty = invariant holds).
+    pub fn conservation_mismatches(&self) -> Vec<String> {
+        if self.attributed_cents == self.platform_cents {
+            Vec::new()
+        } else {
+            vec![format!(
+                "sched cents: attributed={} platform={}",
+                self.attributed_cents, self.platform_cents
+            )]
+        }
+    }
+}

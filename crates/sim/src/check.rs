@@ -11,6 +11,7 @@ use cdb_core::{ReuseCache, ReuseOutcome};
 use cdb_crowd::{stream_key, stream_rng, Market, SimulatedPlatform, WorkerPool};
 use cdb_obsv::{Attribution, ConservationTotals, Ring, Trace};
 use cdb_runtime::{RuntimeExecutor, RuntimeReport};
+use cdb_sched::{DrrConfig, SchedConfig, SchedJob, Scheduler};
 
 use crate::oracle::run_sequential;
 use crate::scenario::ScenarioSpec;
@@ -61,6 +62,10 @@ pub enum Sabotage {
     /// Count one extra dispatched task in the aggregate counters — a
     /// money/task accounting leak.
     LeakTask,
+    /// Report one query's scheduled completion several global rounds past
+    /// its DRR fairness bound — a starved query the fair-share invariant
+    /// must flag.
+    StarveQuery,
 }
 
 impl Sabotage {
@@ -71,6 +76,7 @@ impl Sabotage {
             Sabotage::FlipBinding => "flip-binding",
             Sabotage::FlipEntailment => "flip-entailment",
             Sabotage::LeakTask => "leak-task",
+            Sabotage::StarveQuery => "starve-query",
         }
     }
 
@@ -81,6 +87,7 @@ impl Sabotage {
             "flip-binding" => Some(Sabotage::FlipBinding),
             "flip-entailment" => Some(Sabotage::FlipEntailment),
             "leak-task" => Some(Sabotage::LeakTask),
+            "starve-query" => Some(Sabotage::StarveQuery),
             _ => None,
         }
     }
@@ -306,10 +313,101 @@ pub fn check(spec: &ScenarioSpec, sabotage: Sabotage) -> Vec<Violation> {
         }
     }
 
+    // --- Multi-query scheduling: batching must never change answers,
+    // attributed cents must conserve platform cents, and every query must
+    // finish within its DRR fairness bound.
+    check_sched(spec, &jobs, &replay, sabotage, &mut v);
+
     // --- Auxiliary FILL / COLLECT workloads: deterministic and sane.
     check_fill(spec, &mut v);
     check_collect(spec, &mut v);
     v
+}
+
+/// Run the query mix through `cdb-sched` with a generous envelope (all
+/// queries admit into one wave) and check the scheduler's own contracts
+/// against the plain runtime run: identical bindings with batching on,
+/// off, or no scheduler at all; cents-exact cost attribution; and the
+/// per-query fairness bound `completion == Σ_r ceil(t_r / quantum)`
+/// derived independently from each query's recorded round trace.
+fn check_sched(
+    spec: &ScenarioSpec,
+    jobs: &[cdb_runtime::QueryJob],
+    plain: &RuntimeReport,
+    sabotage: Sabotage,
+    v: &mut Vec<Violation>,
+) {
+    if spec.queries.is_empty() {
+        return;
+    }
+    let quantum = spec.sched_quantum.max(1);
+    let run = |batching: bool| {
+        let cfg = SchedConfig {
+            runtime: runtime_config(
+                spec,
+                spec.reuse.then(|| Arc::new(ReuseCache::new())),
+                Trace::off(),
+            ),
+            drr: DrrConfig { quantum, capacity: None },
+            batching,
+            ..SchedConfig::default()
+        };
+        Scheduler::new(cfg).run(jobs.iter().map(|j| SchedJob::unconstrained(j.clone())).collect())
+    };
+    let on = run(true);
+    let off = run(false);
+    if on.bindings_text() != off.bindings_text() {
+        v.push(Violation::new(
+            "sched-batching-divergence",
+            format!("batching on:\n{}\nbatching off:\n{}", on.bindings_text(), off.bindings_text()),
+        ));
+    }
+    if on.bindings_text() != plain.bindings_text() {
+        v.push(Violation::new(
+            "sched-runtime-divergence",
+            format!(
+                "scheduled:\n{}\nplain runtime:\n{}",
+                on.bindings_text(),
+                plain.bindings_text()
+            ),
+        ));
+    }
+    let attributed: u64 = on.attributed_cents.values().sum();
+    if attributed != on.platform_cents {
+        v.push(Violation::new(
+            "sched-conservation",
+            format!("attributed {} cents != platform {} cents", attributed, on.platform_cents),
+        ));
+    }
+    for m in on.metrics.conservation_mismatches() {
+        v.push(Violation::new("sched-conservation", m));
+    }
+    let mut completion = on.completion_round.clone();
+    if sabotage == Sabotage::StarveQuery {
+        // Pretend the highest-id query was parked for 7 extra global
+        // rounds — the fairness bound below must notice.
+        if let Some(r) = completion.values_mut().next_back() {
+            *r += 7;
+        }
+    }
+    for (id, res) in &on.results {
+        let Ok(q) = res else { continue };
+        let bound: usize = q.round_tasks.iter().map(|t| t.div_ceil(quantum)).sum();
+        if bound == 0 {
+            continue;
+        }
+        let got = completion.get(id).map(|&r| r + 1);
+        if got != Some(bound) {
+            v.push(Violation::new(
+                "sched-fairness",
+                format!(
+                    "q{id}: completed in {got:?} global rounds, fairness bound is {bound} \
+                     (quantum {quantum}, trace {:?})",
+                    q.round_tasks
+                ),
+            ));
+        }
+    }
 }
 
 fn per_query_sum(report: &RuntimeReport, f: impl Fn(&cdb_runtime::QueryResult) -> u64) -> u64 {

@@ -67,6 +67,9 @@ pub struct ScenarioSpec {
     pub budget: Option<usize>,
     /// Workers per task.
     pub redundancy: usize,
+    /// DRR quantum for the multi-query scheduling checks (tasks of
+    /// deficit per query per global round).
+    pub sched_quantum: usize,
     /// The query mix, in query-id order.
     pub queries: Vec<QueryShape>,
     /// FILL slots to run as an auxiliary workload (0 = none).
@@ -123,6 +126,9 @@ impl ScenarioSpec {
         } else {
             None
         };
+        // Drawn last so older seeds keep generating byte-identical specs
+        // for every field above.
+        let sched_quantum = r.gen_range(2..=16);
         ScenarioSpec {
             seed,
             threads,
@@ -138,6 +144,7 @@ impl ScenarioSpec {
             early_termination,
             budget,
             redundancy,
+            sched_quantum,
             queries,
             fill_slots,
             collect,
@@ -168,6 +175,7 @@ impl ScenarioSpec {
             None => s.push_str("budget=none\n"),
         }
         s.push_str(&format!("redundancy={}\n", self.redundancy));
+        s.push_str(&format!("sched_quantum={}\n", self.sched_quantum));
         for q in &self.queries {
             match q {
                 QueryShape::Cluster { left, right } => {
@@ -206,6 +214,7 @@ impl ScenarioSpec {
             early_termination: false,
             budget: None,
             redundancy: 5,
+            sched_quantum: 10,
             queries: Vec::new(),
             fill_slots: 0,
             collect: None,
@@ -248,6 +257,9 @@ impl ScenarioSpec {
                     };
                 }
                 "redundancy" => spec.redundancy = val.parse().map_err(|_| bad("usize"))?,
+                "sched_quantum" => {
+                    spec.sched_quantum = val.parse().map_err(|_| bad("usize"))?;
+                }
                 "query" => {
                     if let Some(rest) = val.strip_prefix("cluster:") {
                         let (l, r) = rest.split_once('x').ok_or_else(|| bad("LxR"))?;

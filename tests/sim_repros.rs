@@ -42,6 +42,11 @@ fn leak_task_repro_replays() {
     replay_file("leak-task.repro");
 }
 
+#[test]
+fn starve_query_repro_replays() {
+    replay_file("starve-query.repro");
+}
+
 /// Every committed repro file is covered by a named test above — a new
 /// `.repro` without a matching test is an error, not silence.
 #[test]
@@ -56,7 +61,12 @@ fn all_committed_repros_are_replayed() {
     found.sort();
     assert_eq!(
         found,
-        vec!["flip-binding.repro", "flip-entailment.repro", "leak-task.repro"],
+        vec![
+            "flip-binding.repro",
+            "flip-entailment.repro",
+            "leak-task.repro",
+            "starve-query.repro",
+        ],
         "update tests/sim_repros.rs when adding or removing repro files"
     );
 }
