@@ -6,7 +6,7 @@
 //!
 //! targets: fig8 fig9 fig10 fig11 fig14 fig15 fig16 fig17 fig18 fig19
 //!          fig20 fig21 fig22 fig23 fig24 table2 table3 table4 table5
-//!          example runtime reuse sched trace sim all
+//!          example runtime reuse sched trace sim store all
 //!
 //! `reuse` sweeps the cross-query answer-reuse cache (on/off × fault
 //! rate) over the self-join fleet and checks the dispatched-task
@@ -21,6 +21,12 @@
 //! tracing on and prints Chrome `trace_event` JSON on stdout — pipe it to
 //! a file and load it at <https://ui.perfetto.dev> (or `about:tracing`).
 //! The per-query cost/latency/quality attribution rollup goes to stderr.
+//!
+//! `store` benchmarks the durable storage layer (`cdb-store`): answer-log
+//! append throughput (every settle is two fsyncs), recovery time vs log
+//! size, the reuse-hit rate cold vs warm across a process restart, and a
+//! durable-table flush/reopen round trip. Human-readable progress goes to
+//! stderr; stdout is a JSON document (redirect it to `BENCH_store.json`).
 //!
 //! `sim` soaks the deterministic simulation harness (`cdb-sim`) over
 //! `--iters` consecutive seeds starting at `--seed`: each seed generates
@@ -70,7 +76,7 @@ fn parse_args() -> Args {
         }
     }
     if args.target.is_empty() {
-        eprintln!("usage: figures [--scale N] [--reps R] [--seed S] [--iters N] <fig8..fig24|table2..table5|example|runtime|reuse|sched|trace|sim|all>");
+        eprintln!("usage: figures [--scale N] [--reps R] [--seed S] [--iters N] <fig8..fig24|table2..table5|example|runtime|reuse|sched|trace|sim|store|all>");
         std::process::exit(2);
     }
     args
@@ -735,6 +741,213 @@ fn trace(args: &Args) {
     println!("{}", chrome_trace(&events));
 }
 
+/// `figures store`: benchmark the durable storage layer. Stdout is the
+/// `BENCH_store.json` artifact; stderr narrates. Every measurement runs
+/// on a throwaway [`ScratchDir`], so the target leaves nothing behind.
+fn store(args: &Args) {
+    use cdb_bench::selfjoin_jobs;
+    use cdb_core::{SettleSink, SettledFact};
+    use cdb_obsv::attr::names;
+    use cdb_obsv::{kv, Event, Ring, SpanId, Trace};
+    use cdb_runtime::{RuntimeConfig, RuntimeExecutor, SettleHook};
+    use cdb_storage::{ColumnDef, ColumnType, Schema, Table, Value};
+    use cdb_store::{AnswerLog, Database, DurableReuseCache, ScratchDir, DEFAULT_SEGMENT_BYTES};
+    use std::sync::Arc;
+
+    let ring = Arc::new(Ring::with_capacity(1 << 12));
+    let trace = Trace::collector(Arc::clone(&ring) as Arc<dyn cdb_obsv::Collector>);
+    let fact = |i: usize| SettledFact {
+        measure: "bench.v~v".into(),
+        left: format!("item #{i}"),
+        right: format!("item #{}", i + 1),
+        same: i.is_multiple_of(2),
+        votes: 3,
+        cents: 15,
+    };
+
+    // --- 1. Answer-log append throughput. Each settle is the durability
+    // hot path: facts frame(s) → fsync → marker frame → fsync.
+    eprintln!("# store: answer-log append throughput ({} settles per batch size)", 192);
+    let mut wal_json = Vec::new();
+    for &batch in &[1usize, 8, 32] {
+        let dir = ScratchDir::new("bench-wal");
+        let (mut log, _) = AnswerLog::open(dir.path(), DEFAULT_SEGMENT_BYTES).expect("open log");
+        let settles = 192usize;
+        let start = Instant::now();
+        for q in 0..settles {
+            let facts: Vec<SettledFact> = (0..batch).map(|i| fact(q * batch + i)).collect();
+            log.append_settled(q as u64, &facts).expect("append");
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let settles_per_s = settles as f64 / secs.max(1e-9);
+        eprintln!(
+            "  batch {batch:>2}: {settles_per_s:>8.0} settles/s, {:>9.0} facts/s",
+            settles_per_s * batch as f64
+        );
+        wal_json.push(format!(
+            "{{\"facts_per_settle\": {batch}, \"settles\": {settles}, \
+             \"settles_per_s\": {settles_per_s:.1}, \"facts_per_s\": {:.1}}}",
+            settles_per_s * batch as f64
+        ));
+    }
+
+    // --- 2. Recovery time vs log size: replay cost of reopening the
+    // durable reuse cache as the settled history grows.
+    eprintln!("# store: recovery time vs log size (4 facts per settled query)");
+    let mut rec_json = Vec::new();
+    for &queries in &[100usize, 400, 1600] {
+        let dir = ScratchDir::new("bench-recover");
+        {
+            let (mut log, _) =
+                AnswerLog::open(dir.path(), DEFAULT_SEGMENT_BYTES).expect("open log");
+            for q in 0..queries {
+                let facts: Vec<SettledFact> = (0..4).map(|i| fact(q * 4 + i)).collect();
+                log.append_settled(q as u64, &facts).expect("append");
+            }
+        }
+        let start = Instant::now();
+        let cache = DurableReuseCache::open(dir.path()).expect("recover");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let facts = cache.recovery().settled_facts();
+        let kind = if cache.recovery().wal.torn.is_some() { "torn" } else { "clean" };
+        trace.emit(Event::instant(
+            SpanId::root(),
+            names::STORE_RECOVER,
+            0,
+            kv![n => facts, kind => kind, ms => ms],
+        ));
+        eprintln!(
+            "  {queries:>5} queries: {ms:>8.2} ms to recover {facts} facts \
+             ({} segments, {kind})",
+            cache.recovery().wal.segments
+        );
+        rec_json.push(format!(
+            "{{\"queries\": {queries}, \"facts\": {facts}, \"segments\": {}, \
+             \"ms\": {ms:.2}, \"facts_per_s\": {:.0}}}",
+            cache.recovery().wal.segments,
+            facts as f64 / (ms / 1e3).max(1e-9)
+        ));
+    }
+
+    // --- 3. Reuse-hit rate cold vs warm: the same self-join fleet before
+    // and after a process restart. Warm runs answer from the recovered
+    // cache instead of re-buying.
+    let queries = 6u64;
+    let items = (80 / args.scale.max(1)).clamp(4, 24);
+    eprintln!("# store: reuse across restart ({queries} self-joins, {items} items)");
+    let dir = ScratchDir::new("bench-restart");
+    let fleet = || selfjoin_jobs(queries, items, 3);
+    let run = |durable: &Arc<DurableReuseCache>| {
+        let cfg = RuntimeConfig {
+            threads: 4,
+            seed: args.seed,
+            worker_accuracies: vec![1.0; 20],
+            reuse: Some(durable.cache()),
+            settle: Some(SettleHook::new(Arc::clone(durable) as Arc<dyn SettleSink>)),
+            ..RuntimeConfig::default()
+        };
+        RuntimeExecutor::new(cfg).run(fleet())
+    };
+    let durable = Arc::new(DurableReuseCache::open(dir.path()).expect("open"));
+    let cold = run(&durable);
+    drop(durable); // the restart
+    let durable = Arc::new(DurableReuseCache::open(dir.path()).expect("reopen"));
+    let warm = run(&durable);
+    let rate = |r: &cdb_runtime::RuntimeReport| {
+        let (d, s) = (r.metrics.tasks_dispatched, r.metrics.tasks_saved);
+        s as f64 / (d + s).max(1) as f64
+    };
+    let (cold_rate, warm_rate) = (rate(&cold), rate(&warm));
+    let same = cold.bindings_text() == warm.bindings_text();
+    eprintln!(
+        "  cold: {} dispatched, {} saved (hit rate {:.1}%)",
+        cold.metrics.tasks_dispatched,
+        cold.metrics.tasks_saved,
+        100.0 * cold_rate
+    );
+    eprintln!(
+        "  warm: {} dispatched, {} saved (hit rate {:.1}%), same answers: {}",
+        warm.metrics.tasks_dispatched,
+        warm.metrics.tasks_saved,
+        100.0 * warm_rate,
+        if same { "yes" } else { "NO" }
+    );
+    assert!(same, "a restart must not change query answers");
+    assert!(
+        warm_rate > cold_rate,
+        "recovered cache must raise the reuse-hit rate (cold {cold_rate:.3}, warm {warm_rate:.3})"
+    );
+
+    // --- 4. Durable tables: flush a snapshot, reopen, verify.
+    let rows = 2000usize;
+    eprintln!("# store: durable table flush/reopen ({rows} rows)");
+    let dir = ScratchDir::new("bench-tables");
+    let path = dir.path().join("tables.cdb");
+    let schema = Schema::new(vec![
+        ColumnDef::new("id", ColumnType::Int),
+        ColumnDef::crowd("brand", ColumnType::Text),
+    ]);
+    let mut table = Table::new_crowd("products", schema);
+    for i in 0..rows {
+        table.push(vec![Value::Int(i as i64), Value::Text(format!("brand-{}", i % 97))]).unwrap();
+    }
+    let (pages, seq, flush_ms) = {
+        let mut db = Database::open(&path).expect("open db");
+        db.add_table(table).expect("add table");
+        let start = Instant::now();
+        let stats = db.flush().expect("flush");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        trace.emit(Event::instant(
+            SpanId::root(),
+            names::STORE_FLUSH,
+            0,
+            kv![n => stats.pages as u64, ms => ms],
+        ));
+        (stats.pages, stats.seq, ms)
+    };
+    let start = Instant::now();
+    let db = Database::open(&path).expect("reopen db");
+    let reopen_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(db.table("products").map(|t| t.row_count()).ok(), Some(rows));
+    eprintln!("  flush: {pages} pages in {flush_ms:.2} ms; reopen: {reopen_ms:.2} ms");
+
+    let events = ring.drain();
+    let count = |name: &str| events.iter().filter(|e| e.name == name).count();
+    eprintln!(
+        "# store: obsv events collected: {} store.recover, {} store.flush",
+        count(names::STORE_RECOVER),
+        count(names::STORE_FLUSH)
+    );
+
+    println!("{{");
+    println!("  \"bench\": \"store\",");
+    println!("  \"seed\": {},", args.seed);
+    println!("  \"wal_append\": [{}],", wal_json.join(", "));
+    println!("  \"recovery\": [{}],", rec_json.join(", "));
+    println!(
+        "  \"reuse_restart\": {{\"queries\": {queries}, \"items\": {items}, \
+         \"cold_dispatched\": {}, \"cold_saved\": {}, \"cold_hit_rate\": {:.3}, \
+         \"warm_dispatched\": {}, \"warm_saved\": {}, \"warm_hit_rate\": {:.3}, \
+         \"same_answers\": {same}}},",
+        cold.metrics.tasks_dispatched,
+        cold.metrics.tasks_saved,
+        cold_rate,
+        warm.metrics.tasks_dispatched,
+        warm.metrics.tasks_saved,
+        warm_rate
+    );
+    println!(
+        "  \"table_flush\": {{\"rows\": {rows}, \"pages\": {pages}, \"seq\": {seq}, \
+         \"flush_ms\": {flush_ms:.2}, \"reopen_ms\": {reopen_ms:.2}}},"
+    );
+    println!(
+        "  \"obsv_events\": {{\"store.recover\": {}, \"store.flush\": {}}}",
+        count(names::STORE_RECOVER),
+        count(names::STORE_FLUSH)
+    );
+    println!("}}");
+}
+
 /// `figures sim`: soak the deterministic simulation harness over
 /// `--iters` consecutive seeds. Prints progress every 100 scenarios, the
 /// seed and shrunk repro on any violation, and exits nonzero on failure.
@@ -859,5 +1072,9 @@ fn main() {
     // Not part of `all`: a correctness soak, not a paper figure.
     if t == "sim" {
         sim(&args);
+    }
+    // Not part of `all`: its stdout is the BENCH_store.json artifact.
+    if t == "store" {
+        store(&args);
     }
 }

@@ -47,4 +47,7 @@ pub use executor::{
 };
 pub use metrics::{f_measure, precision_recall, PrMetrics};
 pub use model::{Color, EdgeId, NodeId, PartId, PartKind, QueryGraph};
-pub use reuse::{normalize, Provenance, Recorded, ReuseCache, ReuseOutcome, ReuseSession};
+pub use reuse::{
+    normalize, Provenance, Recorded, ReuseCache, ReuseOutcome, ReuseSession, SettleSink,
+    SettledFact,
+};

@@ -375,6 +375,44 @@ impl ReuseCache {
     }
 }
 
+/// One crowd-bought answer with its provenance, in the shape the durable
+/// answer log persists: the `(measure, value-pair)` key (normalized), the
+/// decided label, and what it cost to buy (`votes` workers, `cents`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SettledFact {
+    /// Measure namespace the fact belongs to.
+    pub measure: String,
+    /// Normalized left value.
+    pub left: String,
+    /// Normalized right value.
+    pub right: String,
+    /// The crowd's decision: do the values match?
+    pub same: bool,
+    /// Worker votes bought for this fact.
+    pub votes: u32,
+    /// Cents paid for those votes.
+    pub cents: u64,
+}
+
+/// Durability hook between the runtime and a persistent answer log.
+///
+/// The executor calls [`SettleSink::settle`] with a successful query's
+/// fresh facts *before* absorbing them into the shared [`ReuseCache`]: an
+/// answer becomes visible for cross-query reuse only once it is on stable
+/// storage, so a crash can never have handed out a reuse hit that disk
+/// does not remember. If the sink fails, the session is **not** absorbed
+/// — the facts stay query-local and will be re-bought, which loses money
+/// but never correctness. Failed or aborted queries are never settled at
+/// all, so recovery cannot resurrect an answer the live engine discarded.
+///
+/// Errors are flattened to `String` so `cdb-core` needs no dependency on
+/// the storage crate's error type.
+pub trait SettleSink: Send + Sync {
+    /// Durably record `facts` for query `query`; return only once they
+    /// are fsync'd (or an error if durability could not be guaranteed).
+    fn settle(&self, query: u64, facts: &[SettledFact]) -> Result<(), String>;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -112,6 +112,18 @@ pub mod names {
     /// must reproduce the platform spend of the `sched.round` events
     /// exactly — see [`Attribution::sched_mismatches`].
     pub const SCHED_COST: &str = "sched.cost";
+    /// A query's fresh crowd answers were durably settled (fsync'd) by
+    /// the storage layer before entering the shared reuse cache (kv `q`,
+    /// `ok`, `n` = facts, `cents` = money now on stable storage). Not
+    /// folded into conservation totals: settlement mirrors spend already
+    /// attributed by `crowd.dispatch`.
+    pub const STORE_SETTLE: &str = "store.settle";
+    /// The durable store flushed a snapshot (kv `n` = pages written,
+    /// `ms`).
+    pub const STORE_FLUSH: &str = "store.flush";
+    /// A store opened and replayed its log (kv `n` = records replayed,
+    /// `kind` = clean/torn, `ms`).
+    pub const STORE_RECOVER: &str = "store.recover";
 }
 
 /// Money/latency/count rollup for one plan node of one query.

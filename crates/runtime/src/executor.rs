@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 
 use cdb_core::executor::{EdgeTruth, Executor, ExecutorConfig};
 use cdb_core::model::NodeId;
-use cdb_core::{QueryGraph, ReuseCache, ReuseSession};
+use cdb_core::{QueryGraph, ReuseCache, ReuseSession, SettleSink, SettledFact};
 use cdb_crowd::{stream_key, LatencyModel, Market, SimTime, SimulatedPlatform, WorkerPool};
 use cdb_obsv::attr::names;
 use cdb_obsv::{kv, Event, SpanId, Trace};
@@ -68,6 +68,39 @@ pub struct RuntimeConfig {
     /// pure function of `(config, job, snapshot)` at any thread count,
     /// and knowledge compounds across fleet runs sharing the same cache.
     pub reuse: Option<Arc<ReuseCache>>,
+    /// Durability hook (settle-after-fsync). When set alongside `reuse`,
+    /// each successful query's fresh crowd answers are handed to the sink
+    /// — which must put them on stable storage before returning — and
+    /// only then absorbed into the shared cache. If settling fails the
+    /// session is skipped: the answers stay query-local (re-bought later,
+    /// losing money but never correctness) rather than being handed out
+    /// as reuse hits that disk would not remember after a crash. Failed
+    /// queries are never settled, so recovery cannot resurrect answers
+    /// the live engine discarded. `None` (the default) absorbs directly.
+    pub settle: Option<SettleHook>,
+}
+
+/// A cloneable, debuggable handle around the durability sink — kept as a
+/// newtype so [`RuntimeConfig`] can stay `#[derive(Debug, Clone)]`.
+#[derive(Clone)]
+pub struct SettleHook(Arc<dyn SettleSink>);
+
+impl SettleHook {
+    /// Wrap a sink (e.g. `cdb-store`'s durable reuse cache).
+    pub fn new(sink: Arc<dyn SettleSink>) -> SettleHook {
+        SettleHook(sink)
+    }
+
+    /// Durably settle `facts` for `query`.
+    pub fn settle(&self, query: u64, facts: &[SettledFact]) -> Result<(), String> {
+        self.0.settle(query, facts)
+    }
+}
+
+impl std::fmt::Debug for SettleHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SettleHook(..)")
+    }
 }
 
 impl Default for RuntimeConfig {
@@ -93,6 +126,7 @@ impl Default for RuntimeConfig {
             result_capacity: 8,
             trace: Trace::off(),
             reuse: None,
+            settle: None,
         }
     }
 }
@@ -278,7 +312,27 @@ impl RuntimeExecutor {
                 results.iter().filter(|(_, r)| r.is_err()).map(|&(id, _)| id).collect();
             for (id, session) in &sessions {
                 if !failed.contains(id) {
-                    cache.absorb(&session.lock().expect("reuse session poisoned"));
+                    let session = session.lock().expect("reuse session poisoned");
+                    // Settle-after-fsync: the answers reach stable storage
+                    // before they become visible for cross-query reuse. A
+                    // sink failure skips the absorb — never the reverse.
+                    if let Some(hook) = &self.cfg.settle {
+                        let facts = settled_facts(&self.cfg, &session);
+                        if !facts.is_empty() {
+                            let cents: u64 = facts.iter().map(|f| f.cents).sum();
+                            let ok = hook.settle(*id, &facts).is_ok();
+                            self.cfg.trace.emit(Event::instant(
+                                SpanId::root(),
+                                names::STORE_SETTLE,
+                                0,
+                                kv![q => *id, ok => ok, n => facts.len() as u64, cents => cents],
+                            ));
+                            if !ok {
+                                continue;
+                            }
+                        }
+                    }
+                    cache.absorb(&session);
                 }
             }
         }
@@ -286,6 +340,27 @@ impl RuntimeExecutor {
         results.sort_by_key(|&(id, _)| id);
         RuntimeReport { results, metrics: metrics.snapshot(), wall: start.elapsed(), steals }
     }
+}
+
+/// Price a successful query's fresh reuse facts for durable settlement:
+/// each fact was decided from `redundancy` worker votes at the market's
+/// task price. Public so the sim's sequential oracle settles facts
+/// byte-identically to the concurrent scheduler.
+pub fn settled_facts(cfg: &RuntimeConfig, session: &ReuseSession) -> Vec<SettledFact> {
+    let votes = cfg.exec.redundancy as u32;
+    let cents = cfg.market.task_price_cents() * cfg.exec.redundancy as u64;
+    session
+        .fresh_facts()
+        .iter()
+        .map(|(measure, left, right, same)| SettledFact {
+            measure: measure.clone(),
+            left: left.clone(),
+            right: right.clone(),
+            same: *same,
+            votes,
+            cents,
+        })
+        .collect()
 }
 
 /// Run one query job — a pure function of `(cfg, job, reuse snapshot)`;
@@ -532,6 +607,88 @@ mod tests {
             RuntimeExecutor::new(cfg).run(jobs(3)).bindings_text()
         };
         assert_eq!(healthy(Some(cache)), healthy(None));
+    }
+
+    /// A settle sink that records calls and can be told to reject them.
+    #[derive(Debug, Default)]
+    struct RecordingSink {
+        settled: Mutex<Vec<(u64, usize)>>,
+        fail: bool,
+    }
+
+    impl SettleSink for RecordingSink {
+        fn settle(&self, query: u64, facts: &[SettledFact]) -> Result<(), String> {
+            if self.fail {
+                return Err("injected durability failure".into());
+            }
+            self.settled.lock().expect("sink poisoned").push((query, facts.len()));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn settle_hook_runs_before_absorb_in_query_id_order() {
+        let cache = Arc::new(ReuseCache::new());
+        let sink = Arc::new(RecordingSink::default());
+        let cfg = RuntimeConfig {
+            threads: 4,
+            worker_accuracies: vec![1.0; 20],
+            reuse: Some(Arc::clone(&cache)),
+            settle: Some(SettleHook::new(Arc::clone(&sink) as Arc<dyn SettleSink>)),
+            ..RuntimeConfig::default()
+        };
+        let report = RuntimeExecutor::new(cfg).run(jobs(4));
+        assert_eq!(report.ok_count(), 4);
+        assert!(!cache.is_empty(), "absorb still feeds the cache when settling succeeds");
+        let settled = sink.settled.lock().unwrap().clone();
+        let ids: Vec<u64> = settled.iter().map(|&(q, _)| q).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3], "settled in ascending query-id order");
+        // Every fact the cache holds went through the sink first; sessions
+        // may settle overlapping facts (absorb dedups), never fewer.
+        let total: usize = settled.iter().map(|&(_, n)| n).sum();
+        assert!(total >= cache.len(), "settled {total} < cached {}", cache.len());
+    }
+
+    #[test]
+    fn failed_queries_are_never_settled() {
+        // The durability mirror of `failed_queries_never_feed_the_reuse_
+        // cache`: a failed query's partial answers must not reach the
+        // settle sink either, or recovery would resurrect answers the
+        // live engine discarded.
+        let cache = Arc::new(ReuseCache::new());
+        let sink = Arc::new(RecordingSink::default());
+        let cfg = RuntimeConfig {
+            threads: 4,
+            worker_accuracies: vec![1.0; 30],
+            fault_plan: FaultPlan::none().with_dropout(1.0),
+            retry: RetryPolicy { deadline_ms: 1_000, max_retries: 1 },
+            reuse: Some(Arc::clone(&cache)),
+            settle: Some(SettleHook::new(Arc::clone(&sink) as Arc<dyn SettleSink>)),
+            ..RuntimeConfig::default()
+        };
+        let report = RuntimeExecutor::new(cfg).run(jobs(5));
+        assert_eq!(report.failed_count(), 5);
+        assert!(sink.settled.lock().unwrap().is_empty(), "failed queries reached the sink");
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn settle_failure_keeps_answers_out_of_the_cache() {
+        // A sink that cannot make answers durable must also keep them out
+        // of the shared cache: reuse may never hand out an answer that
+        // disk would not remember after a crash.
+        let cache = Arc::new(ReuseCache::new());
+        let sink = Arc::new(RecordingSink { fail: true, ..RecordingSink::default() });
+        let cfg = RuntimeConfig {
+            threads: 2,
+            worker_accuracies: vec![1.0; 20],
+            reuse: Some(Arc::clone(&cache)),
+            settle: Some(SettleHook::new(sink as Arc<dyn SettleSink>)),
+            ..RuntimeConfig::default()
+        };
+        let report = RuntimeExecutor::new(cfg).run(jobs(3));
+        assert_eq!(report.ok_count(), 3, "queries themselves still succeed");
+        assert!(cache.is_empty(), "unsettled answers leaked into the cache");
     }
 
     #[test]

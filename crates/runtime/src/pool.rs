@@ -96,20 +96,23 @@ impl ThreadPool {
         I: IntoIterator,
         I::Item: FnOnce() + Send + 'static,
     {
+        let jobs: Vec<Job> = jobs.into_iter().map(|j| Box::new(j) as Job).collect();
         let n = self.shared.locals.len();
-        let mut count = 0usize;
+        // Count the jobs as outstanding *before* any worker can see them:
+        // a worker that finishes a job ahead of the bookkeeping would
+        // drive `outstanding` below zero and wake `join` early.
+        *self.shared.outstanding.lock().expect("pool poisoned") += jobs.len();
         for (i, job) in jobs.into_iter().enumerate() {
-            self.shared.locals[i % n].lock().expect("pool poisoned").push_back(Box::new(job));
-            count += 1;
+            self.shared.locals[i % n].lock().expect("pool poisoned").push_back(job);
         }
-        *self.shared.outstanding.lock().expect("pool poisoned") += count;
         self.shared.work.notify_all();
     }
 
     /// Submit one job through the global injector.
     pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
-        self.shared.injector.lock().expect("pool poisoned").push_back(Box::new(job));
+        // Same ordering as `scatter`: outstanding first, then publish.
         *self.shared.outstanding.lock().expect("pool poisoned") += 1;
+        self.shared.injector.lock().expect("pool poisoned").push_back(Box::new(job));
         self.shared.work.notify_all();
     }
 
@@ -245,6 +248,30 @@ mod tests {
         }
         pool.join();
         assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn rapid_tiny_scatters_never_underflow_outstanding() {
+        // Regression: scatter used to publish jobs before counting them
+        // outstanding, so a worker finishing instantly drove the counter
+        // below zero (debug underflow panic, release join hang). Tiny
+        // scatters against an idle pool make that window easy to hit.
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for i in 0..500 {
+            let c = Arc::clone(&counter);
+            if i % 2 == 0 {
+                pool.scatter(std::iter::once(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }));
+            } else {
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            pool.join();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 500);
     }
 
     #[test]

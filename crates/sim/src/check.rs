@@ -7,11 +7,13 @@ use std::sync::Arc;
 
 use cdb_core::executor::true_answers;
 use cdb_core::fillcollect::{execute_collect, execute_fill, CollectConfig, FillConfig};
+use cdb_core::SettleSink;
 use cdb_core::{ReuseCache, ReuseOutcome};
 use cdb_crowd::{stream_key, stream_rng, Market, SimulatedPlatform, WorkerPool};
 use cdb_obsv::{Attribution, ConservationTotals, Ring, Trace};
-use cdb_runtime::{RuntimeExecutor, RuntimeReport};
+use cdb_runtime::{RuntimeExecutor, RuntimeReport, SettleHook};
 use cdb_sched::{DrrConfig, SchedConfig, SchedJob, Scheduler};
+use cdb_store::{DurableReuseCache, ScratchDir};
 
 use crate::oracle::run_sequential;
 use crate::scenario::ScenarioSpec;
@@ -66,6 +68,10 @@ pub enum Sabotage {
     /// its DRR fairness bound — a starved query the fair-share invariant
     /// must flag.
     StarveQuery,
+    /// Corrupt the tail of the durable answer log between the simulated
+    /// crash and recovery — a torn write the kill-and-recover check must
+    /// surface as lost settled answers.
+    TornTail,
 }
 
 impl Sabotage {
@@ -77,6 +83,7 @@ impl Sabotage {
             Sabotage::FlipEntailment => "flip-entailment",
             Sabotage::LeakTask => "leak-task",
             Sabotage::StarveQuery => "starve-query",
+            Sabotage::TornTail => "torn-tail",
         }
     }
 
@@ -88,6 +95,7 @@ impl Sabotage {
             "flip-entailment" => Some(Sabotage::FlipEntailment),
             "leak-task" => Some(Sabotage::LeakTask),
             "starve-query" => Some(Sabotage::StarveQuery),
+            "torn-tail" => Some(Sabotage::TornTail),
             _ => None,
         }
     }
@@ -318,10 +326,160 @@ pub fn check(spec: &ScenarioSpec, sabotage: Sabotage) -> Vec<Violation> {
     // finish within its DRR fairness bound.
     check_sched(spec, &jobs, &replay, sabotage, &mut v);
 
+    // --- Kill and recover: crash after `kill_after` queries, rebuild the
+    // reuse cache from the durable answer log, resume, and require the
+    // outcome to be byte-identical to a process that never died.
+    check_recovery(spec, &jobs, sabotage, &mut v);
+
     // --- Auxiliary FILL / COLLECT workloads: deterministic and sane.
     check_fill(spec, &mut v);
     check_collect(spec, &mut v);
     v
+}
+
+/// The kill-and-recover differential. Two runs of the same split fleet:
+///
+/// * **Variant A** (never dies): `jobs[..k]` then `jobs[k..]`, both fed
+///   by one shared in-memory [`ReuseCache`].
+/// * **Variant B** (crashes): the same split, but the cache is a
+///   [`DurableReuseCache`] wired in as the runtime's settle hook. After
+///   the first fleet every handle is dropped — the process-state
+///   equivalent of `kill -9` — and the second fleet runs against a cache
+///   rebuilt purely from the on-disk answer log.
+///
+/// Recovery is correct iff B is indistinguishable from A: identical
+/// answer bindings and metrics for both fleets (`recovery-divergence` —
+/// equal metrics also prove no answer was re-bought), the rebuilt cache
+/// matching A's mid-point cache exactly (`recovery-loss`), every settled
+/// cent surviving the crash (`recovery-conservation`), and a final
+/// reopen after clean shutdown reproducing A's end state
+/// (`recovery-not-idempotent`). [`Sabotage::TornTail`] corrupts the log
+/// tail between crash and reopen to prove the loss detectors fire.
+fn check_recovery(
+    spec: &ScenarioSpec,
+    jobs: &[cdb_runtime::QueryJob],
+    sabotage: Sabotage,
+    v: &mut Vec<Violation>,
+) {
+    if !spec.reuse || spec.kill_after == 0 || spec.kill_after >= jobs.len() {
+        return;
+    }
+    let (fleet1, fleet2) = jobs.split_at(spec.kill_after);
+
+    // Variant A: one process, one in-memory cache, no crash.
+    let cache_a = Arc::new(ReuseCache::new());
+    let a1 = RuntimeExecutor::new(runtime_config(spec, Some(Arc::clone(&cache_a)), Trace::off()))
+        .run(fleet1.to_vec());
+    let recorded_mid = cache_a.recorded();
+    let a2 = RuntimeExecutor::new(runtime_config(spec, Some(Arc::clone(&cache_a)), Trace::off()))
+        .run(fleet2.to_vec());
+    let recorded_end = cache_a.recorded();
+
+    // Variant B, phase 1: durable cache, crash after the first fleet.
+    let dir = ScratchDir::new("recover");
+    let io = |v: &mut Vec<Violation>, stage: &str, e: &dyn std::fmt::Display| {
+        v.push(Violation::new("recovery-io", format!("{stage}: {e}")));
+    };
+    let durable = match DurableReuseCache::open(dir.path()) {
+        Ok(d) => Arc::new(d),
+        Err(e) => return io(v, "initial open", &e),
+    };
+    let durable_config = |d: &Arc<DurableReuseCache>| {
+        let mut cfg = runtime_config(spec, Some(d.cache()), Trace::off());
+        cfg.settle = Some(SettleHook::new(Arc::clone(d) as Arc<dyn SettleSink>));
+        cfg
+    };
+    let b1 = RuntimeExecutor::new(durable_config(&durable)).run(fleet1.to_vec());
+    let settled_cents = durable.logged_cents();
+    drop(durable); // the crash: every in-memory structure is gone
+
+    if sabotage == Sabotage::TornTail {
+        if let Err(e) = tear_log_tail(dir.path()) {
+            return io(v, "tearing log tail", &e);
+        }
+    }
+
+    // Variant B, phase 2: recover from the log alone and resume.
+    let durable = match DurableReuseCache::open(dir.path()) {
+        Ok(d) => Arc::new(d),
+        Err(e) => return io(v, "reopen after crash", &e),
+    };
+    if durable.cache().recorded() != recorded_mid {
+        v.push(Violation::new(
+            "recovery-loss",
+            format!(
+                "rebuilt cache has {} recorded answers, uninterrupted run had {} \
+                 at the kill point (torn tail: {:?})",
+                durable.cache().recorded().len(),
+                recorded_mid.len(),
+                durable.recovery().wal.torn.is_some(),
+            ),
+        ));
+    }
+    if durable.recovery().settled_cents() != settled_cents {
+        v.push(Violation::new(
+            "recovery-conservation",
+            format!(
+                "{} cents were settled before the crash, recovery found {}",
+                settled_cents,
+                durable.recovery().settled_cents()
+            ),
+        ));
+    }
+    let b2 = RuntimeExecutor::new(durable_config(&durable)).run(fleet2.to_vec());
+    drop(durable);
+
+    for (fleet, a, b) in [("pre-kill", &a1, &b1), ("post-recovery", &a2, &b2)] {
+        if a.answers() != b.answers() {
+            v.push(Violation::new(
+                "recovery-divergence",
+                format!(
+                    "{fleet} fleet: uninterrupted:\n{}\nkill-and-recover:\n{}",
+                    a.answers(),
+                    b.answers()
+                ),
+            ));
+        } else if a.metrics.to_json() != b.metrics.to_json() {
+            v.push(Violation::new(
+                "recovery-divergence",
+                format!(
+                    "{fleet} fleet answers match but metrics differ (re-bought answers?):\n\
+                     uninterrupted: {}\nkill-and-recover: {}",
+                    a.metrics.to_json(),
+                    b.metrics.to_json()
+                ),
+            ));
+        }
+    }
+
+    // A clean shutdown and reopen must land exactly on A's end state.
+    match DurableReuseCache::open(dir.path()) {
+        Ok(d) => {
+            if d.cache().recorded() != recorded_end {
+                v.push(Violation::new(
+                    "recovery-not-idempotent",
+                    format!(
+                        "final reopen rebuilt {} recorded answers, uninterrupted end state \
+                         has {}",
+                        d.cache().recorded().len(),
+                        recorded_end.len()
+                    ),
+                ));
+            }
+        }
+        Err(e) => io(v, "final reopen", &e),
+    }
+}
+
+/// Flip the last byte of the newest answer-log segment — the torn-write
+/// injection behind [`Sabotage::TornTail`]. A no-op on an empty log.
+fn tear_log_tail(dir: &std::path::Path) -> Result<(), String> {
+    let segments = cdb_store::wal::segment_paths(dir).map_err(|e| e.to_string())?;
+    let Some(last) = segments.last() else { return Ok(()) };
+    let mut bytes = std::fs::read(last).map_err(|e| e.to_string())?;
+    let Some(tail) = bytes.last_mut() else { return Ok(()) };
+    *tail ^= 0xFF;
+    std::fs::write(last, &bytes).map_err(|e| e.to_string())
 }
 
 /// Run the query mix through `cdb-sched` with a generous envelope (all

@@ -13,7 +13,11 @@ use std::collections::BTreeSet;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use cdb_runtime::{execute_query, QueryJob, RuntimeConfig, RuntimeMetrics, RuntimeReport};
+use cdb_obsv::attr::names;
+use cdb_obsv::{kv, Event, SpanId};
+use cdb_runtime::{
+    execute_query, settled_facts, QueryJob, RuntimeConfig, RuntimeMetrics, RuntimeReport,
+};
 
 /// Run the whole fleet sequentially and report in the scheduler's format.
 /// Mirrors the scheduler's contract: one cache snapshot before any query
@@ -39,7 +43,26 @@ pub fn run_sequential(cfg: &RuntimeConfig, mut jobs: Vec<QueryJob>) -> RuntimeRe
             results.iter().filter(|(_, r)| r.is_err()).map(|&(id, _)| id).collect();
         for (id, session) in &sessions {
             if !failed.contains(id) {
-                cache.absorb(&session.lock().expect("oracle session poisoned"));
+                let session = session.lock().expect("oracle session poisoned");
+                // Mirror the scheduler's settle-after-fsync hook exactly:
+                // durable first, absorb only on success.
+                if let Some(hook) = &cfg.settle {
+                    let facts = settled_facts(cfg, &session);
+                    if !facts.is_empty() {
+                        let cents: u64 = facts.iter().map(|f| f.cents).sum();
+                        let ok = hook.settle(*id, &facts).is_ok();
+                        cfg.trace.emit(Event::instant(
+                            SpanId::root(),
+                            names::STORE_SETTLE,
+                            0,
+                            kv![q => *id, ok => ok, n => facts.len() as u64, cents => cents],
+                        ));
+                        if !ok {
+                            continue;
+                        }
+                    }
+                }
+                cache.absorb(&session);
             }
         }
     }

@@ -70,6 +70,11 @@ pub struct ScenarioSpec {
     /// DRR quantum for the multi-query scheduling checks (tasks of
     /// deficit per query per global round).
     pub sched_quantum: usize,
+    /// Kill-and-recover point: run the first `kill_after` queries, drop
+    /// all process state (as a crash would), reopen the durable store
+    /// and run the rest. `0` disables the crash (the recovery check is
+    /// skipped); values ≥ the query count leave nothing to resume.
+    pub kill_after: usize,
     /// The query mix, in query-id order.
     pub queries: Vec<QueryShape>,
     /// FILL slots to run as an auxiliary workload (0 = none).
@@ -127,8 +132,10 @@ impl ScenarioSpec {
             None
         };
         // Drawn last so older seeds keep generating byte-identical specs
-        // for every field above.
+        // for every field above (`kill_after` newest, after the quantum).
         let sched_quantum = r.gen_range(2..=16);
+        let kill_after =
+            if n_queries >= 2 && r.gen::<f64>() < 0.35 { r.gen_range(1..n_queries) } else { 0 };
         ScenarioSpec {
             seed,
             threads,
@@ -145,6 +152,7 @@ impl ScenarioSpec {
             budget,
             redundancy,
             sched_quantum,
+            kill_after,
             queries,
             fill_slots,
             collect,
@@ -176,6 +184,7 @@ impl ScenarioSpec {
         }
         s.push_str(&format!("redundancy={}\n", self.redundancy));
         s.push_str(&format!("sched_quantum={}\n", self.sched_quantum));
+        s.push_str(&format!("kill_after={}\n", self.kill_after));
         for q in &self.queries {
             match q {
                 QueryShape::Cluster { left, right } => {
@@ -215,6 +224,7 @@ impl ScenarioSpec {
             budget: None,
             redundancy: 5,
             sched_quantum: 10,
+            kill_after: 0,
             queries: Vec::new(),
             fill_slots: 0,
             collect: None,
@@ -260,6 +270,7 @@ impl ScenarioSpec {
                 "sched_quantum" => {
                     spec.sched_quantum = val.parse().map_err(|_| bad("usize"))?;
                 }
+                "kill_after" => spec.kill_after = val.parse().map_err(|_| bad("usize"))?,
                 "query" => {
                     if let Some(rest) = val.strip_prefix("cluster:") {
                         let (l, r) = rest.split_once('x').ok_or_else(|| bad("LxR"))?;

@@ -79,6 +79,23 @@ fn leaked_task_is_caught_and_shrunk() {
     sabotage_is_caught(Sabotage::LeakTask, |s| !s.queries.is_empty());
 }
 
+/// A corrupted answer-log tail loses settled answers across the
+/// simulated crash — the kill-and-recover differential must flag the
+/// loss and the broken money conservation.
+#[test]
+fn torn_log_tail_is_caught_and_shrunk() {
+    // Needs the recovery check armed (reuse on, a crash point strictly
+    // inside the fleet) and a first fleet that certainly settles answers.
+    sabotage_is_caught(Sabotage::TornTail, |s| {
+        s.reuse
+            && s.perfect
+            && s.fault_rate == 0.0
+            && s.budget.is_none()
+            && s.kill_after > 0
+            && s.kill_after < s.queries.len()
+    });
+}
+
 /// A query reported finishing past its DRR bound breaks the fairness
 /// invariant.
 #[test]

@@ -1,0 +1,64 @@
+//! Replay the committed kill-and-recover repro files.
+//!
+//! `crates/sim/repros/` holds the durable-storage recovery scenarios:
+//! one healthy crash-and-resume that must replay with zero violations,
+//! and one torn-write sabotage that must keep reporting the data loss
+//! it was committed to demonstrate. They live apart from the root
+//! `tests/sim_repros/` set (which pins the pre-storage invariants and
+//! asserts an exact file list of its own).
+
+use cdb_sim::{recorded_violations, replay_repro};
+
+fn read_repro(name: &str) -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/repros/");
+    std::fs::read_to_string(format!("{path}{name}")).expect("repro file readable")
+}
+
+/// The healthy kill-and-recover scenario: crash after query 0, rebuild
+/// the reuse cache from the answer log, resume query 1. Zero violations
+/// means recovery was byte-identical to the uninterrupted run — same
+/// bindings, same metrics (so nothing was re-bought), no cents lost.
+#[test]
+fn clean_kill_and_recover_replays_violation_free() {
+    let text = read_repro("kill-recover-clean.repro");
+    assert!(recorded_violations(&text).is_empty(), "clean repro must record no violation");
+    let violations = replay_repro(&text).expect("repro file parses");
+    assert!(violations.is_empty(), "recovery regressed: {violations:?}");
+}
+
+/// The torn-write scenario: same crash, but the log tail is corrupted
+/// before the reopen. Recovery must *detect* the loss, not silently
+/// resurrect or invent answers — replaying must still report every
+/// invariant the file recorded.
+#[test]
+fn torn_tail_repro_still_reports_the_loss() {
+    let text = read_repro("kill-recover-torn-tail.repro");
+    let recorded = recorded_violations(&text);
+    assert!(!recorded.is_empty(), "torn-tail repro records no violation");
+    let replayed = replay_repro(&text).expect("repro file parses");
+    for want in &recorded {
+        assert!(
+            replayed.iter().any(|v| &v.invariant == want),
+            "replay no longer reproduces `{want}`; got {replayed:?}"
+        );
+    }
+}
+
+/// Every committed recovery repro is covered by a named test above — a
+/// new `.repro` without a matching test is an error, not silence.
+#[test]
+fn all_committed_recovery_repros_are_replayed() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/repros");
+    let mut found: Vec<String> = std::fs::read_dir(dir)
+        .expect("repros dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".repro"))
+        .collect();
+    found.sort();
+    assert_eq!(
+        found,
+        vec!["kill-recover-clean.repro", "kill-recover-torn-tail.repro"],
+        "update crates/sim/tests/recover_repros.rs when adding or removing repro files"
+    );
+}

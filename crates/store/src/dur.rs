@@ -1,0 +1,212 @@
+//! The durable cross-query reuse cache: a [`ReuseCache`] whose contents
+//! are rebuilt from the crowd answer log on every open, plus the
+//! [`SettleSink`] the runtime calls to make new answers durable before
+//! they become visible for reuse.
+//!
+//! # Replay order is absorb order
+//!
+//! The live executor absorbs sessions in ascending query-id order and
+//! [`ReuseCache::absorb`] is first-writer-wins: once a `(measure, pair)`
+//! key holds an answer, a later contradicting answer is dropped as a
+//! conflict. The log preserves exactly that order — queries are settled
+//! in the same ascending order immediately before being absorbed, and
+//! each settle batch is a session's `fresh_facts()` in record order. So
+//! replaying settled batches front-to-back through a fresh session each
+//! reproduces the identical store: same winners, same conflicts, same
+//! `resolve` results. The lifecycle proptest in `tests/lifecycle.rs`
+//! pins this equivalence.
+
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use cdb_core::{ReuseCache, ReuseOutcome, SettleSink, SettledFact};
+
+use crate::alog::{AnswerLog, AnswerRecovery};
+use crate::error::Result;
+use crate::wal::DEFAULT_SEGMENT_BYTES;
+
+/// A [`ReuseCache`] backed by a crash-safe answer log.
+#[derive(Debug)]
+pub struct DurableReuseCache {
+    cache: Arc<ReuseCache>,
+    log: Mutex<AnswerLog>,
+    recovery: AnswerRecovery,
+}
+
+impl DurableReuseCache {
+    /// Open with the default WAL segment size.
+    pub fn open(dir: &Path) -> Result<DurableReuseCache> {
+        DurableReuseCache::open_with(dir, DEFAULT_SEGMENT_BYTES)
+    }
+
+    /// Open (or create) the cache rooted at `dir`, replaying the answer
+    /// log: each settled query's facts are recorded through a fresh
+    /// session and absorbed, in log order, rebuilding the entailment
+    /// graphs exactly as the uninterrupted process built them.
+    pub fn open_with(dir: &Path, segment_bytes: u64) -> Result<DurableReuseCache> {
+        let (log, recovery) = AnswerLog::open(dir, segment_bytes)?;
+        let cache = Arc::new(ReuseCache::new());
+        for (_query, facts) in &recovery.settled {
+            let mut session = cache.snapshot();
+            for f in facts {
+                session.record(&f.measure, &f.left, &f.right, f.same);
+            }
+            cache.absorb(&session);
+        }
+        Ok(DurableReuseCache { cache, log: Mutex::new(log), recovery })
+    }
+
+    /// The in-memory cache to hand to `RuntimeConfig::reuse`. Shares
+    /// state with this durable wrapper: absorbs go through the normal
+    /// executor path, durability through [`SettleSink::settle`].
+    pub fn cache(&self) -> Arc<ReuseCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// What opening found on disk (settled batches, dropped facts, torn
+    /// tail) — the recovery evidence the sim checker asserts over.
+    pub fn recovery(&self) -> &AnswerRecovery {
+        &self.recovery
+    }
+
+    /// Cents durably settled across the log's whole history.
+    pub fn logged_cents(&self) -> u64 {
+        self.log.lock().expect("answer log poisoned").logged_cents()
+    }
+
+    /// Facts durably settled across the log's whole history.
+    pub fn logged_facts(&self) -> u64 {
+        self.log.lock().expect("answer log poisoned").logged_facts()
+    }
+
+    /// Settle markers durably written across the log's whole history.
+    pub fn logged_queries(&self) -> u64 {
+        self.log.lock().expect("answer log poisoned").logged_queries()
+    }
+
+    /// Non-mutating resolve against the rebuilt cache.
+    pub fn resolve(&self, measure: &str, left: &str, right: &str) -> ReuseOutcome {
+        self.cache.resolve(measure, left, right)
+    }
+}
+
+impl SettleSink for DurableReuseCache {
+    fn settle(&self, query: u64, facts: &[SettledFact]) -> std::result::Result<(), String> {
+        self.log
+            .lock()
+            .expect("answer log poisoned")
+            .append_settled(query, facts)
+            .map_err(|e| format!("settle query {query}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch::ScratchDir;
+
+    const M: &str = "R.v~S.v";
+
+    fn settle(cache: &DurableReuseCache, query: u64, facts: &[(&str, &str, bool)]) {
+        let session_facts: Vec<SettledFact> = facts
+            .iter()
+            .map(|(l, r, same)| SettledFact {
+                measure: M.into(),
+                left: l.to_string(),
+                right: r.to_string(),
+                same: *same,
+                votes: 3,
+                cents: 15,
+            })
+            .collect();
+        // Mirror the executor: durable first, then absorb.
+        cache.settle(query, &session_facts).unwrap();
+        let mut session = cache.cache().snapshot();
+        for f in &session_facts {
+            session.record(&f.measure, &f.left, &f.right, f.same);
+        }
+        cache.cache().absorb(&session);
+    }
+
+    #[test]
+    fn reopen_rebuilds_entailment_not_just_answers() {
+        let dir = ScratchDir::new("dur-entail");
+        {
+            let cache = DurableReuseCache::open(dir.path()).unwrap();
+            settle(&cache, 0, &[("a", "b", true), ("b", "c", true)]);
+            assert!(matches!(cache.resolve(M, "a", "c"), ReuseOutcome::Hit { same: true, .. }));
+        }
+        let cache = DurableReuseCache::open(dir.path()).unwrap();
+        // a~c was never recorded directly; only rebuilt transitivity
+        // can answer it after the restart.
+        assert!(matches!(cache.resolve(M, "a", "c"), ReuseOutcome::Hit { same: true, .. }));
+        assert!(matches!(cache.resolve(M, "c", "a"), ReuseOutcome::Hit { same: true, .. }));
+        assert!(matches!(cache.resolve(M, "a", "z"), ReuseOutcome::Miss));
+        assert_eq!(cache.recovery().settled_cents(), 30);
+        assert_eq!(cache.logged_facts(), 2);
+    }
+
+    #[test]
+    fn conflicts_replay_first_writer_wins() {
+        let dir = ScratchDir::new("dur-conflict");
+        {
+            let cache = DurableReuseCache::open(dir.path()).unwrap();
+            // Two concurrent queries bought contradicting answers from
+            // the same (empty) snapshot; the executor settles + absorbs
+            // in id order, so query 0 wins and query 1's buy is dropped.
+            let mut s0 = cache.cache().snapshot();
+            let mut s1 = cache.cache().snapshot();
+            s0.record(M, "x", "y", true);
+            s1.record(M, "x", "y", false);
+            for (q, s) in [(0u64, &s0), (1u64, &s1)] {
+                let facts: Vec<SettledFact> = s
+                    .fresh_facts()
+                    .iter()
+                    .map(|(m, l, r, same)| SettledFact {
+                        measure: m.clone(),
+                        left: l.clone(),
+                        right: r.clone(),
+                        same: *same,
+                        votes: 3,
+                        cents: 15,
+                    })
+                    .collect();
+                cache.settle(q, &facts).unwrap();
+                cache.cache().absorb(s);
+            }
+            assert_eq!(cache.cache().conflicts(), 1);
+            assert!(matches!(cache.resolve(M, "x", "y"), ReuseOutcome::Hit { same: true, .. }));
+            assert_eq!(cache.logged_cents(), 30); // both buys were real money
+        }
+        let cache = DurableReuseCache::open(dir.path()).unwrap();
+        // The winner and the recorded-answer list replay identically;
+        // query 1's losing buy is re-dropped during replay (this time at
+        // session level, so the conflict counter — absorb-time telemetry,
+        // not entailment state — reads 0 after a restart).
+        assert!(matches!(cache.resolve(M, "x", "y"), ReuseOutcome::Hit { same: true, .. }));
+        assert_eq!(cache.cache().recorded(), vec![(M.into(), "x".into(), "y".into(), true)]);
+        assert_eq!(cache.logged_cents(), 30);
+    }
+
+    #[test]
+    fn settle_without_absorb_is_still_recovered() {
+        let dir = ScratchDir::new("dur-crashgap");
+        {
+            let cache = DurableReuseCache::open(dir.path()).unwrap();
+            // Crash after the settle point but before absorb: durable
+            // state must win on reopen.
+            let f = SettledFact {
+                measure: M.into(),
+                left: "p".into(),
+                right: "q".into(),
+                same: true,
+                votes: 3,
+                cents: 15,
+            };
+            cache.settle(5, std::slice::from_ref(&f)).unwrap();
+            assert!(matches!(cache.resolve(M, "p", "q"), ReuseOutcome::Miss));
+        }
+        let cache = DurableReuseCache::open(dir.path()).unwrap();
+        assert!(matches!(cache.resolve(M, "p", "q"), ReuseOutcome::Hit { same: true, .. }));
+    }
+}

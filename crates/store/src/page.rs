@@ -1,0 +1,213 @@
+//! Slotted pages: the fixed-size unit the file store reads and writes.
+//!
+//! Layout of one 4096-byte page:
+//!
+//! ```text
+//! 0        4        8          10         12            free_off      slot_dir
+//! +--------+--------+----------+----------+-------------+---- ... ----+--------+
+//! | crc32  | page_no| slot_cnt | free_off | record bytes |   free      | slots  |
+//! +--------+--------+----------+----------+-------------+---- ... ----+--------+
+//! ```
+//!
+//! Records are appended at `free_off`; the slot directory (4 bytes per
+//! slot: `offset u16`, `len u16`) grows backwards from the page end.
+//! `crc32` covers bytes `4..4096` and is recomputed by [`Page::seal`]
+//! just before the page hits disk; [`Page::from_bytes`] verifies it on
+//! the way back in, so a torn page write is detected as
+//! [`StoreError::PageChecksum`] rather than silently decoded.
+
+use crate::crc::crc32;
+use crate::error::{Result, StoreError};
+
+/// Size of every page in the store file, in bytes.
+pub const PAGE_SIZE: usize = 4096;
+/// Bytes reserved for the page header (checksum, number, slot count, free offset).
+pub const PAGE_HEADER: usize = 12;
+/// Bytes one slot-directory entry occupies (`offset u16` + `len u16`).
+pub const SLOT_SIZE: usize = 4;
+/// Largest record payload a single page can hold (one slot, empty page).
+pub const MAX_SLOT_PAYLOAD: usize = PAGE_SIZE - PAGE_HEADER - SLOT_SIZE;
+
+/// One in-memory page image with slotted-record accessors.
+#[derive(Clone)]
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Page")
+            .field("page_no", &self.page_no())
+            .field("slots", &self.slot_count())
+            .field("free", &self.free_space())
+            .finish()
+    }
+}
+
+impl Page {
+    /// A fresh, empty page numbered `page_no`.
+    pub fn new(page_no: u32) -> Page {
+        let mut p = Page { data: Box::new([0u8; PAGE_SIZE]) };
+        p.data[4..8].copy_from_slice(&page_no.to_le_bytes());
+        p.set_free_off(PAGE_HEADER as u16);
+        p
+    }
+
+    /// Rehydrate a page read from disk, verifying its checksum and that
+    /// it is the page the caller asked for.
+    pub fn from_bytes(expect_page_no: u32, bytes: [u8; PAGE_SIZE]) -> Result<Page> {
+        let p = Page { data: Box::new(bytes) };
+        let stored = u32::from_le_bytes([p.data[0], p.data[1], p.data[2], p.data[3]]);
+        if stored != crc32(&p.data[4..]) {
+            return Err(StoreError::PageChecksum { page: expect_page_no });
+        }
+        if p.page_no() != expect_page_no {
+            return Err(StoreError::PageChecksum { page: expect_page_no });
+        }
+        Ok(p)
+    }
+
+    /// Recompute the header checksum. Call immediately before writing
+    /// the page image to disk.
+    pub fn seal(&mut self) {
+        let c = crc32(&self.data[4..]);
+        self.data[0..4].copy_from_slice(&c.to_le_bytes());
+    }
+
+    /// The raw 4096-byte image (valid for disk only after [`Page::seal`]).
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    /// Mutable access to the raw image — test-only corruption hook.
+    #[cfg(test)]
+    pub fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.data
+    }
+
+    /// The page number stamped in the header.
+    pub fn page_no(&self) -> u32 {
+        u32::from_le_bytes([self.data[4], self.data[5], self.data[6], self.data[7]])
+    }
+
+    /// Number of records stored in this page.
+    pub fn slot_count(&self) -> u16 {
+        u16::from_le_bytes([self.data[8], self.data[9]])
+    }
+
+    fn set_slot_count(&mut self, n: u16) {
+        self.data[8..10].copy_from_slice(&n.to_le_bytes());
+    }
+
+    fn free_off(&self) -> u16 {
+        u16::from_le_bytes([self.data[10], self.data[11]])
+    }
+
+    fn set_free_off(&mut self, off: u16) {
+        self.data[10..12].copy_from_slice(&off.to_le_bytes());
+    }
+
+    fn slot_dir_start(&self) -> usize {
+        PAGE_SIZE - self.slot_count() as usize * SLOT_SIZE
+    }
+
+    /// Bytes still available for one more record (slot entry already
+    /// accounted for); 0 when even an empty record would not fit.
+    pub fn free_space(&self) -> usize {
+        let gap = self.slot_dir_start() - self.free_off() as usize;
+        gap.saturating_sub(SLOT_SIZE)
+    }
+
+    /// Append `payload` as a new record, returning its slot index.
+    pub fn insert(&mut self, payload: &[u8]) -> Result<u16> {
+        if payload.len() > self.free_space() {
+            return Err(StoreError::RecordTooLarge { len: payload.len() });
+        }
+        let off = self.free_off() as usize;
+        self.data[off..off + payload.len()].copy_from_slice(payload);
+        let slot = self.slot_count();
+        let entry = PAGE_SIZE - (slot as usize + 1) * SLOT_SIZE;
+        self.data[entry..entry + 2].copy_from_slice(&(off as u16).to_le_bytes());
+        self.data[entry + 2..entry + 4].copy_from_slice(&(payload.len() as u16).to_le_bytes());
+        self.set_slot_count(slot + 1);
+        self.set_free_off((off + payload.len()) as u16);
+        Ok(slot)
+    }
+
+    /// The payload stored at `slot`.
+    pub fn record(&self, slot: u16) -> Result<&[u8]> {
+        if slot >= self.slot_count() {
+            return Err(StoreError::Decode {
+                detail: format!(
+                    "slot {slot} out of range (page {} has {})",
+                    self.page_no(),
+                    self.slot_count()
+                ),
+            });
+        }
+        let entry = PAGE_SIZE - (slot as usize + 1) * SLOT_SIZE;
+        let off = u16::from_le_bytes([self.data[entry], self.data[entry + 1]]) as usize;
+        let len = u16::from_le_bytes([self.data[entry + 2], self.data[entry + 3]]) as usize;
+        if off + len > PAGE_SIZE {
+            return Err(StoreError::Decode {
+                detail: format!("slot {slot} points past page end ({off}+{len})"),
+            });
+        }
+        Ok(&self.data[off..off + len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_read_back_multiple_records() {
+        let mut p = Page::new(3);
+        let a = p.insert(b"alpha").unwrap();
+        let b = p.insert(b"").unwrap();
+        let c = p.insert(b"gamma-gamma").unwrap();
+        assert_eq!((a, b, c), (0, 1, 2));
+        assert_eq!(p.record(0).unwrap(), b"alpha");
+        assert_eq!(p.record(1).unwrap(), b"");
+        assert_eq!(p.record(2).unwrap(), b"gamma-gamma");
+        assert!(p.record(3).is_err());
+    }
+
+    #[test]
+    fn seal_then_verify_round_trips() {
+        let mut p = Page::new(9);
+        p.insert(b"durable").unwrap();
+        p.seal();
+        let back = Page::from_bytes(9, *p.bytes()).unwrap();
+        assert_eq!(back.record(0).unwrap(), b"durable");
+    }
+
+    #[test]
+    fn checksum_mismatch_is_detected() {
+        let mut p = Page::new(4);
+        p.insert(b"truth is expensive").unwrap();
+        p.seal();
+        let mut bytes = *p.bytes();
+        bytes[100] ^= 0xFF; // corrupt one record byte after sealing
+        let err = Page::from_bytes(4, bytes).unwrap_err();
+        assert_eq!(err, StoreError::PageChecksum { page: 4 });
+    }
+
+    #[test]
+    fn wrong_page_number_is_rejected() {
+        let mut p = Page::new(4);
+        p.seal();
+        assert!(Page::from_bytes(5, *p.bytes()).is_err());
+    }
+
+    #[test]
+    fn fills_to_capacity_then_refuses() {
+        let mut p = Page::new(0);
+        let big = vec![0xAB; MAX_SLOT_PAYLOAD];
+        p.insert(&big).unwrap();
+        assert_eq!(p.free_space(), 0);
+        let err = p.insert(b"x").unwrap_err();
+        assert!(matches!(err, StoreError::RecordTooLarge { .. }));
+    }
+}

@@ -1,0 +1,420 @@
+//! The file-backed pager and its pinning buffer pool.
+//!
+//! [`Pager`] maps page numbers to 4096-byte offsets in a single file and
+//! verifies checksums on every read. [`BufferPool`] keeps a bounded set
+//! of resident pages with pin counts: pinned pages can never be evicted,
+//! unpinned pages leave in least-recently-used order, and dirty victims
+//! are written back before their frame is reused. Multi-page records are
+//! chained through [`BufferPool::write_chain`] / [`read_chain`], which is
+//! how the durable database lays whole table snapshots onto free pages.
+//!
+//! [`read_chain`]: BufferPool::read_chain
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::error::{Result, StoreError};
+use crate::page::{Page, MAX_SLOT_PAYLOAD, PAGE_SIZE};
+
+/// Address of a stored record: the page holding its first chunk plus the
+/// slot index within that page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordId {
+    /// Page number of the first chunk.
+    pub page: u32,
+    /// Slot within that page.
+    pub slot: u16,
+}
+
+/// Byte overhead of one chain-chunk header (`next_page u32` + `next_slot u16`).
+const CHAIN_HEADER: usize = 6;
+/// Payload bytes one chain chunk can carry.
+const CHAIN_CHUNK: usize = MAX_SLOT_PAYLOAD - CHAIN_HEADER;
+
+/// Positioned page I/O over one store file.
+#[derive(Debug)]
+pub struct Pager {
+    file: File,
+    pages: u32,
+}
+
+impl Pager {
+    /// Open (creating if absent) the store file at `path`.
+    pub fn open(path: &Path) -> Result<Pager> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| StoreError::io(&format!("open {}", path.display()), e))?;
+        let len = file.metadata().map_err(|e| StoreError::io("stat store file", e))?.len();
+        Ok(Pager { file, pages: (len / PAGE_SIZE as u64) as u32 })
+    }
+
+    /// Pages currently addressable (written or allocated).
+    pub fn page_count(&self) -> u32 {
+        self.pages
+    }
+
+    /// Read and checksum-verify page `no`.
+    pub fn read_page(&mut self, no: u32) -> Result<Page> {
+        if no >= self.pages {
+            return Err(StoreError::PageOutOfBounds { page: no, count: self.pages });
+        }
+        self.file
+            .seek(SeekFrom::Start(no as u64 * PAGE_SIZE as u64))
+            .map_err(|e| StoreError::io("seek page", e))?;
+        let mut buf = [0u8; PAGE_SIZE];
+        self.file.read_exact(&mut buf).map_err(|e| StoreError::io("read page", e))?;
+        Page::from_bytes(no, buf)
+    }
+
+    /// Seal and write `page` at its own page number.
+    pub fn write_page(&mut self, page: &mut Page) -> Result<()> {
+        page.seal();
+        let no = page.page_no();
+        self.file
+            .seek(SeekFrom::Start(no as u64 * PAGE_SIZE as u64))
+            .map_err(|e| StoreError::io("seek page", e))?;
+        self.file.write_all(&page.bytes()[..]).map_err(|e| StoreError::io("write page", e))?;
+        if no >= self.pages {
+            self.pages = no + 1;
+        }
+        Ok(())
+    }
+
+    /// Reserve the next page number past the end of the file.
+    pub fn allocate(&mut self) -> u32 {
+        let no = self.pages;
+        self.pages += 1;
+        no
+    }
+
+    /// Flush the file (and its metadata) to stable storage.
+    pub fn sync(&self) -> Result<()> {
+        self.file.sync_all().map_err(|e| StoreError::io("sync store file", e))
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    page: Page,
+    pins: usize,
+    dirty: bool,
+    touched: u64,
+}
+
+/// A bounded cache of resident pages over a [`Pager`].
+#[derive(Debug)]
+pub struct BufferPool {
+    pager: Pager,
+    capacity: usize,
+    frames: HashMap<u32, Frame>,
+    tick: u64,
+    evictions: u64,
+}
+
+impl BufferPool {
+    /// Cache up to `capacity` pages of `pager` (capacity must be ≥ 1).
+    pub fn new(pager: Pager, capacity: usize) -> BufferPool {
+        assert!(capacity >= 1, "buffer pool needs at least one frame");
+        BufferPool { pager, capacity, frames: HashMap::new(), tick: 0, evictions: 0 }
+    }
+
+    /// Pages on the underlying file.
+    pub fn page_count(&self) -> u32 {
+        self.pager.page_count()
+    }
+
+    /// Frames currently resident.
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Unpinned-victim write-backs performed so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn touch(&mut self, no: u32) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(f) = self.frames.get_mut(&no) {
+            f.touched = tick;
+        }
+    }
+
+    /// Evict one unpinned frame (LRU) to make room; error if all pinned.
+    fn make_room(&mut self) -> Result<()> {
+        if self.frames.len() < self.capacity {
+            return Ok(());
+        }
+        let victim = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.pins == 0)
+            .min_by_key(|(_, f)| f.touched)
+            .map(|(no, _)| *no)
+            .ok_or(StoreError::PoolExhausted { capacity: self.capacity })?;
+        let mut frame = self.frames.remove(&victim).expect("victim frame present");
+        if frame.dirty {
+            self.pager.write_page(&mut frame.page)?;
+        }
+        self.evictions += 1;
+        Ok(())
+    }
+
+    /// Bring page `no` into the pool (reading it if absent) and pin it.
+    pub fn pin(&mut self, no: u32) -> Result<()> {
+        if let Some(f) = self.frames.get_mut(&no) {
+            f.pins += 1;
+        } else {
+            self.make_room()?;
+            let page = self.pager.read_page(no)?;
+            self.frames.insert(no, Frame { page, pins: 1, dirty: false, touched: 0 });
+        }
+        self.touch(no);
+        Ok(())
+    }
+
+    /// Allocate a fresh empty page, resident and pinned.
+    pub fn allocate(&mut self) -> Result<u32> {
+        self.make_room()?;
+        let no = self.pager.allocate();
+        self.frames.insert(no, Frame { page: Page::new(no), pins: 1, dirty: true, touched: 0 });
+        self.touch(no);
+        Ok(no)
+    }
+
+    /// Release one pin on page `no`, marking it dirty if it was mutated.
+    pub fn unpin(&mut self, no: u32, dirty: bool) {
+        if let Some(f) = self.frames.get_mut(&no) {
+            debug_assert!(f.pins > 0, "unpin of unpinned page {no}");
+            f.pins = f.pins.saturating_sub(1);
+            f.dirty |= dirty;
+        }
+    }
+
+    /// Read access to a resident (pinned) page.
+    pub fn page(&self, no: u32) -> Option<&Page> {
+        self.frames.get(&no).map(|f| &f.page)
+    }
+
+    /// Write access to a resident (pinned) page. The caller still passes
+    /// `dirty = true` on unpin; this accessor alone does not mark it.
+    pub fn page_mut(&mut self, no: u32) -> Option<&mut Page> {
+        self.frames.get_mut(&no).map(|f| &mut f.page)
+    }
+
+    /// Write back every dirty frame and fsync the file.
+    pub fn flush(&mut self) -> Result<()> {
+        let mut dirty: Vec<u32> =
+            self.frames.iter().filter(|(_, f)| f.dirty).map(|(no, _)| *no).collect();
+        dirty.sort_unstable();
+        for no in dirty {
+            let frame = self.frames.get_mut(&no).expect("dirty frame present");
+            self.pager.write_page(&mut frame.page)?;
+            frame.dirty = false;
+        }
+        self.pager.sync()
+    }
+
+    /// Store `data` as a chain of single-slot chunks over `free` pages
+    /// (new pages are allocated once `free` is exhausted). Returns the
+    /// id of the first chunk. Chunks are written tail-first so each can
+    /// embed its successor's address.
+    pub fn write_chain(&mut self, free: &mut Vec<u32>, data: &[u8]) -> Result<RecordId> {
+        let chunks: Vec<&[u8]> =
+            if data.is_empty() { vec![data] } else { data.chunks(CHAIN_CHUNK).collect() };
+        // Page 0 is a meta page, so (0, 0) is free to mean "no successor".
+        let mut next = RecordId { page: 0, slot: 0 };
+        for chunk in chunks.iter().rev() {
+            let no = match free.pop() {
+                Some(no) => {
+                    self.pin(no)?;
+                    let page = self.page_mut(no).expect("pinned page resident");
+                    *page = Page::new(no);
+                    no
+                }
+                None => self.allocate()?,
+            };
+            let mut payload = Vec::with_capacity(CHAIN_HEADER + chunk.len());
+            payload.extend_from_slice(&next.page.to_le_bytes());
+            payload.extend_from_slice(&next.slot.to_le_bytes());
+            payload.extend_from_slice(chunk);
+            let slot = self.page_mut(no).expect("pinned page resident").insert(&payload)?;
+            self.unpin(no, true);
+            next = RecordId { page: no, slot };
+        }
+        Ok(next)
+    }
+
+    /// Read back a record stored by [`BufferPool::write_chain`].
+    pub fn read_chain(&mut self, id: RecordId) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        self.walk_chain(id, |chunk| out.extend_from_slice(chunk))?;
+        Ok(out)
+    }
+
+    /// The pages a chained record occupies, in chain order. The durable
+    /// database uses this to compute the live-page set before reusing
+    /// anything as scratch space.
+    pub fn chain_pages(&mut self, id: RecordId) -> Result<Vec<u32>> {
+        let mut pages = Vec::new();
+        let mut cur = id;
+        while cur.page != 0 {
+            pages.push(cur.page);
+            self.pin(cur.page)?;
+            let next = {
+                let page = self.page(cur.page).expect("pinned page resident");
+                let rec = page.record(cur.slot)?;
+                chain_next(rec)?
+            };
+            self.unpin(cur.page, false);
+            if pages.len() as u32 > self.page_count() {
+                return Err(StoreError::Decode { detail: "record chain forms a cycle".into() });
+            }
+            cur = next;
+        }
+        Ok(pages)
+    }
+
+    fn walk_chain(&mut self, id: RecordId, mut sink: impl FnMut(&[u8])) -> Result<()> {
+        let mut cur = id;
+        let mut hops = 0u32;
+        while cur.page != 0 {
+            self.pin(cur.page)?;
+            let next = {
+                let page = self.page(cur.page).expect("pinned page resident");
+                let rec = page.record(cur.slot)?;
+                let next = chain_next(rec)?;
+                sink(&rec[CHAIN_HEADER..]);
+                next
+            };
+            self.unpin(cur.page, false);
+            hops += 1;
+            if hops > self.page_count() {
+                return Err(StoreError::Decode { detail: "record chain forms a cycle".into() });
+            }
+            cur = next;
+        }
+        Ok(())
+    }
+}
+
+fn chain_next(rec: &[u8]) -> Result<RecordId> {
+    if rec.len() < CHAIN_HEADER {
+        return Err(StoreError::Decode {
+            detail: format!("chain chunk of {} bytes is shorter than its header", rec.len()),
+        });
+    }
+    Ok(RecordId {
+        page: u32::from_le_bytes([rec[0], rec[1], rec[2], rec[3]]),
+        slot: u16::from_le_bytes([rec[4], rec[5]]),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch::ScratchDir;
+
+    fn pool(dir: &ScratchDir, capacity: usize) -> BufferPool {
+        // Reserve page 0 as a stand-in meta page so chains never use it.
+        let mut pool =
+            BufferPool::new(Pager::open(&dir.path().join("data.cdb")).unwrap(), capacity);
+        if pool.page_count() == 0 {
+            let no = pool.allocate().unwrap();
+            assert_eq!(no, 0);
+            pool.unpin(no, true);
+        }
+        pool
+    }
+
+    #[test]
+    fn chain_round_trips_small_and_multi_page_records() {
+        let dir = ScratchDir::new("pool-chain");
+        let mut pool = pool(&dir, 8);
+        let small = b"tiny".to_vec();
+        let big: Vec<u8> = (0..3 * PAGE_SIZE + 17).map(|i| (i % 251) as u8).collect();
+        let empty: Vec<u8> = Vec::new();
+
+        let mut free = Vec::new();
+        let a = pool.write_chain(&mut free, &small).unwrap();
+        let b = pool.write_chain(&mut free, &big).unwrap();
+        let c = pool.write_chain(&mut free, &empty).unwrap();
+        pool.flush().unwrap();
+
+        assert_eq!(pool.read_chain(a).unwrap(), small);
+        assert_eq!(pool.read_chain(b).unwrap(), big);
+        assert_eq!(pool.read_chain(c).unwrap(), empty);
+        assert_eq!(pool.chain_pages(b).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let dir = ScratchDir::new("pool-reopen");
+        let id;
+        let payload: Vec<u8> = (0..2 * PAGE_SIZE).map(|i| (i % 7) as u8).collect();
+        {
+            let mut pool = pool(&dir, 4);
+            id = pool.write_chain(&mut Vec::new(), &payload).unwrap();
+            pool.flush().unwrap();
+        }
+        let mut pool = pool(&dir, 4);
+        assert_eq!(pool.read_chain(id).unwrap(), payload);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let dir = ScratchDir::new("pool-evict");
+        let mut pool = pool(&dir, 2);
+        // Three multi-page-ish records through a 2-frame pool forces
+        // evictions; the data must still read back correctly.
+        let mut ids = Vec::new();
+        let mut free = Vec::new();
+        for i in 0..3u8 {
+            let data = vec![i; PAGE_SIZE + 100];
+            ids.push((pool.write_chain(&mut free, &data).unwrap(), data));
+        }
+        assert!(pool.evictions() > 0);
+        for (id, data) in ids {
+            assert_eq!(pool.read_chain(id).unwrap(), data);
+        }
+        assert!(pool.resident() <= 2);
+    }
+
+    #[test]
+    fn all_pinned_pool_reports_exhaustion() {
+        let dir = ScratchDir::new("pool-exhausted");
+        let mut pool = pool(&dir, 1);
+        // Frame 1 holds page 0 pinned; asking for another page cannot evict.
+        pool.pin(0).unwrap();
+        let err = pool.allocate().unwrap_err();
+        assert_eq!(err, StoreError::PoolExhausted { capacity: 1 });
+        pool.unpin(0, false);
+        assert!(pool.allocate().is_ok());
+    }
+
+    #[test]
+    fn reopen_detects_on_disk_corruption() {
+        let dir = ScratchDir::new("pool-corrupt");
+        let path = dir.path().join("data.cdb");
+        {
+            let mut pool = BufferPool::new(Pager::open(&path).unwrap(), 4);
+            let no = pool.allocate().unwrap();
+            pool.page_mut(no).unwrap().insert(b"settled fact").unwrap();
+            pool.unpin(no, true);
+            pool.flush().unwrap();
+        }
+        // Flip one byte of the record body on disk.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[40] ^= 0x01;
+        std::fs::write(&path, &raw).unwrap();
+        let mut pool = BufferPool::new(Pager::open(&path).unwrap(), 4);
+        assert_eq!(pool.pin(0).unwrap_err(), StoreError::PageChecksum { page: 0 });
+    }
+}

@@ -1,0 +1,60 @@
+//! Self-cleaning scratch directories for tests and simulation.
+//!
+//! Recovery tests (here and in `cdb-sim`) need a real filesystem
+//! location that is unique per use — the simulator's shrinker replays
+//! the same seed many times in one process, so uniqueness cannot come
+//! from the seed alone. [`ScratchDir`] combines the process id with a
+//! global counter and removes the directory on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory under the system temp dir, deleted
+/// (recursively, best-effort) when dropped.
+#[derive(Debug)]
+pub struct ScratchDir {
+    path: PathBuf,
+}
+
+impl ScratchDir {
+    /// Create `"<tmp>/cdb-store-<label>-<pid>-<n>"`, wiping any stale
+    /// leftover with the same name first.
+    pub fn new(label: &str) -> ScratchDir {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("cdb-store-{label}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create scratch dir");
+        ScratchDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_and_cleaned_up() {
+        let a = ScratchDir::new("x");
+        let b = ScratchDir::new("x");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists());
+        assert!(b.path().is_dir());
+    }
+}

@@ -1,0 +1,93 @@
+//! The durable-cache lifecycle property: closing and reopening the
+//! [`DurableReuseCache`] at *any* point in a settle/absorb history is
+//! unobservable. A process that restarts after every few queries must end
+//! with exactly the entailment state of a process that never dies —
+//! same resolve outcomes for every pair, same recorded crowd answers.
+//!
+//! This is the equivalence the replay argument in `cdb_store::dur`
+//! claims; the proptest drives it across random histories, including
+//! conflicting answers and restarts landing between any two batches.
+
+use cdb_core::{ReuseCache, SettleSink, SettledFact};
+use cdb_store::{DurableReuseCache, ScratchDir};
+use proptest::prelude::*;
+
+const MEASURES: [&str; 2] = ["life.a~b", "life.c~d"];
+
+fn value(i: u8) -> String {
+    format!("item #{}", i % 6)
+}
+
+/// One query's buys: (measure, left, right, same) draws.
+type Batch = Vec<(u8, u8, u8, bool)>;
+
+/// Mirror the executor's settle-then-absorb path for one query session:
+/// record every buy against a snapshot, durably settle the fresh facts
+/// (when there are any and a sink is attached), then absorb.
+fn run_query(cache: &ReuseCache, sink: Option<&DurableReuseCache>, query: u64, batch: &Batch) {
+    let mut session = cache.snapshot();
+    for &(m, l, r, same) in batch {
+        session.record(MEASURES[(m % 2) as usize], &value(l), &value(r), same);
+    }
+    let facts: Vec<SettledFact> = session
+        .fresh_facts()
+        .iter()
+        .map(|(measure, left, right, same)| SettledFact {
+            measure: measure.clone(),
+            left: left.clone(),
+            right: right.clone(),
+            same: *same,
+            votes: 3,
+            cents: 15,
+        })
+        .collect();
+    if let Some(sink) = sink {
+        if !facts.is_empty() {
+            sink.settle(query, &facts).expect("settle");
+        }
+    }
+    cache.absorb(&session);
+}
+
+/// Every pair the history could have touched, on both measures.
+fn all_outcomes(cache: &ReuseCache) -> Vec<String> {
+    let mut out = Vec::new();
+    for measure in MEASURES {
+        for a in 0..6u8 {
+            for b in 0..6u8 {
+                out.push(format!("{:?}", cache.resolve(measure, &value(a), &value(b))));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    /// open → settle/absorb → close → open ≡ never closing, for every
+    /// interleaving of restarts with query batches.
+    #[test]
+    fn restarts_are_unobservable(
+        history in prop::collection::vec(
+            (prop::collection::vec((0u8..2, 0u8..6, 0u8..6, any::<bool>()), 0..5), any::<bool>()),
+            0..8,
+        ),
+    ) {
+        let dir = ScratchDir::new("lifecycle");
+        let immortal = ReuseCache::new();
+        let mut durable = Some(DurableReuseCache::open(dir.path()).expect("open"));
+        for (query, (batch, restart_after)) in history.iter().enumerate() {
+            let d = durable.as_ref().expect("durable cache live");
+            run_query(&immortal, None, query as u64, batch);
+            run_query(&d.cache(), Some(d), query as u64, batch);
+            if *restart_after {
+                drop(durable.take()); // crash: drop every in-memory structure
+                durable = Some(DurableReuseCache::open(dir.path()).expect("reopen"));
+            }
+        }
+        // One final restart so the comparison always crosses a replay.
+        drop(durable);
+        let recovered = DurableReuseCache::open(dir.path()).expect("final reopen");
+        prop_assert_eq!(all_outcomes(&recovered.cache()), all_outcomes(&immortal));
+        prop_assert_eq!(recovered.cache().recorded(), immortal.recorded());
+    }
+}
