@@ -1,0 +1,80 @@
+//! `cdb-bench` — benchmark artifact tooling.
+//!
+//! ```text
+//! cdb-bench compare [--timing warn|fail] <baseline.json> <new.json>
+//! ```
+//!
+//! Diffs two benchmark artifacts (e.g. the committed `BENCH_perf.json`
+//! against a fresh `figures perf` run) with noise-aware thresholds; see
+//! `cdb_bench::compare` for the classification rules. Exit status: 0 on
+//! match, 1 on a timing regression (unless `--timing warn`), 2 on
+//! structural or deterministic-count drift (or bad usage / unreadable
+//! input).
+
+use cdb_bench::compare::{compare, exit_code, DiffKind};
+
+fn usage() -> ! {
+    eprintln!("usage: cdb-bench compare [--timing warn|fail] <baseline.json> <new.json>");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("compare") => {}
+        _ => usage(),
+    }
+    let mut timing_warn_only = false;
+    let mut files: Vec<String> = Vec::new();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--timing" => match args.next().as_deref() {
+                Some("warn") => timing_warn_only = true,
+                Some("fail") => timing_warn_only = false,
+                _ => usage(),
+            },
+            other => files.push(other.to_string()),
+        }
+    }
+    let [baseline_path, new_path] = files.as_slice() else { usage() };
+
+    let load = |path: &str| -> cdb_obsv::json::Json {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cdb-bench: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        cdb_obsv::json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("cdb-bench: {path} is not valid JSON: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = load(baseline_path);
+    let new = load(new_path);
+
+    let diffs = compare(&baseline, &new);
+    for d in &diffs {
+        let kind = match d.kind {
+            DiffKind::Structural => "STRUCTURAL",
+            DiffKind::Timing => {
+                if timing_warn_only {
+                    "TIMING (warn)"
+                } else {
+                    "TIMING"
+                }
+            }
+        };
+        eprintln!("{kind:>14}  {}: {}", d.path, d.message);
+    }
+    let code = exit_code(&diffs, timing_warn_only);
+    if diffs.is_empty() {
+        eprintln!("cdb-bench: artifacts match ({baseline_path} vs {new_path})");
+    } else {
+        eprintln!(
+            "cdb-bench: {} difference(s), exit {code} ({} structural, {} timing)",
+            diffs.len(),
+            diffs.iter().filter(|d| d.kind == DiffKind::Structural).count(),
+            diffs.iter().filter(|d| d.kind == DiffKind::Timing).count()
+        );
+    }
+    std::process::exit(code);
+}

@@ -6,7 +6,7 @@
 //!
 //! targets: fig8 fig9 fig10 fig11 fig14 fig15 fig16 fig17 fig18 fig19
 //!          fig20 fig21 fig22 fig23 fig24 table2 table3 table4 table5
-//!          example runtime reuse sched trace sim store all
+//!          example runtime reuse sched trace sim store perf all
 //!
 //! `reuse` sweeps the cross-query answer-reuse cache (on/off × fault
 //! rate) over the self-join fleet and checks the dispatched-task
@@ -27,6 +27,13 @@
 //! size, the reuse-hit rate cold vs warm across a process restart, and a
 //! durable-table flush/reopen round trip. Human-readable progress goes to
 //! stderr; stdout is a JSON document (redirect it to `BENCH_store.json`).
+//!
+//! `perf` runs the phase-profiled hot-path sweep over every Table 5
+//! workload (all three datasets × all five plan shapes) plus a MinCut
+//! and a durable-store exercise, and prints the `BENCH_perf.json`
+//! artifact on stdout (per-phase medians + latency histograms; see
+//! `cdb-bench compare` for the CI regression gate). `--quick` runs one
+//! rep instead of `--reps`, keeping counts and structure identical.
 //!
 //! `sim` soaks the deterministic simulation harness (`cdb-sim`) over
 //! `--iters` consecutive seeds starting at `--seed`: each seed generates
@@ -51,7 +58,8 @@ use cdb_core::fillcollect::{execute_collect, execute_fill, CollectConfig, FillCo
 use cdb_core::latency::parallel_round;
 use cdb_crowd::{Market, SimulatedPlatform, WorkerPool};
 use cdb_datagen::{
-    award_dataset, paper_dataset, paper_example_dataset, queries_for, Dataset, DatasetScale,
+    award_dataset, movie_dataset, paper_dataset, paper_example_dataset, queries_for, Dataset,
+    DatasetScale,
 };
 use cdb_similarity::SimilarityFn;
 
@@ -60,11 +68,13 @@ struct Args {
     reps: usize,
     seed: u64,
     iters: usize,
+    quick: bool,
     target: String,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { scale: 10, reps: 3, seed: 42, iters: 100, target: String::new() };
+    let mut args =
+        Args { scale: 10, reps: 3, seed: 42, iters: 100, quick: false, target: String::new() };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -72,11 +82,12 @@ fn parse_args() -> Args {
             "--reps" => args.reps = it.next().and_then(|v| v.parse().ok()).expect("--reps R"),
             "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).expect("--seed S"),
             "--iters" => args.iters = it.next().and_then(|v| v.parse().ok()).expect("--iters N"),
+            "--quick" => args.quick = true,
             other => args.target = other.to_string(),
         }
     }
     if args.target.is_empty() {
-        eprintln!("usage: figures [--scale N] [--reps R] [--seed S] [--iters N] <fig8..fig24|table2..table5|example|runtime|reuse|sched|trace|sim|store|all>");
+        eprintln!("usage: figures [--scale N] [--reps R] [--seed S] [--iters N] [--quick] <fig8..fig24|table2..table5|example|runtime|reuse|sched|trace|sim|store|perf|all>");
         std::process::exit(2);
     }
     args
@@ -86,6 +97,7 @@ fn dataset(name: &str, args: &Args) -> Dataset {
     match name {
         "paper" => paper_dataset(DatasetScale::paper_full().scaled(args.scale), args.seed),
         "award" => award_dataset(DatasetScale::award_full().scaled(args.scale), args.seed),
+        "movie" => movie_dataset(DatasetScale::movie_full().scaled(args.scale), args.seed),
         _ => unreachable!(),
     }
 }
@@ -743,7 +755,7 @@ fn trace(args: &Args) {
 
 /// `figures store`: benchmark the durable storage layer. Stdout is the
 /// `BENCH_store.json` artifact; stderr narrates. Every measurement runs
-/// on a throwaway [`ScratchDir`], so the target leaves nothing behind.
+/// on a throwaway `ScratchDir`, so the target leaves nothing behind.
 fn store(args: &Args) {
     use cdb_bench::selfjoin_jobs;
     use cdb_core::{SettleSink, SettledFact};
@@ -817,13 +829,15 @@ fn store(args: &Args) {
             kv![n => facts, kind => kind, ms => ms],
         ));
         eprintln!(
-            "  {queries:>5} queries: {ms:>8.2} ms to recover {facts} facts \
-             ({} segments, {kind})",
+            "  {queries:>5} queries: {ms:>8.2} ms to recover {facts} facts, \
+             {} snapshots replayed ({} segments, {kind})",
+            cache.replay_snapshots(),
             cache.recovery().wal.segments
         );
         rec_json.push(format!(
-            "{{\"queries\": {queries}, \"facts\": {facts}, \"segments\": {}, \
-             \"ms\": {ms:.2}, \"facts_per_s\": {:.0}}}",
+            "{{\"queries\": {queries}, \"facts\": {facts}, \"replay_snapshots\": {}, \
+             \"segments\": {}, \"ms\": {ms:.2}, \"facts_per_s\": {:.0}}}",
+            cache.replay_snapshots(),
             cache.recovery().wal.segments,
             facts as f64 / (ms / 1e3).max(1e-9)
         ));
@@ -944,6 +958,274 @@ fn store(args: &Args) {
         "  \"obsv_events\": {{\"store.recover\": {}, \"store.flush\": {}}}",
         count(names::STORE_RECOVER),
         count(names::STORE_FLUSH)
+    );
+    println!("}}");
+}
+
+/// `figures perf`: the committed performance trajectory. Profiles the
+/// CDB hot path — graph build, similarity join, task selection (with its
+/// expectation / cascade / candidate sub-phases), entailment resolution,
+/// round dispatch, quality inference, pruning — across every Table 5
+/// workload (paper/award/movie × 2J..3J2S), plus a MinCut-selection run
+/// (select.mincut / select.maxflow) and a durable-store exercise
+/// (wal.fsync / reuse.replay). Stdout is the `BENCH_perf.json` artifact:
+/// deterministic counts are bit-identical across machines (seeded) and
+/// phase timings are medians over `--reps` runs with mergeable
+/// histograms. `--quick` drops to 1 rep for CI; the structure and counts
+/// stay identical to a full run, which is what `cdb-bench compare`
+/// gates on.
+///
+/// Always writes the award/3J1S phase histograms to
+/// `target/obsv/perf.prom`; with `CDB_PROFILE=1` also dumps
+/// `target/obsv/perf.folded` (flamegraph folded stacks) and
+/// `target/obsv/perf.trace.json` (Chrome trace with phase args).
+fn perf(args: &Args) {
+    use cdb_core::executor::SelectionStrategy;
+    use cdb_core::{ReuseCache, SettledFact};
+    use cdb_obsv::profile::{install, PhaseEntry, ProfileReport, Profiler};
+    use cdb_obsv::PromText;
+    use cdb_store::{AnswerLog, DurableReuseCache, ScratchDir, DEFAULT_SEGMENT_BYTES};
+    use std::sync::{Arc, Mutex};
+
+    let reps = if args.quick { 1 } else { args.reps.max(1) };
+    eprintln!(
+        "# perf: phase-attributed sweep, scale {}, {} rep(s), seed {}",
+        args.scale, reps, args.seed
+    );
+
+    // One profiled execution: prepare + the graph executor with an
+    // answer-reuse session attached (so entail.resolve is on the path).
+    // Returns the profiler (for the Chrome trace), its report, the wall
+    // time, and the deterministic counts [edges, tasks, rounds, saved].
+    let run_one = |ds: &Dataset,
+                   cql: &str,
+                   mincut_samples: Option<usize>,
+                   seed: u64|
+     -> (Arc<Profiler>, ProfileReport, f64, [usize; 4]) {
+        let cfg = ExpConfig { worker_quality: 0.95, seed, ..Default::default() };
+        // Keep raw phase intervals only under CDB_PROFILE=1: the Chrome
+        // trace needs them, the JSON artifact does not.
+        let event_cap = if cdb_obsv::profile::env_enabled() { 200_000 } else { 0 };
+        let profiler = Arc::new(Profiler::with_event_cap(event_cap));
+        let guard = install(Arc::clone(&profiler));
+        let start = Instant::now();
+        let (g, truth) = prepare(ds, cql, &cfg);
+        let edges = g.edge_count();
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed ^ 0x9e37_79b9);
+        let pool = WorkerPool::gaussian(cfg.pool_size, cfg.worker_quality, 0.1, &mut rng);
+        let mut platform = SimulatedPlatform::new(Market::Amt, pool, seed);
+        let exec_cfg = ExecutorConfig {
+            redundancy: cfg.redundancy,
+            selection: match mincut_samples {
+                Some(s) => SelectionStrategy::MinCutSampling { samples: s },
+                None => SelectionStrategy::Expectation,
+            },
+            quality: QualityStrategy::MajorityVote,
+            use_task_assignment: false,
+            parallel_rounds: true,
+            budget: None,
+            max_rounds: None,
+            flat_difficulty: false,
+            seed,
+        };
+        let session = Arc::new(Mutex::new(ReuseCache::new().snapshot()));
+        let stats = Executor::new(g, &truth, &mut platform, exec_cfg).with_reuse(session).run();
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        drop(guard);
+        let report = profiler.report();
+        (profiler, report, wall_ms, [edges, stats.tasks_asked, stats.rounds, stats.tasks_saved])
+    };
+
+    let ms = |ns: u64| ns as f64 / 1e6;
+    // Median phase timings across reps over rep 0's phase-tree structure
+    // (all reps share it: the tree is seed-deterministic, only clocks
+    // differ), with per-call histograms merged across reps.
+    let phases_json = |reports: &[ProfileReport]| -> String {
+        let out: Vec<String> = reports[0]
+            .entries
+            .iter()
+            .map(|e| {
+                let median = |f: &dyn Fn(&PhaseEntry) -> u64| -> f64 {
+                    let mut xs: Vec<u64> =
+                        reports.iter().filter_map(|r| r.get(&e.path)).map(f).collect();
+                    xs.sort_unstable();
+                    ms(xs[xs.len() / 2])
+                };
+                let mut hist = e.hist.clone();
+                for r in &reports[1..] {
+                    if let Some(x) = r.get(&e.path) {
+                        hist.merge(&x.hist);
+                    }
+                }
+                format!(
+                    "{{\"phase\": \"{}\", \"depth\": {}, \"count\": {}, \
+                     \"total_ms\": {:.3}, \"self_ms\": {:.3}, \"hist\": {}}}",
+                    e.path,
+                    e.depth,
+                    e.count,
+                    median(&|p| p.total_ns),
+                    median(&|p| p.self_ns),
+                    hist.to_json(1e-6)
+                )
+            })
+            .collect();
+        format!("[{}]", out.join(", "))
+    };
+
+    // --- 1. The Table 5 grid, phase-attributed.
+    let mut ds_json = Vec::new();
+    let mut award_3j1s: Option<(Arc<Profiler>, ProfileReport)> = None;
+    for name in ["paper", "award", "movie"] {
+        let ds = dataset(name, args);
+        let mut q_json = Vec::new();
+        for q in queries_for(name) {
+            let mut reports = Vec::new();
+            let mut walls = Vec::new();
+            let mut counts = [0usize; 4];
+            for rep in 0..reps {
+                let (prof, report, wall, c) = run_one(&ds, &q.cql, None, args.seed + rep as u64);
+                if rep == 0 {
+                    counts = c;
+                    if name == "award" && q.label == "3J1S" {
+                        award_3j1s = Some((prof, report.clone()));
+                    }
+                }
+                reports.push(report);
+                walls.push(wall);
+            }
+            walls.sort_by(f64::total_cmp);
+            let total_ms = walls[walls.len() / 2];
+            eprintln!(
+                "  {name}/{}: {} edges, {} tasks, {} rounds, {total_ms:.1} ms",
+                q.label, counts[0], counts[1], counts[2]
+            );
+            q_json.push(format!(
+                "{{\"query\": \"{}\", \"edges\": {}, \"tasks\": {}, \"rounds\": {}, \
+                 \"reuse_saved\": {}, \"total_ms\": {total_ms:.3}, \"phases\": {}}}",
+                q.label,
+                counts[0],
+                counts[1],
+                counts[2],
+                counts[3],
+                phases_json(&reports)
+            ));
+        }
+        ds_json.push(format!("{{\"dataset\": \"{name}\", \"queries\": [{}]}}", q_json.join(", ")));
+    }
+
+    // --- 2. MinCut selection on paper/2J: covers select.mincut and the
+    // select.maxflow kernel, which the expectation path never enters.
+    let (_mc_prof, mc_report, mc_wall, mc_counts) = {
+        let ds = dataset("paper", args);
+        run_one(&ds, &queries_for("paper")[0].cql, Some(8), args.seed)
+    };
+    assert!(
+        mc_report.get("task.select;select.mincut;select.maxflow").is_some(),
+        "MinCut run must profile the max-flow kernel"
+    );
+    eprintln!("  paper/2J (MinCut, 8 samples): {} tasks, {mc_wall:.1} ms", mc_counts[1]);
+    let mincut_json = format!(
+        "{{\"dataset\": \"paper\", \"query\": \"2J\", \"samples\": 8, \"edges\": {}, \
+         \"tasks\": {}, \"rounds\": {}, \"total_ms\": {mc_wall:.3}, \"phases\": {}}}",
+        mc_counts[0],
+        mc_counts[1],
+        mc_counts[2],
+        phases_json(std::slice::from_ref(&mc_report))
+    );
+
+    // --- 3. Durable-store hot path: wal.fsync per settle, reuse.replay
+    // on reopen. Counts (settles, fsyncs, replayed snapshots) are exact.
+    let settles = 64usize;
+    let store_json = {
+        let profiler = Arc::new(Profiler::new());
+        let guard = install(Arc::clone(&profiler));
+        let dir = ScratchDir::new("perf-store");
+        {
+            let (mut log, _) =
+                AnswerLog::open(dir.path(), DEFAULT_SEGMENT_BYTES).expect("open log");
+            for qn in 0..settles {
+                let facts: Vec<SettledFact> = (0..4)
+                    .map(|i| SettledFact {
+                        measure: "perf.v~v".into(),
+                        left: format!("item #{}", qn * 4 + i),
+                        right: format!("item #{}", qn * 4 + i + 1),
+                        same: (qn + i).is_multiple_of(2),
+                        votes: 3,
+                        cents: 15,
+                    })
+                    .collect();
+                log.append_settled(qn as u64, &facts).expect("append");
+            }
+        }
+        let start = Instant::now();
+        let cache = DurableReuseCache::open(dir.path()).expect("recover");
+        let recover_ms = start.elapsed().as_secs_f64() * 1e3;
+        drop(guard);
+        let report = profiler.report();
+        assert_eq!(cache.replay_snapshots() as usize, settles);
+        eprintln!(
+            "  store: {settles} settles, {} replayed snapshots, recover {recover_ms:.1} ms",
+            cache.replay_snapshots()
+        );
+        format!(
+            "{{\"settles\": {settles}, \"facts_per_settle\": 4, \"replay_snapshots\": {}, \
+             \"recover_ms\": {recover_ms:.3}, \"phases\": {}}}",
+            cache.replay_snapshots(),
+            phases_json(std::slice::from_ref(&report))
+        )
+    };
+
+    // --- 4. The award/3J1S outlier's task-selection decomposition (the
+    // Table 5 row EXPERIMENTS.md tracks): its sub-phases must carry the
+    // time, leaving <= 5% unattributed inside task.select itself.
+    let (award_prof, award_report) = award_3j1s.expect("award 3J1S ran");
+    let sel = award_report.get("task.select").expect("task.select profiled");
+    let subs: Vec<&PhaseEntry> =
+        award_report.entries.iter().filter(|e| e.path.starts_with("task.select;")).collect();
+    let sub_self_ns: u64 = subs.iter().map(|e| e.self_ns).sum();
+    let coverage = sub_self_ns as f64 / sel.total_ns.max(1) as f64;
+    eprintln!(
+        "  award/3J1S task.select: {} sub-phase(s) cover {:.1}% of {:.1} ms",
+        subs.len(),
+        100.0 * coverage,
+        ms(sel.total_ns)
+    );
+    assert!(subs.len() >= 3, "award 3J1S task.select must decompose into >= 3 sub-phases");
+    assert!(
+        coverage >= 0.95,
+        "task.select sub-phases must cover >= 95% of its time (got {:.1}%)",
+        100.0 * coverage
+    );
+
+    // --- 5. Exposition + profile dumps.
+    std::fs::create_dir_all("target/obsv").expect("create target/obsv");
+    let mut prom = PromText::new();
+    award_report.prom(&mut prom);
+    std::fs::write("target/obsv/perf.prom", prom.finish()).expect("write perf.prom");
+    eprintln!("# perf: wrote target/obsv/perf.prom (award/3J1S phase histograms)");
+    if cdb_obsv::profile::env_enabled() {
+        std::fs::write("target/obsv/perf.folded", award_report.folded())
+            .expect("write perf.folded");
+        std::fs::write("target/obsv/perf.trace.json", award_prof.chrome_trace())
+            .expect("write perf.trace.json");
+        eprintln!("# perf: CDB_PROFILE=1 -> wrote target/obsv/perf.folded + perf.trace.json");
+        eprintln!("{}", award_report.text());
+    }
+
+    println!("{{");
+    println!("  \"bench\": \"perf\",");
+    println!("  \"scale\": {},", args.scale);
+    println!("  \"seed\": {},", args.seed);
+    println!("  \"reps\": {reps},");
+    println!("  \"datasets\": [{}],", ds_json.join(", "));
+    println!("  \"mincut\": {mincut_json},");
+    println!("  \"store\": {store_json},");
+    println!(
+        "  \"select_decomposition\": {{\"dataset\": \"award\", \"query\": \"3J1S\", \
+         \"sub_phases\": {}, \"task_select_ms\": {:.3}, \"sub_self_ms\": {:.3}}}",
+        subs.len(),
+        ms(sel.total_ns),
+        ms(sub_self_ns)
     );
     println!("}}");
 }
@@ -1076,5 +1358,9 @@ fn main() {
     // Not part of `all`: its stdout is the BENCH_store.json artifact.
     if t == "store" {
         store(&args);
+    }
+    // Not part of `all`: its stdout is the BENCH_perf.json artifact.
+    if t == "perf" {
+        perf(&args);
     }
 }

@@ -5,6 +5,8 @@
 //! Used by the `figures` binary (which regenerates every table and figure
 //! of the evaluation section) and by the criterion micro-benches.
 
+pub mod compare;
+
 use std::collections::BTreeSet;
 
 use cdb_baselines::{

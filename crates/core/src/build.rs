@@ -38,6 +38,7 @@ pub fn build_query_graph(
     db: &Database,
     cfg: &GraphBuildConfig,
 ) -> QueryGraph {
+    let mut build_phase = cdb_obsv::profile::phase(cdb_obsv::profile::phases::GRAPH_BUILD);
     let mut g = QueryGraph::new();
 
     // Parts and vertices for tables. The vertex label is the value of the
@@ -79,6 +80,9 @@ pub fn build_query_graph(
                     .expect("resolved");
                 let lrefs: Vec<&str> = lvals.iter().map(String::as_str).collect();
                 let rrefs: Vec<&str> = rvals.iter().map(String::as_str).collect();
+                let mut join_phase =
+                    cdb_obsv::profile::phase(cdb_obsv::profile::phases::SIMILARITY_JOIN);
+                join_phase.set(cdb_obsv::attr::keys::N, (lrefs.len() * rrefs.len()) as u64);
                 for pair in similarity_join(&lrefs, &rrefs, cfg.similarity, cfg.epsilon) {
                     let u = nodes_of_table[&left.table][pair.left];
                     let v = nodes_of_table[&right.table][pair.right];
@@ -145,6 +149,7 @@ pub fn build_query_graph(
     }
 
     prune_invalid_edges(&mut g);
+    build_phase.set(cdb_obsv::attr::keys::N, g.edge_count() as u64);
     g
 }
 

@@ -46,7 +46,9 @@ pub fn pruning_expectations(g: &QueryGraph) -> Vec<(EdgeId, f64)> {
 /// Open edges in descending pruning-expectation order (ties by weight
 /// ascending — a less likely edge is the better cut — then id).
 pub fn expectation_order(g: &QueryGraph) -> Vec<EdgeId> {
+    let mut ph = cdb_obsv::profile::phase(cdb_obsv::profile::phases::SELECT_EXPECTATION);
     let mut scored = pruning_expectations(g);
+    ph.set(cdb_obsv::attr::keys::N, scored.len() as u64);
     scored.sort_by(|a, b| {
         b.1.total_cmp(&a.1)
             .then_with(|| g.edge_weight(a.0).total_cmp(&g.edge_weight(b.0)))
@@ -84,6 +86,7 @@ fn bundle_effect(g: &QueryGraph, node: NodeId, predicate: usize) -> (usize, f64,
 /// Count how many live edges die if `bundle` (all live edges of `start`
 /// for one predicate) is removed, excluding the bundle itself.
 fn simulate_cascade(g: &QueryGraph, start: NodeId, bundle: &[EdgeId]) -> usize {
+    let _ph = cdb_obsv::profile::phase(cdb_obsv::profile::phases::SELECT_CASCADE);
     let removed: std::collections::HashSet<EdgeId> = bundle.iter().copied().collect();
     let mut dead_edges: std::collections::HashSet<EdgeId> = removed.clone();
     let mut dead_nodes: std::collections::HashSet<NodeId> = std::collections::HashSet::new();

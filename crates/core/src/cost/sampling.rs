@@ -22,6 +22,8 @@ use crate::model::{Color, EdgeId, QueryGraph};
 /// colored or pruned).
 pub fn mincut_sampling_order(g: &QueryGraph, samples: usize, rng: &mut impl Rng) -> Vec<EdgeId> {
     assert!(samples > 0, "need at least one sample");
+    let mut ph = cdb_obsv::profile::phase(cdb_obsv::profile::phases::SELECT_MINCUT);
+    ph.set(cdb_obsv::attr::keys::N, samples as u64);
     let open = g.open_edges();
     let mut occurrences: std::collections::HashMap<EdgeId, usize> =
         std::collections::HashMap::new();

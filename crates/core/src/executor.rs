@@ -247,9 +247,15 @@ impl<'a, P: CrowdPlatform> Executor<'a, P> {
             // know *before* spending selection effort or crowd money. A
             // resolved edge can invalidate candidates, so re-prune and
             // re-derive the open set when anything resolved.
-            if self.reuse.is_some() && self.sweep_reuse(&open, this_round as u64) > 0 {
-                prune_invalid_edges(&mut self.graph);
-                continue;
+            if self.reuse.is_some() {
+                let mut ph = cdb_obsv::profile::phase(cdb_obsv::profile::phases::ENTAIL_RESOLVE);
+                let resolved = self.sweep_reuse(&open, this_round as u64);
+                ph.set(cdb_obsv::attr::keys::N, resolved as u64);
+                drop(ph);
+                if resolved > 0 {
+                    prune_invalid_edges(&mut self.graph);
+                    continue;
+                }
             }
 
             if self.trace.on() {
@@ -265,6 +271,8 @@ impl<'a, P: CrowdPlatform> Executor<'a, P> {
                 ));
             }
 
+            let mut select_phase = cdb_obsv::profile::phase(cdb_obsv::profile::phases::TASK_SELECT);
+            select_phase.set(cdb_obsv::attr::keys::ROUND, this_round as u64);
             let batch: Vec<EdgeId> = if flush {
                 open.clone()
             } else if self.cfg.budget.is_some() {
@@ -307,6 +315,8 @@ impl<'a, P: CrowdPlatform> Executor<'a, P> {
                 }
             };
             let batch: Vec<EdgeId> = batch.into_iter().take(remaining_budget).collect();
+            select_phase.set(cdb_obsv::attr::keys::N, batch.len() as u64);
+            drop(select_phase);
             if batch.is_empty() {
                 break;
             }
@@ -319,8 +329,16 @@ impl<'a, P: CrowdPlatform> Executor<'a, P> {
                 kv![round => round_no, n => batch.len() as u64],
             );
             self.emit_plan_edges(&span, &batch, round_no);
-            self.ask_batch(&batch);
-            self.infer_and_color(&batch);
+            {
+                let mut ph = cdb_obsv::profile::phase(cdb_obsv::profile::phases::ROUND_DISPATCH);
+                ph.set(cdb_obsv::attr::keys::ROUND, round_no);
+                ph.set(cdb_obsv::attr::keys::N, batch.len() as u64);
+                self.ask_batch(&batch);
+            }
+            {
+                let _ph = cdb_obsv::profile::phase(cdb_obsv::profile::phases::QUALITY_INFER);
+                self.infer_and_color(&batch);
+            }
             self.record_reuse(&batch);
             self.emit_colors(&span, &batch, round_no);
             prune_invalid_edges(&mut self.graph);

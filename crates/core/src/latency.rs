@@ -67,6 +67,8 @@ pub fn parallel_round_prefix(g: &QueryGraph, ordered: &[EdgeId]) -> Vec<EdgeId> 
 }
 
 fn round_impl(g: &QueryGraph, ordered: &[EdgeId], stop_at_first_conflict: bool) -> Vec<EdgeId> {
+    let mut ph = cdb_obsv::profile::phase(cdb_obsv::profile::phases::SELECT_CANDIDATES);
+    ph.set(cdb_obsv::attr::keys::N, ordered.len() as u64);
     let comp = live_components(g);
     // Split the ordered list per component (an edge's component is its
     // endpoints' — both endpoints share one by construction).

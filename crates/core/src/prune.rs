@@ -37,6 +37,7 @@ pub fn predicate_structure_cyclic(g: &QueryGraph) -> bool {
 /// Runs arc-consistency cascading first, then (for cyclic predicate
 /// structures only) the exact membership check on the survivors.
 pub fn prune_invalid_edges(g: &mut QueryGraph) -> Vec<EdgeId> {
+    let mut ph = cdb_obsv::profile::phase(cdb_obsv::profile::phases::PRUNE);
     let mut invalidated = arc_consistency(g);
     if predicate_structure_cyclic(g) {
         let survivors: Vec<EdgeId> = g.open_edges();
@@ -47,6 +48,7 @@ pub fn prune_invalid_edges(g: &mut QueryGraph) -> Vec<EdgeId> {
             }
         }
     }
+    ph.set(cdb_obsv::attr::keys::N, invalidated.len() as u64);
     invalidated
 }
 

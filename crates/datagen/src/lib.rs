@@ -26,4 +26,4 @@ pub use dirty::{abbreviate, drop_token, typo, variant, DirtConfig};
 pub use example::paper_example_dataset;
 pub use pools::{cluster_labels, entity_pool};
 pub use queries::{queries_for, QuerySpec};
-pub use scenario::{award_dataset, paper_dataset, Dataset, DatasetScale};
+pub use scenario::{award_dataset, movie_dataset, paper_dataset, Dataset, DatasetScale};

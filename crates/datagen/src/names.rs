@@ -207,6 +207,30 @@ pub(crate) const AWARD_STEMS: &[&str] = &[
     "Visionary Prize",
 ];
 
+pub(crate) const GENRES: &[&str] = &[
+    "drama",
+    "dramatic comedy",
+    "comedy",
+    "thriller",
+    "documentary",
+    "romance",
+    "action",
+    "science fiction",
+    "horror",
+    "animation",
+];
+
+pub(crate) const STUDIO_STEMS: &[&str] = &[
+    "Pictures",
+    "Studios",
+    "Films",
+    "Entertainment",
+    "Productions",
+    "Media Works",
+    "Cinema Group",
+    "Film Partners",
+];
+
 /// Deterministically pick one element.
 pub(crate) fn pick<'a>(pool: &'a [&'a str], rng: &mut impl Rng) -> &'a str {
     pool[rng.gen_range(0..pool.len())]
@@ -230,6 +254,24 @@ pub(crate) fn university_name(i: usize, _rng: &mut impl Rng) -> String {
         format!("{stem} State University")
     } else {
         format!("University of {stem} Campus {}", round,)
+    }
+}
+
+/// Compose a synthetic movie title.
+pub(crate) fn movie_title(rng: &mut impl Rng) -> String {
+    format!("The {} of {}", pick(TITLE_SUBJECTS, rng), pick(PLACE_STEMS, rng))
+}
+
+/// Compose a synthetic studio name. Deterministic in `i` and unique for
+/// any realistic studio-table cardinality.
+pub(crate) fn studio_name(i: usize, _rng: &mut impl Rng) -> String {
+    let place = PLACE_STEMS[i % PLACE_STEMS.len()];
+    let kind = STUDIO_STEMS[(i / PLACE_STEMS.len()) % STUDIO_STEMS.len()];
+    let round = i / (PLACE_STEMS.len() * STUDIO_STEMS.len());
+    if round == 0 {
+        format!("{place} {kind}")
+    } else {
+        format!("{place} {kind} {round}")
     }
 }
 

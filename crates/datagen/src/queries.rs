@@ -9,7 +9,8 @@ pub struct QuerySpec {
     pub cql: String,
 }
 
-/// The Table 4 queries for a dataset (`"paper"` or `"award"`).
+/// The Table 4 queries for a dataset (`"paper"` or `"award"`), or the
+/// structurally parallel query set for the extension `"movie"` dataset.
 ///
 /// The `paper` queries are verbatim from the table; the `award` queries
 /// follow the same structure (the table's right column is partially
@@ -114,7 +115,56 @@ pub fn queries_for(dataset: &str) -> Vec<QuerySpec> {
                     .into(),
             },
         ],
-        other => panic!("unknown dataset `{other}` (expected \"paper\" or \"award\")"),
+        "movie" => vec![
+            QuerySpec {
+                label: "2J",
+                cql: "SELECT Movie.title, Review.stars, Director.studio \
+                      FROM Movie, Review, Director \
+                      WHERE Movie.title CROWDJOIN Review.title AND \
+                      Movie.director CROWDJOIN Director.name"
+                    .into(),
+            },
+            QuerySpec {
+                label: "2J1S",
+                cql: "SELECT Movie.title, Review.stars, Director.studio \
+                      FROM Movie, Review, Director \
+                      WHERE Movie.title CROWDJOIN Review.title AND \
+                      Movie.director CROWDJOIN Director.name AND \
+                      Movie.genre CROWDEQUAL \"drama\""
+                    .into(),
+            },
+            QuerySpec {
+                label: "3J",
+                cql: "SELECT Movie.title, Review.stars, Studio.country \
+                      FROM Movie, Review, Director, Studio \
+                      WHERE Movie.title CROWDJOIN Review.title AND \
+                      Movie.director CROWDJOIN Director.name AND \
+                      Director.studio CROWDJOIN Studio.name"
+                    .into(),
+            },
+            QuerySpec {
+                label: "3J1S",
+                cql: "SELECT Movie.title, Review.stars \
+                      FROM Movie, Review, Director, Studio \
+                      WHERE Movie.title CROWDJOIN Review.title AND \
+                      Movie.director CROWDJOIN Director.name AND \
+                      Director.studio CROWDJOIN Studio.name AND \
+                      Studio.country CROWDEQUAL \"USA\""
+                    .into(),
+            },
+            QuerySpec {
+                label: "3J2S",
+                cql: "SELECT Movie.title, Review.stars \
+                      FROM Movie, Review, Director, Studio \
+                      WHERE Movie.title CROWDJOIN Review.title AND \
+                      Movie.director CROWDJOIN Director.name AND \
+                      Director.studio CROWDJOIN Studio.name AND \
+                      Movie.genre CROWDEQUAL \"drama\" AND \
+                      Studio.country CROWDEQUAL \"USA\""
+                    .into(),
+            },
+        ],
+        other => panic!("unknown dataset `{other}` (expected \"paper\", \"award\", or \"movie\")"),
     }
 }
 
@@ -125,7 +175,7 @@ mod tests {
 
     #[test]
     fn five_queries_per_dataset() {
-        for ds in ["paper", "award"] {
+        for ds in ["paper", "award", "movie"] {
             let qs = queries_for(ds);
             assert_eq!(qs.len(), 5, "{ds}");
             assert_eq!(
@@ -137,7 +187,7 @@ mod tests {
 
     #[test]
     fn all_queries_parse() {
-        for ds in ["paper", "award"] {
+        for ds in ["paper", "award", "movie"] {
             for q in queries_for(ds) {
                 let stmt = parse(&q.cql).unwrap_or_else(|e| panic!("{ds}/{}: {e}", q.label));
                 assert!(matches!(stmt, Statement::Select(_)));
@@ -147,7 +197,7 @@ mod tests {
 
     #[test]
     fn labels_match_join_and_selection_counts() {
-        for ds in ["paper", "award"] {
+        for ds in ["paper", "award", "movie"] {
             for q in queries_for(ds) {
                 let Statement::Select(sel) = parse(&q.cql).unwrap() else { panic!() };
                 let joins = sel.predicates.iter().filter(|p| p.is_join()).count();

@@ -1,4 +1,5 @@
-//! The `paper` and `award` dataset generators (Tables 2 and 3).
+//! The `paper` and `award` dataset generators (Tables 2 and 3), plus the
+//! extension `movie` dataset used by the perf sweep.
 
 use cdb_core::QueryTruth;
 use cdb_storage::{ColumnDef, ColumnType, Database, Schema, Table, TupleId, Value};
@@ -7,8 +8,8 @@ use rand::{Rng, SeedableRng};
 
 use crate::dirty::{variant, DirtConfig};
 use crate::names::{
-    paper_title, person_name, pick, university_name, AWARD_STEMS, CONFERENCES, COUNTRIES,
-    PLACE_STEMS,
+    movie_title, paper_title, person_name, pick, studio_name, university_name, AWARD_STEMS,
+    CONFERENCES, COUNTRIES, GENRES, PLACE_STEMS,
 };
 
 /// Table cardinalities. `paper_full()` and `award_full()` match Tables 2
@@ -37,6 +38,13 @@ impl DatasetScale {
         DatasetScale { t1: 1498, t2: 3220, t3: 2669, t4: 1192 }
     }
 
+    /// The `movie` dataset sizes. Not from the paper — an extension
+    /// workload with the same 4-table chain shape, sized between `paper`
+    /// and `award` so the perf sweep exercises a third matching structure.
+    pub fn movie_full() -> Self {
+        DatasetScale { t1: 980, t2: 2150, t3: 640, t4: 310 }
+    }
+
     /// Shrink all cardinalities by `1/f` (at least 4 rows each).
     pub fn scaled(self, f: usize) -> Self {
         assert!(f >= 1);
@@ -53,7 +61,7 @@ impl DatasetScale {
 /// value universe used by COLLECT experiments.
 #[derive(Debug)]
 pub struct Dataset {
-    /// `"paper"` or `"award"`.
+    /// `"paper"`, `"award"`, or `"movie"`.
     pub name: &'static str,
     /// The four generated tables.
     pub db: Database,
@@ -369,6 +377,153 @@ pub fn award_dataset(scale: DatasetScale, seed: u64) -> Dataset {
     Dataset { name: "award", db, truth, universe: award_names }
 }
 
+/// Generate the `movie` dataset: Movie(title, director, genre),
+/// Review(title, stars), Director(name, studio), Studio(name, country).
+///
+/// Same chain shape as the other two datasets — Review ~ Movie ~ Director
+/// ~ Studio with selections on Movie.genre (`"drama"`) and Studio.country
+/// (`"USA"`) — but a different matching structure: director names are
+/// reused across movies (one director authors several movies), so the
+/// Movie~Director predicate is denser than the paper dataset's
+/// Paper~Researcher one.
+pub fn movie_dataset(scale: DatasetScale, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dirt = DirtConfig::default();
+    let mut db = Database::new();
+    let mut truth = QueryTruth::default();
+
+    // Studio.
+    let mut studio = Table::new(
+        "Studio",
+        Schema::new(vec![
+            ColumnDef::new("name", ColumnType::Text),
+            ColumnDef::new("country", ColumnType::Text),
+        ]),
+    );
+    let mut studio_names = Vec::with_capacity(scale.t4);
+    for i in 0..scale.t4 {
+        let name = studio_name(i, &mut rng);
+        let true_usa = rng.gen::<f64>() < 0.45;
+        let country = if true_usa {
+            if rng.gen::<bool>() {
+                "USA"
+            } else {
+                "US"
+            }
+        } else {
+            pick(&COUNTRIES[1..], &mut rng)
+        };
+        let row = studio
+            .push(vec![Value::from(name.as_str()), Value::from(country)])
+            .expect("schema matches");
+        if true_usa {
+            truth.add_selection(TupleId::new("Studio", row), "USA");
+        }
+        studio_names.push(name);
+    }
+
+    // Director: studio is a dirty variant of a studio name.
+    let mut director = Table::new(
+        "Director",
+        Schema::new(vec![
+            ColumnDef::new("name", ColumnType::Text),
+            ColumnDef::new("studio", ColumnType::Text),
+        ]),
+    );
+    let mut director_names = Vec::with_capacity(scale.t3);
+    for i in 0..scale.t3 {
+        let name = format!("{} {}", person_name(&mut rng), to_suffix(i));
+        let j = rng.gen_range(0..studio_names.len());
+        // ~70% of directors truly work for a listed studio; the rest carry
+        // a decoy studio (similar name, different company).
+        let (studio_ref, matched_studio) = if rng.gen::<f64>() < 0.7 {
+            (variant(&studio_names[j], &dirt, &mut rng), Some(j))
+        } else {
+            (decoy(&studio_names[j], PLACE_STEMS, &mut rng), None)
+        };
+        let row = director
+            .push(vec![Value::from(name.as_str()), Value::from(studio_ref.as_str())])
+            .expect("schema matches");
+        if let Some(j) = matched_studio {
+            truth.add_join(TupleId::new("Director", row), TupleId::new("Studio", j));
+        }
+        director_names.push(name);
+    }
+
+    // Movie: director is a dirty variant of a listed director's name.
+    let mut movie = Table::new(
+        "Movie",
+        Schema::new(vec![
+            ColumnDef::new("title", ColumnType::Text),
+            ColumnDef::new("director", ColumnType::Text),
+            ColumnDef::new("genre", ColumnType::Text),
+        ]),
+    );
+    let mut movie_titles = Vec::with_capacity(scale.t1);
+    for i in 0..scale.t1 {
+        let j = rng.gen_range(0..director_names.len());
+        // ~65% of movies have a listed director; the rest a decoy name.
+        let (director_ref, matched_dir) = if rng.gen::<f64>() < 0.65 {
+            (variant(&director_names[j], &dirt, &mut rng), Some(j))
+        } else {
+            (decoy(&director_names[j], crate::names::LAST_NAMES, &mut rng), None)
+        };
+        let true_drama = rng.gen::<f64>() < 0.35;
+        // "dramatic comedy" and friends stay similar enough to "drama" to
+        // form CROWDEQUAL edges that are truly RED.
+        let genre = if true_drama { "drama" } else { pick(&GENRES[1..], &mut rng) };
+        let title = format!("{} ({})", movie_title(&mut rng), to_suffix(i));
+        let row = movie
+            .push(vec![
+                Value::from(title.as_str()),
+                Value::from(director_ref.as_str()),
+                Value::from(genre),
+            ])
+            .expect("schema matches");
+        if let Some(j) = matched_dir {
+            truth.add_join(TupleId::new("Movie", row), TupleId::new("Director", j));
+        }
+        if true_drama {
+            truth.add_selection(TupleId::new("Movie", row), "drama");
+        }
+        movie_titles.push(title);
+    }
+
+    // Review: ~55% reference a listed movie, ~25% decoys, rest unrelated.
+    let mut review = Table::new(
+        "Review",
+        Schema::new(vec![
+            ColumnDef::new("title", ColumnType::Text),
+            ColumnDef::new("stars", ColumnType::Int),
+        ]),
+    );
+    for i in 0..scale.t2 {
+        let roll: f64 = rng.gen();
+        let (title, matched) = if roll < 0.55 {
+            let j = rng.gen_range(0..movie_titles.len());
+            (variant(&movie_titles[j], &dirt, &mut rng), Some(j))
+        } else if roll < 0.8 {
+            let j = rng.gen_range(0..movie_titles.len());
+            (decoy(&movie_titles[j], crate::names::TITLE_SUBJECTS, &mut rng), None)
+        } else {
+            (format!("{} [ext {i}]", movie_title(&mut rng)), None)
+        };
+        let stars = rng.gen_range(0..11i64);
+        let row = review
+            .push(vec![Value::from(title.as_str()), Value::Int(stars)])
+            .expect("schema matches");
+        if let Some(j) = matched {
+            truth.add_join(TupleId::new("Review", row), TupleId::new("Movie", j));
+        }
+    }
+
+    db.add_table(movie).expect("fresh catalog");
+    db.add_table(review).expect("fresh catalog");
+    db.add_table(director).expect("fresh catalog");
+    db.add_table(studio).expect("fresh catalog");
+    Dataset { name: "movie", db, truth, universe: studio_names }
+}
+
 /// A *decoy* of a reference string: one interior token replaced by a pool
 /// word. The result stays similar enough to the original to form a graph
 /// edge (the shared tokens dominate), but the ground truth is *no match* —
@@ -466,6 +621,31 @@ mod tests {
         }
         assert!(!d.truth.joins.is_empty());
         assert!(!d.universe.is_empty());
+    }
+
+    #[test]
+    fn movie_dataset_tables_and_truth() {
+        let d = movie_dataset(DatasetScale::movie_full().scaled(20), 5);
+        for t in ["Movie", "Review", "Director", "Studio"] {
+            assert!(d.db.contains_table(t), "{t}");
+        }
+        assert!(!d.truth.joins.is_empty());
+        assert!(!d.truth.selections.is_empty());
+        assert!(!d.universe.is_empty());
+        // Both selection targets exist: drama movies and USA studios.
+        assert!(d.truth.selections.iter().any(|(t, v)| t.table == "Movie" && v == "drama"));
+        assert!(d.truth.selections.iter().any(|(t, v)| t.table == "Studio" && v == "USA"));
+    }
+
+    #[test]
+    fn movie_generation_is_deterministic() {
+        let a = movie_dataset(DatasetScale::movie_full().scaled(20), 42);
+        let b = movie_dataset(DatasetScale::movie_full().scaled(20), 42);
+        assert_eq!(
+            a.db.table("Movie").unwrap().column_strings("title").unwrap(),
+            b.db.table("Movie").unwrap().column_strings("title").unwrap()
+        );
+        assert_eq!(a.truth.joins, b.truth.joins);
     }
 
     #[test]

@@ -94,6 +94,8 @@ impl Dinic {
     /// capacities persist, which `min_cut_edges` relies on).
     pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
         assert_ne!(s, t, "source and sink must differ");
+        let mut ph = cdb_obsv::profile::phase(cdb_obsv::profile::phases::SELECT_MAXFLOW);
+        ph.set(cdb_obsv::attr::keys::N, self.vertex_count() as u64);
         let mut flow = 0u64;
         while self.bfs(s, t) {
             self.iter = vec![0; self.adj.len()];

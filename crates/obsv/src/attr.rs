@@ -110,7 +110,7 @@ pub mod names {
     /// Shared-HIT cost attributed back to one query for one global round
     /// (kv `q`, `round`, `n` = tasks, `cents`). Summing these per query
     /// must reproduce the platform spend of the `sched.round` events
-    /// exactly — see [`Attribution::sched_mismatches`].
+    /// exactly — see [`Attribution::sched_mismatches`](super::Attribution::sched_mismatches).
     pub const SCHED_COST: &str = "sched.cost";
     /// A query's fresh crowd answers were durably settled (fsync'd) by
     /// the storage layer before entering the shared reuse cache (kv `q`,

@@ -221,6 +221,246 @@ pub fn check_balanced(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// A parsed JSON value.
+///
+/// The vendored `serde` stand-in cannot deserialize, so tools that *read*
+/// JSON artifacts back (the `cdb-bench compare` regression gate diffing
+/// two committed `BENCH_*.json` files) use this small recursive-descent
+/// parser instead. Object keys keep insertion order — the diff tool's
+/// structural comparison reports drift in a stable order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`; the artifacts' integers fit exactly).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document key order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Look up a key of an object (None for other variants).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(kvs) => kvs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Errors carry a byte offset and a short reason.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let b = text.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.ws();
+    let v = p.value()?;
+    p.ws();
+    if p.i != b.len() {
+        return Err(format!("trailing input at byte {}", p.i));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.i)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.i + 4 > self.b.len() {
+                                return Err("truncated \\u escape".into());
+                            }
+                            let hex = std::str::from_utf8(&self.b[self.i..self.i + 4])
+                                .map_err(|_| "bad \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape at byte {}", self.i))?;
+                            self.i += 4;
+                            // Surrogates aren't produced by our writers;
+                            // map unpaired ones to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        c => {
+                            return Err(format!("bad escape '\\{}' at byte {}", c as char, self.i))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.b[self.i..])
+                        .map_err(|_| "invalid utf-8 in string")?;
+                    let ch = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(ch);
+                    self.i += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            self.ws();
+            out.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(out));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            let val = self.value()?;
+            out.push((key, val));
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(out));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,5 +516,69 @@ mod tests {
         assert!(check_balanced("   ").is_err());
         // Braces inside strings don't count.
         check_balanced(r#"{"a":"}{"}"#).unwrap();
+    }
+
+    #[test]
+    fn parser_round_trips_writer_output() {
+        let doc = JsonObject::new()
+            .str("bench", "perf")
+            .u64("seed", 42)
+            .f64("ms", 12.75)
+            .i64("delta", -3)
+            .bool("quick", false)
+            .raw("phases", &JsonArray::new().u64(1).str("a\"b").raw("null").finish())
+            .finish();
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("bench").unwrap().as_str(), Some("perf"));
+        assert_eq!(v.get("seed").unwrap().as_num(), Some(42.0));
+        assert_eq!(v.get("ms").unwrap().as_num(), Some(12.75));
+        assert_eq!(v.get("delta").unwrap().as_num(), Some(-3.0));
+        assert_eq!(v.get("quick"), Some(&Json::Bool(false)));
+        let arr = v.get("phases").unwrap().as_arr().unwrap();
+        assert_eq!(arr, &[Json::Num(1.0), Json::Str("a\"b".into()), Json::Null]);
+    }
+
+    #[test]
+    fn parser_keeps_object_key_order() {
+        let v = parse(r#"{"z":1,"a":2,"m":3}"#).unwrap();
+        let Json::Obj(kvs) = v else { panic!() };
+        assert_eq!(kvs.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(), vec!["z", "a", "m"]);
+    }
+
+    #[test]
+    fn parser_handles_nesting_whitespace_and_escapes() {
+        let v = parse(" { \"a\" : [ { \"b\" : \"x\\ny\\u0041\" } , 1e3 , -2.5 ] } ").unwrap();
+        let a = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(a[0].get("b").unwrap().as_str(), Some("x\nyA"));
+        assert_eq!(a[1].as_num(), Some(1000.0));
+        assert_eq!(a[2].as_num(), Some(-2.5));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "{} trailing",
+            "{\"a\":1,}",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parser_accepts_real_bench_artifacts() {
+        // The committed BENCH_store.json shape (trimmed).
+        let doc = r#"{"bench":"store","seed":42,"recovery":[{"queries":100,"ms":16.35}]}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(
+            v.get("recovery").unwrap().as_arr().unwrap()[0].get("queries").unwrap().as_num(),
+            Some(100.0)
+        );
     }
 }

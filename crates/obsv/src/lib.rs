@@ -29,11 +29,20 @@
 //!   serialize), a Prometheus text-format writer + line-format validator,
 //!   and a Chrome `trace_event` JSON emitter loadable in
 //!   `about:tracing` / [Perfetto](https://ui.perfetto.dev).
+//! * **Profiling** ([`hist`], [`profile`]): the *wall-clock* domain,
+//!   deliberately separate from the deterministic virtual-time streams
+//!   above. [`Hist`] is a fixed-precision log-bucketed histogram whose
+//!   merge is bucket-wise addition (byte-identical at any thread count);
+//!   [`profile::Profiler`] turns RAII [`profile::phase`] guards placed in
+//!   hot functions into a per-phase self-time tree with folded-stacks
+//!   (flamegraph) and wall-clock Chrome-trace exports.
 
 pub mod attr;
 pub mod collect;
 pub mod event;
+pub mod hist;
 pub mod json;
+pub mod profile;
 pub mod prom;
 pub mod span;
 pub mod trace_event;
@@ -41,6 +50,8 @@ pub mod trace_event;
 pub use attr::{Attribution, ConservationTotals, NodeAttribution, QueryAttribution};
 pub use collect::{Collector, Fanout, Noop, Ring, Trace, WithContext};
 pub use event::{Event, EventKind, KvList, Value, MAX_KV};
+pub use hist::Hist;
+pub use profile::{PhaseGuard, ProfileReport, Profiler};
 pub use prom::{validate_exposition, PromText};
 pub use span::{Span, SpanId};
 pub use trace_event::chrome_trace;

@@ -1,0 +1,130 @@
+//! Property tests for the deterministic histogram and phase profiler.
+//!
+//! The claims pinned here are the ones the perf artifacts depend on:
+//!
+//! * [`Hist::merge`] is associative and commutative, so per-thread shards
+//!   merged in any order — and any *number* of shards — serialize to
+//!   byte-identical state ([`Hist::encode`]).
+//! * [`Hist::percentile`] is within the documented bucket bound of the
+//!   exact nearest-rank percentile: `v <= e <= v + 1 + v/SUB`.
+//! * The profiler's self times are conservative: over any (well-nested)
+//!   sequence of phase enters/exits, the self times across all call paths
+//!   sum exactly to the total across top-level phases.
+
+use std::sync::Arc;
+
+use cdb_obsv::profile::{self, Profiler};
+use cdb_obsv::Hist;
+use proptest::prelude::*;
+
+const SUB: u64 = cdb_obsv::hist::SUB;
+
+fn hist_of(values: &[u64]) -> Hist {
+    let mut h = Hist::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Latency-like values: log-uniform-ish over bit widths, so there is
+/// heavy mass near zero with a tail out to ~minutes in nanoseconds.
+fn latencies() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec((1u32..38, any::<u64>()).prop_map(|(bits, r)| r % (1u64 << bits)), 0..200)
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in latencies(), b in latencies()) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.encode(), ba.encode());
+    }
+
+    #[test]
+    fn merge_is_associative(a in latencies(), b in latencies(), c in latencies()) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // (a + b) + c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a + (b + c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.encode(), right.encode());
+    }
+
+    /// Record the same multiset on 1, 4, and 8 real threads (round-robin
+    /// shards, merged in thread order) and require byte-identical encodes.
+    #[test]
+    fn sharded_recording_is_thread_count_independent(values in latencies()) {
+        let single = hist_of(&values).encode();
+        for threads in [4usize, 8] {
+            let shards: Vec<Vec<u64>> = (0..threads)
+                .map(|t| values.iter().copied().skip(t).step_by(threads).collect())
+                .collect();
+            let handles: Vec<_> = shards
+                .into_iter()
+                .map(|shard| std::thread::spawn(move || hist_of(&shard)))
+                .collect();
+            let mut merged = Hist::new();
+            for h in handles {
+                merged.merge(&h.join().expect("shard thread panicked"));
+            }
+            prop_assert_eq!(merged.encode(), single.clone(), "threads={}", threads);
+        }
+    }
+
+    /// Percentile estimates stay within the bucket bound of the exact
+    /// nearest-rank percentile.
+    #[test]
+    fn percentile_error_is_within_bucket_bound(
+        mut values in prop::collection::vec(0u64..200_000_000, 1..300),
+        p in 0.0f64..1.0,
+    ) {
+        let h = hist_of(&values);
+        values.sort_unstable();
+        let rank = ((p * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let exact = values[rank - 1];
+        let est = h.percentile(p);
+        prop_assert!(est >= exact, "estimate {} below exact {}", est, exact);
+        prop_assert!(
+            est as u128 <= exact as u128 + 1 + exact as u128 / SUB as u128,
+            "estimate {} exceeds bucket bound of exact {}", est, exact,
+        );
+    }
+
+    /// Over an arbitrary well-nested enter/exit sequence, self times sum
+    /// exactly to the root total (no double counting, nothing lost).
+    #[test]
+    fn profiler_self_time_conservation(ops in prop::collection::vec(0u8..6, 0..60)) {
+        const NAMES: [&str; 4] = ["graph.build", "task.select", "prune", "wal.fsync"];
+        let prof = Arc::new(Profiler::new());
+        {
+            let _g = profile::install(Arc::clone(&prof));
+            let mut open: Vec<profile::PhaseGuard> = Vec::new();
+            for op in ops {
+                if (op as usize) < NAMES.len() && open.len() < 8 {
+                    open.push(profile::phase(NAMES[op as usize]));
+                } else {
+                    open.pop(); // drop = exit (no-op when nothing is open)
+                }
+            }
+            // Close whatever is still open, innermost first.
+            while open.pop().is_some() {}
+        }
+        let report = prof.report();
+        prop_assert_eq!(report.self_total_ns(), report.root_total_ns());
+        for e in &report.entries {
+            prop_assert!(e.self_ns <= e.total_ns, "self > total at {}", &e.path);
+            prop_assert_eq!(e.hist.count(), e.count, "hist count drift at {}", &e.path);
+        }
+    }
+}

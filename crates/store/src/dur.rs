@@ -31,6 +31,7 @@ pub struct DurableReuseCache {
     cache: Arc<ReuseCache>,
     log: Mutex<AnswerLog>,
     recovery: AnswerRecovery,
+    replay_snapshots: u64,
 }
 
 impl DurableReuseCache {
@@ -46,14 +47,19 @@ impl DurableReuseCache {
     pub fn open_with(dir: &Path, segment_bytes: u64) -> Result<DurableReuseCache> {
         let (log, recovery) = AnswerLog::open(dir, segment_bytes)?;
         let cache = Arc::new(ReuseCache::new());
+        let mut ph = cdb_obsv::profile::phase(cdb_obsv::profile::phases::REUSE_REPLAY);
+        let mut replay_snapshots = 0u64;
         for (_query, facts) in &recovery.settled {
             let mut session = cache.snapshot();
             for f in facts {
                 session.record(&f.measure, &f.left, &f.right, f.same);
             }
             cache.absorb(&session);
+            replay_snapshots += 1;
         }
-        Ok(DurableReuseCache { cache, log: Mutex::new(log), recovery })
+        ph.set(cdb_obsv::attr::keys::N, replay_snapshots);
+        drop(ph);
+        Ok(DurableReuseCache { cache, log: Mutex::new(log), recovery, replay_snapshots })
     }
 
     /// The in-memory cache to hand to `RuntimeConfig::reuse`. Shares
@@ -67,6 +73,12 @@ impl DurableReuseCache {
     /// tail) — the recovery evidence the sim checker asserts over.
     pub fn recovery(&self) -> &AnswerRecovery {
         &self.recovery
+    }
+
+    /// Settled batches replayed through a fresh session at open time —
+    /// one snapshot/absorb cycle per batch. Zero on a cold (empty) open.
+    pub fn replay_snapshots(&self) -> u64 {
+        self.replay_snapshots
     }
 
     /// Cents durably settled across the log's whole history.

@@ -209,6 +209,7 @@ impl Wal {
     /// Fsync the active segment — the durability point for everything
     /// appended so far.
     pub fn sync(&mut self) -> Result<()> {
+        let _ph = cdb_obsv::profile::phase(cdb_obsv::profile::phases::WAL_FSYNC);
         self.cur_file.sync_all().map_err(|e| StoreError::io("sync wal segment", e))
     }
 

@@ -8,7 +8,10 @@
 # a dependency-free awk pass asserting every line is either a well-formed
 # `# HELP` / `# TYPE` comment or a `name[{labels}] value` sample, that
 # every sample's metric family was declared first, and that histogram
-# `_bucket` series end with an `le="+Inf"` line.
+# `_bucket` series end with an `le="+Inf"` line. Histogram semantics are
+# also checked: cumulative bucket counts must be monotone non-decreasing
+# in document order, and the `+Inf` bucket must equal the family's
+# `_count` sample.
 set -eu
 
 file="${1:?usage: scripts/check_prometheus.sh <exposition-file>}"
@@ -36,18 +39,40 @@ function fail(msg) { printf "FAIL line %d: %s: %s\n", NR, msg, $0 > "/dev/stderr
     sub(/_(bucket|sum|count)$/, "", family)
     if (!(name in typed) && !(family in typed)) fail("sample before # TYPE")
     if (!(name in helped) && !(family in helped)) fail("sample before # HELP")
+    value = $NF
     if (name ~ /_bucket$/) {
         if ($0 !~ /le="/) fail("histogram bucket without an le label")
-        if ($0 ~ /le="\+Inf"/) inf_buckets[family] = 1
+        # Cumulative histograms: within a family the bucket counts must be
+        # monotone non-decreasing in document order.
+        if ((family in prev_bucket) && value + 0 < prev_bucket[family] + 0)
+            fail(sprintf("bucket count %s below previous bucket %s for %s", \
+                         value, prev_bucket[family], family))
+        prev_bucket[family] = value
+        if ($0 ~ /le="\+Inf"/) { inf_buckets[family] = 1; inf_count[family] = value }
         bucket_families[family] = 1
     }
+    if (name ~ /_count$/ && family in bucket_families) count_sample[family] = value
 }
 END {
-    for (f in bucket_families)
+    for (f in bucket_families) {
         if (!(f in inf_buckets)) {
             printf "FAIL: histogram %s has no le=\"+Inf\" bucket\n", f > "/dev/stderr"
             bad = 1
         }
+        # The terminal +Inf bucket is the total observation count and must
+        # agree with the _count sample of the same family.
+        if ((f in inf_count) && (f in count_sample) && \
+            inf_count[f] + 0 != count_sample[f] + 0) {
+            printf "FAIL: histogram %s le=\"+Inf\" bucket %s != %s_count %s\n", \
+                   f, inf_count[f], f, count_sample[f] > "/dev/stderr"
+            bad = 1
+        }
+        if ((f in inf_buckets) && !(f in count_sample)) {
+            printf "FAIL: histogram %s has buckets but no %s_count sample\n", \
+                   f, f > "/dev/stderr"
+            bad = 1
+        }
+    }
     exit bad
 }' "$file"
 
