@@ -1,7 +1,8 @@
 //! `cdb-bench` — benchmark artifact tooling.
 //!
 //! ```text
-//! cdb-bench compare [--timing warn|fail] <baseline.json> <new.json>
+//! cdb-bench compare [--timing warn|fail] [--accept-structural <phase-prefix>]...
+//!                   <baseline.json> <new.json>
 //! ```
 //!
 //! Diffs two benchmark artifacts (e.g. the committed `BENCH_perf.json`
@@ -9,12 +10,19 @@
 //! `cdb_bench::compare` for the classification rules. Exit status: 0 on
 //! match, 1 on a timing regression (unless `--timing warn`), 2 on
 //! structural or deterministic-count drift (or bad usage / unreadable
-//! input).
+//! input). `--accept-structural` (repeatable) downgrades structural
+//! drift attributed to profile phases with the given name prefix to
+//! warnings — the escape hatch for PRs that legitimately change phase
+//! structure; see CONTRIBUTING.md for the baseline-regeneration
+//! workflow.
 
-use cdb_bench::compare::{compare, exit_code, DiffKind};
+use cdb_bench::compare::{compare, gate, structural_accepted, DiffKind};
 
 fn usage() -> ! {
-    eprintln!("usage: cdb-bench compare [--timing warn|fail] <baseline.json> <new.json>");
+    eprintln!(
+        "usage: cdb-bench compare [--timing warn|fail] \
+         [--accept-structural <phase-prefix>]... <baseline.json> <new.json>"
+    );
     std::process::exit(2);
 }
 
@@ -25,12 +33,19 @@ fn main() {
         _ => usage(),
     }
     let mut timing_warn_only = false;
+    let mut accept_structural: Vec<String> = Vec::new();
     let mut files: Vec<String> = Vec::new();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--timing" => match args.next().as_deref() {
                 Some("warn") => timing_warn_only = true,
                 Some("fail") => timing_warn_only = false,
+                _ => usage(),
+            },
+            "--accept-structural" => match args.next() {
+                Some(prefix) if !prefix.is_empty() && !prefix.starts_with('-') => {
+                    accept_structural.push(prefix)
+                }
                 _ => usage(),
             },
             other => files.push(other.to_string()),
@@ -54,7 +69,13 @@ fn main() {
     let diffs = compare(&baseline, &new);
     for d in &diffs {
         let kind = match d.kind {
-            DiffKind::Structural => "STRUCTURAL",
+            DiffKind::Structural => {
+                if structural_accepted(d, &accept_structural) {
+                    "STRUCTURAL (accepted)"
+                } else {
+                    "STRUCTURAL"
+                }
+            }
             DiffKind::Timing => {
                 if timing_warn_only {
                     "TIMING (warn)"
@@ -63,9 +84,9 @@ fn main() {
                 }
             }
         };
-        eprintln!("{kind:>14}  {}: {}", d.path, d.message);
+        eprintln!("{kind:>21}  {}: {}", d.path, d.message);
     }
-    let code = exit_code(&diffs, timing_warn_only);
+    let code = gate(&diffs, timing_warn_only, &accept_structural);
     if diffs.is_empty() {
         eprintln!("cdb-bench: artifacts match ({baseline_path} vs {new_path})");
     } else {

@@ -16,6 +16,15 @@
 //! merged histograms legitimately differ between a `--quick` (1-rep) run
 //! and the committed multi-rep baseline, and `reps`/`generated` describe
 //! the run, not the workload.
+//!
+//! A PR that legitimately changes phase structure (fewer cascade
+//! invocations, a renamed sub-phase) would otherwise be un-landable: its
+//! fresh run can never match the old committed baseline structurally.
+//! `--accept-structural <phase-prefix>` is the explicit escape hatch:
+//! structural diffs attributable to a profile phase whose name starts
+//! with a listed prefix are downgraded to warnings, while structural
+//! drift anywhere else keeps failing. Each diff carries the `phase` value
+//! of its nearest enclosing object for this attribution.
 
 use cdb_obsv::json::Json;
 
@@ -40,6 +49,9 @@ pub struct Diff {
     pub kind: DiffKind,
     /// Human-readable description.
     pub message: String,
+    /// `phase` value of the nearest enclosing object, when inside a
+    /// profile-phase row — the attribution `--accept-structural` matches.
+    pub phase: Option<String>,
 }
 
 /// Timing classification of a leaf number, by its key's suffix.
@@ -83,37 +95,75 @@ fn classify(key: &str) -> NumClass {
 /// Compare two artifacts; returns every disagreement found.
 pub fn compare(baseline: &Json, new: &Json) -> Vec<Diff> {
     let mut diffs = Vec::new();
-    walk(baseline, new, "$", "", &mut diffs);
+    walk(baseline, new, "$", "", None, &mut diffs);
     diffs
+}
+
+/// Is this structural diff attributable to an accepted phase prefix?
+pub fn structural_accepted(d: &Diff, accept_structural: &[String]) -> bool {
+    d.kind == DiffKind::Structural
+        && d.phase
+            .as_deref()
+            .is_some_and(|p| accept_structural.iter().any(|prefix| p.starts_with(prefix.as_str())))
 }
 
 /// The gate's exit code for a set of diffs: 2 if any structural, else 1
 /// if any timing, else 0. `timing_warn_only` downgrades timing-only
-/// failures to 0 (for noisy CI runners).
-pub fn exit_code(diffs: &[Diff], timing_warn_only: bool) -> i32 {
-    if diffs.iter().any(|d| d.kind == DiffKind::Structural) {
+/// failures to 0 (for noisy CI runners). Structural diffs whose phase
+/// attribution starts with an entry of `accept_structural` are treated
+/// as warnings; unattributed or unlisted structural drift stays fatal.
+pub fn gate(diffs: &[Diff], timing_warn_only: bool, accept_structural: &[String]) -> i32 {
+    if diffs
+        .iter()
+        .any(|d| d.kind == DiffKind::Structural && !structural_accepted(d, accept_structural))
+    {
         2
-    } else if !diffs.is_empty() && !timing_warn_only {
+    } else if diffs.iter().any(|d| d.kind == DiffKind::Timing) && !timing_warn_only {
         1
     } else {
         0
     }
 }
 
-fn walk(base: &Json, new: &Json, path: &str, key: &str, diffs: &mut Vec<Diff>) {
+/// [`gate`] without structural acceptances.
+pub fn exit_code(diffs: &[Diff], timing_warn_only: bool) -> i32 {
+    gate(diffs, timing_warn_only, &[])
+}
+
+/// The `phase` attribution for children of an object: its own `phase`
+/// string field when present, else the inherited context.
+fn phase_ctx<'a>(obj: &'a [(String, Json)], inherited: Option<&'a str>) -> Option<&'a str> {
+    obj.iter()
+        .find_map(|(k, v)| match v {
+            Json::Str(s) if k == "phase" => Some(s.as_str()),
+            _ => None,
+        })
+        .or(inherited)
+}
+
+fn walk(
+    base: &Json,
+    new: &Json,
+    path: &str,
+    key: &str,
+    phase: Option<&str>,
+    diffs: &mut Vec<Diff>,
+) {
     match (base, new) {
         (Json::Obj(b), Json::Obj(n)) => {
+            let ctx = phase_ctx(b, phase);
             for (k, bv) in b {
                 if SKIP_KEYS.contains(&k.as_str()) {
                     continue;
                 }
                 let child = format!("{path}.{k}");
                 match n.iter().find(|(nk, _)| nk == k) {
-                    Some((_, nv)) => walk(bv, nv, &child, k, diffs),
+                    Some((_, nv)) => walk(bv, nv, &child, k, ctx, diffs),
                     None => diffs.push(Diff {
                         path: child,
                         kind: DiffKind::Structural,
                         message: "key missing in new artifact".into(),
+                        phase: ctx.map(str::to_string),
                     }),
                 }
             }
@@ -126,38 +176,90 @@ fn walk(base: &Json, new: &Json, path: &str, key: &str, diffs: &mut Vec<Diff>) {
                         path: format!("{path}.{k}"),
                         kind: DiffKind::Structural,
                         message: "key missing in baseline".into(),
+                        phase: ctx.map(str::to_string),
                     });
                 }
             }
         }
         (Json::Arr(b), Json::Arr(n)) => {
+            // Phase tables are matched by phase name, not index: a run
+            // that drops or adds a phase row then yields per-phase diffs
+            // (attributable to `--accept-structural`) instead of one
+            // opaque length mismatch misaligning every later row.
+            if is_phase_table(b) && is_phase_table(n) {
+                walk_phase_table(b, n, path, diffs);
+                return;
+            }
             if b.len() != n.len() {
                 diffs.push(Diff {
                     path: path.to_string(),
                     kind: DiffKind::Structural,
                     message: format!("array length {} vs {}", b.len(), n.len()),
+                    phase: phase.map(str::to_string),
                 });
                 return;
             }
             for (i, (bv, nv)) in b.iter().zip(n).enumerate() {
                 // An array inherits its key's classification element-wise.
-                walk(bv, nv, &format!("{path}[{i}]"), key, diffs);
+                walk(bv, nv, &format!("{path}[{i}]"), key, phase, diffs);
             }
         }
-        (Json::Num(b), Json::Num(n)) => check_num(*b, *n, path, key, diffs),
+        (Json::Num(b), Json::Num(n)) => check_num(*b, *n, path, key, phase, diffs),
         _ => {
             if base != new {
                 diffs.push(Diff {
                     path: path.to_string(),
                     kind: DiffKind::Structural,
                     message: format!("{base:?} vs {new:?}"),
+                    phase: phase.map(str::to_string),
                 });
             }
         }
     }
 }
 
-fn check_num(b: f64, n: f64, path: &str, key: &str, diffs: &mut Vec<Diff>) {
+/// A non-empty array of objects that all carry a `phase` string.
+fn is_phase_table(arr: &[Json]) -> bool {
+    !arr.is_empty()
+        && arr.iter().all(|v| match v {
+            Json::Obj(kvs) => phase_ctx(kvs, None).is_some(),
+            _ => false,
+        })
+}
+
+fn walk_phase_table(b: &[Json], n: &[Json], path: &str, diffs: &mut Vec<Diff>) {
+    let name = |v: &Json| -> String {
+        match v {
+            Json::Obj(kvs) => phase_ctx(kvs, None).expect("checked by is_phase_table").to_string(),
+            _ => unreachable!("checked by is_phase_table"),
+        }
+    };
+    for (i, bv) in b.iter().enumerate() {
+        let p = name(bv);
+        match n.iter().find(|nv| name(nv) == p) {
+            Some(nv) => walk(bv, nv, &format!("{path}[{i}]"), "", None, diffs),
+            None => diffs.push(Diff {
+                path: format!("{path}[{i}]"),
+                kind: DiffKind::Structural,
+                message: format!("phase {p:?} missing in new artifact"),
+                phase: Some(p),
+            }),
+        }
+    }
+    for nv in n {
+        let p = name(nv);
+        if !b.iter().any(|bv| name(bv) == p) {
+            diffs.push(Diff {
+                path: path.to_string(),
+                kind: DiffKind::Structural,
+                message: format!("phase {p:?} missing in baseline"),
+                phase: Some(p),
+            });
+        }
+    }
+}
+
+fn check_num(b: f64, n: f64, path: &str, key: &str, phase: Option<&str>, diffs: &mut Vec<Diff>) {
     match classify(key) {
         NumClass::Duration { ratio, floor } => {
             if b.max(n) < floor {
@@ -169,6 +271,7 @@ fn check_num(b: f64, n: f64, path: &str, key: &str, diffs: &mut Vec<Diff>) {
                     path: path.to_string(),
                     kind: DiffKind::Timing,
                     message: format!("duration regressed {b:.3} -> {n:.3} (allowed {ratio}x)"),
+                    phase: phase.map(str::to_string),
                 });
             }
         }
@@ -178,6 +281,7 @@ fn check_num(b: f64, n: f64, path: &str, key: &str, diffs: &mut Vec<Diff>) {
                     path: path.to_string(),
                     kind: DiffKind::Timing,
                     message: format!("rate regressed {b:.1} -> {n:.1} (allowed {ratio}x)"),
+                    phase: phase.map(str::to_string),
                 });
             }
         }
@@ -187,6 +291,7 @@ fn check_num(b: f64, n: f64, path: &str, key: &str, diffs: &mut Vec<Diff>) {
                     path: path.to_string(),
                     kind: DiffKind::Structural,
                     message: format!("deterministic count {b} vs {n}"),
+                    phase: phase.map(str::to_string),
                 });
             }
         }
@@ -306,6 +411,63 @@ mod tests {
         let a = parse(r#"{"reps": 3, "hist": {"count": 30}, "tasks": 5}"#).unwrap();
         let b = parse(r#"{"reps": 1, "hist": {"count": 10}, "tasks": 5}"#).unwrap();
         assert!(compare(&a, &b).is_empty());
+    }
+
+    const PHASED: &str = r#"{
+        "tasks": 96,
+        "phases": [
+            {"phase": "task.select", "count": 7, "total_ms": 9.1},
+            {"phase": "task.select;select.cascade", "count": 2392, "total_ms": 8.0},
+            {"phase": "prune", "count": 7, "total_ms": 1.0}
+        ]
+    }"#;
+
+    #[test]
+    fn accepted_phase_prefix_downgrades_structural_drift() {
+        let a = parse(PHASED).unwrap();
+        // Far fewer cascade invocations, and the row's timing shrank —
+        // exactly what an incremental-selection PR produces.
+        let b = parse(&PHASED.replace("\"count\": 2392", "\"count\": 12")).unwrap();
+        let diffs = compare(&a, &b);
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].kind, DiffKind::Structural);
+        assert_eq!(diffs[0].phase.as_deref(), Some("task.select;select.cascade"));
+        // Fatal without acceptance; warning with the prefix listed.
+        assert_eq!(gate(&diffs, false, &[]), 2);
+        assert_eq!(gate(&diffs, false, &["task.select".to_string()]), 0);
+        // An unrelated prefix does not cover it.
+        assert_eq!(gate(&diffs, false, &["prune".to_string()]), 2);
+    }
+
+    #[test]
+    fn acceptance_never_masks_unattributed_drift() {
+        let a = parse(PHASED).unwrap();
+        let b = parse(&PHASED.replace("\"tasks\": 96", "\"tasks\": 97")).unwrap();
+        let diffs = compare(&a, &b);
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].phase.is_none());
+        assert_eq!(gate(&diffs, false, &["task.select".to_string()]), 2);
+    }
+
+    #[test]
+    fn phase_tables_match_by_name_not_index() {
+        let a = parse(PHASED).unwrap();
+        // Drop the cascade row entirely: one attributable diff, and the
+        // rows after it still compare against their namesakes.
+        let b = parse(&PHASED.replace(
+            "{\"phase\": \"task.select;select.cascade\", \"count\": 2392, \"total_ms\": 8.0},\n",
+            "",
+        ))
+        .unwrap();
+        let diffs = compare(&a, &b);
+        assert_eq!(diffs.len(), 1, "{diffs:?}");
+        assert_eq!(diffs[0].phase.as_deref(), Some("task.select;select.cascade"));
+        assert_eq!(gate(&diffs, false, &["task.select".to_string()]), 0);
+        // A row present only in the new artifact is also attributable.
+        let diffs = compare(&b, &a);
+        assert_eq!(diffs.len(), 1, "{diffs:?}");
+        assert!(diffs[0].message.contains("missing in baseline"), "{diffs:?}");
+        assert_eq!(gate(&diffs, false, &["task.select".to_string()]), 0);
     }
 
     #[test]

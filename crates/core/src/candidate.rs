@@ -187,6 +187,115 @@ fn rec(
     true
 }
 
+/// Existence-only search: is there any candidate honouring the pins?
+///
+/// Unlike [`search`] this never builds the per-predicate edge index (an
+/// O(edges) scan per call — ruinous inside the latency controller's
+/// pairwise conflict test). The expansion order starts at the first
+/// pinned predicate, preferring pinned predicates while growing, so every
+/// unpinned predicate is entered with at least one part already bound and
+/// its edges stream straight from the bound node's adjacency list.
+/// Existence is independent of enumeration order, so the answer matches
+/// `search`-and-stop exactly.
+fn exists(g: &QueryGraph, filter: CandidateFilter, fixed: &[Option<EdgeId>]) -> bool {
+    let n = g.predicate_count();
+    if n == 0 {
+        return false;
+    }
+    // Pinned edges must pass the filter too.
+    for (i, f) in fixed.iter().enumerate() {
+        if let Some(e) = f {
+            if !filter.admits(g, *e) || g.edge_predicate(*e) != i {
+                return false;
+            }
+        }
+    }
+    let preds = g.predicates();
+    let first = fixed.iter().position(|f| f.is_some()).unwrap_or(0);
+    let mut order = vec![first];
+    let mut used = vec![false; n];
+    used[first] = true;
+    let mut bound = vec![false; g.part_count()];
+    bound[preds[first].a.0] = true;
+    bound[preds[first].b.0] = true;
+    while order.len() < n {
+        let next = (0..n)
+            .filter(|&i| !used[i] && (bound[preds[i].a.0] || bound[preds[i].b.0]))
+            .min_by_key(|&i| (fixed[i].is_none(), i));
+        let i = next.expect("query predicates must form a connected structure");
+        used[i] = true;
+        order.push(i);
+        bound[preds[i].a.0] = true;
+        bound[preds[i].b.0] = true;
+    }
+    let mut binding: Vec<Option<NodeId>> = vec![None; g.part_count()];
+    exists_rec(g, filter, fixed, &order, 0, &mut binding)
+}
+
+fn exists_rec(
+    g: &QueryGraph,
+    filter: CandidateFilter,
+    fixed: &[Option<EdgeId>],
+    order: &[usize],
+    depth: usize,
+    binding: &mut Vec<Option<NodeId>>,
+) -> bool {
+    if depth == order.len() {
+        return true;
+    }
+    let pred = order[depth];
+    let info = &g.predicates()[pred];
+    let step = |binding: &mut Vec<Option<NodeId>>, e: EdgeId| -> bool {
+        if g.edge_predicate(e) != pred || !filter.admits(g, e) {
+            return false;
+        }
+        let (mut u, mut v) = g.edge_endpoints(e);
+        // Normalize: u belongs to info.a, v to info.b.
+        if g.node_part(u) != info.a {
+            std::mem::swap(&mut u, &mut v);
+        }
+        // Consistency with current binding.
+        let (ba, bb) = (binding[info.a.0], binding[info.b.0]);
+        if ba.is_some_and(|x| x != u) || bb.is_some_and(|x| x != v) {
+            return false;
+        }
+        let (seta, setb) = (ba.is_none(), bb.is_none());
+        binding[info.a.0] = Some(u);
+        binding[info.b.0] = Some(v);
+        let found = exists_rec(g, filter, fixed, order, depth + 1, binding);
+        if seta {
+            binding[info.a.0] = None;
+        }
+        if setb {
+            binding[info.b.0] = None;
+        }
+        found
+    };
+    if let Some(e) = fixed[pred] {
+        return step(binding, e);
+    }
+    match binding[info.a.0].or(binding[info.b.0]) {
+        Some(anchor) => {
+            // A consistent edge must touch the bound endpoint: walk its
+            // adjacency list instead of every edge of the predicate.
+            for &e in g.incident_edges(anchor) {
+                if step(binding, e) {
+                    return true;
+                }
+            }
+        }
+        None => {
+            // Only reachable when nothing is pinned at all.
+            for i in 0..g.edge_count() {
+                if step(binding, EdgeId(i)) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
 /// Enumerate every candidate under the filter.
 pub fn enumerate_candidates(g: &QueryGraph, filter: CandidateFilter) -> Vec<Candidate> {
     let mut out = Vec::new();
@@ -208,12 +317,7 @@ pub fn answers(g: &QueryGraph) -> Vec<Candidate> {
 pub fn edge_in_some_candidate(g: &QueryGraph, e: EdgeId, filter: CandidateFilter) -> bool {
     let mut fixed = vec![None; g.predicate_count()];
     fixed[g.edge_predicate(e)] = Some(e);
-    let mut found = false;
-    search(g, filter, &fixed, &mut |_| {
-        found = true;
-        false
-    });
-    found
+    exists(g, filter, &fixed)
 }
 
 /// Do two edges appear together in some candidate? (The *conflict* test of
@@ -233,12 +337,7 @@ pub fn edges_in_same_candidate(
     let mut fixed = vec![None; g.predicate_count()];
     fixed[p1] = Some(e1);
     fixed[p2] = Some(e2);
-    let mut found = false;
-    search(g, filter, &fixed, &mut |_| {
-        found = true;
-        false
-    });
-    found
+    exists(g, filter, &fixed)
 }
 
 #[cfg(test)]
@@ -361,6 +460,50 @@ mod tests {
             .find(|&e| g.other_endpoint(e, nodes[2][0]) == nodes[1][1])
             .unwrap();
         assert!(!edges_in_same_candidate(&g, e_ab, e_b1c, CandidateFilter::Live));
+    }
+
+    /// Existence via the full enumerating search — oracle for `exists`.
+    fn exists_oracle(g: &QueryGraph, filter: CandidateFilter, fixed: &[Option<EdgeId>]) -> bool {
+        let mut found = false;
+        search(g, filter, fixed, &mut |_| {
+            found = true;
+            false
+        });
+        found
+    }
+
+    #[test]
+    fn existence_search_matches_enumeration_oracle() {
+        let (mut g, _) = chain_2x3(0.5);
+        // Exercise live, colored and pruned edges across the checks.
+        g.set_color(EdgeId(0), Color::Red);
+        g.set_color(EdgeId(3), Color::Blue);
+        g.set_invalid(EdgeId(5));
+        for filter in [CandidateFilter::Live, CandidateFilter::BlueOnly] {
+            for i in 0..g.edge_count() {
+                let e1 = EdgeId(i);
+                let mut fixed = vec![None; g.predicate_count()];
+                fixed[g.edge_predicate(e1)] = Some(e1);
+                assert_eq!(
+                    exists(&g, filter, &fixed),
+                    exists_oracle(&g, filter, &fixed),
+                    "single pin {e1:?} {filter:?}"
+                );
+                for j in 0..g.edge_count() {
+                    let e2 = EdgeId(j);
+                    if g.edge_predicate(e2) == g.edge_predicate(e1) {
+                        continue;
+                    }
+                    let mut fixed = fixed.clone();
+                    fixed[g.edge_predicate(e2)] = Some(e2);
+                    assert_eq!(
+                        exists(&g, filter, &fixed),
+                        exists_oracle(&g, filter, &fixed),
+                        "pair {e1:?},{e2:?} {filter:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

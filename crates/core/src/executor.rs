@@ -22,7 +22,7 @@ use rand::SeedableRng;
 
 use crate::candidate::{answers, Candidate};
 use crate::cost::budget::next_budget_batch;
-use crate::cost::expectation::expectation_order;
+use crate::cost::expectation::SelectionState;
 use crate::cost::sampling::mincut_sampling_order;
 use crate::latency::parallel_round;
 use crate::model::{Color, EdgeId, NodeId, QueryGraph};
@@ -161,6 +161,10 @@ pub struct Executor<'a, P: CrowdPlatform = SimulatedPlatform> {
     /// entailment before selection, and records every inferred color.
     reuse: Option<Arc<Mutex<ReuseSession>>>,
     tasks_saved: usize,
+    /// Incremental expectation scores, carried across rounds
+    /// (`Expectation` strategy only): each round rescores just the
+    /// components touched by the previous round's answers.
+    selection: Option<SelectionState>,
 }
 
 impl<'a, P: CrowdPlatform> Executor<'a, P> {
@@ -184,6 +188,7 @@ impl<'a, P: CrowdPlatform> Executor<'a, P> {
             trace: Trace::off(),
             reuse: None,
             tasks_saved: 0,
+            selection: None,
         }
     }
 
@@ -282,7 +287,9 @@ impl<'a, P: CrowdPlatform> Executor<'a, P> {
                 b.into_iter().take(1).collect()
             } else {
                 let order: Vec<EdgeId> = match self.cfg.selection {
-                    SelectionStrategy::Expectation => expectation_order(&self.graph),
+                    SelectionStrategy::Expectation => {
+                        self.selection.get_or_insert_with(SelectionState::new).order(&self.graph)
+                    }
                     SelectionStrategy::MinCutSampling { samples } => {
                         if precomputed_order.is_none() {
                             precomputed_order =

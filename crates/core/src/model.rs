@@ -65,6 +65,10 @@ pub(crate) struct NodeInfo {
     pub label: String,
     /// Edges incident to this node.
     pub adj: Vec<EdgeId>,
+    /// Per incident predicate, the count of live edges — maintained on
+    /// every color/invalidate transition so a support check is a counter
+    /// read, not an adjacency scan. Slots appear on first incident edge.
+    pub support: Vec<(usize, u32)>,
 }
 
 #[derive(Debug, Clone)]
@@ -100,6 +104,10 @@ pub struct QueryGraph {
     pub(crate) nodes: Vec<NodeInfo>,
     pub(crate) edges: Vec<EdgeInfo>,
     pub(crate) predicates: Vec<PredicateInfo>,
+    /// Append-only log of edges whose color/validity/existence changed.
+    /// Incremental consumers (`cost::expectation::SelectionState`) keep a
+    /// cursor into it and re-examine only the affected region.
+    pub(crate) change_log: Vec<EdgeId>,
 }
 
 impl QueryGraph {
@@ -110,6 +118,7 @@ impl QueryGraph {
             nodes: Vec::new(),
             edges: Vec::new(),
             predicates: Vec::new(),
+            change_log: Vec::new(),
         }
     }
 
@@ -128,7 +137,13 @@ impl QueryGraph {
         label: impl Into<String>,
     ) -> NodeId {
         let id = NodeId(self.nodes.len());
-        self.nodes.push(NodeInfo { part, tuple, label: label.into(), adj: Vec::new() });
+        self.nodes.push(NodeInfo {
+            part,
+            tuple,
+            label: label.into(),
+            adj: Vec::new(),
+            support: Vec::new(),
+        });
         self.parts[part.0].nodes.push(id);
         id
     }
@@ -163,7 +178,26 @@ impl QueryGraph {
         self.edges.push(EdgeInfo { u, v, predicate, weight, color, invalid: false });
         self.nodes[u.0].adj.push(id);
         self.nodes[v.0].adj.push(id);
+        // A fresh edge is live (Blue or Unknown, never invalid).
+        self.bump_support(u, predicate, 1);
+        self.bump_support(v, predicate, 1);
+        self.change_log.push(id);
         id
+    }
+
+    fn bump_support(&mut self, n: NodeId, predicate: usize, delta: i64) {
+        let slots = &mut self.nodes[n.0].support;
+        match slots.iter_mut().find(|(p, _)| *p == predicate) {
+            Some((_, count)) => {
+                let next = *count as i64 + delta;
+                debug_assert!(next >= 0, "live-support underflow at {n:?} pred {predicate}");
+                *count = next as u32;
+            }
+            None => {
+                debug_assert!(delta > 0, "first support touch must be an increment");
+                slots.push((predicate, delta as u32));
+            }
+        }
     }
 
     /// Number of parts.
@@ -263,12 +297,36 @@ impl QueryGraph {
 
     /// Color an edge (the outcome of crowdsourcing it, or of inference).
     pub fn set_color(&mut self, e: EdgeId, color: Color) {
-        self.edges[e.0].color = color;
+        let info = &mut self.edges[e.0];
+        if info.color == color {
+            return;
+        }
+        let was_live = !info.invalid && info.color != Color::Red;
+        let now_live = !info.invalid && color != Color::Red;
+        info.color = color;
+        let (u, v, p) = (info.u, info.v, info.predicate);
+        if was_live != now_live {
+            let delta = if now_live { 1 } else { -1 };
+            self.bump_support(u, p, delta);
+            self.bump_support(v, p, delta);
+        }
+        self.change_log.push(e);
     }
 
     /// Mark an edge invalid (not contained in any candidate).
     pub fn set_invalid(&mut self, e: EdgeId) {
-        self.edges[e.0].invalid = true;
+        let info = &mut self.edges[e.0];
+        if info.invalid {
+            return;
+        }
+        let was_live = info.color != Color::Red;
+        info.invalid = true;
+        let (u, v, p) = (info.u, info.v, info.predicate);
+        if was_live {
+            self.bump_support(u, p, -1);
+            self.bump_support(v, p, -1);
+        }
+        self.change_log.push(e);
     }
 
     /// An edge is *live* when it still matters: neither invalid nor Red.
@@ -288,12 +346,62 @@ impl QueryGraph {
 
     /// Live edges of `n` for one predicate.
     pub fn live_edges_for_predicate(&self, n: NodeId, predicate: usize) -> Vec<EdgeId> {
+        self.live_edges_for_predicate_iter(n, predicate).collect()
+    }
+
+    /// Iterator form of [`live_edges_for_predicate`]: same edges in the
+    /// same (adjacency) order, without allocating.
+    ///
+    /// [`live_edges_for_predicate`]: QueryGraph::live_edges_for_predicate
+    pub fn live_edges_for_predicate_iter(
+        &self,
+        n: NodeId,
+        predicate: usize,
+    ) -> impl Iterator<Item = EdgeId> + '_ {
         self.nodes[n.0]
             .adj
             .iter()
             .copied()
-            .filter(|&e| self.edges[e.0].predicate == predicate && self.edge_live(e))
-            .collect()
+            .filter(move |&e| self.edges[e.0].predicate == predicate && self.edge_live(e))
+    }
+
+    /// Count of `n`'s live edges for one predicate — an O(#incident
+    /// predicates) counter read, maintained on every transition.
+    pub fn live_support(&self, n: NodeId, predicate: usize) -> usize {
+        self.nodes[n.0]
+            .support
+            .iter()
+            .find(|(p, _)| *p == predicate)
+            .map_or(0, |&(_, count)| count as usize)
+    }
+
+    /// Does `n` keep at least one live edge for `predicate` outside the
+    /// excluded set? Allocation-free replacement for collecting
+    /// [`live_edges_for_predicate`] just to test emptiness.
+    ///
+    /// [`live_edges_for_predicate`]: QueryGraph::live_edges_for_predicate
+    pub fn has_live_support(
+        &self,
+        n: NodeId,
+        predicate: usize,
+        exclude: impl Fn(EdgeId) -> bool,
+    ) -> bool {
+        self.live_edges_for_predicate_iter(n, predicate).any(|e| !exclude(e))
+    }
+
+    /// Length of the edge-change log (a cursor for [`changes_since`]).
+    ///
+    /// [`changes_since`]: QueryGraph::changes_since
+    pub fn change_log_len(&self) -> usize {
+        self.change_log.len()
+    }
+
+    /// Edges whose color/validity changed since `cursor` (a previous
+    /// [`change_log_len`] value), in transition order; may repeat an edge.
+    ///
+    /// [`change_log_len`]: QueryGraph::change_log_len
+    pub fn changes_since(&self, cursor: usize) -> &[EdgeId] {
+        &self.change_log[cursor..]
     }
 
     /// The predicates incident to a part.
@@ -434,6 +542,60 @@ mod tests {
         assert_eq!(g.part_predicates(PartId(0)), vec![0]);
         assert_eq!(g.part_predicates(PartId(1)), vec![0, 1]);
         assert_eq!(g.part_predicates(PartId(2)), vec![1]);
+    }
+
+    /// Recount live support the slow way, for cross-checking the counters.
+    fn recount(g: &QueryGraph, n: NodeId, p: usize) -> usize {
+        g.incident_edges(n).iter().filter(|&&e| g.edge_predicate(e) == p && g.edge_live(e)).count()
+    }
+
+    #[test]
+    fn live_support_tracks_every_transition() {
+        let (mut g, nodes) = super::testgraph::chain_2x3(0.5);
+        let b0 = nodes[1][0];
+        assert_eq!(g.live_support(b0, 0), 2);
+        assert_eq!(g.live_support(b0, 1), 2);
+        let e = g.incident_edges(b0)[0];
+        let p = g.edge_predicate(e);
+        g.set_color(e, Color::Red);
+        assert_eq!(g.live_support(b0, p), 1);
+        // Blue keeps the edge live; recoloring Red -> Blue revives it
+        // (the EmBayes final pass can flip asked edges).
+        g.set_color(e, Color::Blue);
+        assert_eq!(g.live_support(b0, p), 2);
+        g.set_invalid(e);
+        assert_eq!(g.live_support(b0, p), 1);
+        // Invalidating twice must not double-decrement.
+        g.set_invalid(e);
+        assert_eq!(g.live_support(b0, p), 1);
+        for i in 0..g.node_count() {
+            let n = NodeId(i);
+            for p in g.part_predicates(g.node_part(n)) {
+                assert_eq!(g.live_support(n, p), recount(&g, n, p), "{n:?} pred {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn has_live_support_honours_exclusions() {
+        let (g, nodes) = super::testgraph::chain_2x3(0.5);
+        let b0 = nodes[1][0];
+        let bundle = g.live_edges_for_predicate(b0, 0);
+        assert!(g.has_live_support(b0, 0, |e| e == bundle[0]));
+        assert!(!g.has_live_support(b0, 0, |e| bundle.contains(&e)));
+    }
+
+    #[test]
+    fn change_log_records_real_transitions_only() {
+        let (mut g, _) = super::testgraph::chain_2x3(0.5);
+        let built = g.change_log_len();
+        assert_eq!(built, g.edge_count()); // one entry per added edge
+        g.set_color(EdgeId(0), Color::Unknown); // no-op: already Unknown
+        assert_eq!(g.change_log_len(), built);
+        g.set_color(EdgeId(0), Color::Red);
+        g.set_invalid(EdgeId(1));
+        g.set_invalid(EdgeId(1)); // no-op: already invalid
+        assert_eq!(g.changes_since(built), &[EdgeId(0), EdgeId(1)]);
     }
 
     #[test]

@@ -62,9 +62,7 @@ fn arc_consistency(g: &mut QueryGraph) -> Vec<EdgeId> {
         pred_slots.push(g.part_predicates(part));
     }
     let mut support: Vec<Vec<usize>> = (0..n)
-        .map(|i| {
-            pred_slots[i].iter().map(|&p| g.live_edges_for_predicate(NodeId(i), p).len()).collect()
-        })
+        .map(|i| pred_slots[i].iter().map(|&p| g.live_support(NodeId(i), p)).collect())
         .collect();
 
     let mut dead = vec![false; n];

@@ -56,6 +56,59 @@ proptest! {
     }
 }
 
+/// A 3-part chain `A ⋈ B ⋈ C`: the multi-join shape where expectation
+/// scoring runs death cascades across the middle part. `b_j` matches
+/// `a_i` iff `i % nb == j` and `c_k` iff `j % nc == k % nb`.
+fn chain_query(id: u64, na: usize, nb: usize, nc: usize) -> QueryJob {
+    let mut g = QueryGraph::new();
+    let a = g.add_part(PartKind::Table { name: format!("A{id}") });
+    let b = g.add_part(PartKind::Table { name: format!("B{id}") });
+    let c = g.add_part(PartKind::Table { name: format!("C{id}") });
+    let an: Vec<NodeId> = (0..na).map(|i| g.add_node(a, None, format!("a{i}"))).collect();
+    let bn: Vec<NodeId> = (0..nb).map(|i| g.add_node(b, None, format!("b{i}"))).collect();
+    let cn: Vec<NodeId> = (0..nc).map(|i| g.add_node(c, None, format!("c{i}"))).collect();
+    let pab = g.add_predicate(a, b, true, "A~B");
+    let pbc = g.add_predicate(b, c, true, "B~C");
+    let mut truth = HashMap::new();
+    for (i, &x) in an.iter().enumerate() {
+        for (j, &y) in bn.iter().enumerate() {
+            let e = g.add_edge(x, y, pab, 0.6);
+            truth.insert(e, i % nb == j);
+        }
+    }
+    for (j, &y) in bn.iter().enumerate() {
+        for (k, &z) in cn.iter().enumerate() {
+            let e = g.add_edge(y, z, pbc, 0.4);
+            truth.insert(e, j % nc == k % nb);
+        }
+    }
+    QueryJob { id, graph: g, truth }
+}
+
+#[test]
+fn multi_join_answers_are_byte_identical_at_1_4_and_8_threads() {
+    // The expectation optimizer (the default selection strategy) carries
+    // incremental state across rounds inside each query's executor; the
+    // answer transcript must not depend on how queries interleave across
+    // threads.
+    let run = |threads: usize| {
+        let cfg = RuntimeConfig {
+            threads,
+            seed: 42,
+            worker_accuracies: vec![0.9; 25],
+            fault_plan: FaultPlan::uniform(42 ^ 0xF00D, 0.1),
+            retry: RetryPolicy { deadline_ms: 300_000, max_retries: 8 },
+            ..RuntimeConfig::default()
+        };
+        let jobs: Vec<QueryJob> = (0..6).map(|i| chain_query(i, 3, 3, 2)).collect();
+        RuntimeExecutor::new(cfg).run(jobs).answers()
+    };
+    let reference = run(1);
+    assert!(reference.contains("q0") && reference.contains("q5"));
+    assert_eq!(reference, run(4));
+    assert_eq!(reference, run(8));
+}
+
 #[test]
 fn replay_is_stable_under_forced_dropouts_too() {
     let run = |threads: usize| {

@@ -10,11 +10,12 @@
 //! key holds an answer, a later contradicting answer is dropped as a
 //! conflict. The log preserves exactly that order — queries are settled
 //! in the same ascending order immediately before being absorbed, and
-//! each settle batch is a session's `fresh_facts()` in record order. So
-//! replaying settled batches front-to-back through a fresh session each
-//! reproduces the identical store: same winners, same conflicts, same
-//! `resolve` results. The lifecycle proptest in `tests/lifecycle.rs`
-//! pins this equivalence.
+//! each settle batch is a session's `fresh_facts()` in record order.
+//! First-writer-wins makes the final store a left fold of `record` over
+//! the fact sequence, so replaying the whole log through *one* session
+//! and absorbing once reproduces the identical store: same winners, same
+//! conflicts, same `resolve` results. The lifecycle proptest in
+//! `tests/lifecycle.rs` pins this equivalence.
 
 use std::path::Path;
 use std::sync::{Arc, Mutex};
@@ -41,21 +42,28 @@ impl DurableReuseCache {
     }
 
     /// Open (or create) the cache rooted at `dir`, replaying the answer
-    /// log: each settled query's facts are recorded through a fresh
-    /// session and absorbed, in log order, rebuilding the entailment
-    /// graphs exactly as the uninterrupted process built them.
+    /// log: all settled facts are recorded through one session in log
+    /// order and absorbed once, rebuilding the entailment graphs exactly
+    /// as the uninterrupted process built them (see the module docs — the
+    /// store is a fold over the fact sequence, so batching the replay
+    /// into one session changes nothing). One snapshot/absorb cycle per
+    /// batch — the previous scheme — forced `absorb`'s copy-on-write to
+    /// deep-clone the whole accumulated store every batch, making
+    /// recovery superlinear in log length.
     pub fn open_with(dir: &Path, segment_bytes: u64) -> Result<DurableReuseCache> {
         let (log, recovery) = AnswerLog::open(dir, segment_bytes)?;
         let cache = Arc::new(ReuseCache::new());
         let mut ph = cdb_obsv::profile::phase(cdb_obsv::profile::phases::REUSE_REPLAY);
         let mut replay_snapshots = 0u64;
+        let mut session = cache.snapshot();
         for (_query, facts) in &recovery.settled {
-            let mut session = cache.snapshot();
             for f in facts {
                 session.record(&f.measure, &f.left, &f.right, f.same);
             }
-            cache.absorb(&session);
             replay_snapshots += 1;
+        }
+        if replay_snapshots > 0 {
+            cache.absorb(&session);
         }
         ph.set(cdb_obsv::attr::keys::N, replay_snapshots);
         drop(ph);
@@ -75,8 +83,10 @@ impl DurableReuseCache {
         &self.recovery
     }
 
-    /// Settled batches replayed through a fresh session at open time —
-    /// one snapshot/absorb cycle per batch. Zero on a cold (empty) open.
+    /// Settled batches replayed at open time. (All batches flow through
+    /// a single session now; the count still reports batches for
+    /// compatibility with existing recovery assertions.) Zero on a cold
+    /// (empty) open.
     pub fn replay_snapshots(&self) -> u64 {
         self.replay_snapshots
     }
