@@ -6,7 +6,7 @@
 //!
 //! targets: fig8 fig9 fig10 fig11 fig14 fig15 fig16 fig17 fig18 fig19
 //!          fig20 fig21 fig22 fig23 fig24 table2 table3 table4 table5
-//!          example runtime reuse sched trace sim store perf all
+//!          example runtime reuse sched trace sim store perf shard all
 //!
 //! `reuse` sweeps the cross-query answer-reuse cache (on/off × fault
 //! rate) over the self-join fleet and checks the dispatched-task
@@ -87,7 +87,7 @@ fn parse_args() -> Args {
         }
     }
     if args.target.is_empty() {
-        eprintln!("usage: figures [--scale N] [--reps R] [--seed S] [--iters N] [--quick] <fig8..fig24|table2..table5|example|runtime|reuse|sched|trace|sim|store|perf|all>");
+        eprintln!("usage: figures [--scale N] [--reps R] [--seed S] [--iters N] [--quick] <fig8..fig24|table2..table5|example|runtime|reuse|sched|trace|sim|store|perf|shard|all>");
         std::process::exit(2);
     }
     args
@@ -1230,6 +1230,164 @@ fn perf(args: &Args) {
     println!("}}");
 }
 
+/// `figures shard`: the sharded-execution scaling sweep. Stdout is the
+/// `BENCH_shard.json` artifact; stderr narrates.
+///
+/// The workload is a fleet of four replicas of each of the five Table 4
+/// award queries (20 jobs; replicas run under distinct job ids, hence
+/// distinct seeded task streams), at two dataset sizes: the base
+/// cardinalities (`1/(scale*10)` of the paper's award tables) and 10x
+/// that base. At the small size a query's tuple graph splits into many
+/// components; at 10x similarity connectivity merges each graph into one
+/// giant component, so the shardable unit count comes from the fleet —
+/// exactly the regime the coordinator schedules. Each size runs through
+/// the component-sharded executor at 1/2/4 shards (streaming component
+/// arenas) plus a single-shard non-streaming run — the monolithic
+/// baseline that materializes every component sub-graph up front, i.e.
+/// the memory behavior of the unsharded runtime.
+///
+/// Everything gated is deterministic: bindings must be byte-identical
+/// across all four configurations, per-shard task/money counters must sum
+/// to the merged totals, the 10x row must show >= 2x virtual-time speedup
+/// at 4 shards, and the 4-shard per-shard peak must stay below the
+/// monolithic baseline's. Virtual makespan (max over shards of the
+/// shard's summed per-unit virtual crowd latency) is the scaling metric —
+/// it is seed-deterministic, so `cdb-bench compare` holds it exactly;
+/// wall clocks are reported under `_ms` keys and compared as noisy
+/// timings only.
+fn shard(args: &Args) {
+    use cdb_runtime::{RetryPolicy, RuntimeConfig};
+    use cdb_shard::{MemoryConfig, ShardConfig, ShardExecutor};
+
+    let divisor = args.scale.saturating_mul(10).max(1);
+    let replicas = 4u64;
+    let base = DatasetScale::award_full().scaled(divisor);
+    eprintln!(
+        "# shard: award fleet (5 queries x {replicas} replicas), base cardinalities \
+         1/{divisor} of paper, multipliers [1, 10], shards [1, 2, 4], seed {}",
+        args.seed
+    );
+
+    let mut sweep_json = Vec::new();
+    let mut gate = None;
+    for &m in &[1usize, 10] {
+        let scale = base.times(m);
+        let ds = award_dataset(scale, args.seed);
+        let cfg = ExpConfig { worker_quality: 0.95, seed: args.seed, ..Default::default() };
+        let prepared: Vec<(cdb_core::QueryGraph, cdb_core::EdgeTruth)> =
+            queries_for("award").iter().map(|q| prepare(&ds, &q.cql, &cfg)).collect();
+        let mut jobs: Vec<cdb_runtime::QueryJob> = Vec::new();
+        for r in 0..replicas {
+            for (i, (g, t)) in prepared.iter().enumerate() {
+                jobs.push(cdb_runtime::QueryJob {
+                    id: r * prepared.len() as u64 + i as u64,
+                    graph: g.clone(),
+                    truth: t.clone(),
+                });
+            }
+        }
+        // threads=1 keeps per-shard peak bytes deterministic (with more
+        // worker threads the peak depends on interleaving and would be
+        // telemetry, not a comparable count). The generous retry budget
+        // matches the `runtime` target: the default 2-minute assignment
+        // deadline starves the long tail of a fleet this size even
+        // without faults.
+        let rcfg = RuntimeConfig {
+            threads: 1,
+            seed: args.seed,
+            worker_accuracies: vec![0.95; 25],
+            retry: RetryPolicy { deadline_ms: 300_000, max_retries: 8 },
+            ..RuntimeConfig::default()
+        };
+
+        // (shards, streaming): index 0 is the monolithic baseline.
+        let grid = [(1usize, false), (1, true), (2, true), (4, true)];
+        let mut rows = Vec::new();
+        let mut cfg_json = Vec::new();
+        for &(shards, streaming) in &grid {
+            let sc = ShardConfig {
+                shards,
+                runtime: rcfg.clone(),
+                memory: MemoryConfig { ceiling_bytes: None, streaming },
+            };
+            let start = Instant::now();
+            let report = ShardExecutor::new(sc).run(jobs.clone()).expect("no memory ceiling set");
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            let makespan = report.virtual_makespan();
+            let virtual_total: u64 = report.shards.iter().map(|s| s.virtual_ms).sum();
+            let peak = report.peak_bytes_max();
+            let stat_tasks: u64 = report.shards.iter().map(|s| s.metrics.tasks_dispatched).sum();
+            let stat_cents: u64 = report.shards.iter().map(|s| s.metrics.cost_cents).sum();
+            assert_eq!(stat_tasks, report.metrics.tasks_dispatched, "task conservation");
+            assert_eq!(stat_cents, report.metrics.cost_cents, "money conservation");
+            eprintln!(
+                "  x{m}: shards={shards} streaming={streaming}: {} units, {} ok, \
+                 makespan {makespan} vms, peak {peak} B/shard, {} tasks, {wall_ms:.0} ms",
+                report.units.len(),
+                report.ok_count(),
+                stat_tasks
+            );
+            if let Some((q, Err(e))) = report.results.iter().find(|(_, r)| r.is_err()) {
+                eprintln!("    first failure: q{q}: {e}");
+            }
+            cfg_json.push(format!(
+                "{{\"shards\": {shards}, \"streaming\": {streaming}, \"units\": {}, \
+                 \"ok\": {}, \"virtual_makespan\": {makespan}, \"virtual_total\": {virtual_total}, \
+                 \"peak_shard_bytes\": {peak}, \"tasks\": {stat_tasks}, \"cents\": {stat_cents}, \
+                 \"wall_ms\": {wall_ms:.3}}}",
+                report.units.len(),
+                report.ok_count()
+            ));
+            rows.push((shards, streaming, makespan, peak, report.bindings_text()));
+        }
+        for (shards, streaming, _, _, bindings) in &rows[1..] {
+            assert_eq!(
+                bindings, &rows[0].4,
+                "bindings must be byte-identical at shards={shards} streaming={streaming}"
+            );
+        }
+        if m == 10 {
+            let mono = &rows[0]; // (1, false)
+            let four = rows.iter().find(|r| r.0 == 4).expect("4-shard row");
+            gate = Some((mono.2, four.2, mono.3, four.3));
+        }
+        sweep_json.push(format!(
+            "{{\"scale_multiplier\": {m}, \"rows\": {}, \"queries\": {}, \"configs\": [{}]}}",
+            scale.rows(),
+            jobs.len(),
+            cfg_json.join(", ")
+        ));
+    }
+
+    let (mono_ms, four_ms, mono_peak, four_peak) = gate.expect("10x row ran");
+    let speedup = mono_ms as f64 / four_ms.max(1) as f64;
+    eprintln!(
+        "# shard: 10x gate: virtual speedup at 4 shards {speedup:.2}x \
+         (mono {mono_ms} vms vs {four_ms} vms), peak {four_peak} B/shard vs mono {mono_peak} B"
+    );
+    assert!(
+        speedup >= 2.0,
+        "4 shards must give >= 2x virtual speedup on the 10x award fleet (got {speedup:.2}x)"
+    );
+    assert!(
+        four_peak < mono_peak,
+        "per-shard peak ({four_peak} B) must stay below the monolithic baseline ({mono_peak} B)"
+    );
+
+    println!("{{");
+    println!("  \"bench\": \"shard\",");
+    println!("  \"scale\": {},", args.scale);
+    println!("  \"seed\": {},", args.seed);
+    println!("  \"sweep\": [{}],", sweep_json.join(", "));
+    println!(
+        "  \"gate\": {{\"scale_multiplier\": 10, \"shards\": 4, \
+         \"virtual_speedup\": {speedup:.3}, \"mono_virtual_makespan\": {mono_ms}, \
+         \"sharded_virtual_makespan\": {four_ms}, \"mono_peak_bytes\": {mono_peak}, \
+         \"sharded_peak_bytes\": {four_peak}}}"
+    );
+    println!("}}");
+}
+
 /// `figures sim`: soak the deterministic simulation harness over
 /// `--iters` consecutive seeds. Prints progress every 100 scenarios, the
 /// seed and shrunk repro on any violation, and exits nonzero on failure.
@@ -1362,5 +1520,9 @@ fn main() {
     // Not part of `all`: its stdout is the BENCH_perf.json artifact.
     if t == "perf" {
         perf(&args);
+    }
+    // Not part of `all`: its stdout is the BENCH_shard.json artifact.
+    if t == "shard" {
+        shard(&args);
     }
 }

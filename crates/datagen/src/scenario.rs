@@ -55,6 +55,20 @@ impl DatasetScale {
             t4: (self.t4 / f).max(4),
         }
     }
+
+    /// Grow all cardinalities by `m` (the scale-out sweeps: 10x-100x the
+    /// paper cardinalities). Checked so a runaway multiplier fails loudly
+    /// instead of wrapping into a tiny dataset.
+    pub fn times(self, m: usize) -> Self {
+        assert!(m >= 1);
+        let mul = |v: usize| v.checked_mul(m).expect("dataset scale multiplier overflows usize");
+        DatasetScale { t1: mul(self.t1), t2: mul(self.t2), t3: mul(self.t3), t4: mul(self.t4) }
+    }
+
+    /// Total rows across the four tables.
+    pub fn rows(self) -> usize {
+        self.t1 + self.t2 + self.t3 + self.t4
+    }
 }
 
 /// A generated dataset: the catalog, the data-level ground truth, and the
@@ -321,7 +335,7 @@ pub fn award_dataset(scale: DatasetScale, seed: u64) -> Dataset {
     );
     let mut award_names = Vec::with_capacity(scale.t4);
     for i in 0..scale.t4 {
-        let name = format!("{} {}", AWARD_STEMS[i % AWARD_STEMS.len()], 1980 + (i % 40));
+        let name = award_name(i);
         let place = pick(PLACE_STEMS, &mut rng);
         let row = award
             .push(vec![Value::from(name.as_str()), Value::from(place)])
@@ -522,6 +536,22 @@ pub fn movie_dataset(scale: DatasetScale, seed: u64) -> Dataset {
     db.add_table(director).expect("fresh catalog");
     db.add_table(studio).expect("fresh catalog");
     Dataset { name: "movie", db, truth, universe: studio_names }
+}
+
+/// Award name for row `i`. The `(stem, year)` pair has period 40, so rows
+/// past the first period carry a short suffix — without it, every award
+/// name repeats every 40 rows, and at 10x-100x paper scale the Winner ~
+/// Award join degenerates: hundreds of byte-identical award tuples each
+/// match every winner variant, blowing the similarity graph up
+/// quadratically in the scale multiplier. Rows 0..40 keep the historical
+/// spelling so small-scale (simulation) datasets are unchanged.
+fn award_name(i: usize) -> String {
+    let base = format!("{} {}", AWARD_STEMS[i % AWARD_STEMS.len()], 1980 + (i % 40));
+    if i < 40 {
+        base
+    } else {
+        format!("{base} {}", to_suffix(i))
+    }
 }
 
 /// A *decoy* of a reference string: one interior token replaced by a pool

@@ -1,0 +1,107 @@
+//! Scale-out sweep of the dataset generators: the 10x-100x paper
+//! cardinalities the sharded executor benchmarks run on. Generation must
+//! stay linear in the row count, entity names must stay unique (a
+//! repeating pool makes the similarity join quadratic in the scale
+//! multiplier), and the dirty-data matching ratios documented in the
+//! generator comments must hold at scale, not just at paper scale.
+
+use std::collections::HashSet;
+
+use cdb_datagen::{award_dataset, paper_dataset, DatasetScale};
+
+#[test]
+fn times_multiplies_every_cardinality() {
+    let s = DatasetScale::award_full().times(10);
+    assert_eq!((s.t1, s.t2, s.t3, s.t4), (14_980, 32_200, 26_690, 11_920));
+    assert_eq!(s.rows(), 85_790);
+    // times(1) is the identity; scaled(1) too.
+    assert_eq!(DatasetScale::paper_full().times(1), DatasetScale::paper_full());
+}
+
+#[test]
+#[should_panic(expected = "dataset scale multiplier overflows")]
+fn times_overflow_is_a_loud_panic_not_a_wrap() {
+    let _ = DatasetScale::award_full().times(usize::MAX / 2);
+}
+
+/// The regression test for the award-name period: `(stem, year)` repeats
+/// every 40 rows, so without the row suffix the full-scale Award table
+/// held only 40 distinct names — and at 10x every name had ~300
+/// byte-identical copies, each matching every winner variant.
+#[test]
+fn award_names_are_unique_at_10x_scale() {
+    let ds = award_dataset(DatasetScale::award_full().times(10).scaled(20), 7);
+    let awards = ds.db.table("Award").expect("award table");
+    let names = awards.column_strings("name").expect("name column");
+    let distinct: HashSet<&String> = names.iter().collect();
+    assert_eq!(distinct.len(), names.len(), "award names must not repeat");
+    // The universe COLLECT draws from is those same names.
+    assert_eq!(ds.universe.len(), names.len());
+}
+
+/// Fraction of rows in `table` that the ground truth joins to some row of
+/// the partner table.
+fn join_fraction(ds: &cdb_datagen::Dataset, table: &str, partner: &str) -> f64 {
+    let rows = ds.db.table(table).expect("table").row_count();
+    let joined: HashSet<usize> = ds
+        .truth
+        .joins
+        .iter()
+        .filter(|(a, b)| {
+            (a.table == table && b.table == partner) || (b.table == table && a.table == partner)
+        })
+        .map(|(a, b)| if a.table == table { a.row } else { b.row })
+        .collect();
+    joined.len() as f64 / rows as f64
+}
+
+/// At 10x the sim-sweep cardinalities the award generator must keep the
+/// matching structure its comments document: ~75% of celebrities born in
+/// a listed city, ~55% of winners a listed celebrity, ~75% of winner
+/// awards a listed award. A drifting ratio would silently change every
+/// experiment's selectivity at scale.
+#[test]
+fn award_dirty_ratios_hold_at_10x_scale() {
+    let ds = award_dataset(DatasetScale::award_full().times(10).scaled(100), 11);
+    let celeb_city = join_fraction(&ds, "Celebrity", "City");
+    let winner_celeb = join_fraction(&ds, "Winner", "Celebrity");
+    let winner_award = join_fraction(&ds, "Winner", "Award");
+    assert!((0.70..=0.80).contains(&celeb_city), "Celebrity~City {celeb_city}");
+    assert!((0.50..=0.60).contains(&winner_celeb), "Winner~Celebrity {winner_celeb}");
+    assert!((0.70..=0.80).contains(&winner_award), "Winner~Award {winner_award}");
+}
+
+/// Same at 10x for the paper dataset: ~70% researchers affiliated, ~65%
+/// papers authored by a listed researcher, ~55% citations of a listed
+/// paper.
+#[test]
+fn paper_dirty_ratios_hold_at_10x_scale() {
+    let ds = paper_dataset(DatasetScale::paper_full().times(10).scaled(100), 13);
+    let res_uni = join_fraction(&ds, "Researcher", "University");
+    let paper_res = join_fraction(&ds, "Paper", "Researcher");
+    let cite_paper = join_fraction(&ds, "Citation", "Paper");
+    assert!((0.65..=0.76).contains(&res_uni), "Researcher~University {res_uni}");
+    assert!((0.58..=0.72).contains(&paper_res), "Paper~Researcher {paper_res}");
+    assert!((0.48..=0.62).contains(&cite_paper), "Citation~Paper {cite_paper}");
+}
+
+/// Full 10x-paper-cardinality generation (85,790 rows) completes and is
+/// deterministic — the linearity guard: each generator loop does O(1)
+/// RNG draws and hash inserts per row, so 10x rows is 10x work, and any
+/// accidentally quadratic pool lookup would time this test out.
+#[test]
+fn award_10x_generation_is_linear_and_deterministic() {
+    let scale = DatasetScale::award_full().times(10);
+    let a = award_dataset(scale, 42);
+    assert_eq!(a.db.table("Celebrity").expect("t1").row_count(), scale.t1);
+    assert_eq!(a.db.table("City").expect("t2").row_count(), scale.t2);
+    assert_eq!(a.db.table("Winner").expect("t3").row_count(), scale.t3);
+    assert_eq!(a.db.table("Award").expect("t4").row_count(), scale.t4);
+    assert!(!a.truth.joins.is_empty());
+    let b = award_dataset(scale, 42);
+    assert_eq!(a.truth.joins, b.truth.joins);
+    assert_eq!(
+        a.db.table("Winner").expect("t3").column_strings("name"),
+        b.db.table("Winner").expect("t3").column_strings("name")
+    );
+}

@@ -1,0 +1,357 @@
+//! The global coordinator: `cdb-sched`'s admission envelope and DRR
+//! fair-share, promoted to run *sharded* fleets.
+//!
+//! Admission still reasons per query (the envelope estimate covers the
+//! whole graph), but the crowd schedule interleaves execution *units* —
+//! one flow per `(query, component)` — so a query split across shards
+//! competes for crowd capacity with every other unit, and shared HITs
+//! pack tasks from units on *different shards* into one publication with
+//! the existing cents-exact attribution. Platform spend equals the sum
+//! of per-query attributions by construction (the conservation identity
+//! `cdb-sim` checks across shards).
+
+use std::collections::BTreeMap;
+
+use cdb_core::cost::estimate::estimate;
+use cdb_crowd::{attribute_shared_cents, pack_shared, HitConfig};
+use cdb_runtime::{QueryJob, RuntimeError};
+use cdb_sched::drr::schedule;
+use cdb_sched::{
+    AdmissionController, AdmissionDecision, DrrConfig, Envelope, QueryRequest, RoundRecord,
+};
+
+use crate::executor::{ShardConfig, ShardExecutor, ShardStats, UnitOutcome};
+use crate::memory::ShardError;
+use crate::merge::{add_snapshots, sum_snapshots, ShardQueryResult};
+use cdb_runtime::MetricsSnapshot;
+
+/// Coordinator configuration: the sharded executor plus the scheduling
+/// policy layered on top of it.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// The sharded execution fabric (shard count, runtime, memory).
+    pub shard: ShardConfig,
+    /// Global admission envelope (budget, concurrency, queue bound).
+    pub envelope: Envelope,
+    /// Fair-share knobs applied across execution units.
+    pub drr: DrrConfig,
+    /// HIT packing configuration.
+    pub hit: HitConfig,
+    /// Pack tasks from different units (and so different shards) into
+    /// shared HITs. Off bills each unit its own HITs per round.
+    pub batching: bool,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            shard: ShardConfig::default(),
+            envelope: Envelope::default(),
+            drr: DrrConfig::default(),
+            hit: HitConfig::default(),
+            batching: true,
+        }
+    }
+}
+
+/// One query submitted to the coordinator: the job plus its resources.
+#[derive(Debug, Clone)]
+pub struct ShardSubmission {
+    /// The query to run.
+    pub job: QueryJob,
+    /// Money this query brings, in cents.
+    pub budget_cents: u64,
+    /// Optional deadline in global scheduler rounds.
+    pub deadline_rounds: Option<usize>,
+}
+
+impl ShardSubmission {
+    /// A submission with an effectively unlimited budget and no deadline.
+    pub fn unconstrained(job: QueryJob) -> Self {
+        ShardSubmission { job, budget_cents: u64::MAX, deadline_rounds: None }
+    }
+}
+
+/// The coordinator's merged report.
+#[derive(Debug, Clone)]
+pub struct CoordinatorReport {
+    /// Admission decision per submission, in arrival order.
+    pub decisions: Vec<(u64, AdmissionDecision)>,
+    /// Per-query merged results, in query-id order.
+    pub results: Vec<(u64, Result<ShardQueryResult, RuntimeError>)>,
+    /// The billed global rounds, with contributions aggregated per query.
+    pub rounds: Vec<RoundRecord>,
+    /// Global round in which each query released its last task.
+    pub completion_round: BTreeMap<u64, usize>,
+    /// Cents attributed to each query under the configured billing mode.
+    pub attributed_cents: BTreeMap<u64, u64>,
+    /// Total platform spend, in cents. Always equals the sum of
+    /// `attributed_cents` — attribution conserves money across shards.
+    pub platform_cents: u64,
+    /// HITs published under the configured batching mode.
+    pub total_hits: usize,
+    /// HITs a per-unit billing would have published.
+    pub solo_hits: usize,
+    /// Admission waves executed.
+    pub waves: usize,
+    /// Every execution unit's outcome across all waves.
+    pub units: Vec<UnitOutcome>,
+    /// Per-shard statistics aggregated across waves.
+    pub shards: Vec<ShardStats>,
+    /// Fleet-wide metrics: field-wise sum of every shard-local collector.
+    pub metrics: MetricsSnapshot,
+}
+
+impl CoordinatorReport {
+    /// Fraction of HITs saved versus per-unit billing.
+    pub fn hit_reduction(&self) -> f64 {
+        if self.solo_hits == 0 {
+            0.0
+        } else {
+            1.0 - self.total_hits as f64 / self.solo_hits as f64
+        }
+    }
+}
+
+/// Runs sharded fleets under admission control with fair-share billing.
+pub struct Coordinator {
+    cfg: CoordinatorConfig,
+}
+
+impl Coordinator {
+    /// Build a coordinator from its configuration.
+    pub fn new(cfg: CoordinatorConfig) -> Self {
+        Coordinator { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CoordinatorConfig {
+        &self.cfg
+    }
+
+    /// Admit, execute (sharded) and bill every submitted query.
+    /// Submission order is the arrival order admission sees; execution
+    /// and billing are then deterministic given that order, independent
+    /// of shard count and thread count.
+    pub fn run(&self, submissions: Vec<ShardSubmission>) -> Result<CoordinatorReport, ShardError> {
+        let redundancy = self.cfg.shard.runtime.exec.redundancy;
+        let price_cents = self.cfg.shard.runtime.market.task_price_cents();
+        let executor = ShardExecutor::new(self.cfg.shard.clone());
+
+        // Admission pass, in arrival order — per *query*; the envelope
+        // estimate covers the whole graph regardless of how it shards.
+        let mut ctl = AdmissionController::new(self.cfg.envelope);
+        let mut decisions = Vec::new();
+        let mut queued_jobs: BTreeMap<u64, QueryJob> = BTreeMap::new();
+        let mut wave: Vec<(QueryRequest, QueryJob)> = Vec::new();
+        for sub in submissions {
+            let est = estimate(&sub.job.graph, redundancy, price_cents);
+            let req = QueryRequest {
+                query: sub.job.id,
+                estimate: est,
+                budget_cents: sub.budget_cents,
+                deadline_rounds: sub.deadline_rounds,
+            };
+            let decision = ctl.offer(req);
+            match decision {
+                AdmissionDecision::Admitted => wave.push((req, sub.job)),
+                AdmissionDecision::Queued { .. } => {
+                    queued_jobs.insert(req.query, sub.job);
+                }
+                AdmissionDecision::Rejected(_) => {}
+            }
+            decisions.push((req.query, decision));
+        }
+
+        let mut results: Vec<(u64, Result<ShardQueryResult, RuntimeError>)> = Vec::new();
+        let mut rounds: Vec<RoundRecord> = Vec::new();
+        let mut completion_round: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut attributed_cents: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut platform_cents = 0u64;
+        let mut total_hits = 0usize;
+        let mut solo_hits = 0usize;
+        let mut waves = 0usize;
+        let mut units: Vec<UnitOutcome> = Vec::new();
+        let mut shards: Vec<ShardStats> = (0..self.cfg.shard.shards.max(1))
+            .map(|s| ShardStats {
+                shard: s,
+                units: 0,
+                assigned_bytes: 0,
+                peak_bytes: 0,
+                virtual_ms: 0,
+                metrics: crate::merge::zero_snapshot(),
+            })
+            .collect();
+        while !wave.is_empty() {
+            waves += 1;
+            let (reqs, jobs): (Vec<_>, Vec<_>) = wave.drain(..).unzip();
+            let report = executor.run(jobs)?;
+            // One DRR flow per execution unit. Flow ids are the unit's
+            // index in (query, component) order — deterministic, unique,
+            // and stable across shard/thread counts.
+            let traces: Vec<(u64, Vec<usize>)> = report
+                .units
+                .iter()
+                .enumerate()
+                .filter_map(|(fi, u)| {
+                    u.result.as_ref().ok().map(|q| (fi as u64, q.round_tasks.clone()))
+                })
+                .collect();
+            let flow_query: Vec<u64> = report.units.iter().map(|u| u.query).collect();
+            let (globals, finish) = schedule(&traces, self.cfg.drr);
+            let base = rounds.len();
+            for g in &globals {
+                let tph = self.cfg.hit.tasks_per_hit;
+                let round_solo: usize = g.contributions.iter().map(|&(_, n)| n.div_ceil(tph)).sum();
+                // Bill per-unit flows; shared HITs therefore mix tasks
+                // from units placed on different shards.
+                let (hits, attributed_flows) = if self.cfg.batching {
+                    let shared = pack_shared(&g.contributions, self.cfg.hit);
+                    (shared.len(), attribute_shared_cents(&shared, self.cfg.hit, redundancy))
+                } else {
+                    (
+                        round_solo,
+                        g.contributions
+                            .iter()
+                            .map(|&(f, n)| {
+                                (f, self.cfg.hit.hits_cost_cents(n.div_ceil(tph), redundancy))
+                            })
+                            .collect(),
+                    )
+                };
+                let cents = self.cfg.hit.hits_cost_cents(hits, redundancy);
+                debug_assert_eq!(
+                    attributed_flows.iter().map(|&(_, c)| c).sum::<u64>(),
+                    cents,
+                    "attribution must conserve platform cents across shards"
+                );
+                // Fold flow-level attribution and contributions back to
+                // query ids for the report.
+                for &(f, c) in &attributed_flows {
+                    *attributed_cents.entry(flow_query[f as usize]).or_default() += c;
+                }
+                let mut per_query: BTreeMap<u64, usize> = BTreeMap::new();
+                for &(f, n) in &g.contributions {
+                    *per_query.entry(flow_query[f as usize]).or_default() += n;
+                }
+                platform_cents += cents;
+                total_hits += hits;
+                solo_hits += round_solo;
+                rounds.push(RoundRecord {
+                    index: base + g.index,
+                    contributions: per_query.into_iter().collect(),
+                    hits,
+                    cents,
+                });
+            }
+            for (f, r) in finish {
+                let q = flow_query[f as usize];
+                let done = completion_round.entry(q).or_default();
+                *done = (*done).max(base + r);
+            }
+            for (s, stat) in report.shards.iter().enumerate() {
+                let agg = &mut shards[s];
+                agg.units += stat.units;
+                agg.assigned_bytes += stat.assigned_bytes;
+                agg.peak_bytes = agg.peak_bytes.max(stat.peak_bytes);
+                agg.virtual_ms += stat.virtual_ms;
+                agg.metrics = add_snapshots(&agg.metrics, &stat.metrics);
+            }
+            units.extend(report.units);
+            results.extend(report.results);
+            for req in &reqs {
+                ctl.complete(&req.estimate);
+            }
+            wave = ctl
+                .admit_wave()
+                .into_iter()
+                .map(|req| {
+                    let job = queued_jobs.remove(&req.query).expect("queued job exists");
+                    (req, job)
+                })
+                .collect();
+        }
+        results.sort_by_key(|&(id, _)| id);
+        let metrics = sum_snapshots(shards.iter().map(|s| &s.metrics));
+        Ok(CoordinatorReport {
+            decisions,
+            results,
+            rounds,
+            completion_round,
+            attributed_cents,
+            platform_cents,
+            total_hits,
+            solo_hits,
+            waves,
+            units,
+            shards,
+            metrics,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_core::executor::EdgeTruth;
+    use cdb_core::model::PartKind;
+    use cdb_core::QueryGraph;
+    use cdb_runtime::RuntimeConfig;
+
+    fn multi_component_job(id: u64, comps: usize) -> QueryJob {
+        let mut g = QueryGraph::new();
+        let a = g.add_part(PartKind::Table { name: "A".into() });
+        let b = g.add_part(PartKind::Table { name: "B".into() });
+        let p = g.add_predicate(a, b, true, "A~B");
+        let mut truth = EdgeTruth::new();
+        for i in 0..comps {
+            let x = g.add_node(a, None, format!("a{i}"));
+            let y = g.add_node(b, None, format!("b{i}"));
+            let e = g.add_edge(x, y, p, 0.5);
+            truth.insert(e, i % 2 == 0);
+        }
+        QueryJob { id, graph: g, truth }
+    }
+
+    #[test]
+    fn attribution_conserves_platform_cents() {
+        let cfg = CoordinatorConfig {
+            shard: ShardConfig {
+                shards: 2,
+                runtime: RuntimeConfig { threads: 1, seed: 11, ..RuntimeConfig::default() },
+                ..ShardConfig::default()
+            },
+            ..CoordinatorConfig::default()
+        };
+        let subs = (0..5).map(|i| ShardSubmission::unconstrained(multi_component_job(i, 3)));
+        let report = Coordinator::new(cfg).run(subs.collect()).expect("runs");
+        assert_eq!(report.results.len(), 5);
+        let attributed: u64 = report.attributed_cents.values().sum();
+        assert_eq!(attributed, report.platform_cents);
+        assert!(report.platform_cents > 0);
+        assert!(report.total_hits <= report.solo_hits);
+    }
+
+    #[test]
+    fn billing_is_shard_count_invariant() {
+        let mk = |shards: usize| {
+            let cfg = CoordinatorConfig {
+                shard: ShardConfig {
+                    shards,
+                    runtime: RuntimeConfig { threads: 1, seed: 5, ..RuntimeConfig::default() },
+                    ..ShardConfig::default()
+                },
+                ..CoordinatorConfig::default()
+            };
+            let subs = (0..4).map(|i| ShardSubmission::unconstrained(multi_component_job(i, 2)));
+            Coordinator::new(cfg).run(subs.collect()).expect("runs")
+        };
+        let one = mk(1);
+        let four = mk(4);
+        assert_eq!(one.platform_cents, four.platform_cents);
+        assert_eq!(one.attributed_cents, four.attributed_cents);
+        assert_eq!(one.rounds, four.rounds);
+        assert_eq!(one.completion_round, four.completion_round);
+        assert_eq!(one.metrics.to_json(), four.metrics.to_json());
+    }
+}

@@ -1,0 +1,525 @@
+//! The shard executor: place execution units (one per connected
+//! component) onto worker shards, run the shards concurrently, and merge
+//! outcomes back in deterministic `(query, component)` order.
+//!
+//! Determinism: a unit's id is `stream_key(0x5AAD, [query, component])`,
+//! and [`cdb_runtime::execute_query`] keys *all* of a job's randomness
+//! off that id — so a unit's outcome is a pure function of
+//! `(runtime config, unit job, reuse snapshot)`. Placement, shard count
+//! and thread count decide only *where and when* a unit runs, never what
+//! it computes. Consequently an N-shard run is byte-identical to the
+//! 1-shard oracle: same bindings, same merged metrics JSON.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use cdb_core::model::NodeId;
+use cdb_core::ReuseSession;
+use cdb_crowd::{stream_key, SimTime};
+use cdb_runtime::{
+    execute_query, settled_facts, MetricsSnapshot, QueryJob, QueryResult, RuntimeConfig,
+    RuntimeError, RuntimeMetrics,
+};
+
+use crate::memory::{component_bytes, Arena, MemoryConfig, ShardError};
+use crate::merge::{merge_query, remap_bindings, sum_snapshots, ShardQueryResult};
+use crate::partition::{partition, Partition};
+
+/// A finished unit's raw outcome plus the node-id map back into the
+/// original graph, parked in its slot until the merge pass collects it.
+type UnitSlot = Mutex<Option<(Result<QueryResult, RuntimeError>, Vec<NodeId>)>>;
+
+/// Stream-key salt for unit ids: `unit = stream_key(SHARD_STREAM,
+/// [query, component])`. Distinct from every other salt in the workspace
+/// so sharded units never collide with whole-query seed streams.
+pub const SHARD_STREAM: u64 = 0x5AAD;
+
+/// The deterministic id of one execution unit — query `query`'s
+/// component `component`. Used as the unit's `QueryJob::id`, which in
+/// turn keys its platform, executor and fault streams.
+pub fn unit_seed(query: u64, component: usize) -> u64 {
+    stream_key(SHARD_STREAM, &[query, component as u64])
+}
+
+/// Sharded-execution configuration.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Worker shards. Each shard runs `runtime.threads` worker threads
+    /// over its own unit queue, with its own metrics collector and arena.
+    pub shards: usize,
+    /// Per-shard runtime configuration (seed, market, workers, faults,
+    /// reuse, settle hook). The `threads` field is the *intra-shard*
+    /// thread count.
+    pub runtime: RuntimeConfig,
+    /// Memory policy: plan-time component ceiling and streaming mode.
+    pub memory: MemoryConfig,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 1,
+            runtime: RuntimeConfig::default(),
+            memory: MemoryConfig::default(),
+        }
+    }
+}
+
+/// One execution unit's outcome.
+#[derive(Debug, Clone)]
+pub struct UnitOutcome {
+    /// The owning query.
+    pub query: u64,
+    /// The component id within the query's partition.
+    pub component: usize,
+    /// The deterministic unit seed ([`unit_seed`]).
+    pub unit: u64,
+    /// The shard the unit ran on (telemetry — does not affect results).
+    pub shard: usize,
+    /// The unit's estimated footprint, in bytes.
+    pub bytes: u64,
+    /// The unit's result with bindings remapped to *global* node ids.
+    pub result: Result<QueryResult, RuntimeError>,
+}
+
+/// Per-shard execution statistics.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// The shard index.
+    pub shard: usize,
+    /// Units the placement assigned to this shard.
+    pub units: usize,
+    /// Total estimated bytes assigned.
+    pub assigned_bytes: u64,
+    /// Arena high-water mark: bytes of simultaneously materialized
+    /// components. Deterministic at `threads == 1`; telemetry at higher
+    /// thread counts (depends on overlap timing).
+    pub peak_bytes: u64,
+    /// The shard's virtual makespan: the sum of its units' simulated
+    /// crowd time (units on one shard share its worker capacity).
+    pub virtual_ms: SimTime,
+    /// The shard-local metrics collector's snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+/// The merged report of a sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Per-query merged results, in query-id order.
+    pub results: Vec<(u64, Result<ShardQueryResult, RuntimeError>)>,
+    /// Every execution unit's outcome, in `(query, component)` order.
+    pub units: Vec<UnitOutcome>,
+    /// Per-shard statistics, indexed by shard.
+    pub shards: Vec<ShardStats>,
+    /// Fleet-wide metrics: the field-wise sum of the shard-local
+    /// snapshots — byte-identical to a single shared collector.
+    pub metrics: MetricsSnapshot,
+    /// Host wall-clock for the whole run (nondeterministic; telemetry).
+    pub wall: Duration,
+}
+
+impl ShardReport {
+    /// Queries that completed.
+    pub fn ok_count(&self) -> usize {
+        self.results.iter().filter(|(_, r)| r.is_ok()).count()
+    }
+
+    /// Queries that failed.
+    pub fn failed_count(&self) -> usize {
+        self.results.len() - self.ok_count()
+    }
+
+    /// Canonical text rendering of every query's answer set — the same
+    /// format as [`cdb_runtime::RuntimeReport::bindings_text`], so the
+    /// sharded path can be compared byte-for-byte against the oracle.
+    pub fn bindings_text(&self) -> String {
+        let mut out = String::new();
+        for (id, r) in &self.results {
+            match r {
+                Ok(q) => {
+                    let rows: Vec<String> = q
+                        .bindings
+                        .iter()
+                        .map(|b| b.iter().map(|n| n.0.to_string()).collect::<Vec<_>>().join("."))
+                        .collect();
+                    out.push_str(&format!("q{} answers=[{}]\n", id, rows.join("|")));
+                }
+                Err(e) => out.push_str(&format!("q{} error={}\n", id, e)),
+            }
+        }
+        out
+    }
+
+    /// End-to-end virtual makespan: shards run concurrently, so the run
+    /// finishes when the slowest shard does. This is the deterministic
+    /// scale-out signal (host wall-clock on a small machine is not).
+    pub fn virtual_makespan(&self) -> SimTime {
+        self.shards.iter().map(|s| s.virtual_ms).max().unwrap_or(0)
+    }
+
+    /// The largest per-shard arena high-water mark.
+    pub fn peak_bytes_max(&self) -> u64 {
+        self.shards.iter().map(|s| s.peak_bytes).max().unwrap_or(0)
+    }
+}
+
+/// One planned execution unit.
+#[derive(Debug, Clone)]
+struct UnitPlan {
+    query: u64,
+    component: usize,
+    unit: u64,
+    bytes: u64,
+    job_idx: usize,
+}
+
+/// Deterministic LPT (longest-processing-time) placement: units sorted
+/// by estimated bytes descending — ties broken by `(query, component)`
+/// ascending — each go to the currently least-loaded shard, ties to the
+/// lowest index. Returns per-shard lists of plan indices.
+fn place(plans: &[UnitPlan], shards: usize) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..plans.len()).collect();
+    order.sort_by(|&a, &b| {
+        plans[b]
+            .bytes
+            .cmp(&plans[a].bytes)
+            .then(plans[a].query.cmp(&plans[b].query))
+            .then(plans[a].component.cmp(&plans[b].component))
+    });
+    let mut load = vec![0u64; shards];
+    let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); shards];
+    for pi in order {
+        let s = (0..shards).min_by_key(|&s| (load[s], s)).expect("shards >= 1");
+        load[s] += plans[pi].bytes;
+        assigned[s].push(pi);
+    }
+    assigned
+}
+
+/// Runs query fleets sharded by connected component.
+pub struct ShardExecutor {
+    cfg: ShardConfig,
+}
+
+impl ShardExecutor {
+    /// Build an executor from its configuration.
+    pub fn new(cfg: ShardConfig) -> Self {
+        ShardExecutor { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ShardConfig {
+        &self.cfg
+    }
+
+    /// Plan, place and run every job; merge per-component outcomes back
+    /// into per-query results in query-id order.
+    ///
+    /// Fails at *plan* time — before anything is materialized — if a
+    /// component's estimated footprint exceeds the memory ceiling, or if
+    /// the config has zero shards.
+    pub fn run(&self, mut jobs: Vec<QueryJob>) -> Result<ShardReport, ShardError> {
+        let start = Instant::now();
+        if self.cfg.shards == 0 {
+            return Err(ShardError::NoShards);
+        }
+        jobs.sort_by_key(|j| j.id);
+        // Plan: partition each query, estimate each component, gate on
+        // the ceiling. Plans come out in (query, component) order.
+        let parts: Vec<Partition> = jobs.iter().map(|j| partition(&j.graph)).collect();
+        let mut plans: Vec<UnitPlan> = Vec::new();
+        for (ji, (job, part)) in jobs.iter().zip(&parts).enumerate() {
+            for comp in &part.components {
+                let bytes = component_bytes(&job.graph, comp);
+                if let Some(ceiling) = self.cfg.memory.ceiling_bytes {
+                    if bytes > ceiling {
+                        return Err(ShardError::ComponentTooLarge {
+                            query: job.id,
+                            component: comp.id,
+                            bytes,
+                            ceiling,
+                        });
+                    }
+                }
+                plans.push(UnitPlan {
+                    query: job.id,
+                    component: comp.id,
+                    unit: unit_seed(job.id, comp.id),
+                    bytes,
+                    job_idx: ji,
+                });
+            }
+        }
+        let assigned = place(&plans, self.cfg.shards);
+        let mut shard_of = vec![0usize; plans.len()];
+        for (s, list) in assigned.iter().enumerate() {
+            for &pi in list {
+                shard_of[pi] = s;
+            }
+        }
+        // Reuse: snapshot the shared cache ONCE per unit before anything
+        // runs — every unit resolves against the same frozen knowledge,
+        // exactly like RuntimeExecutor's per-query sessions.
+        let sessions: Vec<Option<Arc<Mutex<ReuseSession>>>> = match &self.cfg.runtime.reuse {
+            Some(cache) => {
+                plans.iter().map(|_| Some(Arc::new(Mutex::new(cache.snapshot())))).collect()
+            }
+            None => plans.iter().map(|_| None).collect(),
+        };
+        // Non-streaming: materialize every unit's sub-graph up front —
+        // the whole-graph baseline memory profile.
+        let premade: Option<Vec<(QueryJob, Vec<NodeId>)>> = if self.cfg.memory.streaming {
+            None
+        } else {
+            Some(
+                plans
+                    .iter()
+                    .map(|p| {
+                        let job = &jobs[p.job_idx];
+                        let comp = &parts[p.job_idx].components[p.component];
+                        crate::partition::component_job(&job.graph, &job.truth, comp, p.unit)
+                    })
+                    .collect(),
+            )
+        };
+        let arenas: Vec<Arena> = (0..self.cfg.shards).map(|_| Arena::new()).collect();
+        if premade.is_some() {
+            for (pi, p) in plans.iter().enumerate() {
+                arenas[shard_of[pi]].acquire(p.bytes);
+            }
+        }
+        let shard_metrics: Vec<Arc<RuntimeMetrics>> =
+            (0..self.cfg.shards).map(|_| Arc::new(RuntimeMetrics::new())).collect();
+        let cursors: Vec<AtomicUsize> = (0..self.cfg.shards).map(|_| AtomicUsize::new(0)).collect();
+        let slots: Vec<UnitSlot> = plans.iter().map(|_| Mutex::new(None)).collect();
+        let cfg = Arc::new(self.cfg.runtime.clone());
+        let threads = self.cfg.runtime.threads.max(1);
+        let streaming = self.cfg.memory.streaming;
+        std::thread::scope(|scope| {
+            for (s, list) in assigned.iter().enumerate() {
+                for _ in 0..threads {
+                    let cfg = Arc::clone(&cfg);
+                    let metrics = Arc::clone(&shard_metrics[s]);
+                    let arena = &arenas[s];
+                    let cursor = &cursors[s];
+                    let plans = &plans;
+                    let jobs = &jobs;
+                    let parts = &parts;
+                    let sessions = &sessions;
+                    let premade = &premade;
+                    let slots = &slots;
+                    scope.spawn(move || loop {
+                        let i = cursor.fetch_add(1, Ordering::SeqCst);
+                        let Some(&pi) = list.get(i) else { break };
+                        let p = &plans[pi];
+                        let (unit_job, to_global) = match premade {
+                            Some(pre) => pre[pi].clone(),
+                            None => {
+                                let job = &jobs[p.job_idx];
+                                let comp = &parts[p.job_idx].components[p.component];
+                                crate::partition::component_job(
+                                    &job.graph, &job.truth, comp, p.unit,
+                                )
+                            }
+                        };
+                        if streaming {
+                            arena.acquire(p.bytes);
+                        }
+                        let session = sessions[pi].as_ref().map(Arc::clone);
+                        let (_, result) = execute_query(&cfg, &metrics, unit_job, session);
+                        if streaming {
+                            arena.release(p.bytes);
+                        }
+                        *slots[pi].lock().expect("unit slot poisoned") = Some((result, to_global));
+                    });
+                }
+            }
+        });
+        // Absorb reuse sessions in (query, component) order after every
+        // shard joins — the same first-writer-wins, settle-before-absorb
+        // protocol as RuntimeExecutor, keyed by unit seed.
+        let mut outcomes: Vec<UnitOutcome> = Vec::with_capacity(plans.len());
+        for (pi, p) in plans.iter().enumerate() {
+            let (result, to_global) =
+                slots[pi].lock().expect("unit slot poisoned").take().expect("every unit reports");
+            let result = result.map(|mut q| {
+                q.bindings = remap_bindings(&q.bindings, &to_global);
+                q
+            });
+            if result.is_ok() {
+                if let (Some(cache), Some(session)) = (&self.cfg.runtime.reuse, &sessions[pi]) {
+                    let session = session.lock().expect("reuse session poisoned");
+                    let settled = match &self.cfg.runtime.settle {
+                        Some(hook) => {
+                            let facts = settled_facts(&self.cfg.runtime, &session);
+                            facts.is_empty() || hook.settle(p.unit, &facts).is_ok()
+                        }
+                        None => true,
+                    };
+                    if settled {
+                        cache.absorb(&session);
+                    }
+                }
+            }
+            outcomes.push(UnitOutcome {
+                query: p.query,
+                component: p.component,
+                unit: p.unit,
+                shard: shard_of[pi],
+                bytes: p.bytes,
+                result,
+            });
+        }
+        // Merge per query, in query-id order. A query whose graph
+        // partitioned into zero components (no edges, no nodes that
+        // could bind) merges to the empty answer set.
+        let mut results: Vec<(u64, Result<ShardQueryResult, RuntimeError>)> = Vec::new();
+        for job in &jobs {
+            let per: Vec<(usize, &Result<QueryResult, RuntimeError>)> = outcomes
+                .iter()
+                .filter(|o| o.query == job.id)
+                .map(|o| (o.component, &o.result))
+                .collect();
+            results.push((job.id, merge_query(job.id, &per)));
+        }
+        let shards: Vec<ShardStats> = (0..self.cfg.shards)
+            .map(|s| {
+                let mine: Vec<&UnitOutcome> = outcomes.iter().filter(|o| o.shard == s).collect();
+                ShardStats {
+                    shard: s,
+                    units: mine.len(),
+                    assigned_bytes: mine.iter().map(|o| o.bytes).sum(),
+                    peak_bytes: arenas[s].peak(),
+                    virtual_ms: mine
+                        .iter()
+                        .map(|o| o.result.as_ref().map(|q| q.virtual_ms).unwrap_or(0))
+                        .sum(),
+                    metrics: shard_metrics[s].snapshot(),
+                }
+            })
+            .collect();
+        let metrics = sum_snapshots(shards.iter().map(|s| &s.metrics));
+        Ok(ShardReport { results, units: outcomes, shards, metrics, wall: start.elapsed() })
+    }
+}
+
+/// The union of every successful query's answer bindings — convenience
+/// for equality assertions in tests.
+pub fn all_bindings(report: &ShardReport) -> BTreeSet<(u64, Vec<NodeId>)> {
+    let mut out = BTreeSet::new();
+    for (id, r) in &report.results {
+        if let Ok(q) = r {
+            for b in &q.bindings {
+                out.insert((*id, b.clone()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_core::executor::EdgeTruth;
+    use cdb_core::model::PartKind;
+    use cdb_core::QueryGraph;
+
+    /// Two independent joins in one graph: `a_i ~ b_i` pairs (2 comps)
+    /// with known truth.
+    fn two_component_job(id: u64) -> QueryJob {
+        let mut g = QueryGraph::new();
+        let a = g.add_part(PartKind::Table { name: "A".into() });
+        let b = g.add_part(PartKind::Table { name: "B".into() });
+        let p = g.add_predicate(a, b, true, "A~B");
+        let mut truth = EdgeTruth::new();
+        for i in 0..2 {
+            let x = g.add_node(a, None, format!("a{i}"));
+            let y = g.add_node(b, None, format!("b{i}"));
+            let e = g.add_edge(x, y, p, 0.5);
+            truth.insert(e, true);
+        }
+        QueryJob { id, graph: g, truth }
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_balanced() {
+        let plans: Vec<UnitPlan> = (0..4)
+            .map(|i| UnitPlan {
+                query: 0,
+                component: i,
+                unit: unit_seed(0, i),
+                bytes: (4 - i as u64) * 100,
+                job_idx: 0,
+            })
+            .collect();
+        let placed = place(&plans, 2);
+        // LPT: 400→s0, 300→s1, 200→s1(? loads 400 vs 300 → s1), 100→s0? loads 400 vs 500 → s0
+        assert_eq!(placed[0], vec![0, 3]);
+        assert_eq!(placed[1], vec![1, 2]);
+    }
+
+    #[test]
+    fn sharded_matches_single_shard_oracle() {
+        let jobs: Vec<QueryJob> = (0..4).map(two_component_job).collect();
+        let runtime = RuntimeConfig { threads: 1, seed: 7, ..RuntimeConfig::default() };
+        let oracle = ShardExecutor::new(ShardConfig {
+            shards: 1,
+            runtime: runtime.clone(),
+            memory: MemoryConfig::default(),
+        })
+        .run(jobs.clone())
+        .expect("oracle runs");
+        let sharded =
+            ShardExecutor::new(ShardConfig { shards: 3, runtime, memory: MemoryConfig::default() })
+                .run(jobs)
+                .expect("sharded runs");
+        assert_eq!(oracle.bindings_text(), sharded.bindings_text());
+        assert_eq!(oracle.metrics, sharded.metrics);
+        assert_eq!(oracle.metrics.to_json(), sharded.metrics.to_json());
+    }
+
+    #[test]
+    fn oversized_component_fails_at_plan_time() {
+        let jobs = vec![two_component_job(0)];
+        let err = ShardExecutor::new(ShardConfig {
+            shards: 2,
+            runtime: RuntimeConfig { threads: 1, ..RuntimeConfig::default() },
+            memory: MemoryConfig { ceiling_bytes: Some(10), streaming: true },
+        })
+        .run(jobs)
+        .expect_err("ceiling must trip");
+        assert!(matches!(err, ShardError::ComponentTooLarge { ceiling: 10, .. }));
+    }
+
+    #[test]
+    fn zero_shards_is_a_typed_error() {
+        let err = ShardExecutor::new(ShardConfig { shards: 0, ..ShardConfig::default() })
+            .run(vec![])
+            .expect_err("zero shards");
+        assert_eq!(err, ShardError::NoShards);
+    }
+
+    #[test]
+    fn streaming_peak_is_below_upfront_materialization() {
+        let jobs: Vec<QueryJob> = (0..6).map(two_component_job).collect();
+        let runtime = RuntimeConfig { threads: 1, seed: 3, ..RuntimeConfig::default() };
+        let streaming = ShardExecutor::new(ShardConfig {
+            shards: 1,
+            runtime: runtime.clone(),
+            memory: MemoryConfig { ceiling_bytes: None, streaming: true },
+        })
+        .run(jobs.clone())
+        .expect("runs");
+        let upfront = ShardExecutor::new(ShardConfig {
+            shards: 1,
+            runtime,
+            memory: MemoryConfig { ceiling_bytes: None, streaming: false },
+        })
+        .run(jobs)
+        .expect("runs");
+        assert_eq!(streaming.bindings_text(), upfront.bindings_text());
+        assert!(streaming.peak_bytes_max() < upfront.peak_bytes_max());
+    }
+}

@@ -1,0 +1,155 @@
+//! Memory-bounded execution: a deterministic byte estimate per component,
+//! a per-shard arena that tracks live bytes, and the typed error a
+//! too-large component fails with *before* any allocation happens —
+//! never an OOM kill and never a hang.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cdb_core::QueryGraph;
+
+use crate::partition::Component;
+
+/// Fixed per-node bookkeeping cost of a materialized sub-graph, in bytes:
+/// the node struct (part, tuple, label header, adjacency header, support
+/// header) plus its slot in the part's node list.
+const NODE_OVERHEAD: u64 = 96;
+/// Fixed per-edge bookkeeping cost: the edge struct (endpoints, predicate,
+/// weight, color) plus two adjacency entries, two support slots, and the
+/// change-log entry.
+const EDGE_OVERHEAD: u64 = 72;
+/// Per-edge cost of the runtime's side state (truth map entry, selection
+/// state, pending-task bookkeeping).
+const EDGE_RUNTIME: u64 = 64;
+
+/// Deterministic estimate of the bytes a materialized component costs:
+/// graph structs plus label payloads plus the runtime's per-edge state.
+/// An *estimate* — the ceiling gates on it, so the bound is enforced on
+/// the model, not on the allocator — but a monotone one: more nodes,
+/// edges, or label bytes never estimate smaller.
+pub fn component_bytes(g: &QueryGraph, comp: &Component) -> u64 {
+    let label_bytes: u64 = comp.nodes.iter().map(|&n| g.node_label(n).len() as u64).sum();
+    comp.nodes.len() as u64 * NODE_OVERHEAD
+        + comp.edges.len() as u64 * (EDGE_OVERHEAD + EDGE_RUNTIME)
+        + label_bytes
+}
+
+/// Memory policy for sharded execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryConfig {
+    /// Per-component byte ceiling. A component estimated above it fails
+    /// the whole run with [`ShardError::ComponentTooLarge`] at *plan*
+    /// time, before anything is materialized. `None` disables the gate.
+    pub ceiling_bytes: Option<u64>,
+    /// Stream components through shards: materialize each component's
+    /// sub-graph when it is dequeued and drop it as soon as it finishes,
+    /// so a shard's peak is its largest in-flight component, not its
+    /// whole assignment. `false` materializes every assigned component up
+    /// front (the whole-graph baseline memory profile).
+    pub streaming: bool,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        MemoryConfig { ceiling_bytes: None, streaming: true }
+    }
+}
+
+/// Typed failures of the sharded execution layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// A single connected component's estimated footprint exceeds the
+    /// per-shard memory ceiling. Components are atomic work units — one
+    /// that cannot fit can never run under this config, so the run fails
+    /// up front with the evidence instead of OOMing mid-flight.
+    ComponentTooLarge {
+        /// The query whose graph owns the component.
+        query: u64,
+        /// The component id within that query's partition.
+        component: usize,
+        /// The component's estimated footprint, in bytes.
+        bytes: u64,
+        /// The configured ceiling, in bytes.
+        ceiling: u64,
+    },
+    /// The configuration is unusable (zero shards).
+    NoShards,
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::ComponentTooLarge { query, component, bytes, ceiling } => write!(
+                f,
+                "query {query} component {component} needs ~{bytes} bytes, over the \
+                 {ceiling}-byte per-shard ceiling"
+            ),
+            ShardError::NoShards => write!(f, "shard count must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// A shard's graph arena: tracks the bytes of live (materialized)
+/// components and the high-water mark. Pure accounting over the
+/// [`component_bytes`] estimate — the enforcement point is the plan-time
+/// ceiling, this records what streaming actually kept resident.
+#[derive(Debug, Default)]
+pub struct Arena {
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl Arena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Arena::default()
+    }
+
+    /// Record `bytes` becoming live and update the high-water mark.
+    pub fn acquire(&self, bytes: u64) {
+        let now = self.current.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Record `bytes` being dropped.
+    pub fn release(&self, bytes: u64) {
+        self.current.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// The high-water mark, in bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_tracks_the_high_water_mark() {
+        let a = Arena::new();
+        a.acquire(100);
+        a.acquire(50);
+        a.release(100);
+        a.acquire(20);
+        assert_eq!(a.peak(), 150);
+    }
+
+    #[test]
+    fn estimate_is_monotone_in_size() {
+        use cdb_core::model::{NodeId, PartKind};
+        let mut g = QueryGraph::new();
+        let a = g.add_part(PartKind::Table { name: "A".into() });
+        let b = g.add_part(PartKind::Table { name: "B".into() });
+        let p = g.add_predicate(a, b, true, "A~B");
+        let x = g.add_node(a, None, "x".to_string());
+        let y = g.add_node(b, None, "y".to_string());
+        let e = g.add_edge(x, y, p, 0.5);
+        let one = crate::partition::Component { id: 0, nodes: vec![x], edges: vec![] };
+        let two = crate::partition::Component { id: 0, nodes: vec![x, y], edges: vec![e] };
+        assert!(component_bytes(&g, &two) > component_bytes(&g, &one));
+        let _ = NodeId(0);
+    }
+}

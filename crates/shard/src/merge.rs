@@ -1,0 +1,168 @@
+//! The merge layer: reassemble per-component outcomes into per-query
+//! results in deterministic component-id order, and fold shard-local
+//! metrics into one fleet-wide snapshot.
+
+use std::collections::BTreeSet;
+
+use cdb_core::model::NodeId;
+use cdb_crowd::SimTime;
+use cdb_runtime::{MetricsSnapshot, QueryResult, RuntimeError, HISTOGRAM_BUCKETS};
+
+/// One query's merged outcome across its components.
+#[derive(Debug, Clone)]
+pub struct ShardQueryResult {
+    /// The query id.
+    pub query: u64,
+    /// Answer bindings in *global* node ids — the disjoint union of the
+    /// per-component answer sets.
+    pub bindings: BTreeSet<Vec<NodeId>>,
+    /// Components the query was split into.
+    pub components: usize,
+    /// Distinct tasks asked, summed across components.
+    pub tasks_asked: usize,
+    /// Worker assignments collected, summed across components.
+    pub assignments: usize,
+    /// Tasks answered from the reuse cache, summed across components.
+    pub tasks_saved: usize,
+    /// Crowd rounds: the maximum over components — components run
+    /// concurrently, so the query's round depth is its slowest component.
+    pub rounds: usize,
+    /// Virtual makespan: the maximum over components, for the same reason.
+    pub virtual_ms: SimTime,
+}
+
+/// Merge one query's per-component results (already remapped to global
+/// node ids), presented in ascending component-id order. Any failed
+/// component fails the query with the lowest-component error — answers
+/// from the other components would be an incomplete (wrong) answer set.
+pub fn merge_query(
+    query: u64,
+    per_component: &[(usize, &Result<QueryResult, RuntimeError>)],
+) -> Result<ShardQueryResult, RuntimeError> {
+    debug_assert!(per_component.windows(2).all(|w| w[0].0 < w[1].0), "component order");
+    for (_, r) in per_component {
+        if let Err(e) = r {
+            return Err(e.clone());
+        }
+    }
+    let mut merged = ShardQueryResult {
+        query,
+        bindings: BTreeSet::new(),
+        components: per_component.len(),
+        tasks_asked: 0,
+        assignments: 0,
+        tasks_saved: 0,
+        rounds: 0,
+        virtual_ms: 0,
+    };
+    for (_, r) in per_component {
+        let q = r.as_ref().expect("errors returned above");
+        merged.bindings.extend(q.bindings.iter().cloned());
+        merged.tasks_asked += q.tasks_asked;
+        merged.assignments += q.assignments;
+        merged.tasks_saved += q.tasks_saved;
+        merged.rounds = merged.rounds.max(q.rounds);
+        merged.virtual_ms = merged.virtual_ms.max(q.virtual_ms);
+    }
+    Ok(merged)
+}
+
+/// Remap a component-local binding set to global node ids. The local
+/// numbering is a monotone relabeling (see
+/// [`component_job`](crate::partition::component_job)), so sorted
+/// structures stay sorted.
+pub fn remap_bindings(
+    local: &BTreeSet<Vec<NodeId>>,
+    to_global: &[NodeId],
+) -> BTreeSet<Vec<NodeId>> {
+    local.iter().map(|b| b.iter().map(|n| to_global[n.0]).collect()).collect()
+}
+
+/// An all-zero snapshot — the identity of [`add_snapshots`].
+pub fn zero_snapshot() -> MetricsSnapshot {
+    MetricsSnapshot {
+        tasks_dispatched: 0,
+        retries: 0,
+        timeouts: 0,
+        reassignments: 0,
+        dropouts: 0,
+        abandons: 0,
+        slowdowns: 0,
+        rounds: 0,
+        queries_ok: 0,
+        queries_failed: 0,
+        virtual_ms_total: 0,
+        round_ms_total: 0,
+        cost_cents: 0,
+        tasks_saved: 0,
+        money_saved_cents: 0,
+        entailment_depth_sum: 0,
+        round_latency_buckets: vec![0; HISTOGRAM_BUCKETS],
+    }
+}
+
+/// Field-wise sum of two snapshots. Every counter is a sum over events,
+/// so summing shard-local collectors reconstructs exactly the snapshot a
+/// single fleet-wide collector would have produced — the cross-shard
+/// conservation identity the simulation checks.
+pub fn add_snapshots(a: &MetricsSnapshot, b: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+    for (i, slot) in buckets.iter_mut().enumerate() {
+        *slot = a.round_latency_buckets.get(i).copied().unwrap_or(0)
+            + b.round_latency_buckets.get(i).copied().unwrap_or(0);
+    }
+    MetricsSnapshot {
+        tasks_dispatched: a.tasks_dispatched + b.tasks_dispatched,
+        retries: a.retries + b.retries,
+        timeouts: a.timeouts + b.timeouts,
+        reassignments: a.reassignments + b.reassignments,
+        dropouts: a.dropouts + b.dropouts,
+        abandons: a.abandons + b.abandons,
+        slowdowns: a.slowdowns + b.slowdowns,
+        rounds: a.rounds + b.rounds,
+        queries_ok: a.queries_ok + b.queries_ok,
+        queries_failed: a.queries_failed + b.queries_failed,
+        virtual_ms_total: a.virtual_ms_total + b.virtual_ms_total,
+        round_ms_total: a.round_ms_total + b.round_ms_total,
+        cost_cents: a.cost_cents + b.cost_cents,
+        tasks_saved: a.tasks_saved + b.tasks_saved,
+        money_saved_cents: a.money_saved_cents + b.money_saved_cents,
+        entailment_depth_sum: a.entailment_depth_sum + b.entailment_depth_sum,
+        round_latency_buckets: buckets,
+    }
+}
+
+/// Sum an iterator of snapshots.
+pub fn sum_snapshots<'a>(snaps: impl IntoIterator<Item = &'a MetricsSnapshot>) -> MetricsSnapshot {
+    snaps.into_iter().fold(zero_snapshot(), |acc, s| add_snapshots(&acc, s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_sum_is_fieldwise() {
+        let mut a = zero_snapshot();
+        a.tasks_dispatched = 3;
+        a.round_latency_buckets[2] = 5;
+        let mut b = zero_snapshot();
+        b.tasks_dispatched = 4;
+        b.round_latency_buckets[2] = 1;
+        let s = sum_snapshots([&a, &b]);
+        assert_eq!(s.tasks_dispatched, 7);
+        assert_eq!(s.round_latency_buckets[2], 6);
+        assert_eq!(s.retries, 0);
+    }
+
+    #[test]
+    fn remap_preserves_order() {
+        let to_global = vec![NodeId(4), NodeId(9), NodeId(17)];
+        let mut local = BTreeSet::new();
+        local.insert(vec![NodeId(0), NodeId(2)]);
+        local.insert(vec![NodeId(1)]);
+        let global = remap_bindings(&local, &to_global);
+        let got: Vec<Vec<NodeId>> = global.into_iter().collect();
+        assert_eq!(got, vec![vec![NodeId(4), NodeId(17)], vec![NodeId(9)]]);
+    }
+}

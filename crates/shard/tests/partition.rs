@@ -1,0 +1,137 @@
+//! Partitioner properties: every edge lands in exactly one shard unit,
+//! component-id order is stable under insertion-order permutation, and a
+//! component over the memory ceiling fails with a typed error — never an
+//! OOM and never a hang.
+
+use std::collections::BTreeSet;
+
+use cdb_core::executor::EdgeTruth;
+use cdb_core::model::{NodeId, PartKind};
+use cdb_core::QueryGraph;
+use cdb_runtime::{QueryJob, RuntimeConfig};
+use cdb_shard::{
+    component_bytes, partition, verify_partition, MemoryConfig, ShardConfig, ShardError,
+    ShardExecutor,
+};
+use proptest::prelude::*;
+
+/// Build a multi-component join graph: `sizes[c] = (na, nb)` pairs per
+/// component, with edges inserted in the order given by `edge_order`
+/// (indices into the flattened edge list, a permutation).
+fn build(sizes: &[(usize, usize)], edge_order: &[usize]) -> (QueryGraph, EdgeTruth) {
+    let mut g = QueryGraph::new();
+    let a = g.add_part(PartKind::Table { name: "A".into() });
+    let b = g.add_part(PartKind::Table { name: "B".into() });
+    let p = g.add_predicate(a, b, true, "A~B");
+    // Nodes first, in a fixed order, so the node-id space is identical
+    // for every edge permutation.
+    let mut pairs: Vec<(NodeId, NodeId, bool)> = Vec::new();
+    for (c, &(na, nb)) in sizes.iter().enumerate() {
+        let an: Vec<NodeId> = (0..na).map(|i| g.add_node(a, None, format!("c{c}a{i}"))).collect();
+        let bn: Vec<NodeId> = (0..nb).map(|i| g.add_node(b, None, format!("c{c}b{i}"))).collect();
+        for (i, &x) in an.iter().enumerate() {
+            for (j, &y) in bn.iter().enumerate() {
+                pairs.push((x, y, i % nb == j));
+            }
+        }
+    }
+    let mut truth = EdgeTruth::new();
+    for &oi in edge_order {
+        let (x, y, t) = pairs[oi];
+        let e = g.add_edge(x, y, p, 0.5);
+        truth.insert(e, t);
+    }
+    (g, truth)
+}
+
+fn sizes_strategy() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec((1usize..4, 1usize..4), 1..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every edge belongs to exactly one component, and the partition
+    /// passes its own verifier, for arbitrary multi-component graphs.
+    #[test]
+    fn every_edge_lands_in_exactly_one_component(sizes in sizes_strategy()) {
+        let m: usize = sizes.iter().map(|&(na, nb)| na * nb).sum();
+        let order: Vec<usize> = (0..m).collect();
+        let (g, _) = build(&sizes, &order);
+        let p = partition(&g);
+        verify_partition(&g, &p).expect("fresh partition verifies");
+        let mut seen = BTreeSet::new();
+        for comp in &p.components {
+            for e in &comp.edges {
+                prop_assert!(seen.insert(e.0), "edge {} claimed twice", e.0);
+            }
+        }
+        prop_assert_eq!(seen.len(), m, "every edge claimed");
+        prop_assert_eq!(p.components.len(), sizes.len());
+    }
+
+    /// The component decomposition — node sets, in component-id order —
+    /// is invariant under the order edges were inserted in.
+    #[test]
+    fn component_order_is_stable_under_insertion_permutation(
+        sizes in sizes_strategy(),
+        perm_seed in 0u64..1_000,
+    ) {
+        let m: usize = sizes.iter().map(|&(na, nb)| na * nb).sum();
+        let canonical: Vec<usize> = (0..m).collect();
+        // A deterministic permutation keyed by the seed (Fisher–Yates
+        // with a tiny LCG — proptest shrinks the seed, not the vec).
+        let mut permuted = canonical.clone();
+        let mut s = perm_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for i in (1..permuted.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            permuted.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let (g1, _) = build(&sizes, &canonical);
+        let (g2, _) = build(&sizes, &permuted);
+        let p1 = partition(&g1);
+        let p2 = partition(&g2);
+        verify_partition(&g2, &p2).expect("permuted partition verifies");
+        let nodes = |p: &cdb_shard::Partition| -> Vec<Vec<usize>> {
+            p.components.iter().map(|c| c.nodes.iter().map(|n| n.0).collect()).collect()
+        };
+        prop_assert_eq!(nodes(&p1), nodes(&p2), "component node sets and order");
+    }
+
+    /// A component estimated over the ceiling fails the run with
+    /// `ComponentTooLarge` at plan time — a typed error, not an OOM kill
+    /// or a hang — and the error names the offending component.
+    #[test]
+    fn oversized_component_is_a_typed_plan_time_error(sizes in sizes_strategy()) {
+        let m: usize = sizes.iter().map(|&(na, nb)| na * nb).sum();
+        let order: Vec<usize> = (0..m).collect();
+        let (g, truth) = build(&sizes, &order);
+        let p = partition(&g);
+        let max_bytes =
+            p.components.iter().map(|c| component_bytes(&g, c)).max().expect("components");
+        let job = QueryJob { id: 0, graph: g, truth };
+        let exec = ShardExecutor::new(ShardConfig {
+            shards: 2,
+            runtime: RuntimeConfig { threads: 1, ..RuntimeConfig::default() },
+            memory: MemoryConfig { ceiling_bytes: Some(max_bytes - 1), streaming: true },
+        });
+        match exec.run(vec![job]) {
+            Err(ShardError::ComponentTooLarge { bytes, ceiling, .. }) => {
+                prop_assert!(bytes > ceiling);
+                prop_assert_eq!(ceiling, max_bytes - 1);
+            }
+            other => prop_assert!(false, "expected ComponentTooLarge, got {:?}", other.is_ok()),
+        }
+        // The same workload *passes* when the ceiling admits the largest
+        // component — the gate is exact, not approximate.
+        let order: Vec<usize> = (0..m).collect();
+        let (g, truth) = build(&sizes, &order);
+        let job = QueryJob { id: 0, graph: g, truth };
+        let exec = ShardExecutor::new(ShardConfig {
+            shards: 2,
+            runtime: RuntimeConfig { threads: 1, ..RuntimeConfig::default() },
+            memory: MemoryConfig { ceiling_bytes: Some(max_bytes), streaming: true },
+        });
+        prop_assert!(exec.run(vec![job]).is_ok());
+    }
+}

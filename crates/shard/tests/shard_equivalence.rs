@@ -1,0 +1,201 @@
+//! Shard-aware differential testing: the sharded path must produce
+//! byte-identical bindings and byte-identical merged metrics JSON at
+//! every tested (shard count × thread count) combination, for random
+//! multi-join workloads and for the 3-part-chain fleet the runtime's own
+//! determinism suite exercises.
+
+use std::collections::HashMap;
+
+use cdb_core::model::{NodeId, PartKind};
+use cdb_core::QueryGraph;
+use cdb_runtime::{FaultPlan, QueryJob, RetryPolicy, RuntimeConfig, RuntimeExecutor};
+use cdb_shard::{MemoryConfig, ShardConfig, ShardExecutor};
+use proptest::prelude::*;
+
+/// A single-join query graph: `a_i` joins `b_j` iff `i % nb == j`.
+fn join_query(id: u64, na: usize, nb: usize) -> QueryJob {
+    let mut g = QueryGraph::new();
+    let a = g.add_part(PartKind::Table { name: format!("A{id}") });
+    let b = g.add_part(PartKind::Table { name: format!("B{id}") });
+    let an: Vec<NodeId> = (0..na).map(|i| g.add_node(a, None, format!("a{i}"))).collect();
+    let bn: Vec<NodeId> = (0..nb).map(|i| g.add_node(b, None, format!("b{i}"))).collect();
+    let p = g.add_predicate(a, b, true, "A~B");
+    let mut truth = HashMap::new();
+    for (i, &x) in an.iter().enumerate() {
+        for (j, &y) in bn.iter().enumerate() {
+            let e = g.add_edge(x, y, p, 0.5);
+            truth.insert(e, i % nb == j);
+        }
+    }
+    QueryJob { id, graph: g, truth }
+}
+
+/// A multi-component query: `comps` disjoint joins in one graph, each
+/// `size × size` with truth `i % size == j`.
+fn multi_component_query(id: u64, comps: usize, size: usize) -> QueryJob {
+    let mut g = QueryGraph::new();
+    let a = g.add_part(PartKind::Table { name: format!("A{id}") });
+    let b = g.add_part(PartKind::Table { name: format!("B{id}") });
+    let p = g.add_predicate(a, b, true, "A~B");
+    let mut truth = HashMap::new();
+    for c in 0..comps {
+        let an: Vec<NodeId> = (0..size).map(|i| g.add_node(a, None, format!("c{c}a{i}"))).collect();
+        let bn: Vec<NodeId> = (0..size).map(|i| g.add_node(b, None, format!("c{c}b{i}"))).collect();
+        for (i, &x) in an.iter().enumerate() {
+            for (j, &y) in bn.iter().enumerate() {
+                let e = g.add_edge(x, y, p, 0.5);
+                truth.insert(e, i % size == j);
+            }
+        }
+    }
+    QueryJob { id, graph: g, truth }
+}
+
+/// The 3-part chain `A ⋈ B ⋈ C` from `cdb-runtime`'s determinism suite:
+/// `b_j` matches `a_i` iff `i % nb == j` and `c_k` iff `j % nc == k % nb`.
+fn chain_query(id: u64, na: usize, nb: usize, nc: usize) -> QueryJob {
+    let mut g = QueryGraph::new();
+    let a = g.add_part(PartKind::Table { name: format!("A{id}") });
+    let b = g.add_part(PartKind::Table { name: format!("B{id}") });
+    let c = g.add_part(PartKind::Table { name: format!("C{id}") });
+    let an: Vec<NodeId> = (0..na).map(|i| g.add_node(a, None, format!("a{i}"))).collect();
+    let bn: Vec<NodeId> = (0..nb).map(|i| g.add_node(b, None, format!("b{i}"))).collect();
+    let cn: Vec<NodeId> = (0..nc).map(|i| g.add_node(c, None, format!("c{i}"))).collect();
+    let pab = g.add_predicate(a, b, true, "A~B");
+    let pbc = g.add_predicate(b, c, true, "B~C");
+    let mut truth = HashMap::new();
+    for (i, &x) in an.iter().enumerate() {
+        for (j, &y) in bn.iter().enumerate() {
+            let e = g.add_edge(x, y, pab, 0.6);
+            truth.insert(e, i % nb == j);
+        }
+    }
+    for (j, &y) in bn.iter().enumerate() {
+        for (k, &z) in cn.iter().enumerate() {
+            let e = g.add_edge(y, z, pbc, 0.4);
+            truth.insert(e, j % nc == k % nb);
+        }
+    }
+    QueryJob { id, graph: g, truth }
+}
+
+fn runtime_cfg(threads: usize, seed: u64, fault_rate: f64) -> RuntimeConfig {
+    RuntimeConfig {
+        threads,
+        seed,
+        worker_accuracies: vec![0.9; 25],
+        fault_plan: FaultPlan::uniform(seed ^ 0xF00D, fault_rate),
+        retry: RetryPolicy { deadline_ms: 300_000, max_retries: 8 },
+        ..RuntimeConfig::default()
+    }
+}
+
+/// Run a fleet sharded and return `(bindings_text, metrics JSON)` — the
+/// two byte-equality artifacts.
+fn run_sharded(
+    jobs: &[QueryJob],
+    shards: usize,
+    threads: usize,
+    seed: u64,
+    fault_rate: f64,
+) -> (String, String) {
+    let report = ShardExecutor::new(ShardConfig {
+        shards,
+        runtime: runtime_cfg(threads, seed, fault_rate),
+        memory: MemoryConfig::default(),
+    })
+    .run(jobs.to_vec())
+    .expect("sharded run");
+    (report.bindings_text(), report.metrics.to_json())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random multi-join workloads: 1/2/4/8 shards × 1/4/8 threads all
+    /// produce byte-identical bindings and metrics JSON.
+    #[test]
+    fn sharded_bindings_and_metrics_are_byte_identical(
+        seed in 0u64..10_000,
+        fault_rate in 0.0f64..0.2,
+        comps in 1usize..4,
+    ) {
+        let jobs: Vec<QueryJob> =
+            (0..3).map(|i| multi_component_query(i, comps + i as usize % 2, 2)).collect();
+        let (oracle_bind, oracle_json) = run_sharded(&jobs, 1, 1, seed, fault_rate);
+        prop_assert!(!oracle_bind.is_empty());
+        for shards in [2usize, 4, 8] {
+            for threads in [1usize, 4, 8] {
+                let (bind, json) = run_sharded(&jobs, shards, threads, seed, fault_rate);
+                prop_assert_eq!(&bind, &oracle_bind, "shards={} threads={}", shards, threads);
+                prop_assert_eq!(&json, &oracle_json, "shards={} threads={}", shards, threads);
+            }
+        }
+    }
+}
+
+/// The exact 3-part-chain fleet from
+/// `crates/runtime/tests/determinism.rs::multi_join_answers_are_byte_identical`,
+/// run through the shard fabric at every (shards × threads) combination.
+#[test]
+fn chain_fleet_is_byte_identical_across_shard_and_thread_counts() {
+    let jobs: Vec<QueryJob> = (0..6).map(|i| chain_query(i, 3, 3, 2)).collect();
+    let (oracle_bind, oracle_json) = run_sharded(&jobs, 1, 1, 42, 0.1);
+    assert!(oracle_bind.contains("q0") && oracle_bind.contains("q5"));
+    for shards in [2usize, 4, 8] {
+        for threads in [1usize, 4, 8] {
+            let (bind, json) = run_sharded(&jobs, shards, threads, 42, 0.1);
+            assert_eq!(bind, oracle_bind, "shards={shards} threads={threads}");
+            assert_eq!(json, oracle_json, "shards={shards} threads={threads}");
+        }
+    }
+}
+
+/// Bridge to the unsharded runtime: with perfect workers and no faults,
+/// both the plain `RuntimeExecutor` and the shard fabric recover exactly
+/// the true joins — so their bindings agree byte-for-byte even though
+/// their random streams differ.
+#[test]
+fn perfect_workers_bridge_sharded_to_the_monolithic_runtime() {
+    let jobs: Vec<QueryJob> = (0..4).map(|i| multi_component_query(i, 2, 3)).collect();
+    let cfg = RuntimeConfig {
+        threads: 2,
+        seed: 9,
+        worker_accuracies: vec![1.0; 20],
+        ..RuntimeConfig::default()
+    };
+    let mono = RuntimeExecutor::new(cfg.clone()).run(jobs.clone());
+    assert_eq!(mono.failed_count(), 0);
+    for shards in [1usize, 3] {
+        let sharded = ShardExecutor::new(ShardConfig {
+            shards,
+            runtime: cfg.clone(),
+            memory: MemoryConfig::default(),
+        })
+        .run(jobs.clone())
+        .expect("sharded run");
+        assert_eq!(sharded.bindings_text(), mono.bindings_text(), "shards={shards}");
+    }
+    // And the recovered joins are the planted truth: size columns of 3
+    // with `i % 3 == j` give 3 bindings per component, 6 per query.
+    for (_, r) in &mono.results {
+        assert_eq!(r.as_ref().expect("ok").bindings.len(), 6);
+    }
+}
+
+/// Isolated nodes (no incident edges) never appear in any unit — they
+/// cannot participate in a candidate — and sharding a fleet containing
+/// them still matches the oracle.
+#[test]
+fn isolated_nodes_do_not_perturb_sharded_equality() {
+    let mut jobs: Vec<QueryJob> = (0..2).map(|i| join_query(i, 3, 2)).collect();
+    // Graft an isolated (edge-free) node into an existing part of each
+    // graph; it can never participate in a candidate.
+    for job in &mut jobs {
+        job.graph.add_node(cdb_core::model::PartId(0), None, "lonely");
+    }
+    let (oracle_bind, oracle_json) = run_sharded(&jobs, 1, 1, 17, 0.05);
+    let (bind, json) = run_sharded(&jobs, 4, 2, 17, 0.05);
+    assert_eq!(bind, oracle_bind);
+    assert_eq!(json, oracle_json);
+}

@@ -13,6 +13,10 @@ use cdb_crowd::{stream_key, stream_rng, Market, SimulatedPlatform, WorkerPool};
 use cdb_obsv::{Attribution, ConservationTotals, Ring, Trace};
 use cdb_runtime::{RuntimeExecutor, RuntimeReport, SettleHook};
 use cdb_sched::{DrrConfig, SchedConfig, SchedJob, Scheduler};
+use cdb_shard::{
+    partition as shard_partition, sum_snapshots, verify_partition, Component, Coordinator,
+    CoordinatorConfig, MemoryConfig, ShardConfig, ShardExecutor, ShardSubmission,
+};
 use cdb_store::{DurableReuseCache, ScratchDir};
 
 use crate::oracle::run_sequential;
@@ -72,6 +76,10 @@ pub enum Sabotage {
     /// crash and recovery — a torn write the kill-and-recover check must
     /// surface as lost settled answers.
     TornTail,
+    /// Split one connected component of the first query's tuple graph
+    /// across two shard units — a partition the shard-integrity verifier
+    /// must reject (a candidate could span shards and be lost).
+    LeakCrossShard,
 }
 
 impl Sabotage {
@@ -84,6 +92,7 @@ impl Sabotage {
             Sabotage::LeakTask => "leak-task",
             Sabotage::StarveQuery => "starve-query",
             Sabotage::TornTail => "torn-tail",
+            Sabotage::LeakCrossShard => "leak-cross-shard",
         }
     }
 
@@ -96,6 +105,7 @@ impl Sabotage {
             "leak-task" => Some(Sabotage::LeakTask),
             "starve-query" => Some(Sabotage::StarveQuery),
             "torn-tail" => Some(Sabotage::TornTail),
+            "leak-cross-shard" => Some(Sabotage::LeakCrossShard),
             _ => None,
         }
     }
@@ -325,6 +335,11 @@ pub fn check(spec: &ScenarioSpec, sabotage: Sabotage) -> Vec<Violation> {
     // attributed cents must conserve platform cents, and every query must
     // finish within its DRR fairness bound.
     check_sched(spec, &jobs, &replay, sabotage, &mut v);
+
+    // --- Sharded execution: partition integrity for every query's tuple
+    // graph, sharded-vs-oracle byte-equality, and cross-shard task/money
+    // conservation.
+    check_shard(spec, &jobs, &replay, sabotage, &mut v);
 
     // --- Kill and recover: crash after `kill_after` queries, rebuild the
     // reuse cache from the durable answer log, resume, and require the
@@ -566,6 +581,172 @@ fn check_sched(
             ));
         }
     }
+}
+
+/// Sharded-execution invariants.
+///
+/// 1. **Partition integrity**: every query's component partition must
+///    pass [`cdb_shard::verify_partition`] — each edge in exactly one
+///    unit, no node overlap, internal connectivity, canonical order.
+///    [`Sabotage::LeakCrossShard`] splits the first query's component
+///    across two units to prove this detector fires: a candidate would
+///    span shards and silently vanish from the answer set.
+/// 2. **Sharded vs single-shard oracle** (when the spec drew more than
+///    one shard): byte-identical bindings and byte-identical merged
+///    metrics JSON — placement adds concurrency, never behavior.
+/// 3. **Cross-shard conservation**: the merged snapshot equals the
+///    field-wise sum of the shard-local collectors, and the coordinator's
+///    per-query cost attribution sums exactly to platform spend even when
+///    shared HITs pack tasks from units on different shards.
+/// 4. **Perfect-workers bridge**: with perfect workers and no
+///    faults/budget, the sharded path recovers the same ground-truth
+///    bindings as the monolithic runtime.
+fn check_shard(
+    spec: &ScenarioSpec,
+    jobs: &[cdb_runtime::QueryJob],
+    plain: &RuntimeReport,
+    sabotage: Sabotage,
+    v: &mut Vec<Violation>,
+) {
+    if spec.queries.is_empty() {
+        return;
+    }
+    for job in jobs {
+        let mut p = shard_partition(&job.graph);
+        if sabotage == Sabotage::LeakCrossShard && job.id == 0 {
+            leak_component_across_units(&job.graph, &mut p);
+        }
+        if let Err(e) = verify_partition(&job.graph, &p) {
+            v.push(Violation::new("shard-partition", format!("q{}: {e}", job.id)));
+        }
+    }
+    if spec.shard_count <= 1 {
+        return;
+    }
+    let shard_cfg = |shards: usize| ShardConfig {
+        shards,
+        runtime: runtime_config(
+            spec,
+            spec.reuse.then(|| Arc::new(ReuseCache::new())),
+            Trace::off(),
+        ),
+        memory: MemoryConfig::default(),
+    };
+    let sharded = ShardExecutor::new(shard_cfg(spec.shard_count)).run(jobs.to_vec());
+    let oracle = ShardExecutor::new(shard_cfg(1)).run(jobs.to_vec());
+    let (sharded, oracle) = match (sharded, oracle) {
+        (Ok(s), Ok(o)) => (s, o),
+        (s, o) => {
+            if s.is_err() != o.is_err() {
+                v.push(Violation::new(
+                    "shard-divergence",
+                    format!(
+                        "plan outcome differs: {} shards err={} vs 1 shard err={}",
+                        spec.shard_count,
+                        s.is_err(),
+                        o.is_err()
+                    ),
+                ));
+            }
+            return;
+        }
+    };
+    if sharded.bindings_text() != oracle.bindings_text() {
+        v.push(Violation::new(
+            "shard-divergence",
+            format!(
+                "{} shards:\n{}\n1 shard:\n{}",
+                spec.shard_count,
+                sharded.bindings_text(),
+                oracle.bindings_text()
+            ),
+        ));
+    }
+    if sharded.metrics.to_json() != oracle.metrics.to_json() {
+        v.push(Violation::new(
+            "shard-metrics-divergence",
+            format!(
+                "{} shards: {}\n1 shard: {}",
+                spec.shard_count,
+                sharded.metrics.to_json(),
+                oracle.metrics.to_json()
+            ),
+        ));
+    }
+    let summed = sum_snapshots(sharded.shards.iter().map(|s| &s.metrics));
+    if summed != sharded.metrics {
+        v.push(Violation::new(
+            "shard-conservation",
+            format!(
+                "shard-local collectors sum to {} but the merged snapshot is {}",
+                summed.to_json(),
+                sharded.metrics.to_json()
+            ),
+        ));
+    }
+    let coord_cfg = CoordinatorConfig {
+        shard: shard_cfg(spec.shard_count),
+        drr: DrrConfig { quantum: spec.sched_quantum.max(1), capacity: None },
+        ..CoordinatorConfig::default()
+    };
+    match Coordinator::new(coord_cfg)
+        .run(jobs.iter().map(|j| ShardSubmission::unconstrained(j.clone())).collect())
+    {
+        Ok(coord) => {
+            let attributed: u64 = coord.attributed_cents.values().sum();
+            if attributed != coord.platform_cents {
+                v.push(Violation::new(
+                    "shard-conservation",
+                    format!(
+                        "coordinator attributed {} cents != platform {} cents",
+                        attributed, coord.platform_cents
+                    ),
+                ));
+            }
+        }
+        Err(e) => {
+            v.push(Violation::new("shard-conservation", format!("coordinator plan failed: {e}")));
+        }
+    }
+    // Per query that completed in *both* engines: a timing-tail retry
+    // exhaustion (scenario deadlines can be tight) may fail a query in
+    // one engine and not the other — task numbering and latency draws
+    // differ legitimately between the unit-level and query-level
+    // streams — but any answer either engine does produce must be the
+    // ground truth, so completed answers must agree.
+    if spec.perfect
+        && spec.budget.is_none()
+        && spec.fault_rate == 0.0
+        && spec.forced_drops.is_empty()
+    {
+        for ((sid, sr), (pid, pr)) in sharded.results.iter().zip(plain.results.iter()) {
+            debug_assert_eq!(sid, pid);
+            if let (Ok(s), Ok(p)) = (sr, pr) {
+                if s.bindings != p.bindings {
+                    v.push(Violation::new(
+                        "shard-truth-divergence",
+                        format!(
+                            "perfect workers, q{sid}: sharded bindings {:?} != monolithic {:?}",
+                            s.bindings, p.bindings
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// The corruption behind [`Sabotage::LeakCrossShard`]: pop one edge off
+/// the first component with at least two and append it as a unit of its
+/// own. The edge's endpoints now appear in two units — exactly what a
+/// buggy partitioner splitting a component across shards would produce.
+/// A no-op when every component has a single edge.
+fn leak_component_across_units(g: &cdb_core::QueryGraph, p: &mut cdb_shard::Partition) {
+    let Some(ci) = p.components.iter().position(|c| c.edges.len() >= 2) else { return };
+    let moved = p.components[ci].edges.pop().expect("component has >= 2 edges");
+    let (a, b) = g.edge_endpoints(moved);
+    let id = p.components.len();
+    p.components.push(Component { id, nodes: vec![a.min(b), a.max(b)], edges: vec![moved] });
 }
 
 fn per_query_sum(report: &RuntimeReport, f: impl Fn(&cdb_runtime::QueryResult) -> u64) -> u64 {

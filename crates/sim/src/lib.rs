@@ -28,7 +28,7 @@ pub mod world;
 
 pub use check::{check, Sabotage, Violation};
 pub use repro::{parse_repro, recorded_violations, replay_repro, repro_text};
-pub use scenario::{QueryShape, ScenarioSpec, THREAD_CHOICES};
+pub use scenario::{QueryShape, ScenarioSpec, SHARD_CHOICES, THREAD_CHOICES};
 pub use shrink::shrink;
 
 /// What a shrink produced: the minimized spec and its repro file text.

@@ -75,6 +75,10 @@ pub struct ScenarioSpec {
     /// and run the rest. `0` disables the crash (the recovery check is
     /// skipped); values ≥ the query count leave nothing to resume.
     pub kill_after: usize,
+    /// Worker shards for the component-sharded execution checks. `1`
+    /// compares trivially; larger counts arm the sharded-vs-oracle
+    /// differential and the cross-shard conservation invariant.
+    pub shard_count: usize,
     /// The query mix, in query-id order.
     pub queries: Vec<QueryShape>,
     /// FILL slots to run as an auxiliary workload (0 = none).
@@ -85,6 +89,9 @@ pub struct ScenarioSpec {
 
 /// Thread counts a scenario may draw — the acceptance matrix.
 pub const THREAD_CHOICES: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Shard counts a scenario may draw for the sharded-execution checks.
+pub const SHARD_CHOICES: [usize; 4] = [1, 2, 4, 8];
 
 impl ScenarioSpec {
     /// Derive a full scenario from one seed. Every draw comes from the
@@ -132,10 +139,11 @@ impl ScenarioSpec {
             None
         };
         // Drawn last so older seeds keep generating byte-identical specs
-        // for every field above (`kill_after` newest, after the quantum).
+        // for every field above (`shard_count` newest, after `kill_after`).
         let sched_quantum = r.gen_range(2..=16);
         let kill_after =
             if n_queries >= 2 && r.gen::<f64>() < 0.35 { r.gen_range(1..n_queries) } else { 0 };
+        let shard_count = SHARD_CHOICES[r.gen_range(0..SHARD_CHOICES.len())];
         ScenarioSpec {
             seed,
             threads,
@@ -153,6 +161,7 @@ impl ScenarioSpec {
             redundancy,
             sched_quantum,
             kill_after,
+            shard_count,
             queries,
             fill_slots,
             collect,
@@ -185,6 +194,7 @@ impl ScenarioSpec {
         s.push_str(&format!("redundancy={}\n", self.redundancy));
         s.push_str(&format!("sched_quantum={}\n", self.sched_quantum));
         s.push_str(&format!("kill_after={}\n", self.kill_after));
+        s.push_str(&format!("shard_count={}\n", self.shard_count));
         for q in &self.queries {
             match q {
                 QueryShape::Cluster { left, right } => {
@@ -225,6 +235,7 @@ impl ScenarioSpec {
             redundancy: 5,
             sched_quantum: 10,
             kill_after: 0,
+            shard_count: 1,
             queries: Vec::new(),
             fill_slots: 0,
             collect: None,
@@ -271,6 +282,7 @@ impl ScenarioSpec {
                     spec.sched_quantum = val.parse().map_err(|_| bad("usize"))?;
                 }
                 "kill_after" => spec.kill_after = val.parse().map_err(|_| bad("usize"))?,
+                "shard_count" => spec.shard_count = val.parse().map_err(|_| bad("usize"))?,
                 "query" => {
                     if let Some(rest) = val.strip_prefix("cluster:") {
                         let (l, r) = rest.split_once('x').ok_or_else(|| bad("LxR"))?;

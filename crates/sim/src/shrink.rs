@@ -134,6 +134,11 @@ fn candidates(cur: &ScenarioSpec) -> Vec<ScenarioSpec> {
         s.threads = 1;
         push(s);
     }
+    if cur.shard_count > 1 {
+        let mut s = cur.clone();
+        s.shard_count = 1;
+        push(s);
+    }
     if cur.workers > 5 {
         let mut s = cur.clone();
         s.workers = (cur.workers / 2).max(5);

@@ -96,6 +96,20 @@ fn torn_log_tail_is_caught_and_shrunk() {
     });
 }
 
+/// A component split across two shard units breaks partition integrity —
+/// the shard verifier must reject it (a candidate would span shards and
+/// vanish from the answer set).
+#[test]
+fn leak_cross_shard_is_caught_and_shrunk() {
+    // Applicable whenever the first query's graph has a component with at
+    // least two edges to split; any cluster query qualifies (left and
+    // right are both >= 2 when drawn).
+    sabotage_is_caught(
+        Sabotage::LeakCrossShard,
+        |s| matches!(s.queries.first(), Some(cdb_sim::QueryShape::Cluster { left, right }) if left * right >= 2),
+    );
+}
+
 /// A query reported finishing past its DRR bound breaks the fairness
 /// invariant.
 #[test]

@@ -43,6 +43,11 @@ fn leak_task_repro_replays() {
 }
 
 #[test]
+fn leak_cross_shard_repro_replays() {
+    replay_file("leak-cross-shard.repro");
+}
+
+#[test]
 fn starve_query_repro_replays() {
     replay_file("starve-query.repro");
 }
@@ -64,6 +69,7 @@ fn all_committed_repros_are_replayed() {
         vec![
             "flip-binding.repro",
             "flip-entailment.repro",
+            "leak-cross-shard.repro",
             "leak-task.repro",
             "starve-query.repro",
         ],
