@@ -4,12 +4,12 @@
 //! number of non-pruned pairs, as in §6.1) and resolve the pairs of each
 //! predicate with an ER strategy over multiple rounds:
 //!
-//! * **Trans** (Wang et al. [57]): pairs are processed in descending
+//! * **Trans** (Wang et al. \[57]): pairs are processed in descending
 //!   similarity order; transitivity infers both positives (same cluster)
 //!   and negatives (cluster pair already refuted), so it asks the fewest
 //!   questions — but one wrong answer propagates to many pairs, which is
 //!   exactly the quality loss the paper reports.
-//! * **ACD** (Wang et al. [58]): correlation-clustering-based; positives
+//! * **ACD** (Wang et al. \[58]): correlation-clustering-based; positives
 //!   merge clusters, but negatives are *not* propagated transitively —
 //!   each cluster pair is verified with its own question, costing more
 //!   but containing errors.

@@ -8,8 +8,8 @@
 //!   (enumerate all orders with oracle colors, take the cheapest — the
 //!   tree model's lower bound).
 //! * [`er`] — crowdsourced entity-resolution comparators for joins:
-//!   `Trans` (transitivity-based inference, Wang et al. [57]) and `ACD`
-//!   (correlation-clustering-based adaptive dedup, Wang et al. [58]).
+//!   `Trans` (transitivity-based inference, Wang et al. \[57]) and `ACD`
+//!   (correlation-clustering-based adaptive dedup, Wang et al. \[58]).
 //! * [`budget`] — the budget baseline of Figures 18/19: best table order,
 //!   then highest-probability edge first with depth-first completion.
 

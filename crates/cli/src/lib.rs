@@ -1,0 +1,418 @@
+//! `cdb-cli` — the interactive client for a running `cdb-serve`.
+//!
+//! The binary is a line-oriented REPL (plus a one-shot mode: pass a
+//! command on the command line and it runs once and exits). This library
+//! holds the command grammar and the execution/rendering logic so both
+//! are unit-testable without a terminal.
+//!
+//! ```text
+//! cdb> submit acme 10000 SELECT * FROM Researcher, University
+//!      WHERE Researcher.affiliation CROWDJOIN University.name
+//! admitted query 0
+//! cdb> watch 0
+//! round 1  +4 bindings: [0,9] [1,10] ...
+//! done  rounds=1 tasks=17 assignments=85 bindings=4 refund=9830¢
+//! cdb> budget acme
+//! tenant acme: 170/100000¢ committed, 99830¢ available ...
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::io::{self, Write};
+
+use cdb_obsv::json::Json;
+use cdb_serve::{Client, StreamEvent, Submit, SubmitOutcome};
+
+/// One parsed REPL command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `submit <tenant> <budget_cents> <sql...>` — submit CQL, print the
+    /// admission decision.
+    Submit {
+        /// Tenant to bill.
+        tenant: String,
+        /// Per-query budget in cents.
+        budget_cents: u64,
+        /// The CQL text (the rest of the line).
+        sql: String,
+    },
+    /// `watch [id]` — stream a query's bindings live (defaults to the
+    /// last submitted query).
+    Watch {
+        /// Query id; `None` = last submitted.
+        query: Option<u64>,
+    },
+    /// `cancel <id>` — cancel a query (refunds its unspent budget).
+    Cancel {
+        /// Query id.
+        query: u64,
+    },
+    /// `status [id]` — one query's lifecycle state.
+    Status {
+        /// Query id; `None` = last submitted.
+        query: Option<u64>,
+    },
+    /// `budget <tenant>` — the tenant's wallet and envelope.
+    Budget {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// `stats` — server-wide counters.
+    Stats,
+    /// `catalog` — the served tables and their crowd columns.
+    Catalog,
+    /// `help` — the command list.
+    Help,
+    /// `quit` / `exit` — leave the REPL.
+    Quit,
+}
+
+/// The help text the REPL prints for `help` and unknown commands.
+pub const HELP: &str = "commands:
+  submit <tenant> <budget_cents> <sql...>  submit CQL, print the admission decision
+  watch [id]                               stream bindings live (default: last submitted)
+  cancel <id>                              cancel a query, refunding unspent budget
+  status [id]                              one query's state (default: last submitted)
+  budget <tenant>                          tenant wallet: committed/available/spent
+  stats                                    server-wide counters
+  catalog                                  served tables and crowd columns
+  help                                     this text
+  quit                                     exit
+";
+
+/// Parse one REPL line. Empty lines parse to `Help` (the REPL skips
+/// them before calling this); errors are human-readable.
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let line = line.trim();
+    let mut words = line.split_whitespace();
+    let Some(verb) = words.next() else { return Ok(Command::Help) };
+    let opt_id = |w: &mut dyn Iterator<Item = &str>| -> Result<Option<u64>, String> {
+        w.next().map(|s| s.parse().map_err(|_| format!("not a query id: {s}"))).transpose()
+    };
+    match verb {
+        "submit" => {
+            let tenant = words.next().ok_or("usage: submit <tenant> <budget_cents> <sql...>")?;
+            let budget: &str =
+                words.next().ok_or("usage: submit <tenant> <budget_cents> <sql...>")?;
+            let budget_cents =
+                budget.parse().map_err(|_| format!("not a budget in cents: {budget}"))?;
+            let sql_start = line
+                .find(budget)
+                .map(|i| i + budget.len())
+                .ok_or("usage: submit <tenant> <budget_cents> <sql...>")?;
+            let sql = line[sql_start..].trim().to_string();
+            if sql.is_empty() {
+                return Err("missing SQL text; see docs/CQL.md".into());
+            }
+            Ok(Command::Submit { tenant: tenant.to_string(), budget_cents, sql })
+        }
+        "watch" => Ok(Command::Watch { query: opt_id(&mut words)? }),
+        "cancel" => {
+            let id = opt_id(&mut words)?.ok_or("usage: cancel <id>")?;
+            Ok(Command::Cancel { query: id })
+        }
+        "status" => Ok(Command::Status { query: opt_id(&mut words)? }),
+        "budget" => {
+            let tenant = words.next().ok_or("usage: budget <tenant>")?;
+            Ok(Command::Budget { tenant: tenant.to_string() })
+        }
+        "stats" => Ok(Command::Stats),
+        "catalog" => Ok(Command::Catalog),
+        "help" => Ok(Command::Help),
+        "quit" | "exit" => Ok(Command::Quit),
+        other => Err(format!("unknown command: {other} (try `help`)")),
+    }
+}
+
+/// Render one stream event as a human-readable line.
+pub fn render_event(e: &StreamEvent) -> String {
+    fn bindings(bs: &[Vec<u64>]) -> String {
+        bs.iter()
+            .map(|b| {
+                let ids: Vec<String> = b.iter().map(|n| n.to_string()).collect();
+                format!("[{}]", ids.join(","))
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+    match e {
+        StreamEvent::Round { round, new } => {
+            format!("round {round}  +{} bindings: {}", new.len(), bindings(new))
+        }
+        StreamEvent::Retract { bindings: bs } => {
+            format!("retract  -{} bindings: {}", bs.len(), bindings(bs))
+        }
+        StreamEvent::Done { rounds, tasks, assignments, bindings: n, cancelled, refund_cents } => {
+            let label = if *cancelled { "cancelled" } else { "done" };
+            format!(
+                "{label}  rounds={rounds} tasks={tasks} assignments={assignments} \
+                 bindings={n} refund={refund_cents}\u{a2}"
+            )
+        }
+        StreamEvent::Error { message } => format!("error  {message}"),
+    }
+}
+
+/// Render a query status JSON object as one line.
+pub fn render_status(j: &Json) -> String {
+    let num = |k: &str| j.get(k).and_then(Json::as_num).unwrap_or_default();
+    let mut s = format!(
+        "query {} ({}): {}  streamed={}",
+        num("query"),
+        j.get("tenant").and_then(Json::as_str).unwrap_or("?"),
+        j.get("state").and_then(Json::as_str).unwrap_or("?"),
+        num("bindings_streamed"),
+    );
+    if let Some(est) = j.get("estimate") {
+        s.push_str(&format!(
+            "  est: {} tasks / {} rounds / {}\u{a2}",
+            est.get("tasks_upper").and_then(Json::as_num).unwrap_or_default(),
+            est.get("rounds_upper").and_then(Json::as_num).unwrap_or_default(),
+            est.get("cost_cents_upper").and_then(Json::as_num).unwrap_or_default(),
+        ));
+    }
+    if let Some(ms) = j.get("first_binding_ms").and_then(Json::as_num) {
+        s.push_str(&format!("  first-binding={ms:.1}ms"));
+    }
+    s
+}
+
+/// Render a tenant budget JSON object as one line.
+pub fn render_budget(j: &Json) -> String {
+    let num = |k: &str| j.get(k).and_then(Json::as_num).unwrap_or_default();
+    format!(
+        "tenant {}: {}/{}\u{a2} committed, {}\u{a2} available  \
+         active={} queued={}  spent={}\u{a2} refunded={}\u{a2}  \
+         completed={} failed={} cancelled={} rejected={}",
+        j.get("tenant").and_then(Json::as_str).unwrap_or("?"),
+        num("committed_cents"),
+        num("budget_cents"),
+        num("available_cents"),
+        num("active"),
+        num("queued"),
+        num("spent_cents"),
+        num("refunded_cents"),
+        num("completed"),
+        num("failed"),
+        num("cancelled"),
+        num("rejected"),
+    )
+}
+
+/// Render the `/catalog` response as one line per table.
+pub fn render_catalog(j: &Json) -> String {
+    let Some(tables) = j.get("tables").and_then(Json::as_arr) else {
+        return "no tables".into();
+    };
+    tables
+        .iter()
+        .map(|t| {
+            let cols = t
+                .get("columns")
+                .and_then(Json::as_arr)
+                .map(|cs| {
+                    cs.iter()
+                        .map(|c| {
+                            let name = c.get("name").and_then(Json::as_str).unwrap_or("?");
+                            if matches!(c.get("crowd"), Some(Json::Bool(true))) {
+                                format!("{name}*")
+                            } else {
+                                name.to_string()
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                })
+                .unwrap_or_default();
+            format!(
+                "{} ({} rows): {}",
+                t.get("name").and_then(Json::as_str).unwrap_or("?"),
+                t.get("rows").and_then(Json::as_num).unwrap_or_default(),
+                cols,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The REPL session: a client plus the last-submitted query id.
+pub struct Session {
+    client: Client,
+    last_query: Option<u64>,
+}
+
+/// What the REPL loop should do after a command.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Flow {
+    /// Read the next command.
+    Continue,
+    /// Exit the REPL.
+    Quit,
+}
+
+impl Session {
+    /// A session against the given server.
+    pub fn new(addr: std::net::SocketAddr) -> Session {
+        Session { client: Client::new(addr), last_query: None }
+    }
+
+    /// The most recently submitted query id, if any.
+    pub fn last_query(&self) -> Option<u64> {
+        self.last_query
+    }
+
+    fn pick(&self, query: Option<u64>) -> Result<u64, String> {
+        query.or(self.last_query).ok_or_else(|| "no query submitted yet; pass an id".to_string())
+    }
+
+    /// Run one command, writing human-readable output to `out`. Network
+    /// errors surface as `Err` (the REPL prints and continues);
+    /// user errors (bad id, rejection) are printed output, not errors.
+    pub fn run(&mut self, cmd: &Command, out: &mut dyn Write) -> io::Result<Flow> {
+        match cmd {
+            Command::Submit { tenant, budget_cents, sql } => {
+                let submit = Submit {
+                    tenant: tenant.clone(),
+                    sql: sql.clone(),
+                    budget_cents: *budget_cents,
+                    deadline_rounds: None,
+                };
+                match self.client.submit(&submit)? {
+                    SubmitOutcome::Admitted { query } => {
+                        self.last_query = Some(query);
+                        writeln!(out, "admitted query {query}")?;
+                    }
+                    SubmitOutcome::Queued { query, position } => {
+                        self.last_query = Some(query);
+                        writeln!(out, "queued query {query} (position {position})")?;
+                    }
+                    SubmitOutcome::Rejected { reason, detail } => {
+                        writeln!(out, "rejected: {reason}  {detail}")?;
+                    }
+                }
+            }
+            Command::Watch { query } => match self.pick(*query) {
+                Ok(id) => {
+                    let events = self.client.stream_events(id)?;
+                    for e in &events {
+                        writeln!(out, "{}", render_event(e))?;
+                    }
+                }
+                Err(e) => writeln!(out, "{e}")?,
+            },
+            Command::Cancel { query } => {
+                if self.client.cancel(*query)? {
+                    writeln!(out, "cancelled query {query}")?;
+                } else {
+                    writeln!(out, "no such query: {query}")?;
+                }
+            }
+            Command::Status { query } => match self.pick(*query) {
+                Ok(id) => {
+                    let j = self.client.query_status(id)?;
+                    writeln!(out, "{}", render_status(&j))?;
+                }
+                Err(e) => writeln!(out, "{e}")?,
+            },
+            Command::Budget { tenant } => match self.client.tenant_status(tenant)? {
+                Some(j) => writeln!(out, "{}", render_budget(&j))?,
+                None => writeln!(out, "tenant {tenant} has never submitted")?,
+            },
+            Command::Stats => {
+                let j = self.client.stats()?;
+                let num = |k: &str| j.get(k).and_then(Json::as_num).unwrap_or_default();
+                writeln!(
+                    out,
+                    "inflight={} (peak {})  submitted={} completed={} failed={} \
+                     cancelled={} rejected={}  exec_threads={}",
+                    num("inflight"),
+                    num("peak_inflight"),
+                    num("submitted"),
+                    num("completed"),
+                    num("failed"),
+                    num("cancelled"),
+                    num("rejected"),
+                    num("exec_threads"),
+                )?;
+            }
+            Command::Catalog => {
+                let j = self.client.catalog()?;
+                writeln!(out, "{}", render_catalog(&j))?;
+            }
+            Command::Help => write!(out, "{HELP}")?,
+            Command::Quit => return Ok(Flow::Quit),
+        }
+        Ok(Flow::Continue)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_whole_grammar() {
+        assert_eq!(
+            parse_command("submit acme 500 SELECT * FROM T WHERE a CROWDEQUAL 'x'").unwrap(),
+            Command::Submit {
+                tenant: "acme".into(),
+                budget_cents: 500,
+                sql: "SELECT * FROM T WHERE a CROWDEQUAL 'x'".into(),
+            },
+        );
+        assert_eq!(parse_command("watch").unwrap(), Command::Watch { query: None });
+        assert_eq!(parse_command("watch 7").unwrap(), Command::Watch { query: Some(7) });
+        assert_eq!(parse_command("cancel 3").unwrap(), Command::Cancel { query: 3 });
+        assert_eq!(parse_command("status").unwrap(), Command::Status { query: None });
+        assert_eq!(
+            parse_command("budget acme").unwrap(),
+            Command::Budget { tenant: "acme".into() }
+        );
+        assert_eq!(parse_command("stats").unwrap(), Command::Stats);
+        assert_eq!(parse_command("catalog").unwrap(), Command::Catalog);
+        assert_eq!(parse_command("exit").unwrap(), Command::Quit);
+        assert!(parse_command("cancel").is_err());
+        assert!(parse_command("submit acme notanumber SELECT").is_err());
+        assert!(parse_command("frobnicate").is_err());
+    }
+
+    #[test]
+    fn renders_events_compactly() {
+        let line = render_event(&StreamEvent::Round { round: 2, new: vec![vec![1, 5]] });
+        assert_eq!(line, "round 2  +1 bindings: [1,5]");
+        let line = render_event(&StreamEvent::Done {
+            rounds: 3,
+            tasks: 17,
+            assignments: 85,
+            bindings: 4,
+            cancelled: false,
+            refund_cents: 9830,
+        });
+        assert!(line.starts_with("done  rounds=3"), "{line}");
+        assert!(line.contains("refund=9830"), "{line}");
+        let line = render_event(&StreamEvent::Error { message: "boom".into() });
+        assert_eq!(line, "error  boom");
+    }
+
+    #[test]
+    fn renders_budget_and_status() {
+        let j = cdb_obsv::json::parse(
+            "{\"tenant\":\"acme\",\"budget_cents\":1000,\"committed_cents\":170,\
+             \"available_cents\":830,\"active\":1,\"queued\":0,\"spent_cents\":0,\
+             \"refunded_cents\":0,\"completed\":0,\"failed\":0,\"cancelled\":0,\"rejected\":0}",
+        )
+        .unwrap();
+        let line = render_budget(&j);
+        assert!(line.contains("tenant acme: 170/1000"), "{line}");
+        let j = cdb_obsv::json::parse(
+            "{\"query\":7,\"tenant\":\"acme\",\"state\":\"running\",\"done\":false,\
+             \"bindings_streamed\":2,\"estimate\":{\"tasks_upper\":17,\"rounds_upper\":17,\
+             \"cost_cents_upper\":170}}",
+        )
+        .unwrap();
+        let line = render_status(&j);
+        assert!(line.contains("query 7 (acme): running"), "{line}");
+        assert!(line.contains("est: 17 tasks"), "{line}");
+    }
+}

@@ -1,0 +1,60 @@
+//! End-to-end REPL session against a live server: every command runs
+//! and renders something sensible.
+
+use cdb_cli::{parse_command, Flow, Session};
+use cdb_datagen::paper_example_dataset;
+use cdb_serve::ServeConfig;
+
+const JOIN_SQL: &str = "SELECT * FROM Researcher, University \
+     WHERE Researcher.affiliation CROWDJOIN University.name";
+
+fn run(session: &mut Session, line: &str) -> (Flow, String) {
+    let cmd = parse_command(line).expect("command parses");
+    let mut out = Vec::new();
+    let flow = session.run(&cmd, &mut out).expect("command runs");
+    (flow, String::from_utf8(out).expect("utf8 output"))
+}
+
+#[test]
+fn a_full_session_end_to_end() {
+    let (db, truth) = paper_example_dataset();
+    let server = cdb_serve::start("127.0.0.1:0", db, truth, ServeConfig::default()).expect("bind");
+    let mut session = Session::new(server.addr());
+
+    let (_, out) = run(&mut session, "catalog");
+    assert!(out.contains("Researcher"), "{out}");
+    assert!(out.contains("rows): "), "tables render with row counts: {out}");
+
+    let (_, out) = run(&mut session, &format!("submit acme 10000 {JOIN_SQL}"));
+    assert_eq!(out, "admitted query 0\n");
+    assert_eq!(session.last_query(), Some(0));
+
+    // `watch` with no id follows the last submitted query to completion.
+    let (_, out) = run(&mut session, "watch");
+    assert!(out.contains("round "), "{out}");
+    assert!(out.contains("done  rounds="), "{out}");
+
+    let (_, out) = run(&mut session, "status");
+    assert!(out.contains("query 0 (acme): done"), "{out}");
+
+    let (_, out) = run(&mut session, "budget acme");
+    assert!(out.contains("tenant acme:"), "{out}");
+    assert!(out.contains("completed=1"), "{out}");
+
+    let (_, out) = run(&mut session, "stats");
+    assert!(out.contains("completed=1"), "{out}");
+
+    let (_, out) = run(&mut session, "budget ghost");
+    assert!(out.contains("never submitted"), "{out}");
+
+    let (_, out) = run(&mut session, "cancel 99");
+    assert!(out.contains("no such query"), "{out}");
+
+    // A rejection renders the typed reason instead of erroring.
+    let (_, out) = run(&mut session, &format!("submit acme 1 {JOIN_SQL}"));
+    assert!(out.contains("rejected: infeasible"), "{out}");
+
+    let (flow, _) = run(&mut session, "quit");
+    assert_eq!(flow, Flow::Quit);
+    server.shutdown();
+}

@@ -121,6 +121,9 @@ pub struct ExecutionStats {
     pub worker_qualities: HashMap<WorkerId, f64>,
     /// Answers contributed per worker (for history weighting).
     pub worker_answer_counts: HashMap<WorkerId, usize>,
+    /// True when a round observer stopped the run early (client cancel /
+    /// disconnect in `cdb-serve`); the stats above are then partial.
+    pub cancelled: bool,
 }
 
 impl ExecutionStats {
@@ -165,7 +168,25 @@ pub struct Executor<'a, P: CrowdPlatform = SimulatedPlatform> {
     /// (`Expectation` strategy only): each round rescores just the
     /// components touched by the previous round's answers.
     selection: Option<SelectionState>,
+    /// Per-round answer-delta observer (see
+    /// [`with_round_observer`](Self::with_round_observer)).
+    round_observer: Option<RoundObserver<'a>>,
+    /// Bindings already handed to the round observer, so each one is
+    /// reported exactly once.
+    streamed: BTreeSet<Vec<NodeId>>,
+    /// True once the round observer asked the run to stop.
+    cancelled: bool,
 }
+
+/// Callback invoked after each crowd round with the bindings that became
+/// answers (all-BLUE candidates) in that round. Returning `false` cancels
+/// the query: the executor stops asking and returns its partial stats.
+///
+/// The observer is *observation only* with respect to determinism — it
+/// sees each binding exactly once, in the executor's canonical
+/// ([`BTreeSet`]) order, and a run with an observer that always returns
+/// `true` asks exactly the tasks a run without one asks.
+pub type RoundObserver<'a> = Box<dyn FnMut(u64, &[Vec<NodeId>]) -> bool + Send + 'a>;
 
 impl<'a, P: CrowdPlatform> Executor<'a, P> {
     /// Create an executor over a snapshot of the graph.
@@ -189,7 +210,22 @@ impl<'a, P: CrowdPlatform> Executor<'a, P> {
             reuse: None,
             tasks_saved: 0,
             selection: None,
+            round_observer: None,
+            streamed: BTreeSet::new(),
+            cancelled: false,
         }
+    }
+
+    /// Attach a per-round answer observer (see [`RoundObserver`]): after
+    /// every crowd round (and once more before returning) the callback
+    /// receives the bindings that newly became all-BLUE answers, in
+    /// canonical order. This is the streaming hook `cdb-serve` uses to
+    /// push result bindings over the wire as rounds resolve instead of
+    /// waiting for query completion; a `false` return cancels the rest of
+    /// the run ([`ExecutionStats::cancelled`] is then set).
+    pub fn with_round_observer(mut self, observer: RoundObserver<'a>) -> Self {
+        self.round_observer = Some(observer);
+        self
     }
 
     /// Attach an answer-reuse session (§5.1 cost control, extended with
@@ -350,6 +386,10 @@ impl<'a, P: CrowdPlatform> Executor<'a, P> {
             self.emit_colors(&span, &batch, round_no);
             prune_invalid_edges(&mut self.graph);
             span.close(round_no, kv![n => batch.len() as u64]);
+            if !self.notify_round(round_no) {
+                self.cancelled = true;
+                break;
+            }
         }
 
         // CDB+ final pass: early rounds were colored with immature worker
@@ -359,6 +399,14 @@ impl<'a, P: CrowdPlatform> Executor<'a, P> {
         if self.cfg.quality == QualityStrategy::EmBayes && !self.votes.is_empty() {
             let asked: Vec<EdgeId> = self.asked.iter().copied().collect();
             self.infer_and_color(&asked);
+        }
+        // Flush any answers the final pass (or a zero-round run) produced
+        // that no round reported — every answer reaches the observer
+        // exactly once. A cancelled run skips this: its stream ends with
+        // the server's `cancelled` chunk, not more bindings.
+        if !self.cancelled {
+            let final_round = (self.platform.rounds() - start_rounds) as u64;
+            self.notify_round(final_round);
         }
 
         let mut worker_answer_counts: HashMap<WorkerId, usize> = HashMap::new();
@@ -375,7 +423,24 @@ impl<'a, P: CrowdPlatform> Executor<'a, P> {
             answers: answers(&self.graph),
             worker_qualities: self.qualities,
             worker_answer_counts,
+            cancelled: self.cancelled,
         }
+    }
+
+    /// Hand the round observer the bindings that newly became answers.
+    /// Returns `false` when the observer cancelled the run. A no-op
+    /// (always `true`) without an observer — the delta scan only runs
+    /// when someone is listening.
+    fn notify_round(&mut self, round: u64) -> bool {
+        let Some(observer) = self.round_observer.as_mut() else { return true };
+        let current: BTreeSet<Vec<NodeId>> =
+            answers(&self.graph).into_iter().map(|c| c.binding).collect();
+        let new: Vec<Vec<NodeId>> =
+            current.into_iter().filter(|b| !self.streamed.contains(b)).collect();
+        for b in &new {
+            self.streamed.insert(b.clone());
+        }
+        observer(round, &new)
     }
 
     /// Check every open edge against the reuse session; color the hits

@@ -1,0 +1,99 @@
+//! The doc-drift gate for `docs/CQL.md`: every fenced ```cql block in
+//! the language reference is extracted and fed through the real parser.
+//! A doc example the parser rejects — or a grammar change that breaks a
+//! documented example — fails this test, so the reference cannot drift
+//! from the implementation. (The worked examples are additionally
+//! *executed* by the umbrella crate's `tests/docs_runnable.rs`.)
+
+use cdb_cql::{parse, Statement};
+
+/// Every statement inside every ```cql fence, in document order.
+/// Blocks may hold several `;`-terminated statements.
+fn doc_statements() -> Vec<String> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/CQL.md");
+    let doc = std::fs::read_to_string(path).expect("docs/CQL.md is readable");
+    let mut stmts = Vec::new();
+    let mut in_cql = false;
+    let mut block = String::new();
+    for line in doc.lines() {
+        let fence = line.trim_start();
+        if let Some(info) = fence.strip_prefix("```") {
+            if in_cql {
+                for stmt in block.split(';') {
+                    if !stmt.trim().is_empty() {
+                        stmts.push(stmt.trim().to_string());
+                    }
+                }
+                block.clear();
+                in_cql = false;
+            } else {
+                in_cql = info.trim() == "cql";
+            }
+            continue;
+        }
+        if in_cql {
+            block.push_str(line);
+            block.push('\n');
+        }
+    }
+    assert!(!in_cql, "unterminated ```cql fence in docs/CQL.md");
+    stmts
+}
+
+#[test]
+fn every_cql_block_in_the_reference_parses() {
+    let stmts = doc_statements();
+    assert!(
+        stmts.len() >= 10,
+        "docs/CQL.md should document at least 10 example statements, found {}",
+        stmts.len()
+    );
+    for stmt in &stmts {
+        parse(stmt).unwrap_or_else(|e| panic!("doc example fails to parse: {e}\n---\n{stmt}"));
+    }
+}
+
+#[test]
+fn the_reference_covers_every_statement_kind() {
+    let mut create = 0;
+    let mut create_crowd = 0;
+    let mut select = 0;
+    let mut fill = 0;
+    let mut collect = 0;
+    let mut group_by = 0;
+    let mut order_by = 0;
+    let mut budget = 0;
+    let mut crowd_sel = 0;
+    for stmt in doc_statements() {
+        match parse(&stmt).expect("covered by every_cql_block_in_the_reference_parses") {
+            Statement::CreateTable(ct) => {
+                create += 1;
+                create_crowd += usize::from(ct.crowd);
+            }
+            Statement::Select(q) => {
+                select += 1;
+                group_by += usize::from(q.group_by.is_some());
+                order_by += usize::from(q.order_by.is_some());
+                budget += usize::from(q.budget.is_some());
+                crowd_sel += usize::from(q.predicates.iter().any(|p| p.is_crowd() && !p.is_join()));
+            }
+            Statement::Fill(f) => {
+                fill += 1;
+                budget += usize::from(f.budget.is_some());
+            }
+            Statement::Collect(c) => {
+                collect += 1;
+                budget += usize::from(c.budget.is_some());
+            }
+        }
+    }
+    assert!(create >= 2, "CREATE TABLE examples: {create}");
+    assert!(create_crowd >= 1, "CREATE CROWD TABLE examples: {create_crowd}");
+    assert!(select >= 4, "SELECT examples: {select}");
+    assert!(fill >= 2, "FILL examples: {fill}");
+    assert!(collect >= 1, "COLLECT examples: {collect}");
+    assert!(group_by >= 1, "GROUP BY CROWD examples: {group_by}");
+    assert!(order_by >= 1, "ORDER BY CROWD examples: {order_by}");
+    assert!(budget >= 3, "BUDGET examples: {budget}");
+    assert!(crowd_sel >= 1, "CROWDEQUAL examples: {crowd_sel}");
+}

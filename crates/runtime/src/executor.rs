@@ -78,6 +78,50 @@ pub struct RuntimeConfig {
     /// queries are never settled, so recovery cannot resurrect answers
     /// the live engine discarded. `None` (the default) absorbs directly.
     pub settle: Option<SettleHook>,
+    /// Per-round binding stream hook. When set, every query invokes the
+    /// sink after each crowd round with the bindings that newly became
+    /// answers (in canonical order) — `cdb-serve` pushes these over the
+    /// wire as NDJSON chunks while the query is still running. The sink
+    /// returning `false` cancels that query: the core loop stops asking
+    /// and the query reports a partial [`QueryResult`] with
+    /// [`cancelled`](QueryResult::cancelled) set. `None` (the default)
+    /// streams nothing and can cancel nothing.
+    pub round_sink: Option<RoundHook>,
+}
+
+/// Receives each query's per-round answer deltas (see
+/// [`RuntimeConfig::round_sink`]). Implementations must be cheap and
+/// non-blocking-ish — they run on the worker thread inside the round
+/// loop — and must not vary behavior by thread or wall clock if replay
+/// determinism matters to them.
+pub trait RoundSink: Send + Sync {
+    /// `new_bindings` became answers for `query` in crowd round `round`
+    /// (1-based; a final flush may repeat the last round number). Return
+    /// `false` to cancel the query.
+    fn on_round(&self, query: u64, round: u64, new_bindings: &[Vec<NodeId>]) -> bool;
+}
+
+/// A cloneable, debuggable handle around the round sink — same shape as
+/// [`SettleHook`], so [`RuntimeConfig`] can stay `#[derive(Debug, Clone)]`.
+#[derive(Clone)]
+pub struct RoundHook(Arc<dyn RoundSink>);
+
+impl RoundHook {
+    /// Wrap a sink (e.g. `cdb-serve`'s per-query chunk streams).
+    pub fn new(sink: Arc<dyn RoundSink>) -> RoundHook {
+        RoundHook(sink)
+    }
+
+    /// Forward one round's delta; `false` means cancel.
+    pub fn on_round(&self, query: u64, round: u64, new_bindings: &[Vec<NodeId>]) -> bool {
+        self.0.on_round(query, round, new_bindings)
+    }
+}
+
+impl std::fmt::Debug for RoundHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RoundHook(..)")
+    }
 }
 
 /// A cloneable, debuggable handle around the durability sink — kept as a
@@ -127,6 +171,7 @@ impl Default for RuntimeConfig {
             trace: Trace::off(),
             reuse: None,
             settle: None,
+            round_sink: None,
         }
     }
 }
@@ -163,6 +208,9 @@ pub struct QueryResult {
     pub round_tasks: Vec<usize>,
     /// Virtual makespan of the query, in simulated ms.
     pub virtual_ms: SimTime,
+    /// True when a [`RoundSink`] stopped the query early (client cancel
+    /// or disconnect): `bindings` holds only what had resolved so far.
+    pub cancelled: bool,
 }
 
 /// Everything a runtime run produced.
@@ -415,6 +463,12 @@ pub fn execute_query(
         // each round's inferred colors after vote aggregation.
         executor = executor.with_reuse(session);
     }
+    if let Some(hook) = &cfg.round_sink {
+        let hook = hook.clone();
+        let query = job.id;
+        executor = executor
+            .with_round_observer(Box::new(move |round, new| hook.on_round(query, round, new)));
+    }
     let stats = executor.run();
     let virtual_ms = engine.now();
     let round_tasks = engine.round_tasks().to_vec();
@@ -441,6 +495,7 @@ pub fn execute_query(
                 tasks_saved: stats.tasks_saved,
                 round_tasks,
                 virtual_ms,
+                cancelled: stats.cancelled,
             }),
         ),
     }

@@ -1,0 +1,96 @@
+//! The `cdb-loadgen` binary: hammer a running `cdb-serve` with
+//! concurrent client queries and report what came back.
+//!
+//! ```text
+//! cdb-loadgen [--addr HOST:PORT] [--tenants N] [--per-tenant Q]
+//!             [--sql CQL] [--budget-cents B]
+//!             [--submitters S] [--stream-workers W]
+//!             [--oracle example]
+//! ```
+//!
+//! Every accepted query's NDJSON stream is watched to its end; the
+//! report (JSON on stdout) counts admitted/queued/rejected, completions,
+//! the server's peak in-flight gauge, sustained QPS, and client-side
+//! first-binding latency percentiles. With `--oracle example` (only
+//! valid against a server running the default `example` dataset and
+//! seed), every stream is additionally compared binding-for-binding
+//! against an in-process re-execution — the zero-loss check.
+
+#![deny(missing_docs)]
+
+use cdb_datagen::paper_example_dataset;
+use cdb_obsv::json::JsonObject;
+use cdb_serve::{percentile, run_load, verify_streams, LoadPlan, ServeConfig};
+
+/// The walkthrough join the example catalog serves.
+const DEFAULT_SQL: &str = "SELECT * FROM Researcher, University \
+     WHERE Researcher.affiliation CROWDJOIN University.name";
+
+fn main() {
+    let mut addr = "127.0.0.1:8744".to_string();
+    let mut plan = LoadPlan {
+        tenants: 8,
+        queries_per_tenant: 16,
+        sql: DEFAULT_SQL.into(),
+        budget_cents: 10_000,
+        submitters: 8,
+        stream_workers: 16,
+    };
+    let mut oracle: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match a.as_str() {
+            "--addr" => addr = val("--addr"),
+            "--tenants" => plan.tenants = val("--tenants").parse().expect("--tenants"),
+            "--per-tenant" => {
+                plan.queries_per_tenant = val("--per-tenant").parse().expect("--per-tenant")
+            }
+            "--sql" => plan.sql = val("--sql"),
+            "--budget-cents" => {
+                plan.budget_cents = val("--budget-cents").parse().expect("--budget-cents")
+            }
+            "--submitters" => plan.submitters = val("--submitters").parse().expect("--submitters"),
+            "--stream-workers" => {
+                plan.stream_workers = val("--stream-workers").parse().expect("--stream-workers")
+            }
+            "--oracle" => oracle = Some(val("--oracle")),
+            other => {
+                eprintln!("unknown flag {other}; see the crate docs");
+                std::process::exit(2);
+            }
+        }
+    }
+    let addr: std::net::SocketAddr = addr.parse().expect("--addr must be HOST:PORT");
+    eprintln!("loadgen: {} tenants x {} queries -> {addr}", plan.tenants, plan.queries_per_tenant);
+    let report = run_load(addr, &plan).expect("load run");
+    let mut out = JsonObject::new()
+        .u64("submitted", report.submitted)
+        .u64("admitted", report.admitted)
+        .u64("queued", report.queued)
+        .u64("rejected", report.rejected)
+        .u64("completed", report.completed)
+        .u64("failed", report.failed)
+        .u64("cancelled", report.cancelled)
+        .u64("peak_inflight", report.peak_inflight)
+        .f64("wall_s", report.wall_secs)
+        .f64("qps_per_s", report.qps)
+        .f64("first_binding_p50_ms", percentile(&report.first_binding_ms, 0.50))
+        .f64("first_binding_p99_ms", percentile(&report.first_binding_ms, 0.99));
+    if oracle.as_deref() == Some("example") {
+        let (db, truth) = paper_example_dataset();
+        let check =
+            verify_streams(&db, &truth, &ServeConfig::default(), &plan.sql, &report.streams);
+        out = out
+            .u64("oracle_bindings", check.bindings_total)
+            .u64("oracle_lost", check.lost)
+            .u64("oracle_duplicated", check.duplicated)
+            .u64("oracle_spurious", check.spurious);
+        if !check.clean() {
+            eprintln!("ORACLE MISMATCH: {check:?}");
+            println!("{}", out.finish());
+            std::process::exit(1);
+        }
+    }
+    println!("{}", out.finish());
+}

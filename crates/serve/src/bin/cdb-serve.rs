@@ -1,0 +1,129 @@
+//! The `cdb-serve` server binary: load a generated dataset, bind the
+//! HTTP listener, and serve CQL until killed.
+//!
+//! ```text
+//! cdb-serve [--addr HOST:PORT] [--dataset example|paper|award|movie]
+//!           [--scale N] [--seed S] [--exec-threads T]
+//!           [--round-delay-ms MS] [--price-cents C]
+//!           [--budget-cents B] [--max-active A] [--queue-capacity Q]
+//! ```
+//!
+//! `--dataset example` (default) serves the paper's Table 1 walkthrough
+//! catalog; the others generate the evaluation datasets at
+//! `--scale`-divided cardinalities. Tenant envelopes default to
+//! `--budget-cents/--max-active/--queue-capacity` for every tenant; see
+//! `docs/OPERATIONS.md` for the full operating guide.
+
+#![deny(missing_docs)]
+
+use cdb_datagen::{
+    award_dataset, movie_dataset, paper_dataset, paper_example_dataset, DatasetScale,
+};
+use cdb_sched::Envelope;
+use cdb_serve::ServeConfig;
+
+struct Args {
+    addr: String,
+    dataset: String,
+    scale: usize,
+    seed: u64,
+    exec_threads: usize,
+    round_delay_ms: u64,
+    price_cents: u64,
+    budget_cents: u64,
+    max_active: usize,
+    queue_capacity: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:8744".into(),
+        dataset: "example".into(),
+        scale: 10,
+        seed: 0,
+        exec_threads: 4,
+        round_delay_ms: 0,
+        price_cents: 2,
+        budget_cents: 100_000,
+        max_active: 8,
+        queue_capacity: 128,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match a.as_str() {
+            "--addr" => args.addr = val("--addr"),
+            "--dataset" => args.dataset = val("--dataset"),
+            "--scale" => args.scale = val("--scale").parse().expect("--scale"),
+            "--seed" => args.seed = val("--seed").parse().expect("--seed"),
+            "--exec-threads" => {
+                args.exec_threads = val("--exec-threads").parse().expect("--exec-threads")
+            }
+            "--round-delay-ms" => {
+                args.round_delay_ms = val("--round-delay-ms").parse().expect("--round-delay-ms")
+            }
+            "--price-cents" => {
+                args.price_cents = val("--price-cents").parse().expect("--price-cents")
+            }
+            "--budget-cents" => {
+                args.budget_cents = val("--budget-cents").parse().expect("--budget-cents")
+            }
+            "--max-active" => args.max_active = val("--max-active").parse().expect("--max-active"),
+            "--queue-capacity" => {
+                args.queue_capacity = val("--queue-capacity").parse().expect("--queue-capacity")
+            }
+            other => {
+                eprintln!("unknown flag {other}; see the crate docs");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let (db, truth) = match args.dataset.as_str() {
+        "example" => paper_example_dataset(),
+        name => {
+            let scale = DatasetScale::paper_full().scaled(args.scale.max(1));
+            let ds = match name {
+                "paper" => paper_dataset(scale, args.seed),
+                "award" => {
+                    award_dataset(DatasetScale::award_full().scaled(args.scale.max(1)), args.seed)
+                }
+                "movie" => {
+                    movie_dataset(DatasetScale::movie_full().scaled(args.scale.max(1)), args.seed)
+                }
+                other => {
+                    eprintln!("unknown dataset {other} (example|paper|award|movie)");
+                    std::process::exit(2);
+                }
+            };
+            (ds.db, ds.truth)
+        }
+    };
+    let mut cfg = ServeConfig::default();
+    cfg.runtime.seed = args.seed;
+    cfg.exec_threads = args.exec_threads;
+    cfg.round_delay_ms = args.round_delay_ms;
+    cfg.task_price_cents = args.price_cents;
+    cfg.default_envelope = Envelope {
+        budget_cents: args.budget_cents,
+        max_active: args.max_active,
+        queue_capacity: args.queue_capacity,
+    };
+    let server = cdb_serve::start(&args.addr, db, truth, cfg).expect("bind listener");
+    eprintln!(
+        "cdb-serve listening on http://{} (dataset {}, seed {}, {} exec threads)",
+        server.addr(),
+        args.dataset,
+        args.seed,
+        args.exec_threads,
+    );
+    eprintln!("endpoints: POST /queries · GET /queries/<id>/stream · GET /metrics · GET /catalog");
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,310 @@
+//! The load generator: drives a running server with concurrent client
+//! queries over real sockets, watches their NDJSON streams, and checks
+//! the streamed bindings against the in-process oracle
+//! ([`cdb_runtime::execute_query`] with the same seed — the server must
+//! lose nothing and duplicate nothing on the way to the wire).
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+use cdb_core::{build_query_graph, QueryTruth};
+use cdb_runtime::{execute_query, QueryJob, RuntimeMetrics};
+
+use crate::client::{Client, SubmitOutcome};
+use crate::state::ServeConfig;
+use crate::wire::{StreamEvent, Submit};
+
+/// One load run's shape.
+#[derive(Debug, Clone)]
+pub struct LoadPlan {
+    /// Distinct tenants (named `t00`, `t01`, ...), submitted round-robin.
+    pub tenants: usize,
+    /// Queries per tenant.
+    pub queries_per_tenant: usize,
+    /// The CQL text every query submits (per-query randomness still
+    /// differs — execution is keyed by query id).
+    pub sql: String,
+    /// Per-query budget, in cents.
+    pub budget_cents: u64,
+    /// Client connections submitting concurrently.
+    pub submitters: usize,
+    /// Client connections watching streams concurrently.
+    pub stream_workers: usize,
+}
+
+impl Default for LoadPlan {
+    fn default() -> Self {
+        LoadPlan {
+            tenants: 4,
+            queries_per_tenant: 8,
+            sql: String::new(),
+            budget_cents: 10_000,
+            submitters: 4,
+            stream_workers: 8,
+        }
+    }
+}
+
+/// What one load run observed, client-side.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Queries submitted (admitted + queued + rejected).
+    pub submitted: u64,
+    /// Admitted immediately.
+    pub admitted: u64,
+    /// Queued behind the tenant envelope.
+    pub queued: u64,
+    /// Rejected (should be 0 for a well-sized plan).
+    pub rejected: u64,
+    /// Streams that ended in a `done` event without cancellation.
+    pub completed: u64,
+    /// Streams that ended in an `error` event.
+    pub failed: u64,
+    /// Streams that ended cancelled.
+    pub cancelled: u64,
+    /// Peak concurrently in-flight queries, per the server's own gauge.
+    pub peak_inflight: u64,
+    /// Wall-clock seconds from first submit to last stream completion.
+    pub wall_secs: f64,
+    /// Completed queries per wall-clock second.
+    pub qps: f64,
+    /// Client-side submit→first-`round`-chunk latencies, ms, one per
+    /// query that streamed at least one binding.
+    pub first_binding_ms: Vec<f64>,
+    /// Every query's decoded stream, by id — input to
+    /// [`verify_streams`].
+    pub streams: BTreeMap<u64, Vec<StreamEvent>>,
+}
+
+impl LoadReport {
+    /// The p-th percentile (0..=1) of the client-side first-binding
+    /// latencies; 0 when nothing streamed.
+    pub fn first_binding_percentile(&self, p: f64) -> f64 {
+        percentile(&self.first_binding_ms, p)
+    }
+}
+
+/// The p-th percentile (0..=1) of unsorted samples; 0 when empty.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((s.len() as f64 - 1.0) * p).round() as usize;
+    s[idx.min(s.len() - 1)]
+}
+
+/// Drive `plan` against the server at `addr` and watch every stream to
+/// its end. Blocks until all submitted queries are terminal.
+pub fn run_load(addr: SocketAddr, plan: &LoadPlan) -> std::io::Result<LoadReport> {
+    let total = plan.tenants * plan.queries_per_tenant;
+    let started = Instant::now();
+    let (tx, rx) = mpsc::channel::<(u64, Instant)>();
+    let rx = Arc::new(Mutex::new(rx));
+    let admitted = Arc::new(AtomicU64::new(0));
+    let queued = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicU64::new(0));
+
+    // Submitters: round-robin tenants so every envelope fills evenly.
+    let work: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new((0..total).rev().collect()));
+    let submit_threads: Vec<_> = (0..plan.submitters.max(1))
+        .map(|_| {
+            let work = Arc::clone(&work);
+            let tx = tx.clone();
+            let (admitted, queued, rejected) =
+                (Arc::clone(&admitted), Arc::clone(&queued), Arc::clone(&rejected));
+            let plan = plan.clone();
+            std::thread::spawn(move || -> std::io::Result<()> {
+                let mut client = Client::new(addr);
+                loop {
+                    let Some(i) = work.lock().unwrap().pop() else { return Ok(()) };
+                    let submit = Submit {
+                        tenant: format!("t{:02}", i % plan.tenants),
+                        sql: plan.sql.clone(),
+                        budget_cents: plan.budget_cents,
+                        deadline_rounds: None,
+                    };
+                    match client.submit(&submit)? {
+                        SubmitOutcome::Admitted { query } => {
+                            admitted.fetch_add(1, Ordering::Relaxed);
+                            let _ = tx.send((query, Instant::now()));
+                        }
+                        SubmitOutcome::Queued { query, .. } => {
+                            queued.fetch_add(1, Ordering::Relaxed);
+                            let _ = tx.send((query, Instant::now()));
+                        }
+                        SubmitOutcome::Rejected { .. } => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    drop(tx);
+
+    // Stream watchers: read every accepted query's stream to the end.
+    type Watched = BTreeMap<u64, (Vec<StreamEvent>, Option<f64>)>;
+    let watched: Arc<Mutex<Watched>> = Arc::new(Mutex::new(BTreeMap::new()));
+    let watch_threads: Vec<_> = (0..plan.stream_workers.max(1))
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let watched = Arc::clone(&watched);
+            std::thread::spawn(move || -> std::io::Result<()> {
+                let client = Client::new(addr);
+                loop {
+                    let next = rx.lock().unwrap().recv();
+                    let Ok((query, submitted_at)) = next else { return Ok(()) };
+                    let mut first: Option<f64> = None;
+                    let lines = client.stream(query, |line| {
+                        if first.is_none() && line.contains("\"event\":\"round\"") {
+                            first = Some(submitted_at.elapsed().as_secs_f64() * 1e3);
+                        }
+                        true
+                    })?;
+                    let events: Vec<StreamEvent> = lines
+                        .iter()
+                        .map(|l| {
+                            StreamEvent::decode(l).map_err(|e| {
+                                std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    watched.lock().unwrap().insert(query, (events, first));
+                }
+            })
+        })
+        .collect();
+
+    for t in submit_threads {
+        t.join().expect("submitter panicked")?;
+    }
+    for t in watch_threads {
+        t.join().expect("stream watcher panicked")?;
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let mut client = Client::new(addr);
+    let stats = client.stats()?;
+    let peak_inflight =
+        stats.get("peak_inflight").and_then(|v| v.as_num()).unwrap_or_default() as u64;
+
+    let watched = Arc::try_unwrap(watched).expect("watchers joined").into_inner().unwrap();
+    let mut report = LoadReport {
+        submitted: total as u64,
+        admitted: admitted.load(Ordering::Relaxed),
+        queued: queued.load(Ordering::Relaxed),
+        rejected: rejected.load(Ordering::Relaxed),
+        completed: 0,
+        failed: 0,
+        cancelled: 0,
+        peak_inflight,
+        wall_secs,
+        qps: 0.0,
+        first_binding_ms: Vec::new(),
+        streams: BTreeMap::new(),
+    };
+    for (query, (events, first)) in watched {
+        match events.last() {
+            Some(StreamEvent::Done { cancelled: false, .. }) => report.completed += 1,
+            Some(StreamEvent::Done { cancelled: true, .. }) => report.cancelled += 1,
+            Some(StreamEvent::Error { .. }) => report.failed += 1,
+            _ => report.failed += 1,
+        }
+        if let Some(ms) = first {
+            report.first_binding_ms.push(ms);
+        }
+        report.streams.insert(query, events);
+    }
+    report.qps = report.completed as f64 / wall_secs.max(1e-9);
+    Ok(report)
+}
+
+/// The zero-loss check's verdict.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OracleCheck {
+    /// Streams compared.
+    pub queries: u64,
+    /// Oracle answer bindings across all compared queries.
+    pub bindings_total: u64,
+    /// Oracle bindings the stream never delivered (must be 0).
+    pub lost: u64,
+    /// Bindings delivered more than once in one stream (must be 0).
+    pub duplicated: u64,
+    /// Streamed-then-withdrawn bindings (nonzero only for recoloring
+    /// quality strategies).
+    pub retracted: u64,
+    /// Bindings the stream claims that the oracle does not (must be 0).
+    pub spurious: u64,
+}
+
+impl OracleCheck {
+    /// True when the wire lost nothing, duplicated nothing, and invented
+    /// nothing.
+    pub fn clean(&self) -> bool {
+        self.lost == 0 && self.duplicated == 0 && self.spurious == 0
+    }
+}
+
+/// Re-execute every watched query in-process with the server's exact
+/// configuration and compare bindings: the streamed union (minus
+/// retractions) must equal the oracle's answer set, with no binding
+/// streamed twice.
+pub fn verify_streams(
+    db: &cdb_storage::Database,
+    truth: &QueryTruth,
+    cfg: &ServeConfig,
+    sql: &str,
+    streams: &BTreeMap<u64, Vec<StreamEvent>>,
+) -> OracleCheck {
+    let cdb_cql::Statement::Select(q) = cdb_cql::parse(sql).expect("load SQL parses") else {
+        panic!("load SQL must be a SELECT");
+    };
+    let analyzed = cdb_cql::analyze_select(&q, db).expect("load SQL analyzes");
+    let graph = build_query_graph(&analyzed, db, &cfg.build);
+    let edge_truth = truth.edge_truth(&graph);
+    let metrics = Arc::new(RuntimeMetrics::new());
+    let mut oracle_cfg = cfg.runtime.clone();
+    oracle_cfg.exec.budget = analyzed.budget.or(oracle_cfg.exec.budget);
+    oracle_cfg.round_sink = None;
+
+    let mut check = OracleCheck::default();
+    for (&id, events) in streams {
+        let job = QueryJob { id, graph: graph.clone(), truth: edge_truth.clone() };
+        let (_, result) = execute_query(&oracle_cfg, &metrics, job, None);
+        let oracle: std::collections::BTreeSet<Vec<u64>> = result
+            .expect("oracle run succeeds")
+            .bindings
+            .iter()
+            .map(|b| b.iter().map(|n| n.0 as u64).collect())
+            .collect();
+        let mut streamed: BTreeMap<Vec<u64>, usize> = BTreeMap::new();
+        let mut retracted: Vec<Vec<u64>> = Vec::new();
+        for e in events {
+            match e {
+                StreamEvent::Round { new, .. } => {
+                    for b in new {
+                        *streamed.entry(b.clone()).or_default() += 1;
+                    }
+                }
+                StreamEvent::Retract { bindings } => retracted.extend(bindings.iter().cloned()),
+                _ => {}
+            }
+        }
+        check.queries += 1;
+        check.bindings_total += oracle.len() as u64;
+        check.retracted += retracted.len() as u64;
+        check.duplicated += streamed.values().filter(|&&c| c > 1).count() as u64;
+        let mut net: std::collections::BTreeSet<Vec<u64>> = streamed.into_keys().collect();
+        for b in &retracted {
+            net.remove(b);
+        }
+        check.lost += oracle.difference(&net).count() as u64;
+        check.spurious += net.difference(&oracle).count() as u64;
+    }
+    check
+}

@@ -1,0 +1,249 @@
+//! The listener: accept loop, per-connection handler threads, routing.
+//!
+//! Thread model: a blocking accept loop hands each connection to a small
+//! handler thread (keep-alive loop); query *execution* never happens on
+//! connection threads — it runs on the fixed worker pool inside
+//! [`ServerState`], so a slow client cannot stall the crowd.
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::http::{read_request, respond, ChunkedWriter, Request};
+use crate::state::{ServeConfig, ServerState};
+use crate::wire::{decision_status, encode_decision, encode_error, Submit};
+
+/// A running server: its address, shared state, and thread handles.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Start a server on `addr` (use port 0 for an ephemeral port) over the
+/// given catalog and simulated ground truth.
+pub fn start(
+    addr: &str,
+    db: cdb_storage::Database,
+    truth: cdb_core::QueryTruth,
+    cfg: ServeConfig,
+) -> io::Result<Server> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let state = ServerState::new(db, truth, cfg);
+    let workers = (0..state.config().exec_threads.max(1))
+        .map(|i| {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name(format!("serve-exec-{i}"))
+                .spawn(move || state.worker_loop())
+                .expect("spawn exec worker")
+        })
+        .collect();
+    let accept_state = Arc::clone(&state);
+    let accept = std::thread::Builder::new()
+        .name("serve-accept".into())
+        .spawn(move || accept_loop(listener, accept_state))
+        .expect("spawn accept loop");
+    Ok(Server { addr, state, accept: Some(accept), workers })
+}
+
+impl Server {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (tests and in-process drivers reach through it).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Stop accepting, drain workers, and join the long-lived threads.
+    /// Open streaming connections notice within their poll interval.
+    pub fn shutdown(mut self) {
+        self.state.stop();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        if state.stopping() {
+            return;
+        }
+        // Responses and stream chunks are many small writes; without
+        // nodelay, Nagle + delayed ACK stalls every keep-alive roundtrip
+        // by tens of milliseconds.
+        let _ = stream.set_nodelay(true);
+        let state = Arc::clone(&state);
+        // Connection handlers only parse, route, and pump retained
+        // chunks; a small stack keeps a thousand idle streams cheap.
+        let _ = std::thread::Builder::new().name("serve-conn".into()).stack_size(256 * 1024).spawn(
+            move || {
+                let _ = handle_connection(stream, state);
+            },
+        );
+    }
+}
+
+/// Keep-alive loop over one connection.
+fn handle_connection(stream: TcpStream, state: Arc<ServerState>) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => return Ok(()),
+            Err(e) => {
+                let body = encode_error(&e.to_string());
+                let _ = respond(&mut writer, 400, "application/json", body.as_bytes(), false);
+                return Ok(());
+            }
+        };
+        let keep_alive = req.keep_alive();
+        match route(&req, &mut writer, &state)? {
+            Flow::KeepAlive if keep_alive && !state.stopping() => continue,
+            _ => return Ok(()),
+        }
+    }
+}
+
+/// Whether the connection can serve another request after this response.
+enum Flow {
+    KeepAlive,
+    Close,
+}
+
+fn route(req: &Request, w: &mut TcpStream, state: &Arc<ServerState>) -> io::Result<Flow> {
+    let segs: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segs.as_slice()) {
+        ("GET", ["healthz"]) => {
+            respond(w, 200, "text/plain", b"ok\n", true)?;
+            Ok(Flow::KeepAlive)
+        }
+        ("GET", ["metrics"]) => {
+            respond(w, 200, "text/plain; version=0.0.4", state.prometheus().as_bytes(), true)?;
+            Ok(Flow::KeepAlive)
+        }
+        ("GET", ["catalog"]) => {
+            respond(w, 200, "application/json", state.catalog().as_bytes(), true)?;
+            Ok(Flow::KeepAlive)
+        }
+        ("GET", ["stats"]) => {
+            respond(w, 200, "application/json", state.stats().as_bytes(), true)?;
+            Ok(Flow::KeepAlive)
+        }
+        ("POST", ["queries"]) => {
+            let submit = match Submit::decode(req.body_str()) {
+                Ok(s) => s,
+                Err(e) => return bad_request(w, &e),
+            };
+            match state.submit(&submit) {
+                Ok((decision, id)) => {
+                    let body = encode_decision(&decision, id);
+                    respond(
+                        w,
+                        decision_status(&decision),
+                        "application/json",
+                        body.as_bytes(),
+                        true,
+                    )?;
+                    Ok(Flow::KeepAlive)
+                }
+                Err(e) => bad_request(w, &e),
+            }
+        }
+        ("GET", ["queries", id]) => {
+            match id.parse::<u64>().ok().and_then(|q| state.query_status(q)) {
+                Some(body) => {
+                    respond(w, 200, "application/json", body.as_bytes(), true)?;
+                    Ok(Flow::KeepAlive)
+                }
+                None => not_found(w),
+            }
+        }
+        ("POST", ["queries", id, "cancel"]) => match id.parse::<u64>().map(|q| state.cancel(q)) {
+            Ok(true) => {
+                respond(w, 200, "application/json", b"{\"cancelled\":true}", true)?;
+                Ok(Flow::KeepAlive)
+            }
+            _ => not_found(w),
+        },
+        ("GET", ["queries", id, "stream"]) => {
+            let Ok(q) = id.parse::<u64>() else { return not_found(w) };
+            if state.query_status(q).is_none() {
+                return not_found(w);
+            }
+            stream_query(w, state, q)?;
+            Ok(Flow::Close)
+        }
+        ("GET", ["tenants", name]) => match state.tenant_status(name) {
+            Some(body) => {
+                respond(w, 200, "application/json", body.as_bytes(), true)?;
+                Ok(Flow::KeepAlive)
+            }
+            None => not_found(w),
+        },
+        (_, _) => {
+            let body = encode_error("no such route");
+            respond(w, 404, "application/json", body.as_bytes(), true)?;
+            Ok(Flow::KeepAlive)
+        }
+    }
+}
+
+fn bad_request(w: &mut TcpStream, msg: &str) -> io::Result<Flow> {
+    let body = encode_error(msg);
+    respond(w, 400, "application/json", body.as_bytes(), true)?;
+    Ok(Flow::KeepAlive)
+}
+
+fn not_found(w: &mut TcpStream) -> io::Result<Flow> {
+    let body = encode_error("not found");
+    respond(w, 404, "application/json", body.as_bytes(), true)?;
+    Ok(Flow::KeepAlive)
+}
+
+/// Pump a query's NDJSON stream: retained chunks first (late subscribers
+/// replay the full history), then live chunks as rounds resolve. A write
+/// failure means the client went away mid-stream — that cancels the
+/// query, which refunds its unspent budget.
+fn stream_query(w: &mut TcpStream, state: &Arc<ServerState>, query: u64) -> io::Result<()> {
+    let mut sent = 0usize;
+    let mut out = ChunkedWriter::start(w, "application/x-ndjson")?;
+    while let Some((chunks, done)) = state.wait_chunks(query, sent) {
+        for c in &chunks {
+            if let Err(e) = out.chunk(c) {
+                // Mid-stream disconnect: only cancel if the query is
+                // still running — a replay of a finished stream must not
+                // touch the ledger.
+                if !done {
+                    state.cancel(query);
+                }
+                return Err(e);
+            }
+        }
+        sent += chunks.len();
+        if done {
+            return out.finish();
+        }
+        if state.stopping() {
+            break;
+        }
+    }
+    out.finish()
+}

@@ -1,0 +1,328 @@
+//! Wire-protocol integration tests: a real server on a real socket, a
+//! real client, golden response fixtures, failure/disconnect semantics,
+//! and the cross-thread-count stream determinism guarantee.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use cdb_datagen::paper_example_dataset;
+use cdb_obsv::json::Json;
+use cdb_runtime::{FaultPlan, RetryPolicy};
+use cdb_sched::Envelope;
+use cdb_serve::{
+    run_load, verify_streams, Client, LoadPlan, ServeConfig, StreamEvent, Submit, SubmitOutcome,
+};
+
+/// The walkthrough crowd join over the example catalog.
+const JOIN_SQL: &str = "SELECT * FROM Researcher, University \
+     WHERE Researcher.affiliation CROWDJOIN University.name";
+
+fn example_server(cfg: ServeConfig) -> cdb_serve::Server {
+    let (db, truth) = paper_example_dataset();
+    cdb_serve::start("127.0.0.1:0", db, truth, cfg).expect("bind")
+}
+
+fn submit(tenant: &str, budget: u64) -> Submit {
+    Submit {
+        tenant: tenant.into(),
+        sql: JOIN_SQL.into(),
+        budget_cents: budget,
+        deadline_rounds: None,
+    }
+}
+
+/// Wait for a query to reach a terminal state (its stream being done).
+fn wait_done(client: &mut Client, query: u64) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let s = client.query_status(query).expect("status");
+        if matches!(s.get("done"), Some(Json::Bool(true))) {
+            return s;
+        }
+        assert!(Instant::now() < deadline, "query {query} never finished: {s:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn submit_stream_and_observe_end_to_end() {
+    let server = example_server(ServeConfig::default());
+    let mut client = Client::new(server.addr());
+
+    // Catalog reflects the example schema.
+    let catalog = client.catalog().expect("catalog");
+    let tables = catalog.get("tables").and_then(Json::as_arr).expect("tables");
+    assert!(tables.iter().any(|t| t.get("name").and_then(Json::as_str) == Some("Researcher")));
+
+    let SubmitOutcome::Admitted { query } = client.submit(&submit("acme", 10_000)).expect("submit")
+    else {
+        panic!("expected admission");
+    };
+    let events = client.stream_events(query).expect("stream");
+    let Some(StreamEvent::Done { cancelled: false, bindings, .. }) = events.last() else {
+        panic!("stream must end in done: {events:?}");
+    };
+    assert!(*bindings > 0, "example join has answers");
+    let streamed: usize = events
+        .iter()
+        .filter_map(|e| match e {
+            StreamEvent::Round { new, .. } => Some(new.len()),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(streamed as u64, *bindings, "every binding streamed exactly once");
+
+    // Status, tenant ledger, stats, metrics all answer.
+    let status = wait_done(&mut client, query);
+    assert_eq!(status.get("state").and_then(Json::as_str), Some("done"));
+    let tenant = client.tenant_status("acme").expect("tenant").expect("known tenant");
+    assert_eq!(tenant.get("completed").and_then(Json::as_num), Some(1.0));
+    let spent = tenant.get("spent_cents").and_then(Json::as_num).unwrap();
+    let refunded = tenant.get("refunded_cents").and_then(Json::as_num).unwrap();
+    assert!(spent > 0.0);
+    assert_eq!(spent + refunded, {
+        let est = status.get("estimate").expect("estimate");
+        est.get("cost_cents_upper").and_then(Json::as_num).unwrap()
+    });
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.get("completed").and_then(Json::as_num), Some(1.0));
+    let prom = client.metrics().expect("metrics");
+    cdb_obsv::validate_exposition(&prom).expect("exposition validates");
+    assert!(prom.contains("cdb_serve_queries_total{state=\"completed\"} 1"));
+    assert!(prom.contains("cdb_tasks_dispatched_total"), "runtime families re-exposed");
+
+    // Replays of a finished stream are byte-identical.
+    let replay = client.stream(query, |_| true).expect("replay");
+    let events2: Vec<StreamEvent> =
+        replay.iter().map(|l| StreamEvent::decode(l).unwrap()).collect();
+    assert_eq!(events, events2);
+    server.shutdown();
+}
+
+#[test]
+fn golden_admission_responses() {
+    let mut cfg = ServeConfig::default();
+    cfg.tenants
+        .insert("broke".into(), Envelope { budget_cents: 1, max_active: 8, queue_capacity: 4 });
+    cfg.tenants.insert(
+        "narrow".into(),
+        Envelope { budget_cents: 100_000, max_active: 1, queue_capacity: 1 },
+    );
+    cfg.round_delay_ms = 20;
+    let server = example_server(cfg);
+    let mut client = Client::new(server.addr());
+
+    // Budget-exceeded: the envelope can never cover the estimate.
+    let resp = client
+        .request("POST", "/queries", Some(&submit("broke", 10_000).encode()))
+        .expect("request");
+    assert_eq!(resp.status, 429);
+    let estimate_cents = {
+        // The estimate is deterministic; read it off a successful submit
+        // on a healthy tenant rather than hard-coding dataset internals.
+        let SubmitOutcome::Admitted { query } =
+            client.submit(&submit("probe", 10_000)).expect("probe")
+        else {
+            panic!("probe admission");
+        };
+        let status = client.query_status(query).expect("status");
+        status
+            .get("estimate")
+            .and_then(|e| e.get("cost_cents_upper"))
+            .and_then(Json::as_num)
+            .unwrap() as u64
+    };
+    assert_eq!(
+        resp.body,
+        format!(
+            "{{\"decision\":\"rejected\",\"reason\":\"budget-exceeded\",\"needed_cents\":{estimate_cents},\"available_cents\":1}}"
+        )
+    );
+
+    // Infeasible: the query's own budget cannot cover its envelope.
+    let resp =
+        client.request("POST", "/queries", Some(&submit("acme", 1).encode())).expect("request");
+    assert_eq!(resp.status, 422);
+    assert_eq!(resp.body, "{\"decision\":\"rejected\",\"reason\":\"infeasible\"}");
+
+    // Queue-full: one active slot, one queue slot, third submission
+    // bounces. The round delay keeps the first query running meanwhile.
+    let first = client.submit(&submit("narrow", 10_000)).expect("s1");
+    assert!(matches!(first, SubmitOutcome::Admitted { .. }));
+    let second = client.submit(&submit("narrow", 10_000)).expect("s2");
+    assert!(matches!(second, SubmitOutcome::Queued { position: 0, .. }), "{second:?}");
+    let resp = client
+        .request("POST", "/queries", Some(&submit("narrow", 10_000).encode()))
+        .expect("request");
+    assert_eq!(resp.status, 429);
+    assert_eq!(resp.body, "{\"decision\":\"rejected\",\"reason\":\"queue-full\",\"capacity\":1}");
+
+    // Malformed CQL is a 400 with a parse error, not a decision.
+    let bad = Submit { sql: "SELEKT nonsense".into(), ..submit("acme", 10_000) };
+    let resp = client.request("POST", "/queries", Some(&bad.encode())).expect("request");
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.starts_with("{\"error\":"), "{}", resp.body);
+    server.shutdown();
+}
+
+#[test]
+fn mid_stream_failure_refunds_the_whole_hold() {
+    let mut cfg = ServeConfig::default();
+    // Every assignment abandoned, no retries: the first dispatched task
+    // fails its query after the stream has started.
+    cfg.runtime.fault_plan = FaultPlan::none().with_abandon(1.0);
+    cfg.runtime.retry = RetryPolicy { deadline_ms: 1_000, max_retries: 0 };
+    let server = example_server(cfg);
+    let mut client = Client::new(server.addr());
+    let SubmitOutcome::Admitted { query } = client.submit(&submit("acme", 10_000)).expect("submit")
+    else {
+        panic!("expected admission");
+    };
+    let events = client.stream_events(query).expect("stream");
+    let Some(StreamEvent::Error { message }) = events.last() else {
+        panic!("stream must end in error: {events:?}");
+    };
+    assert!(message.contains("retry budget"), "{message}");
+    let status = wait_done(&mut client, query);
+    assert_eq!(status.get("state").and_then(Json::as_str), Some("failed"));
+    let tenant = client.tenant_status("acme").expect("tenant").expect("known");
+    assert_eq!(tenant.get("spent_cents").and_then(Json::as_num), Some(0.0), "failures do not bill");
+    assert_eq!(tenant.get("failed").and_then(Json::as_num), Some(1.0));
+    let committed = tenant.get("committed_cents").and_then(Json::as_num).unwrap();
+    assert_eq!(committed, 0.0, "hold fully released");
+    server.shutdown();
+}
+
+#[test]
+fn client_disconnect_mid_stream_cancels_and_refunds() {
+    let mut cfg = ServeConfig::default();
+    // Serial rounds + a real per-round delay: the query streams slowly
+    // enough that the disconnect lands mid-run.
+    cfg.runtime.exec.parallel_rounds = false;
+    cfg.round_delay_ms = 30;
+    let server = example_server(cfg);
+    let mut client = Client::new(server.addr());
+    let SubmitOutcome::Admitted { query } = client.submit(&submit("acme", 10_000)).expect("submit")
+    else {
+        panic!("expected admission");
+    };
+    // Read until the first binding arrives, then hang up.
+    let mut rounds_seen = 0;
+    let lines = client
+        .stream(query, |line| {
+            if line.contains("\"event\":\"round\"") {
+                rounds_seen += 1;
+            }
+            rounds_seen < 1
+        })
+        .expect("partial stream");
+    assert!(rounds_seen >= 1, "saw a live round chunk: {lines:?}");
+
+    let status = wait_done(&mut client, query);
+    assert_eq!(status.get("state").and_then(Json::as_str), Some("cancelled"));
+    let tenant = client.tenant_status("acme").expect("tenant").expect("known");
+    assert!(tenant.get("refunded_cents").and_then(Json::as_num).unwrap() > 0.0, "unspent refunded");
+    assert_eq!(tenant.get("cancelled").and_then(Json::as_num), Some(1.0));
+    assert_eq!(
+        tenant.get("committed_cents").and_then(Json::as_num).unwrap(),
+        tenant.get("spent_cents").and_then(Json::as_num).unwrap(),
+        "ledger settles to exactly the partial spend",
+    );
+    // The retained stream ends with a cancelled `done` carrying the
+    // partial results.
+    let events = client.stream_events(query).expect("replay");
+    let Some(StreamEvent::Done { cancelled: true, .. }) = events.last() else {
+        panic!("cancelled stream terminal: {events:?}");
+    };
+    server.shutdown();
+}
+
+#[test]
+fn explicit_cancel_before_running_fully_refunds() {
+    let mut cfg = ServeConfig::default();
+    cfg.tenants.insert(
+        "narrow".into(),
+        Envelope { budget_cents: 100_000, max_active: 1, queue_capacity: 8 },
+    );
+    cfg.round_delay_ms = 25;
+    let server = example_server(cfg);
+    let mut client = Client::new(server.addr());
+    let SubmitOutcome::Admitted { query: running } =
+        client.submit(&submit("narrow", 10_000)).expect("s1")
+    else {
+        panic!("first admitted");
+    };
+    let SubmitOutcome::Queued { query: waiting, .. } =
+        client.submit(&submit("narrow", 10_000)).expect("s2")
+    else {
+        panic!("second queued");
+    };
+    assert!(client.cancel(waiting).expect("cancel"));
+    let status = wait_done(&mut client, waiting);
+    assert_eq!(status.get("state").and_then(Json::as_str), Some("cancelled"));
+    let events = client.stream_events(waiting).expect("stream");
+    assert!(
+        matches!(
+            events.as_slice(),
+            [StreamEvent::Done { cancelled: true, tasks: 0, refund_cents, .. }] if *refund_cents > 0
+        ),
+        "never-ran cancel is a single full-refund done chunk: {events:?}",
+    );
+    // The running query is unaffected and completes.
+    let events = client.stream_events(running).expect("stream");
+    assert!(matches!(events.last(), Some(StreamEvent::Done { cancelled: false, .. })));
+    server.shutdown();
+}
+
+/// The wire determinism guarantee: 1-, 4-, and 8-worker servers produce
+/// byte-identical NDJSON streams for the same seed and submission order.
+#[test]
+fn streams_are_byte_identical_across_worker_pool_sizes() {
+    let mut baseline: Option<BTreeMap<u64, String>> = None;
+    for exec_threads in [1usize, 4, 8] {
+        let cfg = ServeConfig { exec_threads, ..ServeConfig::default() };
+        let server = example_server(cfg);
+        let mut client = Client::new(server.addr());
+        let mut streams = BTreeMap::new();
+        let ids: Vec<u64> = (0..6)
+            .map(|_| match client.submit(&submit("acme", 10_000)).expect("submit") {
+                SubmitOutcome::Admitted { query } | SubmitOutcome::Queued { query, .. } => query,
+                r => panic!("unexpected rejection: {r:?}"),
+            })
+            .collect();
+        for id in ids {
+            let lines = client.stream(id, |_| true).expect("stream");
+            streams.insert(id, lines.concat());
+        }
+        match &baseline {
+            None => baseline = Some(streams),
+            Some(b) => assert_eq!(b, &streams, "streams diverged at {exec_threads} exec threads"),
+        }
+        server.shutdown();
+    }
+}
+
+/// A small in-test load run with the oracle check — the full ≥1k-query
+/// sweep lives in `figures serve`, this pins the mechanism.
+#[test]
+fn loadgen_streams_match_the_oracle() {
+    let cfg = ServeConfig { exec_threads: 4, ..ServeConfig::default() };
+    let server = example_server(cfg.clone());
+    let plan = LoadPlan {
+        tenants: 3,
+        queries_per_tenant: 6,
+        sql: JOIN_SQL.into(),
+        budget_cents: 10_000,
+        submitters: 3,
+        stream_workers: 6,
+    };
+    let report = run_load(server.addr(), &plan).expect("load");
+    assert_eq!(report.completed, 18, "{report:?}");
+    assert_eq!(report.failed + report.cancelled + report.rejected, 0);
+    let (db, truth) = paper_example_dataset();
+    let check = verify_streams(&db, &truth, &cfg, JOIN_SQL, &report.streams);
+    assert!(check.clean(), "{check:?}");
+    assert_eq!(check.queries, 18);
+    assert!(check.bindings_total > 0);
+    server.shutdown();
+}

@@ -1,0 +1,60 @@
+#!/usr/bin/env sh
+# Intra-repo link check for the markdown docs.
+#
+# Usage: scripts/check_links.sh            (from the repo root)
+#
+# Scans every top-level *.md plus docs/*.md for inline markdown links
+# `[text](target)` and fails if a relative target does not exist on
+# disk, or if its `#anchor` fragment names a heading the target file
+# does not have (GitHub slug rules: lowercase, punctuation stripped,
+# spaces to hyphens). External schemes (http/https/mailto) are not
+# fetched — this is the offline, dependency-free half of doc linting;
+# rustdoc's intra-doc-link pass covers the API docs.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# GitHub-style anchor slugs for every heading of $1, one per line.
+anchors() {
+    sed -n 's/^#\{1,6\} //p' "$1" | awk '{
+        s = tolower($0)
+        gsub(/[^a-z0-9 -]/, "", s)
+        gsub(/ /, "-", s)
+        print s
+    }'
+}
+
+for file in ./*.md docs/*.md; do
+    [ -f "$file" ] || continue
+    dir=$(dirname "$file")
+    # Inline links, one per line: strip images, take the (...) part.
+    # Reference-style links and autolinks are out of scope (unused here).
+    links=$(sed -n 's/!\[[^]]*\]([^)]*)//g; s/\[[^]]*\](\([^)]*\))/\
+LINK:\1\
+/gp' "$file" | sed -n 's/^LINK://p' | sort -u)
+    for link in $links; do
+        case $link in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        target=${link%%#*}
+        fragment=${link#"$target"}
+        path="$dir/$target"
+        if [ ! -e "$path" ]; then
+            echo "FAIL: $file links to missing $target" >&2
+            fail=1
+            continue
+        fi
+        if [ -n "$fragment" ] && [ "$fragment" != "#" ]; then
+            anchor=${fragment#\#}
+            if ! anchors "$path" | grep -qx "$anchor"; then
+                echo "FAIL: $file links to $target$fragment but $target has no such heading" >&2
+                fail=1
+            fi
+        fi
+    done
+done
+
+[ "$fail" -eq 0 ] && echo "OK: all intra-repo markdown links resolve"
+exit "$fail"

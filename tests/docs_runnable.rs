@@ -1,0 +1,213 @@
+//! Executes the worked examples of `docs/CQL.md` end to end through the
+//! `Cdb` façade. The statements are *extracted from the document itself*
+//! (not copied here), so an edit that breaks a documented example breaks
+//! this test — the execution half of the doc-drift gate
+//! (`crates/cql/tests/doc_examples.rs` is the parse half).
+
+use cdb::core::fillcollect::{CollectConfig, FillConfig};
+use cdb::core::{Cdb, CdbConfig, QueryTruth};
+use cdb::crowd::{Market, SimulatedPlatform, WorkerPool};
+use cdb::storage::{TupleId, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Every statement inside every ```cql fence of docs/CQL.md.
+fn doc_statements() -> Vec<String> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/docs/CQL.md");
+    let doc = std::fs::read_to_string(path).expect("docs/CQL.md is readable");
+    let mut stmts = Vec::new();
+    let mut in_cql = false;
+    let mut block = String::new();
+    for line in doc.lines() {
+        let fence = line.trim_start();
+        if let Some(info) = fence.strip_prefix("```") {
+            if in_cql {
+                stmts.extend(
+                    block.split(';').map(str::trim).filter(|s| !s.is_empty()).map(String::from),
+                );
+                block.clear();
+                in_cql = false;
+            } else {
+                in_cql = info.trim() == "cql";
+            }
+            continue;
+        }
+        if in_cql {
+            block.push_str(line);
+            block.push('\n');
+        }
+    }
+    stmts
+}
+
+/// The unique documented statement containing all of `needles`.
+fn doc_stmt(stmts: &[String], needles: &[&str]) -> String {
+    let hits: Vec<&String> =
+        stmts.iter().filter(|s| needles.iter().all(|n| s.contains(n))).collect();
+    assert_eq!(
+        hits.len(),
+        1,
+        "expected exactly one docs/CQL.md statement containing {needles:?}, found {}",
+        hits.len()
+    );
+    hits[0].clone()
+}
+
+fn platform(seed: u64) -> SimulatedPlatform {
+    SimulatedPlatform::new(Market::Amt, WorkerPool::with_accuracies(&[1.0; 20]), seed)
+}
+
+#[test]
+fn the_cql_reference_examples_run_end_to_end() {
+    let stmts = doc_statements();
+    let mut cdb = Cdb::new();
+
+    // DDL: all four documented tables.
+    for needles in [
+        &["TABLE Researcher"][..],
+        &["CROWD TABLE University"],
+        &["TABLE Paper"],
+        &["TABLE Citation"],
+    ] {
+        cdb.execute_ddl(&doc_stmt(&stmts, needles)).expect("documented DDL executes");
+    }
+    {
+        let db = cdb.database_mut();
+        let r = db.table_mut("Researcher").unwrap();
+        r.push(vec![Value::from("Ada"), Value::from("female"), Value::CNull]).unwrap();
+        r.push(vec![
+            Value::from("Bob"),
+            Value::CNull,
+            Value::from("Mass. Institute of Technology"),
+        ])
+        .unwrap();
+        let p = db.table_mut("Paper").unwrap();
+        p.push(vec![Value::from("Crowdsourced Joins At Scale"), Value::from("SIGMOD")]).unwrap();
+        p.push(vec![Value::from("Learned Index Structures"), Value::from("SIGMOD")]).unwrap();
+        p.push(vec![Value::from("Quantum Query Planning"), Value::from("VLDB")]).unwrap();
+        let c = db.table_mut("Citation").unwrap();
+        c.push(vec![Value::from("Crowdsourced Joins At Scale!"), Value::Int(40)]).unwrap();
+        c.push(vec![Value::from("Learned Index Structures."), Value::Int(95)]).unwrap();
+        c.push(vec![Value::from("Quantum Query Planning [ext]"), Value::Int(12)]).unwrap();
+    }
+
+    // COLLECT: crowd-contributed university rows (closed-universe sim).
+    let universe: Vec<String> = [
+        "University of California",
+        "Massachusetts Institute of Technology",
+        "Stanford University",
+        "Princeton University",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rng = StdRng::seed_from_u64(11);
+    let collected = cdb
+        .run_collect(
+            &doc_stmt(&stmts, &["COLLECT University.name"]),
+            &universe,
+            &mut rng,
+            &CollectConfig { target: 4, dirty_prob: 0.0, ..CollectConfig::default() },
+        )
+        .expect("documented COLLECT executes");
+    assert!(collected.distinct >= 2, "collected {} universities", collected.distinct);
+    let uni = cdb.database().table("University").unwrap();
+    assert_eq!(uni.row_count(), collected.distinct);
+    assert!(uni.cell(0, "city").unwrap().is_cnull(), "uncollected columns start CNULL");
+
+    // FILL with a machine filter: only Ada (female) gets her CNULL
+    // affiliation filled; Bob's CNULL gender row does not match.
+    let filled = cdb
+        .run_fill(
+            &doc_stmt(&stmts, &["FILL Researcher.affiliation", "WHERE"]),
+            &|_| "Univ. of California".to_string(),
+            &mut platform(1),
+            &FillConfig::default(),
+        )
+        .expect("documented FILL executes");
+    assert_eq!(filled.values.len(), 1);
+    let researcher = cdb.database().table("Researcher").unwrap();
+    assert_eq!(researcher.cell(0, "affiliation").unwrap().as_text(), Some("Univ. of California"));
+
+    // FILL with a budget: Bob's CNULL gender is the only target cell.
+    let filled = cdb
+        .run_fill(
+            &doc_stmt(&stmts, &["FILL Researcher.gender", "BUDGET"]),
+            &|_| "male".to_string(),
+            &mut platform(2),
+            &FillConfig::default(),
+        )
+        .expect("documented FILL BUDGET executes");
+    assert_eq!(filled.values.len(), 1);
+
+    // The running-example crowd join, over the filled + collected data.
+    let mut truth = QueryTruth::default();
+    let uni = cdb.database().table("University").unwrap();
+    for row in 0..uni.row_count() {
+        let name = uni.cell(row, "name").unwrap().as_text().unwrap().to_string();
+        if name.contains("California") {
+            truth.add_join(TupleId::new("Researcher", 0), TupleId::new("University", row));
+        }
+        if name.contains("Technology") {
+            truth.add_join(TupleId::new("Researcher", 1), TupleId::new("University", row));
+        }
+    }
+    let out = cdb
+        .run_select(
+            &doc_stmt(&stmts, &["CROWDJOIN University.name", "SELECT *"]),
+            &truth,
+            &mut platform(3),
+            &CdbConfig::default(),
+        )
+        .expect("documented crowd join executes");
+    assert_eq!(out.stats.answers.len(), 2, "both researchers match a university");
+    assert_eq!(out.metrics.f_measure, 1.0);
+
+    // CROWDEQUAL + BUDGET: crowd selection narrows to the SIGMOD papers.
+    let mut truth = QueryTruth::default();
+    for i in 0..3 {
+        truth.add_join(TupleId::new("Paper", i), TupleId::new("Citation", i));
+    }
+    truth.add_selection(TupleId::new("Paper", 0), "SIGMOD");
+    truth.add_selection(TupleId::new("Paper", 1), "SIGMOD");
+    let out = cdb
+        .run_select(
+            &doc_stmt(&stmts, &["CROWDEQUAL", "BUDGET"]),
+            &truth,
+            &mut platform(4),
+            &CdbConfig::default(),
+        )
+        .expect("documented CROWDEQUAL executes");
+    assert_eq!(out.stats.answers.len(), 2, "the VLDB paper is filtered out");
+
+    // GROUP BY CROWD clusters the join answers by venue.
+    let out = cdb
+        .run_select(
+            &doc_stmt(&stmts, &["GROUP BY CROWD"]),
+            &truth,
+            &mut platform(5),
+            &CdbConfig::default(),
+        )
+        .expect("documented GROUP BY CROWD executes");
+    let groups = out.groups.expect("GROUP BY requested");
+    let mut sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+    sizes.sort_unstable();
+    assert_eq!(sizes, vec![1, 2], "two SIGMOD answers cluster, VLDB stands alone");
+
+    // ORDER BY CROWD ... ASC ranks answers by pairwise comparisons.
+    let out = cdb
+        .run_select(
+            &doc_stmt(&stmts, &["ORDER BY CROWD", "ASC"]),
+            &truth,
+            &mut platform(6),
+            &CdbConfig::default(),
+        )
+        .expect("documented ORDER BY CROWD executes");
+    let order = out.order.expect("ORDER BY requested");
+    assert_eq!(order.len(), 3);
+    assert!(out.post_tasks > 0, "pairwise comparisons cost tasks");
+
+    // The qualified-star projection analyzes and plans.
+    cdb.plan_select(&doc_stmt(&stmts, &["University.*"]), &CdbConfig::default().build)
+        .expect("documented Table.* projection analyzes");
+}
